@@ -1,0 +1,42 @@
+// Reproduces Fig. 13(a): pseudo-label accuracy and noisy-label detection f1
+// at missing-label rates 25% / 50% / 75% with noise rate 0.2 on
+// CIFAR100-sim. The paper's trend to track: both curves decrease as the
+// missing rate grows.
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "data/noise.h"
+
+int main() {
+  using namespace enld;
+  using namespace enld::bench;
+
+  TablePrinter table({"missing_rate", "pseudo_label_f1", "detection_f1"});
+  for (double missing_rate : {0.25, 0.50, 0.75}) {
+    Workload workload = MakeWorkload(PaperDataset::kCifar100, 0.2);
+    Rng rng(501);
+    std::vector<std::vector<size_t>> masked;
+    for (Dataset& d : workload.incremental) {
+      masked.push_back(MaskMissingLabels(&d, missing_rate, rng));
+    }
+
+    EnldFramework enld(PaperEnldConfig(PaperDataset::kCifar100));
+    enld.Setup(workload.inventory);
+    double pseudo = 0.0;
+    double detection = 0.0;
+    for (size_t i = 0; i < workload.incremental.size(); ++i) {
+      const Dataset& d = workload.incremental[i];
+      const DetectionResult result = enld.Detect(d);
+      pseudo += PseudoLabelAccuracy(d, result.recovered_labels, masked[i]);
+      detection += EvaluateDetection(d, result.noisy_indices).f1;
+    }
+    const double n = static_cast<double>(workload.incremental.size());
+    table.AddRow({TablePrinter::Num(missing_rate, 2),
+                  TablePrinter::Num(pseudo / n),
+                  TablePrinter::Num(detection / n)});
+  }
+  table.Print(
+      "Fig. 13(a) — missing-label recovery at noise 0.2 (CIFAR100)");
+  return 0;
+}

@@ -1,0 +1,131 @@
+// Google-benchmark micro-benchmarks for the substrates the paper's
+// implementation notes call out: the KD-tree that accelerates repeated
+// k-nearest queries (Section IV-D reports O(k|A| log|H'|) vs the brute
+// O(c|A||H'|)), the dense kernels the network substrate runs on, and the
+// union-find behind Topofilter's connected components.
+
+#include <benchmark/benchmark.h>
+
+#include "common/matrix.h"
+#include "common/rng.h"
+#include "graph/knn_graph.h"
+#include "graph/union_find.h"
+#include "knn/kdtree.h"
+#include "nn/mlp.h"
+
+namespace enld {
+namespace {
+
+Matrix RandomPoints(size_t n, size_t dim, uint64_t seed) {
+  Rng rng(seed);
+  Matrix m(n, dim);
+  for (size_t i = 0; i < m.size(); ++i) {
+    m.data()[i] = static_cast<float>(rng.Gaussian());
+  }
+  return m;
+}
+
+void BM_KdTreeBuild(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  const Matrix points = RandomPoints(n, 64, 1);
+  for (auto _ : state) {
+    KdTree tree(points);
+    benchmark::DoNotOptimize(tree.size());
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_KdTreeBuild)->Arg(1000)->Arg(4000)->Arg(16000);
+
+void BM_KdTreeQuery(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  const Matrix points = RandomPoints(n, 64, 2);
+  const KdTree tree(points);
+  Rng rng(3);
+  std::vector<float> query(64);
+  for (auto _ : state) {
+    for (auto& q : query) q = static_cast<float>(rng.Gaussian());
+    benchmark::DoNotOptimize(tree.Nearest(query.data(), 3));
+  }
+}
+BENCHMARK(BM_KdTreeQuery)->Arg(1000)->Arg(4000)->Arg(16000);
+
+void BM_BruteForceQuery(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  const Matrix points = RandomPoints(n, 64, 4);
+  std::vector<size_t> rows(n);
+  for (size_t i = 0; i < n; ++i) rows[i] = i;
+  Rng rng(5);
+  std::vector<float> query(64);
+  for (auto _ : state) {
+    for (auto& q : query) q = static_cast<float>(rng.Gaussian());
+    benchmark::DoNotOptimize(
+        BruteForceNearest(points, rows, query.data(), 3));
+  }
+}
+BENCHMARK(BM_BruteForceQuery)->Arg(1000)->Arg(4000)->Arg(16000);
+
+void BM_MatMul(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  const Matrix a = RandomPoints(n, n, 6);
+  const Matrix b = RandomPoints(n, n, 7);
+  Matrix out;
+  for (auto _ : state) {
+    MatMul(a, b, &out);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations() * n * n * n);
+}
+BENCHMARK(BM_MatMul)->Arg(64)->Arg(128)->Arg(256);
+
+void BM_SoftmaxRows(benchmark::State& state) {
+  const Matrix logits = RandomPoints(1024, 100, 8);
+  Matrix probs;
+  for (auto _ : state) {
+    SoftmaxRows(logits, &probs);
+    benchmark::DoNotOptimize(probs.data());
+  }
+}
+BENCHMARK(BM_SoftmaxRows);
+
+void BM_MlpForward(benchmark::State& state) {
+  Rng rng(9);
+  MlpModel model({32, 128, 64, 100}, rng);
+  const Matrix inputs = RandomPoints(256, 32, 10);
+  Matrix logits;
+  for (auto _ : state) {
+    model.Forward(inputs, &logits);
+    benchmark::DoNotOptimize(logits.data());
+  }
+  state.SetItemsProcessed(state.iterations() * inputs.rows());
+}
+BENCHMARK(BM_MlpForward);
+
+void BM_UnionFind(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  Rng rng(11);
+  std::vector<std::pair<size_t, size_t>> edges(4 * n);
+  for (auto& e : edges) e = {rng.UniformInt(n), rng.UniformInt(n)};
+  for (auto _ : state) {
+    UnionFind uf(n);
+    for (const auto& [a, b] : edges) uf.Union(a, b);
+    benchmark::DoNotOptimize(uf.num_sets());
+  }
+  state.SetItemsProcessed(state.iterations() * edges.size());
+}
+BENCHMARK(BM_UnionFind)->Arg(1000)->Arg(10000);
+
+void BM_KnnGraphComponents(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  const Matrix points = RandomPoints(n, 64, 12);
+  std::vector<size_t> rows(n);
+  for (size_t i = 0; i < n; ++i) rows[i] = i;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(KnnGraphComponents(points, rows, 4, true));
+  }
+}
+BENCHMARK(BM_KnnGraphComponents)->Arg(200)->Arg(1000);
+
+}  // namespace
+}  // namespace enld
+
+BENCHMARK_MAIN();

@@ -1,0 +1,77 @@
+#ifndef ENLD_BENCH_BENCH_UTIL_H_
+#define ENLD_BENCH_BENCH_UTIL_H_
+
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "baselines/confident_learning.h"
+#include "baselines/default_detector.h"
+#include "baselines/topofilter.h"
+#include "common/table.h"
+#include "enld/framework.h"
+#include "eval/experiment.h"
+#include "eval/paper_setup.h"
+
+namespace enld {
+namespace bench {
+
+/// The paper's four noise settings (Section V-A2).
+inline std::vector<double> NoiseRates() { return {0.1, 0.2, 0.3, 0.4}; }
+
+/// Number of incremental datasets to process. Defaults to the paper's
+/// stream length for the profile; the ENLD_BENCH_DATASETS environment
+/// variable overrides it (useful for quick runs).
+inline size_t DatasetBudget(size_t paper_count) {
+  const char* env = std::getenv("ENLD_BENCH_DATASETS");
+  if (env != nullptr) {
+    const long parsed = std::strtol(env, nullptr, 10);
+    if (parsed > 0) return static_cast<size_t>(parsed);
+  }
+  return paper_count;
+}
+
+/// Builds the workload for a paper dataset at a noise rate, honouring the
+/// dataset budget.
+inline Workload MakeWorkload(PaperDataset dataset, double noise_rate) {
+  WorkloadConfig config = PaperWorkloadConfig(dataset, noise_rate);
+  config.stream.num_datasets = DatasetBudget(config.stream.num_datasets);
+  return BuildWorkload(config);
+}
+
+/// All five detection methods of Section V-A4, configured for `dataset`.
+inline std::vector<std::unique_ptr<NoisyLabelDetector>> MakeAllDetectors(
+    PaperDataset dataset) {
+  const GeneralModelConfig general = PaperGeneralConfig(dataset);
+  std::vector<std::unique_ptr<NoisyLabelDetector>> detectors;
+  detectors.push_back(std::make_unique<DefaultDetector>(general));
+  detectors.push_back(std::make_unique<ConfidentLearningDetector>(
+      general, ClVariant::kPruneByClass));
+  detectors.push_back(std::make_unique<ConfidentLearningDetector>(
+      general, ClVariant::kPruneByNoiseRate));
+  detectors.push_back(
+      std::make_unique<TopofilterDetector>(PaperTopofilterConfig(dataset)));
+  detectors.push_back(
+      std::make_unique<EnldFramework>(PaperEnldConfig(dataset)));
+  return detectors;
+}
+
+/// Standard "methods x noise rates" quality table (Figs. 4, 5, 7 layout).
+inline void PrintMethodQualityTable(
+    const std::string& title,
+    const std::vector<MethodRunResult>& runs) {
+  TablePrinter table({"noise", "method", "precision", "recall", "f1"});
+  for (const MethodRunResult& run : runs) {
+    const DetectionMetrics avg = run.average();
+    table.AddRow({TablePrinter::Num(run.noise_rate, 1), run.method,
+                  TablePrinter::Num(avg.precision),
+                  TablePrinter::Num(avg.recall), TablePrinter::Num(avg.f1)});
+  }
+  table.Print(title);
+}
+
+}  // namespace bench
+}  // namespace enld
+
+#endif  // ENLD_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,59 @@
+// Runs every detection method on the same incremental stream and prints a
+// comparison table — a miniature of the paper's Fig. 5 (quality) and
+// Fig. 8 (setup/process time).
+//
+//   ./build/examples/method_comparison [noise_rate]
+
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <vector>
+
+#include "baselines/confident_learning.h"
+#include "baselines/default_detector.h"
+#include "baselines/topofilter.h"
+#include "common/table.h"
+#include "data/workload.h"
+#include "enld/framework.h"
+#include "eval/experiment.h"
+#include "eval/paper_setup.h"
+
+int main(int argc, char** argv) {
+  using namespace enld;
+  const double noise_rate = argc > 1 ? std::atof(argv[1]) : 0.2;
+
+  WorkloadConfig workload_config = Cifar100WorkloadConfig(noise_rate);
+  workload_config.stream.num_datasets = 8;
+  const Workload workload = BuildWorkload(workload_config);
+  std::printf(
+      "inventory %zu samples / %d classes, %zu incremental datasets, "
+      "noise %.1f\n",
+      workload.inventory.size(), workload.inventory.num_classes,
+      workload.incremental.size(), noise_rate);
+
+  const GeneralModelConfig general =
+      PaperGeneralConfig(PaperDataset::kCifar100);
+  std::vector<std::unique_ptr<NoisyLabelDetector>> detectors;
+  detectors.push_back(std::make_unique<DefaultDetector>(general));
+  detectors.push_back(std::make_unique<ConfidentLearningDetector>(
+      general, ClVariant::kPruneByClass));
+  detectors.push_back(std::make_unique<ConfidentLearningDetector>(
+      general, ClVariant::kPruneByNoiseRate));
+  detectors.push_back(std::make_unique<TopofilterDetector>(
+      PaperTopofilterConfig(PaperDataset::kCifar100)));
+  detectors.push_back(std::make_unique<EnldFramework>(
+      PaperEnldConfig(PaperDataset::kCifar100)));
+
+  TablePrinter table({"method", "precision", "recall", "f1", "setup_s",
+                      "avg_process_s"});
+  for (auto& detector : detectors) {
+    const MethodRunResult run = RunDetector(detector.get(), workload);
+    const DetectionMetrics avg = run.average();
+    table.AddRow({run.method, TablePrinter::Num(avg.precision),
+                  TablePrinter::Num(avg.recall), TablePrinter::Num(avg.f1),
+                  TablePrinter::Num(run.setup_seconds, 2),
+                  TablePrinter::Num(run.average_process_seconds(), 3)});
+  }
+  table.Print("method comparison");
+  return 0;
+}

@@ -1,0 +1,51 @@
+#ifndef ENLD_BASELINES_CO_TEACHING_H_
+#define ENLD_BASELINES_CO_TEACHING_H_
+
+#include <string>
+
+#include "baselines/detector.h"
+#include "nn/model_zoo.h"
+
+namespace enld {
+
+/// Configuration of the Co-teaching baseline (Han et al. 2018, adapted to
+/// the incremental setting).
+struct CoTeachingConfig {
+  Backbone backbone = Backbone::kResNet110Sim;
+  size_t epochs = 8;
+  size_t batch_size = 64;
+  double learning_rate = 0.05;
+  double weight_decay = 0.01;
+  /// Epochs over which the kept-fraction schedule R(t) anneals from 1 down
+  /// to 1 - forget_rate (the paper's T_k).
+  size_t anneal_epochs = 6;
+  /// Fraction of each batch eventually dropped as suspected-noisy. When
+  /// negative, the detector estimates it from a 1-D 2-means split of the
+  /// first-epoch losses.
+  double forget_rate = -1.0;
+  uint64_t seed = 613;
+};
+
+/// Co-teaching: two networks train simultaneously on the related inventory
+/// subset + D; in every batch each network selects its smallest-loss
+/// samples and the *peer* updates on them, so the two networks filter each
+/// other's noise. A sample of D is flagged noisy when both trained networks
+/// disagree with its observed label.
+class CoTeachingDetector : public NoisyLabelDetector {
+ public:
+  explicit CoTeachingDetector(const CoTeachingConfig& config)
+      : config_(config) {}
+
+  void Setup(const Dataset& inventory) override;
+  DetectionResult Detect(const Dataset& incremental) override;
+  std::string name() const override { return "Co-teaching"; }
+
+ private:
+  CoTeachingConfig config_;
+  Dataset inventory_;
+  uint64_t request_counter_ = 0;
+};
+
+}  // namespace enld
+
+#endif  // ENLD_BASELINES_CO_TEACHING_H_

@@ -1,0 +1,88 @@
+#include "baselines/confident_learning.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace enld {
+
+void ConfidentLearningDetector::Setup(const Dataset& inventory) {
+  general_ = InitGeneralModel(inventory, config_);
+}
+
+DetectionResult ConfidentLearningDetector::Detect(
+    const Dataset& incremental) {
+  ENLD_CHECK(general_.model != nullptr);  // Setup must run first.
+  MlpModel* model = general_.model.get();
+
+  // Estimate the confident joint over I_c together with the arriving
+  // dataset (Section V-A4: "validate on I_c together with D_i").
+  Dataset combined = general_.candidate_set;
+  combined.Append(incremental);
+  const JointCounts joint = EstimateConfidentJoint(model, combined);
+
+  const Matrix probs = model->Probabilities(incremental.features);
+  const int classes = incremental.num_classes;
+
+  std::vector<bool> is_noisy(incremental.size(), false);
+
+  // Positions of D grouped by observed class.
+  std::vector<std::vector<size_t>> by_class(classes);
+  for (size_t i = 0; i < incremental.size(); ++i) {
+    const int y = incremental.observed_labels[i];
+    if (y != kMissingLabel) by_class[y].push_back(i);
+  }
+
+  for (int i = 0; i < classes; ++i) {
+    if (by_class[i].empty()) continue;
+    double row_sum = 0.0;
+    for (int j = 0; j < classes; ++j) row_sum += joint[i][j];
+    if (row_sum <= 0.0) continue;
+
+    if (variant_ == ClVariant::kPruneByClass) {
+      // Remove the n_i least self-confident samples of class i, where n_i
+      // is the estimated off-diagonal fraction of the row.
+      const double noise_frac = (row_sum - joint[i][i]) / row_sum;
+      const size_t n_i = static_cast<size_t>(
+          std::lround(noise_frac * static_cast<double>(by_class[i].size())));
+      if (n_i == 0) continue;
+      std::vector<size_t> order = by_class[i];
+      std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+        return probs(a, i) < probs(b, i);
+      });
+      for (size_t r = 0; r < std::min(n_i, order.size()); ++r) {
+        is_noisy[order[r]] = true;
+      }
+    } else {
+      // Per off-diagonal cell (i, j): remove the n_ij samples of class i
+      // with the largest margin toward class j.
+      for (int j = 0; j < classes; ++j) {
+        if (j == i) continue;
+        const size_t n_ij = static_cast<size_t>(std::lround(
+            joint[i][j] / row_sum * static_cast<double>(by_class[i].size())));
+        if (n_ij == 0) continue;
+        std::vector<size_t> order = by_class[i];
+        std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+          return probs(a, j) - probs(a, i) > probs(b, j) - probs(b, i);
+        });
+        for (size_t r = 0; r < std::min(n_ij, order.size()); ++r) {
+          is_noisy[order[r]] = true;
+        }
+      }
+    }
+  }
+
+  DetectionResult result;
+  for (size_t i = 0; i < incremental.size(); ++i) {
+    if (incremental.observed_labels[i] == kMissingLabel) continue;
+    if (is_noisy[i]) {
+      result.noisy_indices.push_back(i);
+    } else {
+      result.clean_indices.push_back(i);
+    }
+  }
+  return result;
+}
+
+}  // namespace enld

@@ -1,0 +1,49 @@
+#ifndef ENLD_BASELINES_CONFIDENT_LEARNING_H_
+#define ENLD_BASELINES_CONFIDENT_LEARNING_H_
+
+#include <string>
+#include <vector>
+
+#include "baselines/detector.h"
+#include "nn/confident_joint.h"
+#include "nn/general_model.h"
+
+namespace enld {
+
+/// The two pruning rules of Confident Learning (Northcutt et al. 2021)
+/// the paper reports as CL-1 and CL-2.
+enum class ClVariant {
+  /// Prune-by-class: per observed class i, remove the n_i least
+  /// self-confident samples, n_i = estimated off-diagonal mass of row i.
+  kPruneByClass,
+  /// Prune-by-noise-rate: per off-diagonal cell (i, j), remove the
+  /// J[i][j]-proportional count of samples observed as i with the largest
+  /// margin toward class j.
+  kPruneByNoiseRate,
+};
+
+/// Confident Learning baseline: uses the pretrained general model's softmax
+/// outputs, re-estimating the confident joint over I_c together with the
+/// arriving dataset (the paper's adaptation, Section V-A4), then pruning
+/// the arriving samples by the selected rule. No per-request training.
+class ConfidentLearningDetector : public NoisyLabelDetector {
+ public:
+  ConfidentLearningDetector(const GeneralModelConfig& config,
+                            ClVariant variant)
+      : config_(config), variant_(variant) {}
+
+  void Setup(const Dataset& inventory) override;
+  DetectionResult Detect(const Dataset& incremental) override;
+  std::string name() const override {
+    return variant_ == ClVariant::kPruneByClass ? "CL-1" : "CL-2";
+  }
+
+ private:
+  GeneralModelConfig config_;
+  ClVariant variant_;
+  GeneralModel general_;
+};
+
+}  // namespace enld
+
+#endif  // ENLD_BASELINES_CONFIDENT_LEARNING_H_

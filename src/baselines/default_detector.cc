@@ -1,0 +1,28 @@
+#include "baselines/default_detector.h"
+
+#include "common/check.h"
+
+namespace enld {
+
+void DefaultDetector::Setup(const Dataset& inventory) {
+  general_ = InitGeneralModel(inventory, config_);
+}
+
+DetectionResult DefaultDetector::Detect(const Dataset& incremental) {
+  ENLD_CHECK(general_.model != nullptr);  // Setup must run first.
+  DetectionResult result;
+  const std::vector<int> predicted =
+      general_.model->Predict(incremental.features);
+  for (size_t i = 0; i < incremental.size(); ++i) {
+    const int observed = incremental.observed_labels[i];
+    if (observed == kMissingLabel) continue;
+    if (predicted[i] != observed) {
+      result.noisy_indices.push_back(i);
+    } else {
+      result.clean_indices.push_back(i);
+    }
+  }
+  return result;
+}
+
+}  // namespace enld

@@ -1,0 +1,35 @@
+#ifndef ENLD_BASELINES_DEFAULT_DETECTOR_H_
+#define ENLD_BASELINES_DEFAULT_DETECTOR_H_
+
+#include <memory>
+#include <string>
+
+#include "baselines/detector.h"
+#include "nn/general_model.h"
+
+namespace enld {
+
+/// The paper's "Default" baseline: train the general model θ once on the
+/// inventory, then flag any incremental sample with
+/// argmax M(x, θ) != ỹ as noisy. Zero per-request training cost, but its
+/// quality is bounded by θ's generalization to the arriving distribution.
+class DefaultDetector : public NoisyLabelDetector {
+ public:
+  explicit DefaultDetector(const GeneralModelConfig& config) :
+      config_(config) {}
+
+  void Setup(const Dataset& inventory) override;
+  DetectionResult Detect(const Dataset& incremental) override;
+  std::string name() const override { return "Default"; }
+
+  /// The trained general model (valid after Setup).
+  MlpModel* model() { return general_.model.get(); }
+
+ private:
+  GeneralModelConfig config_;
+  GeneralModel general_;
+};
+
+}  // namespace enld
+
+#endif  // ENLD_BASELINES_DEFAULT_DETECTOR_H_

@@ -1,0 +1,49 @@
+#ifndef ENLD_BASELINES_DETECTOR_H_
+#define ENLD_BASELINES_DETECTOR_H_
+
+#include <string>
+#include <vector>
+
+#include "data/dataset.h"
+
+namespace enld {
+
+/// Output of a noisy-label detection request on one incremental dataset.
+/// `noisy_indices` / `clean_indices` partition the positions of the input
+/// dataset's labeled samples (missing-label samples appear in neither).
+struct DetectionResult {
+  std::vector<size_t> noisy_indices;
+  std::vector<size_t> clean_indices;
+
+  /// ENLD extras (empty for other detectors):
+  /// Clean-set snapshot after each fine-grained iteration (Fig. 9).
+  std::vector<std::vector<size_t>> per_iteration_clean;
+  /// |A| after each iteration (Fig. 13b).
+  std::vector<size_t> per_iteration_ambiguous;
+  /// Recovered labels for missing-label samples, parallel to the dataset
+  /// (kMissingLabel where not applicable / not recovered) — Section V-H.
+  std::vector<int> recovered_labels;
+};
+
+/// Interface every detection method implements: one-time setup on the
+/// inventory, then repeated detection requests as incremental datasets
+/// arrive. The experiment runner times the two phases separately, which is
+/// exactly the paper's setup-time / process-time split (Fig. 8).
+class NoisyLabelDetector {
+ public:
+  virtual ~NoisyLabelDetector() = default;
+
+  /// One-time initialization with the data-lake inventory.
+  virtual void Setup(const Dataset& inventory) = 0;
+
+  /// Detects noisy labels in one arriving dataset. May adapt internal
+  /// state; must be callable repeatedly.
+  virtual DetectionResult Detect(const Dataset& incremental) = 0;
+
+  /// Display name used in result tables.
+  virtual std::string name() const = 0;
+};
+
+}  // namespace enld
+
+#endif  // ENLD_BASELINES_DETECTOR_H_

@@ -1,0 +1,109 @@
+#include "baselines/incv.h"
+
+#include <algorithm>
+
+#include "baselines/related.h"
+#include "common/check.h"
+#include "common/rng.h"
+
+namespace enld {
+
+void IncvDetector::Setup(const Dataset& inventory) {
+  inventory_ = inventory;
+  request_counter_ = 0;
+}
+
+DetectionResult IncvDetector::Detect(const Dataset& incremental) {
+  ENLD_CHECK(!inventory_.empty());  // Setup must run first.
+  ENLD_CHECK_GT(config_.iterations, 0u);
+  ++request_counter_;
+
+  Dataset train_set = RelatedInventorySubset(inventory_, incremental);
+  const size_t d_offset = train_set.size();
+  train_set.Append(incremental);
+
+  Rng rng(config_.seed + request_counter_);
+
+  std::vector<size_t> labeled;
+  for (size_t i = 0; i < train_set.size(); ++i) {
+    if (train_set.observed_labels[i] != kMissingLabel) labeled.push_back(i);
+  }
+  if (labeled.size() < 4) {
+    // Too small to cross-validate; everything stays unjudged -> noisy.
+    DetectionResult result;
+    for (size_t i = 0; i < incremental.size(); ++i) {
+      if (incremental.observed_labels[i] != kMissingLabel) {
+        result.noisy_indices.push_back(i);
+      }
+    }
+    return result;
+  }
+
+  std::vector<size_t> selection = labeled;
+  for (size_t iter = 0; iter < config_.iterations; ++iter) {
+    // Split the current selection into two training halves.
+    rng.Shuffle(selection);
+    const size_t half = selection.size() / 2;
+    std::vector<size_t> half_a(selection.begin(), selection.begin() + half);
+    std::vector<size_t> half_b(selection.begin() + half, selection.end());
+    if (half_a.empty() || half_b.empty()) break;
+
+    std::vector<int> membership(train_set.size(), 0);  // 0=out, 1=A, 2=B.
+    for (size_t pos : half_a) membership[pos] = 1;
+    for (size_t pos : half_b) membership[pos] = 2;
+
+    Rng model_rng = rng.Fork();
+    auto model_a = MakeBackboneModel(config_.backbone, train_set.dim(),
+                                     train_set.num_classes, model_rng);
+    auto model_b = MakeBackboneModel(config_.backbone, train_set.dim(),
+                                     train_set.num_classes, model_rng);
+    TrainConfig train = config_.train;
+    train.seed = rng.NextUInt64();
+    TrainModel(model_a.get(), train_set.Subset(half_a), nullptr, train);
+    train.seed = rng.NextUInt64();
+    TrainModel(model_b.get(), train_set.Subset(half_b), nullptr, train);
+
+    const std::vector<int> pred_a = model_a->Predict(train_set.features);
+    const std::vector<int> pred_b = model_b->Predict(train_set.features);
+
+    // Cross-validated keep rule: a sample is judged by the model that did
+    // NOT train on it; dropped samples can be re-admitted when both models
+    // agree with their label.
+    std::vector<size_t> next;
+    next.reserve(labeled.size());
+    for (size_t pos : labeled) {
+      const int observed = train_set.observed_labels[pos];
+      bool keep = false;
+      switch (membership[pos]) {
+        case 1:
+          keep = pred_b[pos] == observed;
+          break;
+        case 2:
+          keep = pred_a[pos] == observed;
+          break;
+        default:
+          keep = pred_a[pos] == observed && pred_b[pos] == observed;
+          break;
+      }
+      if (keep) next.push_back(pos);
+    }
+    if (next.size() < 4) break;  // Degenerate; keep previous selection.
+    selection = std::move(next);
+  }
+
+  std::vector<bool> selected(train_set.size(), false);
+  for (size_t pos : selection) selected[pos] = true;
+
+  DetectionResult result;
+  for (size_t i = 0; i < incremental.size(); ++i) {
+    if (incremental.observed_labels[i] == kMissingLabel) continue;
+    if (selected[d_offset + i]) {
+      result.clean_indices.push_back(i);
+    } else {
+      result.noisy_indices.push_back(i);
+    }
+  }
+  return result;
+}
+
+}  // namespace enld

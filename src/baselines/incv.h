@@ -1,0 +1,55 @@
+#ifndef ENLD_BASELINES_INCV_H_
+#define ENLD_BASELINES_INCV_H_
+
+#include <string>
+
+#include "baselines/detector.h"
+#include "nn/model_zoo.h"
+#include "nn/trainer.h"
+
+namespace enld {
+
+/// Configuration of the INCV-style cross-validation baseline
+/// (Chen et al. 2019, adapted to the incremental setting).
+struct IncvConfig {
+  Backbone backbone = Backbone::kResNet110Sim;
+  /// Training schedule of each half-model.
+  TrainConfig train;
+  /// Refinement iterations: after the first cross-validation pass, the
+  /// halves are re-drawn from the currently-selected samples and the
+  /// selection is re-validated.
+  size_t iterations = 2;
+  uint64_t seed = 719;
+
+  IncvConfig() {
+    train.epochs = 5;
+    train.batch_size = 64;
+    train.sgd.learning_rate = 0.05;
+    // Cross-validation only filters noise when the half-models do not
+    // memorize their training half's noisy labels.
+    train.sgd.weight_decay = 0.01;
+    train.mixup_alpha = 0.2;
+  }
+};
+
+/// INCV (Iterative Noisy Cross-Validation): randomly split the data into
+/// two halves; train on one half, keep in the *other* half the samples the
+/// model agrees with; swap roles; iterate on the kept set. Samples of D
+/// never kept by the cross-validation are flagged noisy.
+class IncvDetector : public NoisyLabelDetector {
+ public:
+  explicit IncvDetector(const IncvConfig& config) : config_(config) {}
+
+  void Setup(const Dataset& inventory) override;
+  DetectionResult Detect(const Dataset& incremental) override;
+  std::string name() const override { return "INCV"; }
+
+ private:
+  IncvConfig config_;
+  Dataset inventory_;
+  uint64_t request_counter_ = 0;
+};
+
+}  // namespace enld
+
+#endif  // ENLD_BASELINES_INCV_H_

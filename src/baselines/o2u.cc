@@ -1,0 +1,86 @@
+#include "baselines/o2u.h"
+
+#include "baselines/related.h"
+#include "common/check.h"
+#include "common/rng.h"
+#include "common/stats.h"
+#include "nn/loss.h"
+
+namespace enld {
+
+void O2UDetector::Setup(const Dataset& inventory) {
+  inventory_ = inventory;
+  request_counter_ = 0;
+}
+
+DetectionResult O2UDetector::Detect(const Dataset& incremental) {
+  ENLD_CHECK(!inventory_.empty());  // Setup must run first.
+  ENLD_CHECK_GT(config_.cycles, 0u);
+  ENLD_CHECK_GT(config_.epochs_per_cycle, 0u);
+  ++request_counter_;
+
+  Dataset train_set = RelatedInventorySubset(inventory_, incremental);
+  const size_t d_offset = train_set.size();
+  train_set.Append(incremental);
+
+  Rng rng(config_.seed + request_counter_);
+  auto model = MakeBackboneModel(config_.backbone, train_set.dim(),
+                                 train_set.num_classes, rng);
+
+  // Tracked mean loss per D sample across all post-epoch snapshots.
+  std::vector<double> tracked(incremental.size(), 0.0);
+  size_t snapshots = 0;
+  const std::vector<int>& d_labels = incremental.observed_labels;
+
+  for (size_t cycle = 0; cycle < config_.cycles; ++cycle) {
+    for (size_t epoch = 0; epoch < config_.epochs_per_cycle; ++epoch) {
+      // Cyclical schedule: linear decay within the cycle, reset at the
+      // start of the next one.
+      const double progress =
+          config_.epochs_per_cycle <= 1
+              ? 0.0
+              : static_cast<double>(epoch) /
+                    static_cast<double>(config_.epochs_per_cycle - 1);
+      TrainConfig step;
+      step.epochs = 1;
+      step.batch_size = config_.batch_size;
+      step.sgd.learning_rate =
+          config_.lr_max + (config_.lr_min - config_.lr_max) * progress;
+      step.sgd.weight_decay = config_.weight_decay;
+      step.seed = rng.NextUInt64();
+      TrainModel(model.get(), train_set, /*validation=*/nullptr, step);
+
+      Matrix logits;
+      model->Forward(incremental.features, &logits);
+      const std::vector<double> losses =
+          PerSampleCrossEntropy(logits, d_labels);
+      for (size_t i = 0; i < incremental.size(); ++i) {
+        tracked[i] += losses[i];
+      }
+      ++snapshots;
+    }
+  }
+  (void)d_offset;
+
+  std::vector<double> mean_losses;
+  std::vector<size_t> labeled_positions;
+  for (size_t i = 0; i < incremental.size(); ++i) {
+    if (incremental.observed_labels[i] == kMissingLabel) continue;
+    labeled_positions.push_back(i);
+    mean_losses.push_back(tracked[i] / static_cast<double>(snapshots));
+  }
+
+  DetectionResult result;
+  if (labeled_positions.empty()) return result;
+  const double threshold = TwoMeansThreshold(mean_losses);
+  for (size_t j = 0; j < labeled_positions.size(); ++j) {
+    if (mean_losses[j] > threshold) {
+      result.noisy_indices.push_back(labeled_positions[j]);
+    } else {
+      result.clean_indices.push_back(labeled_positions[j]);
+    }
+  }
+  return result;
+}
+
+}  // namespace enld

@@ -1,0 +1,55 @@
+#ifndef ENLD_BASELINES_O2U_H_
+#define ENLD_BASELINES_O2U_H_
+
+#include <string>
+
+#include "baselines/detector.h"
+#include "nn/model_zoo.h"
+#include "nn/trainer.h"
+
+namespace enld {
+
+/// Configuration of the O2U-Net-style loss-tracking baseline
+/// (Huang et al. 2019, adapted to the incremental setting).
+struct O2UConfig {
+  Backbone backbone = Backbone::kResNet110Sim;
+  /// Number of cyclical learning-rate rounds.
+  size_t cycles = 3;
+  /// Epochs per round; the learning rate decays linearly from `lr_max` to
+  /// `lr_min` within each round, then jumps back (the "overfitting to
+  /// underfitting" oscillation the method is named after).
+  size_t epochs_per_cycle = 3;
+  double lr_max = 0.05;
+  double lr_min = 0.005;
+  size_t batch_size = 64;
+  /// Strong decay curbs memorization of the noisy labels, which would
+  /// equalize the tracked losses and hide the noise.
+  double weight_decay = 0.01;
+  uint64_t seed = 509;
+};
+
+/// O2U-Net: train on the related inventory subset + D with a cyclical
+/// learning rate and record every sample's loss after each epoch. Samples
+/// whose *mean tracked loss* lands in the high cluster of a 1-D 2-means
+/// split are flagged noisy (mislabeled samples stay hard through the
+/// oscillation, so their average loss stays high).
+///
+/// Another training-per-request method: accuracy from training, process
+/// cost comparable to Topofilter.
+class O2UDetector : public NoisyLabelDetector {
+ public:
+  explicit O2UDetector(const O2UConfig& config) : config_(config) {}
+
+  void Setup(const Dataset& inventory) override;
+  DetectionResult Detect(const Dataset& incremental) override;
+  std::string name() const override { return "O2U-Net"; }
+
+ private:
+  O2UConfig config_;
+  Dataset inventory_;
+  uint64_t request_counter_ = 0;
+};
+
+}  // namespace enld
+
+#endif  // ENLD_BASELINES_O2U_H_

@@ -1,0 +1,51 @@
+#ifndef ENLD_COMMON_CHECK_H_
+#define ENLD_COMMON_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+// Invariant checks for programming errors. Unlike Status, a failed check
+// aborts the process: it indicates a bug in the library or its caller, not a
+// recoverable condition. The macros stay enabled in release builds because
+// every experiment in this repository depends on the checked invariants.
+
+#define ENLD_CHECK(cond)                                                 \
+  do {                                                                   \
+    if (!(cond)) {                                                       \
+      std::fprintf(stderr, "ENLD_CHECK failed at %s:%d: %s\n", __FILE__, \
+                   __LINE__, #cond);                                     \
+      std::abort();                                                      \
+    }                                                                    \
+  } while (false)
+
+#define ENLD_CHECK_OP(a, b, op)                                            \
+  do {                                                                     \
+    if (!((a)op(b))) {                                                     \
+      std::fprintf(stderr,                                                 \
+                   "ENLD_CHECK failed at %s:%d: %s %s %s (%.17g vs %.17g)" \
+                   "\n",                                                   \
+                   __FILE__, __LINE__, #a, #op, #b,                        \
+                   static_cast<double>(a), static_cast<double>(b));        \
+      std::abort();                                                        \
+    }                                                                      \
+  } while (false)
+
+#define ENLD_CHECK_EQ(a, b) ENLD_CHECK_OP(a, b, ==)
+#define ENLD_CHECK_NE(a, b) ENLD_CHECK_OP(a, b, !=)
+#define ENLD_CHECK_LT(a, b) ENLD_CHECK_OP(a, b, <)
+#define ENLD_CHECK_LE(a, b) ENLD_CHECK_OP(a, b, <=)
+#define ENLD_CHECK_GT(a, b) ENLD_CHECK_OP(a, b, >)
+#define ENLD_CHECK_GE(a, b) ENLD_CHECK_OP(a, b, >=)
+
+/// Aborts if `status_expr` evaluates to a non-OK Status.
+#define ENLD_CHECK_OK(status_expr)                                        \
+  do {                                                                    \
+    ::enld::Status _enld_chk = (status_expr);                             \
+    if (!_enld_chk.ok()) {                                                \
+      std::fprintf(stderr, "ENLD_CHECK_OK failed at %s:%d: %s\n",         \
+                   __FILE__, __LINE__, _enld_chk.ToString().c_str());     \
+      std::abort();                                                       \
+    }                                                                     \
+  } while (false)
+
+#endif  // ENLD_COMMON_CHECK_H_

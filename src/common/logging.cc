@@ -1,0 +1,48 @@
+#include "common/logging.h"
+
+#include <cstring>
+
+namespace enld {
+
+namespace {
+LogLevel g_log_level = LogLevel::kInfo;
+
+const char* LevelTag(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "DEBUG";
+    case LogLevel::kInfo:
+      return "INFO ";
+    case LogLevel::kWarning:
+      return "WARN ";
+    case LogLevel::kError:
+      return "ERROR";
+  }
+  return "?????";
+}
+
+const char* Basename(const char* path) {
+  const char* slash = std::strrchr(path, '/');
+  return slash != nullptr ? slash + 1 : path;
+}
+}  // namespace
+
+void SetLogLevel(LogLevel level) { g_log_level = level; }
+LogLevel GetLogLevel() { return g_log_level; }
+
+namespace internal {
+
+LogMessage::LogMessage(LogLevel level, const char* file, int line)
+    : enabled_(level >= g_log_level), level_(level) {
+  if (enabled_) {
+    stream_ << "[" << LevelTag(level_) << " " << Basename(file) << ":" << line
+            << "] ";
+  }
+}
+
+LogMessage::~LogMessage() {
+  if (enabled_) std::cerr << stream_.str() << std::endl;
+}
+
+}  // namespace internal
+}  // namespace enld

@@ -1,0 +1,49 @@
+#ifndef ENLD_COMMON_LOGGING_H_
+#define ENLD_COMMON_LOGGING_H_
+
+#include <iostream>
+#include <sstream>
+#include <string>
+
+namespace enld {
+
+/// Log severities, lowest to highest.
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+/// Process-wide minimum severity; messages below it are dropped.
+/// Defaults to kInfo. Not thread-safe by design (the library is
+/// single-threaded; experiments set this once at startup).
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+namespace internal {
+
+/// Accumulates one log line and emits it to stderr on destruction.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  template <typename T>
+  LogMessage& operator<<(const T& value) {
+    if (enabled_) stream_ << value;
+    return *this;
+  }
+
+ private:
+  bool enabled_;
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+}  // namespace enld
+
+#define ENLD_LOG(severity)                                         \
+  ::enld::internal::LogMessage(::enld::LogLevel::k##severity,      \
+                               __FILE__, __LINE__)
+
+#endif  // ENLD_COMMON_LOGGING_H_

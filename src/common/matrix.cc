@@ -1,0 +1,170 @@
+#include "common/matrix.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace enld {
+
+std::vector<float> Matrix::RowVector(size_t r) const {
+  ENLD_CHECK_LT(r, rows_);
+  const float* p = Row(r);
+  return std::vector<float>(p, p + cols_);
+}
+
+Matrix Matrix::SelectRows(const std::vector<size_t>& indices) const {
+  Matrix out(indices.size(), cols_);
+  for (size_t i = 0; i < indices.size(); ++i) {
+    const float* src = Row(indices[i]);
+    std::copy(src, src + cols_, out.Row(i));
+  }
+  return out;
+}
+
+void Matrix::Fill(float value) {
+  std::fill(data_.begin(), data_.end(), value);
+}
+
+void Matrix::Reset(size_t rows, size_t cols) {
+  rows_ = rows;
+  cols_ = cols;
+  data_.assign(rows * cols, 0.0f);
+}
+
+void Matrix::Add(const Matrix& other) {
+  ENLD_CHECK_EQ(rows_, other.rows_);
+  ENLD_CHECK_EQ(cols_, other.cols_);
+  for (size_t i = 0; i < data_.size(); ++i) data_[i] += other.data_[i];
+}
+
+void Matrix::AddScaled(const Matrix& other, float scale) {
+  ENLD_CHECK_EQ(rows_, other.rows_);
+  ENLD_CHECK_EQ(cols_, other.cols_);
+  for (size_t i = 0; i < data_.size(); ++i) {
+    data_[i] += scale * other.data_[i];
+  }
+}
+
+void Matrix::Scale(float scale) {
+  for (float& v : data_) v *= scale;
+}
+
+Matrix Matrix::Transposed() const {
+  Matrix out(cols_, rows_);
+  for (size_t r = 0; r < rows_; ++r) {
+    const float* src = Row(r);
+    for (size_t c = 0; c < cols_; ++c) out(c, r) = src[c];
+  }
+  return out;
+}
+
+float Matrix::FrobeniusNorm() const {
+  double sum = 0.0;
+  for (float v : data_) sum += static_cast<double>(v) * v;
+  return static_cast<float>(std::sqrt(sum));
+}
+
+float Matrix::RowDistanceSquared(size_t r, const float* v) const {
+  const float* p = Row(r);
+  float sum = 0.0f;
+  for (size_t c = 0; c < cols_; ++c) {
+    const float d = p[c] - v[c];
+    sum += d * d;
+  }
+  return sum;
+}
+
+void MatMul(const Matrix& a, const Matrix& b, Matrix* out) {
+  ENLD_CHECK_EQ(a.cols(), b.rows());
+  out->Reset(a.rows(), b.cols());
+  const size_t m = a.rows(), k = a.cols(), n = b.cols();
+  // i-k-j loop order: streams through b and out rows sequentially, which the
+  // compiler auto-vectorizes well; adequate for the matrix sizes used here.
+  for (size_t i = 0; i < m; ++i) {
+    const float* arow = a.Row(i);
+    float* orow = out->Row(i);
+    for (size_t kk = 0; kk < k; ++kk) {
+      const float av = arow[kk];
+      if (av == 0.0f) continue;
+      const float* brow = b.Row(kk);
+      for (size_t j = 0; j < n; ++j) orow[j] += av * brow[j];
+    }
+  }
+}
+
+void MatMulBt(const Matrix& a, const Matrix& b, Matrix* out) {
+  ENLD_CHECK_EQ(a.cols(), b.cols());
+  out->Reset(a.rows(), b.rows());
+  const size_t m = a.rows(), k = a.cols(), n = b.rows();
+  for (size_t i = 0; i < m; ++i) {
+    const float* arow = a.Row(i);
+    float* orow = out->Row(i);
+    for (size_t j = 0; j < n; ++j) {
+      const float* brow = b.Row(j);
+      float sum = 0.0f;
+      for (size_t kk = 0; kk < k; ++kk) sum += arow[kk] * brow[kk];
+      orow[j] = sum;
+    }
+  }
+}
+
+void MatMulAt(const Matrix& a, const Matrix& b, Matrix* out) {
+  ENLD_CHECK_EQ(a.rows(), b.rows());
+  out->Reset(a.cols(), b.cols());
+  const size_t k = a.rows(), m = a.cols(), n = b.cols();
+  for (size_t kk = 0; kk < k; ++kk) {
+    const float* arow = a.Row(kk);
+    const float* brow = b.Row(kk);
+    for (size_t i = 0; i < m; ++i) {
+      const float av = arow[i];
+      if (av == 0.0f) continue;
+      float* orow = out->Row(i);
+      for (size_t j = 0; j < n; ++j) orow[j] += av * brow[j];
+    }
+  }
+}
+
+void AddRowBroadcast(Matrix* m, const std::vector<float>& bias) {
+  ENLD_CHECK_EQ(m->cols(), bias.size());
+  for (size_t r = 0; r < m->rows(); ++r) {
+    float* row = m->Row(r);
+    for (size_t c = 0; c < m->cols(); ++c) row[c] += bias[c];
+  }
+}
+
+std::vector<float> ColumnSums(const Matrix& m) {
+  std::vector<float> sums(m.cols(), 0.0f);
+  for (size_t r = 0; r < m.rows(); ++r) {
+    const float* row = m.Row(r);
+    for (size_t c = 0; c < m.cols(); ++c) sums[c] += row[c];
+  }
+  return sums;
+}
+
+void SoftmaxRows(const Matrix& logits, Matrix* out) {
+  out->Reset(logits.rows(), logits.cols());
+  for (size_t r = 0; r < logits.rows(); ++r) {
+    const float* in = logits.Row(r);
+    float* o = out->Row(r);
+    float maxv = in[0];
+    for (size_t c = 1; c < logits.cols(); ++c) maxv = std::max(maxv, in[c]);
+    float sum = 0.0f;
+    for (size_t c = 0; c < logits.cols(); ++c) {
+      o[c] = std::exp(in[c] - maxv);
+      sum += o[c];
+    }
+    const float inv = 1.0f / sum;
+    for (size_t c = 0; c < logits.cols(); ++c) o[c] *= inv;
+  }
+}
+
+size_t ArgMaxRow(const Matrix& m, size_t r) {
+  ENLD_CHECK_GT(m.cols(), 0u);
+  const float* row = m.Row(r);
+  size_t best = 0;
+  for (size_t c = 1; c < m.cols(); ++c) {
+    if (row[c] > row[best]) best = c;
+  }
+  return best;
+}
+
+}  // namespace enld

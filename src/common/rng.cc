@@ -1,0 +1,151 @@
+#include "common/rng.h"
+
+#include <cmath>
+
+namespace enld {
+
+namespace {
+
+uint64_t SplitMix64(uint64_t& state) {
+  state += 0x9e3779b97f4a7c15ULL;
+  uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+uint64_t RotL(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+}  // namespace
+
+Rng::Rng(uint64_t seed) {
+  uint64_t sm = seed;
+  for (auto& s : state_) s = SplitMix64(sm);
+  // xoshiro must not start from the all-zero state.
+  if ((state_[0] | state_[1] | state_[2] | state_[3]) == 0) state_[0] = 1;
+}
+
+uint64_t Rng::NextUInt64() {
+  const uint64_t result = RotL(state_[1] * 5, 7) * 9;
+  const uint64_t t = state_[1] << 17;
+  state_[2] ^= state_[0];
+  state_[3] ^= state_[1];
+  state_[1] ^= state_[2];
+  state_[0] ^= state_[3];
+  state_[2] ^= t;
+  state_[3] = RotL(state_[3], 45);
+  return result;
+}
+
+double Rng::Uniform() {
+  // 53 high-quality bits -> double in [0, 1).
+  return static_cast<double>(NextUInt64() >> 11) * 0x1.0p-53;
+}
+
+double Rng::Uniform(double lo, double hi) {
+  ENLD_CHECK_LE(lo, hi);
+  return lo + (hi - lo) * Uniform();
+}
+
+size_t Rng::UniformInt(size_t n) {
+  ENLD_CHECK_GT(n, 0u);
+  // Rejection sampling to avoid modulo bias.
+  const uint64_t limit = UINT64_MAX - UINT64_MAX % n;
+  uint64_t v;
+  do {
+    v = NextUInt64();
+  } while (v >= limit);
+  return static_cast<size_t>(v % n);
+}
+
+double Rng::Gaussian() {
+  if (has_cached_gaussian_) {
+    has_cached_gaussian_ = false;
+    return cached_gaussian_;
+  }
+  double u1;
+  do {
+    u1 = Uniform();
+  } while (u1 <= 0.0);
+  const double u2 = Uniform();
+  const double r = std::sqrt(-2.0 * std::log(u1));
+  const double theta = 2.0 * M_PI * u2;
+  cached_gaussian_ = r * std::sin(theta);
+  has_cached_gaussian_ = true;
+  return r * std::cos(theta);
+}
+
+double Rng::Gaussian(double mean, double stddev) {
+  return mean + stddev * Gaussian();
+}
+
+bool Rng::Bernoulli(double p) { return Uniform() < p; }
+
+size_t Rng::Discrete(const std::vector<double>& weights) {
+  double total = 0.0;
+  for (double w : weights) {
+    ENLD_CHECK_GE(w, 0.0);
+    total += w;
+  }
+  ENLD_CHECK_GT(total, 0.0);
+  double target = Uniform() * total;
+  for (size_t i = 0; i < weights.size(); ++i) {
+    target -= weights[i];
+    if (target < 0.0) return i;
+  }
+  // Floating-point slack: fall back to the last positive weight.
+  for (size_t i = weights.size(); i > 0; --i) {
+    if (weights[i - 1] > 0.0) return i - 1;
+  }
+  return weights.size() - 1;
+}
+
+double Rng::BetaSymmetric(double alpha) {
+  ENLD_CHECK_GT(alpha, 0.0);
+  // Beta(a, a) via two Gamma(a, 1) draws (Marsaglia–Tsang with boost for
+  // a < 1).
+  auto gamma = [this](double a) {
+    double boost = 1.0;
+    if (a < 1.0) {
+      // Gamma(a) = Gamma(a + 1) * U^{1/a}.
+      boost = std::pow(std::max(Uniform(), 1e-300), 1.0 / a);
+      a += 1.0;
+    }
+    const double d = a - 1.0 / 3.0;
+    const double c = 1.0 / std::sqrt(9.0 * d);
+    while (true) {
+      double x = Gaussian();
+      double v = 1.0 + c * x;
+      if (v <= 0.0) continue;
+      v = v * v * v;
+      const double u = Uniform();
+      if (u < 1.0 - 0.0331 * x * x * x * x) return boost * d * v;
+      if (u > 0.0 &&
+          std::log(u) < 0.5 * x * x + d * (1.0 - v + std::log(v))) {
+        return boost * d * v;
+      }
+    }
+  };
+  const double g1 = gamma(alpha);
+  const double g2 = gamma(alpha);
+  const double denom = g1 + g2;
+  if (denom <= 0.0) return 0.5;
+  return g1 / denom;
+}
+
+std::vector<size_t> Rng::SampleWithoutReplacement(size_t n, size_t count) {
+  ENLD_CHECK_LE(count, n);
+  std::vector<size_t> indices(n);
+  for (size_t i = 0; i < n; ++i) indices[i] = i;
+  // Partial Fisher–Yates: only the first `count` positions are needed.
+  for (size_t i = 0; i < count; ++i) {
+    size_t j = i + UniformInt(n - i);
+    std::swap(indices[i], indices[j]);
+  }
+  indices.resize(count);
+  return indices;
+}
+
+Rng Rng::Fork() { return Rng(NextUInt64() ^ 0xa5a5a5a55a5a5a5aULL); }
+
+}  // namespace enld

@@ -1,0 +1,67 @@
+#include "common/stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace enld {
+
+void OnlineStats::Add(double value) {
+  if (count_ == 0) {
+    min_ = value;
+    max_ = value;
+  } else {
+    min_ = std::min(min_, value);
+    max_ = std::max(max_, value);
+  }
+  ++count_;
+  const double delta = value - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (value - mean_);
+}
+
+double OnlineStats::variance() const {
+  if (count_ < 2) return 0.0;
+  return m2_ / static_cast<double>(count_);
+}
+
+double OnlineStats::stddev() const { return std::sqrt(variance()); }
+
+double TwoMeansThreshold(const std::vector<double>& values) {
+  ENLD_CHECK(!values.empty());
+  double lo = values[0];
+  double hi = values[0];
+  for (double v : values) {
+    lo = std::min(lo, v);
+    hi = std::max(hi, v);
+  }
+  if (lo == hi) return lo;
+
+  // Lloyd iterations on the line, initialized at the extremes.
+  double c_low = lo;
+  double c_high = hi;
+  for (int iter = 0; iter < 50; ++iter) {
+    double sum_low = 0.0, sum_high = 0.0;
+    size_t n_low = 0, n_high = 0;
+    const double boundary = 0.5 * (c_low + c_high);
+    for (double v : values) {
+      if (v <= boundary) {
+        sum_low += v;
+        ++n_low;
+      } else {
+        sum_high += v;
+        ++n_high;
+      }
+    }
+    if (n_low == 0 || n_high == 0) break;
+    const double new_low = sum_low / static_cast<double>(n_low);
+    const double new_high = sum_high / static_cast<double>(n_high);
+    if (new_low == c_low && new_high == c_high) break;
+    c_low = new_low;
+    c_high = new_high;
+  }
+  return 0.5 * (c_low + c_high);
+}
+
+}  // namespace enld

@@ -1,0 +1,43 @@
+#ifndef ENLD_COMMON_STATS_H_
+#define ENLD_COMMON_STATS_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace enld {
+
+/// Streaming mean / variance accumulator (Welford). Used wherever the
+/// experiment harness reports a quantity averaged over incremental
+/// datasets.
+class OnlineStats {
+ public:
+  /// Adds one observation.
+  void Add(double value);
+
+  size_t count() const { return count_; }
+  double mean() const { return mean_; }
+  /// Population variance (0 for fewer than 2 observations).
+  double variance() const;
+  double stddev() const;
+  double min() const { return min_; }
+  double max() const { return max_; }
+
+ private:
+  size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Splits 1-D values into a low and a high cluster with 1-D 2-means
+/// (Lloyd's algorithm on the line) and returns the midpoint between the
+/// final cluster centers. Used by the loss-tracking baselines to separate
+/// small-loss (clean) from large-loss (noisy) samples without a noise-rate
+/// prior. Returns the single value when all inputs are equal; requires a
+/// non-empty input.
+double TwoMeansThreshold(const std::vector<double>& values);
+
+}  // namespace enld
+
+#endif  // ENLD_COMMON_STATS_H_

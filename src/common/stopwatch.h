@@ -1,0 +1,32 @@
+#ifndef ENLD_COMMON_STOPWATCH_H_
+#define ENLD_COMMON_STOPWATCH_H_
+
+#include <chrono>
+
+namespace enld {
+
+/// Wall-clock stopwatch used for the paper's setup-time / process-time
+/// measurements (Fig. 8, Fig. 12).
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  /// Restarts the stopwatch.
+  void Restart() { start_ = Clock::now(); }
+
+  /// Seconds elapsed since construction or the last Restart().
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  /// Milliseconds elapsed since construction or the last Restart().
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace enld
+
+#endif  // ENLD_COMMON_STOPWATCH_H_

@@ -1,0 +1,114 @@
+#include "data/dataset.h"
+
+#include <algorithm>
+#include <set>
+
+#include "common/check.h"
+
+namespace enld {
+
+Dataset Dataset::Subset(const std::vector<size_t>& indices) const {
+  Dataset out;
+  out.features = features.SelectRows(indices);
+  out.observed_labels.reserve(indices.size());
+  out.true_labels.reserve(indices.size());
+  out.ids.reserve(indices.size());
+  for (size_t i : indices) {
+    ENLD_CHECK_LT(i, size());
+    out.observed_labels.push_back(observed_labels[i]);
+    out.true_labels.push_back(true_labels[i]);
+    out.ids.push_back(ids[i]);
+  }
+  out.num_classes = num_classes;
+  return out;
+}
+
+void Dataset::Append(const Dataset& other) {
+  if (other.empty()) return;
+  if (empty()) {
+    *this = other;
+    return;
+  }
+  ENLD_CHECK_EQ(dim(), other.dim());
+  ENLD_CHECK_EQ(num_classes, other.num_classes);
+  Matrix merged(size() + other.size(), dim());
+  for (size_t r = 0; r < size(); ++r) {
+    std::copy(features.Row(r), features.Row(r) + dim(), merged.Row(r));
+  }
+  for (size_t r = 0; r < other.size(); ++r) {
+    std::copy(other.features.Row(r), other.features.Row(r) + dim(),
+              merged.Row(size() + r));
+  }
+  features = std::move(merged);
+  observed_labels.insert(observed_labels.end(), other.observed_labels.begin(),
+                         other.observed_labels.end());
+  true_labels.insert(true_labels.end(), other.true_labels.begin(),
+                     other.true_labels.end());
+  ids.insert(ids.end(), other.ids.begin(), other.ids.end());
+}
+
+std::vector<size_t> Dataset::IndicesWithObservedLabel(int label) const {
+  std::vector<size_t> out;
+  for (size_t i = 0; i < size(); ++i) {
+    if (observed_labels[i] == label) out.push_back(i);
+  }
+  return out;
+}
+
+std::vector<int> Dataset::ObservedLabelSet() const {
+  std::set<int> labels;
+  for (int y : observed_labels) {
+    if (y != kMissingLabel) labels.insert(y);
+  }
+  return std::vector<int>(labels.begin(), labels.end());
+}
+
+std::vector<size_t> Dataset::MissingLabelIndices() const {
+  std::vector<size_t> out;
+  for (size_t i = 0; i < size(); ++i) {
+    if (observed_labels[i] == kMissingLabel) out.push_back(i);
+  }
+  return out;
+}
+
+std::vector<size_t> Dataset::GroundTruthNoisyIndices() const {
+  std::vector<size_t> out;
+  for (size_t i = 0; i < size(); ++i) {
+    if (observed_labels[i] != kMissingLabel &&
+        observed_labels[i] != true_labels[i]) {
+      out.push_back(i);
+    }
+  }
+  return out;
+}
+
+void Dataset::CheckConsistent() const {
+  ENLD_CHECK_EQ(features.rows(), observed_labels.size());
+  ENLD_CHECK_EQ(observed_labels.size(), true_labels.size());
+  ENLD_CHECK_EQ(observed_labels.size(), ids.size());
+  ENLD_CHECK_GT(num_classes, 0);
+  for (size_t i = 0; i < size(); ++i) {
+    ENLD_CHECK(observed_labels[i] == kMissingLabel ||
+               (observed_labels[i] >= 0 && observed_labels[i] < num_classes));
+    ENLD_CHECK(true_labels[i] >= 0 && true_labels[i] < num_classes);
+  }
+}
+
+Dataset MakeDataset(Matrix features, std::vector<int> observed_labels,
+                    std::vector<int> true_labels, int num_classes,
+                    uint64_t first_id) {
+  Dataset out;
+  const size_t n = observed_labels.size();
+  ENLD_CHECK_EQ(features.rows(), n);
+  out.features = std::move(features);
+  out.observed_labels = std::move(observed_labels);
+  out.true_labels =
+      true_labels.empty() ? out.observed_labels : std::move(true_labels);
+  out.ids.resize(n);
+  for (size_t i = 0; i < n; ++i) out.ids[i] = first_id + i;
+  out.num_classes = num_classes;
+  out.CheckConsistent();
+  return out;
+}
+
+}  // namespace enld

@@ -1,0 +1,74 @@
+#ifndef ENLD_DATA_DATASET_H_
+#define ENLD_DATA_DATASET_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "common/matrix.h"
+
+namespace enld {
+
+/// Observed-label value for samples whose label is missing (Section V-H).
+inline constexpr int kMissingLabel = -1;
+
+/// A labeled dataset: one feature vector per row plus, for every sample,
+/// the *observed* (possibly corrupted or missing) label, the hidden *true*
+/// label used only for evaluation, and a stable global id.
+///
+/// Plain struct by design — every algorithm in the library reads it and
+/// subsets of it are taken constantly, so value semantics with explicit
+/// `Subset` copies keep ownership trivial.
+struct Dataset {
+  /// (size x dim) sample features.
+  Matrix features;
+  /// Observed labels ỹ; kMissingLabel marks a missing label.
+  std::vector<int> observed_labels;
+  /// Ground-truth labels y* (evaluation only; detectors must not read them).
+  std::vector<int> true_labels;
+  /// Stable global sample ids, preserved across Subset() calls.
+  std::vector<uint64_t> ids;
+  /// Total number of classes in the labeling task (not just those present).
+  int num_classes = 0;
+
+  size_t size() const { return observed_labels.size(); }
+  size_t dim() const { return features.cols(); }
+  bool empty() const { return observed_labels.empty(); }
+
+  /// Copies the selected rows (positions into this dataset) into a new
+  /// dataset; ids travel with their samples.
+  Dataset Subset(const std::vector<size_t>& indices) const;
+
+  /// Concatenates `other` below this dataset. Feature dims and num_classes
+  /// must match.
+  void Append(const Dataset& other);
+
+  /// Positions of samples whose observed label equals `label`.
+  std::vector<size_t> IndicesWithObservedLabel(int label) const;
+
+  /// Sorted distinct observed labels present (missing labels excluded) —
+  /// the paper's label(D).
+  std::vector<int> ObservedLabelSet() const;
+
+  /// Positions whose observed label is kMissingLabel.
+  std::vector<size_t> MissingLabelIndices() const;
+
+  /// Positions where observed != true (ground-truth noisy set D_N).
+  /// Samples with missing labels are not counted as noisy.
+  std::vector<size_t> GroundTruthNoisyIndices() const;
+
+  /// Checks internal consistency (matching lengths, labels in range).
+  /// Programming-error checks; aborts on violation.
+  void CheckConsistent() const;
+};
+
+/// Builds a dataset from parallel arrays. `true_labels` may be empty, in
+/// which case observed labels are copied as truth. Ids are assigned
+/// sequentially starting at `first_id`.
+Dataset MakeDataset(Matrix features, std::vector<int> observed_labels,
+                    std::vector<int> true_labels, int num_classes,
+                    uint64_t first_id = 0);
+
+}  // namespace enld
+
+#endif  // ENLD_DATA_DATASET_H_

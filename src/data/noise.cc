@@ -1,0 +1,191 @@
+#include "data/noise.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace enld {
+
+TransitionMatrix TransitionMatrix::Identity(int num_classes) {
+  ENLD_CHECK_GT(num_classes, 0);
+  std::vector<std::vector<double>> rows(
+      num_classes, std::vector<double>(num_classes, 0.0));
+  for (int i = 0; i < num_classes; ++i) rows[i][i] = 1.0;
+  return TransitionMatrix(std::move(rows));
+}
+
+TransitionMatrix TransitionMatrix::PairAsymmetric(int num_classes,
+                                                  double eta) {
+  ENLD_CHECK_GT(num_classes, 1);
+  ENLD_CHECK_GE(eta, 0.0);
+  ENLD_CHECK_LE(eta, 1.0);
+  std::vector<std::vector<double>> rows(
+      num_classes, std::vector<double>(num_classes, 0.0));
+  for (int i = 0; i < num_classes; ++i) {
+    rows[i][i] = 1.0 - eta;
+    rows[i][(i + 1) % num_classes] += eta;
+  }
+  return TransitionMatrix(std::move(rows));
+}
+
+TransitionMatrix TransitionMatrix::Symmetric(int num_classes, double eta) {
+  ENLD_CHECK_GT(num_classes, 1);
+  ENLD_CHECK_GE(eta, 0.0);
+  ENLD_CHECK_LE(eta, 1.0);
+  std::vector<std::vector<double>> rows(
+      num_classes, std::vector<double>(num_classes, eta / (num_classes - 1)));
+  for (int i = 0; i < num_classes; ++i) rows[i][i] = 1.0 - eta;
+  return TransitionMatrix(std::move(rows));
+}
+
+StatusOr<TransitionMatrix> TransitionMatrix::FromRows(
+    std::vector<std::vector<double>> rows) {
+  if (rows.empty()) {
+    return Status::InvalidArgument("transition matrix has no rows");
+  }
+  const size_t n = rows.size();
+  for (const auto& row : rows) {
+    if (row.size() != n) {
+      return Status::InvalidArgument("transition matrix is not square");
+    }
+    double sum = 0.0;
+    for (double v : row) {
+      if (v < 0.0) {
+        return Status::InvalidArgument("transition probability is negative");
+      }
+      sum += v;
+    }
+    if (std::abs(sum - 1.0) > 1e-6) {
+      return Status::InvalidArgument("transition row does not sum to 1");
+    }
+  }
+  return TransitionMatrix(std::move(rows));
+}
+
+double TransitionMatrix::At(int true_label, int observed) const {
+  ENLD_CHECK_GE(true_label, 0);
+  ENLD_CHECK_LT(true_label, num_classes());
+  ENLD_CHECK_GE(observed, 0);
+  ENLD_CHECK_LT(observed, num_classes());
+  return rows_[true_label][observed];
+}
+
+int TransitionMatrix::SampleObserved(int true_label, Rng& rng) const {
+  ENLD_CHECK_GE(true_label, 0);
+  ENLD_CHECK_LT(true_label, num_classes());
+  return static_cast<int>(rng.Discrete(rows_[true_label]));
+}
+
+bool TransitionMatrix::IsRowStochastic(double tolerance) const {
+  for (const auto& row : rows_) {
+    double sum = 0.0;
+    for (double v : row) {
+      if (v < 0.0) return false;
+      sum += v;
+    }
+    if (std::abs(sum - 1.0) > tolerance) return false;
+  }
+  return true;
+}
+
+double TransitionMatrix::ExpectedNoiseRate() const {
+  double total = 0.0;
+  for (int i = 0; i < num_classes(); ++i) total += 1.0 - rows_[i][i];
+  return total / num_classes();
+}
+
+size_t ApplyLabelNoise(Dataset* dataset, const TransitionMatrix& transition,
+                       Rng& rng) {
+  ENLD_CHECK(dataset != nullptr);
+  ENLD_CHECK_EQ(transition.num_classes(), dataset->num_classes);
+  size_t flipped = 0;
+  for (size_t i = 0; i < dataset->size(); ++i) {
+    const int truth = dataset->true_labels[i];
+    const int observed = transition.SampleObserved(truth, rng);
+    dataset->observed_labels[i] = observed;
+    if (observed != truth) ++flipped;
+  }
+  return flipped;
+}
+
+size_t ApplyInstanceDependentNoise(Dataset* dataset,
+                                   const ClassGeometry& geometry,
+                                   double eta, double temperature,
+                                   Rng& rng) {
+  ENLD_CHECK(dataset != nullptr);
+  ENLD_CHECK_EQ(geometry.num_classes(), dataset->num_classes);
+  ENLD_CHECK_EQ(geometry.dim(), dataset->dim());
+  ENLD_CHECK_GE(eta, 0.0);
+  ENLD_CHECK_LT(eta, 1.0);
+  ENLD_CHECK_GT(temperature, 0.0);
+  if (dataset->empty() || eta == 0.0) return 0;
+
+  const int classes = dataset->num_classes;
+  const size_t dim = dataset->dim();
+
+  // Per sample: distance margin between its own prototype and the nearest
+  // *other* prototype, plus that other class.
+  std::vector<double> score(dataset->size());
+  std::vector<int> nearest_other(dataset->size());
+  for (size_t i = 0; i < dataset->size(); ++i) {
+    const int truth = dataset->true_labels[i];
+    const float* x = dataset->features.Row(i);
+    double own = 0.0;
+    for (size_t d = 0; d < dim; ++d) {
+      const double diff = x[d] - geometry.prototypes[truth][d];
+      own += diff * diff;
+    }
+    own = std::sqrt(own);
+    double best = 1e300;
+    int best_class = (truth + 1) % classes;
+    for (int c = 0; c < classes; ++c) {
+      if (c == truth) continue;
+      double dist = 0.0;
+      for (size_t d = 0; d < dim; ++d) {
+        const double diff = x[d] - geometry.prototypes[c][d];
+        dist += diff * diff;
+      }
+      dist = std::sqrt(dist);
+      if (dist < best) {
+        best = dist;
+        best_class = c;
+      }
+    }
+    score[i] = std::exp(-(best - own) / temperature);
+    nearest_other[i] = best_class;
+  }
+
+  // Rescale so the mean flip probability equals eta.
+  double mean_score = 0.0;
+  for (double s : score) mean_score += s;
+  mean_score /= static_cast<double>(dataset->size());
+  ENLD_CHECK_GT(mean_score, 0.0);
+  const double scale = eta / mean_score;
+
+  size_t flipped = 0;
+  for (size_t i = 0; i < dataset->size(); ++i) {
+    const double p = std::min(0.95, score[i] * scale);
+    if (rng.Bernoulli(p)) {
+      dataset->observed_labels[i] = nearest_other[i];
+      ++flipped;
+    } else {
+      dataset->observed_labels[i] = dataset->true_labels[i];
+    }
+  }
+  return flipped;
+}
+
+std::vector<size_t> MaskMissingLabels(Dataset* dataset, double missing_rate,
+                                      Rng& rng) {
+  ENLD_CHECK(dataset != nullptr);
+  ENLD_CHECK_GE(missing_rate, 0.0);
+  ENLD_CHECK_LE(missing_rate, 1.0);
+  const size_t count =
+      static_cast<size_t>(missing_rate * static_cast<double>(dataset->size()));
+  std::vector<size_t> masked =
+      rng.SampleWithoutReplacement(dataset->size(), count);
+  for (size_t i : masked) dataset->observed_labels[i] = kMissingLabel;
+  return masked;
+}
+
+}  // namespace enld

@@ -1,0 +1,80 @@
+#ifndef ENLD_DATA_NOISE_H_
+#define ENLD_DATA_NOISE_H_
+
+#include <vector>
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "data/dataset.h"
+#include "data/synthetic.h"
+
+namespace enld {
+
+/// Label transition matrix T with T[i][j] = P(ỹ = j | y* = i) — the noise
+/// model of Section III-A. Rows are probability distributions.
+class TransitionMatrix {
+ public:
+  /// The identity (no-noise) matrix for `num_classes` classes.
+  static TransitionMatrix Identity(int num_classes);
+
+  /// Pair-asymmetric noise (Section V-A2): T[i][i] = 1 - eta and
+  /// T[i][(i+1) mod C] = eta. Requires eta in [0, 1].
+  static TransitionMatrix PairAsymmetric(int num_classes, double eta);
+
+  /// Symmetric (uniform) noise: T[i][i] = 1 - eta, remaining mass spread
+  /// evenly over the other classes. Requires eta in [0, 1].
+  static TransitionMatrix Symmetric(int num_classes, double eta);
+
+  /// Builds from explicit rows; fails unless every row is a probability
+  /// distribution (non-negative, sums to 1 within tolerance).
+  static StatusOr<TransitionMatrix> FromRows(
+      std::vector<std::vector<double>> rows);
+
+  int num_classes() const { return static_cast<int>(rows_.size()); }
+
+  /// P(ỹ = observed | y* = true_label).
+  double At(int true_label, int observed) const;
+
+  /// Draws an observed label for a sample with the given true label.
+  int SampleObserved(int true_label, Rng& rng) const;
+
+  /// True iff every row sums to 1 within `tolerance` with non-negative
+  /// entries.
+  bool IsRowStochastic(double tolerance = 1e-9) const;
+
+  /// Overall expected noise rate when classes are balanced:
+  /// mean over i of (1 - T[i][i]).
+  double ExpectedNoiseRate() const;
+
+ private:
+  explicit TransitionMatrix(std::vector<std::vector<double>> rows)
+      : rows_(std::move(rows)) {}
+
+  std::vector<std::vector<double>> rows_;
+};
+
+/// Corrupts `dataset->observed_labels` in place by sampling each observed
+/// label from T given the sample's true label. True labels are untouched.
+/// Returns the number of labels actually flipped.
+size_t ApplyLabelNoise(Dataset* dataset, const TransitionMatrix& transition,
+                       Rng& rng);
+
+/// Marks a uniformly random fraction `missing_rate` of samples as missing
+/// (observed label <- kMissingLabel). Returns the indices masked.
+std::vector<size_t> MaskMissingLabels(Dataset* dataset, double missing_rate,
+                                      Rng& rng);
+
+/// Instance-dependent noise (extension beyond the paper's pair model,
+/// after Chen et al. 2021 [10]): a sample's mislabeling probability grows
+/// as it approaches another class's prototype, and the wrong label is that
+/// nearest other class. Flip scores exp(-margin / temperature) are
+/// rescaled so the *average* flip probability equals `eta` (individual
+/// probabilities are capped at 0.95). Returns the number of flips.
+size_t ApplyInstanceDependentNoise(Dataset* dataset,
+                                   const ClassGeometry& geometry,
+                                   double eta, double temperature,
+                                   Rng& rng);
+
+}  // namespace enld
+
+#endif  // ENLD_DATA_NOISE_H_

@@ -1,0 +1,144 @@
+#include "data/serialization.h"
+
+#include <cinttypes>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+namespace enld {
+
+namespace {
+
+class File {
+ public:
+  File(const std::string& path, const char* mode)
+      : handle_(std::fopen(path.c_str(), mode)) {}
+  ~File() {
+    if (handle_ != nullptr) std::fclose(handle_);
+  }
+  File(const File&) = delete;
+  File& operator=(const File&) = delete;
+
+  FILE* get() const { return handle_; }
+  bool ok() const { return handle_ != nullptr; }
+
+ private:
+  FILE* handle_;
+};
+
+/// Splits a CSV line into fields (no quoting — the format never emits it).
+std::vector<std::string> SplitCsv(const std::string& line) {
+  std::vector<std::string> fields;
+  size_t start = 0;
+  while (true) {
+    const size_t comma = line.find(',', start);
+    if (comma == std::string::npos) {
+      fields.push_back(line.substr(start));
+      break;
+    }
+    fields.push_back(line.substr(start, comma - start));
+    start = comma + 1;
+  }
+  return fields;
+}
+
+bool ReadLine(FILE* file, std::string* out) {
+  out->clear();
+  int c;
+  while ((c = std::fgetc(file)) != EOF) {
+    if (c == '\n') return true;
+    out->push_back(static_cast<char>(c));
+  }
+  return !out->empty();
+}
+
+}  // namespace
+
+Status SaveDatasetCsv(const Dataset& dataset, const std::string& path) {
+  File file(path, "w");
+  if (!file.ok()) {
+    return Status::NotFound("cannot open for writing: " + path);
+  }
+  std::fprintf(file.get(), "# classes=%d dim=%zu\n", dataset.num_classes,
+               dataset.dim());
+  std::fprintf(file.get(), "id,observed,true");
+  for (size_t d = 0; d < dataset.dim(); ++d) {
+    std::fprintf(file.get(), ",f%zu", d);
+  }
+  std::fprintf(file.get(), "\n");
+  for (size_t i = 0; i < dataset.size(); ++i) {
+    std::fprintf(file.get(), "%" PRIu64 ",%d,%d", dataset.ids[i],
+                 dataset.observed_labels[i], dataset.true_labels[i]);
+    const float* row = dataset.features.Row(i);
+    for (size_t d = 0; d < dataset.dim(); ++d) {
+      std::fprintf(file.get(), ",%.9g", row[d]);
+    }
+    std::fprintf(file.get(), "\n");
+  }
+  return Status::OK();
+}
+
+StatusOr<Dataset> LoadDatasetCsv(const std::string& path) {
+  File file(path, "r");
+  if (!file.ok()) {
+    return Status::NotFound("cannot open for reading: " + path);
+  }
+
+  std::string line;
+  if (!ReadLine(file.get(), &line)) {
+    return Status::InvalidArgument("empty file: " + path);
+  }
+  int classes = 0;
+  size_t dim = 0;
+  if (std::sscanf(line.c_str(), "# classes=%d dim=%zu", &classes, &dim) !=
+          2 ||
+      classes <= 0 || dim == 0) {
+    return Status::InvalidArgument("missing or corrupt metadata line");
+  }
+  if (!ReadLine(file.get(), &line)) {
+    return Status::InvalidArgument("missing header line");
+  }
+
+  std::vector<uint64_t> ids;
+  std::vector<int> observed;
+  std::vector<int> truth;
+  std::vector<float> values;
+  while (ReadLine(file.get(), &line)) {
+    if (line.empty()) continue;
+    const auto fields = SplitCsv(line);
+    if (fields.size() != 3 + dim) {
+      return Status::InvalidArgument("wrong field count in row " +
+                                     std::to_string(ids.size()));
+    }
+    char* end = nullptr;
+    ids.push_back(std::strtoull(fields[0].c_str(), &end, 10));
+    observed.push_back(static_cast<int>(std::strtol(fields[1].c_str(),
+                                                    &end, 10)));
+    truth.push_back(static_cast<int>(std::strtol(fields[2].c_str(), &end,
+                                                 10)));
+    for (size_t d = 0; d < dim; ++d) {
+      values.push_back(std::strtof(fields[3 + d].c_str(), &end));
+    }
+    const int obs = observed.back();
+    const int tru = truth.back();
+    if ((obs != kMissingLabel && (obs < 0 || obs >= classes)) || tru < 0 ||
+        tru >= classes) {
+      return Status::InvalidArgument("label out of range in row " +
+                                     std::to_string(ids.size() - 1));
+    }
+  }
+
+  Dataset out;
+  out.num_classes = classes;
+  out.features.Reset(ids.size(), dim);
+  std::memcpy(out.features.data(), values.data(),
+              values.size() * sizeof(float));
+  out.observed_labels = std::move(observed);
+  out.true_labels = std::move(truth);
+  out.ids = std::move(ids);
+  out.CheckConsistent();
+  return out;
+}
+
+}  // namespace enld

@@ -1,0 +1,22 @@
+#ifndef ENLD_DATA_SERIALIZATION_H_
+#define ENLD_DATA_SERIALIZATION_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "data/dataset.h"
+
+namespace enld {
+
+/// Writes a dataset as CSV: a header line
+/// `id,observed,true,f0,...,f{dim-1}` preceded by a comment line
+/// `# classes=<n> dim=<d>`. Missing observed labels are written as -1.
+Status SaveDatasetCsv(const Dataset& dataset, const std::string& path);
+
+/// Reads a dataset written by SaveDatasetCsv. Fails with NotFound when the
+/// file cannot be opened and InvalidArgument on malformed content.
+StatusOr<Dataset> LoadDatasetCsv(const std::string& path);
+
+}  // namespace enld
+
+#endif  // ENLD_DATA_SERIALIZATION_H_

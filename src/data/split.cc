@@ -1,0 +1,131 @@
+#include "data/split.h"
+
+#include <algorithm>
+#include <deque>
+
+#include "common/check.h"
+
+namespace enld {
+
+InventorySplit SplitInventoryIncremental(const Dataset& source,
+                                         double inventory_fraction,
+                                         Rng& rng) {
+  ENLD_CHECK_GT(inventory_fraction, 0.0);
+  ENLD_CHECK_LT(inventory_fraction, 1.0);
+  ENLD_CHECK_GT(source.size(), 1u);
+
+  std::vector<size_t> perm(source.size());
+  for (size_t i = 0; i < perm.size(); ++i) perm[i] = i;
+  rng.Shuffle(perm);
+
+  const size_t inventory_count = std::max<size_t>(
+      1, static_cast<size_t>(inventory_fraction *
+                             static_cast<double>(source.size())));
+  std::vector<size_t> inv(perm.begin(), perm.begin() + inventory_count);
+  std::vector<size_t> inc(perm.begin() + inventory_count, perm.end());
+  ENLD_CHECK(!inc.empty());
+
+  InventorySplit out;
+  out.inventory = source.Subset(inv);
+  out.incremental_pool = source.Subset(inc);
+  return out;
+}
+
+TrainCandidateSplit SplitTrainCandidate(const Dataset& inventory, Rng& rng) {
+  ENLD_CHECK_GT(inventory.size(), 1u);
+  std::vector<size_t> perm(inventory.size());
+  for (size_t i = 0; i < perm.size(); ++i) perm[i] = i;
+  rng.Shuffle(perm);
+  const size_t half = inventory.size() / 2;
+  std::vector<size_t> train(perm.begin(), perm.begin() + half);
+  std::vector<size_t> candidate(perm.begin() + half, perm.end());
+  TrainCandidateSplit out;
+  out.train = inventory.Subset(train);
+  out.candidate = inventory.Subset(candidate);
+  return out;
+}
+
+std::vector<Dataset> BuildIncrementalDatasets(
+    const Dataset& pool, const IncrementalStreamConfig& config, Rng& rng) {
+  ENLD_CHECK_GT(config.num_datasets, 0u);
+  ENLD_CHECK_GE(config.min_classes_per_dataset, 1);
+  ENLD_CHECK_GE(config.max_classes_per_dataset,
+                config.min_classes_per_dataset);
+  ENLD_CHECK_GT(config.min_take_fraction, 0.0);
+  ENLD_CHECK_LE(config.max_take_fraction, 1.0);
+  ENLD_CHECK_LE(config.min_take_fraction, config.max_take_fraction);
+
+  // Group the pool's remaining sample positions by observed label (the
+  // platform carves arriving datasets by the labels it can see).
+  std::vector<std::vector<size_t>> remaining(pool.num_classes);
+  for (size_t i = 0; i < pool.size(); ++i) {
+    const int y = pool.observed_labels[i];
+    if (y != kMissingLabel) remaining[y].push_back(i);
+  }
+  for (auto& bucket : remaining) rng.Shuffle(bucket);
+
+  // Round-robin over a shuffled class order so every class appears in the
+  // stream before any class repeats.
+  std::vector<int> class_order;
+  for (int c = 0; c < pool.num_classes; ++c) {
+    if (!remaining[c].empty()) class_order.push_back(c);
+  }
+  ENLD_CHECK(!class_order.empty());
+  rng.Shuffle(class_order);
+  size_t cursor = 0;
+  auto next_class_with_samples = [&]() -> int {
+    for (size_t tries = 0; tries < class_order.size(); ++tries) {
+      const int c = class_order[cursor];
+      cursor = (cursor + 1) % class_order.size();
+      if (!remaining[c].empty()) return c;
+    }
+    return -1;
+  };
+
+  std::vector<Dataset> datasets;
+  datasets.reserve(config.num_datasets);
+  for (size_t d = 0; d < config.num_datasets; ++d) {
+    const int span = config.max_classes_per_dataset -
+                     config.min_classes_per_dataset + 1;
+    const int want_classes = config.min_classes_per_dataset +
+                             static_cast<int>(rng.UniformInt(span));
+    std::vector<size_t> members;
+    std::vector<bool> used(pool.num_classes, false);
+    for (int taken = 0; taken < want_classes;) {
+      const int c = next_class_with_samples();
+      if (c < 0) break;  // Pool exhausted.
+      if (used[c]) {
+        // All remaining classes may be used already for this dataset; give
+        // up on distinctness rather than loop forever.
+        bool any_unused = false;
+        for (int cc = 0; cc < pool.num_classes; ++cc) {
+          if (!remaining[cc].empty() && !used[cc]) {
+            any_unused = true;
+            break;
+          }
+        }
+        if (!any_unused) break;
+        continue;
+      }
+      used[c] = true;
+      ++taken;
+      auto& bucket = remaining[c];
+      const double frac =
+          rng.Uniform(config.min_take_fraction, config.max_take_fraction);
+      size_t take = static_cast<size_t>(frac *
+                                        static_cast<double>(bucket.size()));
+      take = std::max<size_t>(1, std::min(take, bucket.size()));
+      for (size_t i = 0; i < take; ++i) {
+        members.push_back(bucket.back());
+        bucket.pop_back();
+      }
+    }
+    if (members.empty()) break;  // Pool exhausted; emit what we have.
+    rng.Shuffle(members);
+    datasets.push_back(pool.Subset(members));
+  }
+  ENLD_CHECK(!datasets.empty());
+  return datasets;
+}
+
+}  // namespace enld

@@ -1,0 +1,59 @@
+#ifndef ENLD_DATA_SPLIT_H_
+#define ENLD_DATA_SPLIT_H_
+
+#include <vector>
+
+#include "common/rng.h"
+#include "data/dataset.h"
+
+namespace enld {
+
+/// Result of splitting a source dataset into the data-lake inventory and
+/// the pool future incremental datasets are drawn from (paper ratio 2:1).
+struct InventorySplit {
+  Dataset inventory;
+  Dataset incremental_pool;
+};
+
+/// Uniformly random split; `inventory_fraction` of samples go to the
+/// inventory. Requires 0 < inventory_fraction < 1.
+InventorySplit SplitInventoryIncremental(const Dataset& source,
+                                         double inventory_fraction, Rng& rng);
+
+/// The I = I_t ∪ I_c split of Section IV-B: `train` initializes the general
+/// model, `candidate` is the contrastive-sample candidate pool.
+struct TrainCandidateSplit {
+  Dataset train;      // I_t
+  Dataset candidate;  // I_c
+};
+
+/// Uniform random halves (the paper splits "uniformly and randomly").
+TrainCandidateSplit SplitTrainCandidate(const Dataset& inventory, Rng& rng);
+
+/// Controls how the incremental pool is carved into arriving datasets.
+struct IncrementalStreamConfig {
+  /// How many incremental datasets to build.
+  size_t num_datasets = 10;
+  /// Each dataset draws samples from this many distinct classes...
+  int min_classes_per_dataset = 5;
+  /// ...up to this many (inclusive).
+  int max_classes_per_dataset = 6;
+  /// Per (dataset, class) the fraction of that class's remaining pool
+  /// samples taken is drawn uniformly from [min_take_fraction,
+  /// max_take_fraction] — this produces the paper's *unbalanced* class
+  /// distributions inside each incremental dataset.
+  double min_take_fraction = 0.25;
+  double max_take_fraction = 1.0;
+};
+
+/// Partitions `pool` into unbalanced incremental datasets per `config`
+/// (Section V-A1). Every produced dataset is non-empty; samples are used at
+/// most once across the stream. Classes are chosen so that each class is
+/// visited before any class repeats (round-robin over a shuffled class
+/// list), mirroring "divide D into N unbalanced datasets with c categories".
+std::vector<Dataset> BuildIncrementalDatasets(
+    const Dataset& pool, const IncrementalStreamConfig& config, Rng& rng);
+
+}  // namespace enld
+
+#endif  // ENLD_DATA_SPLIT_H_

@@ -1,0 +1,188 @@
+#include "data/synthetic.h"
+
+#include <cmath>
+#include <vector>
+
+#include "common/check.h"
+
+namespace enld {
+
+namespace {
+
+/// Draws a random unit vector of length `dim`.
+std::vector<double> RandomUnit(size_t dim, Rng& rng) {
+  std::vector<double> v(dim);
+  double norm = 0.0;
+  do {
+    norm = 0.0;
+    for (auto& x : v) {
+      x = rng.Gaussian();
+      norm += x * x;
+    }
+  } while (norm == 0.0);
+  norm = std::sqrt(norm);
+  for (auto& x : v) x /= norm;
+  return v;
+}
+
+}  // namespace
+
+ClassGeometry MakeClassGeometry(const SyntheticConfig& config, Rng& rng) {
+  ENLD_CHECK_GT(config.num_classes, 0);
+  ENLD_CHECK_GT(config.feature_dim, 0u);
+  ENLD_CHECK_GE(config.subclusters_per_class, 1);
+  ENLD_CHECK_GE(config.adjacent_correlation, 0.0);
+  ENLD_CHECK_LT(config.adjacent_correlation, 1.0);
+
+  const size_t dim = config.feature_dim;
+  const int classes = config.num_classes;
+  const double rho = config.adjacent_correlation;
+
+  ClassGeometry geometry;
+
+  // Class prototypes: a correlated chain so classes c and c+1 are
+  // feature-space neighbours (matching pair-asymmetric noise confusions).
+  geometry.prototypes.resize(classes);
+  geometry.prototypes[0] = RandomUnit(dim, rng);
+  for (int c = 1; c < classes; ++c) {
+    std::vector<double> fresh = RandomUnit(dim, rng);
+    std::vector<double> mixed(dim);
+    double norm = 0.0;
+    for (size_t d = 0; d < dim; ++d) {
+      mixed[d] = rho * geometry.prototypes[c - 1][d] +
+                 std::sqrt(1.0 - rho * rho) * fresh[d];
+      norm += mixed[d] * mixed[d];
+    }
+    norm = std::sqrt(norm);
+    ENLD_CHECK_GT(norm, 0.0);
+    for (auto& x : mixed) x /= norm;
+    geometry.prototypes[c] = std::move(mixed);
+  }
+  for (auto& p : geometry.prototypes) {
+    for (auto& x : p) x *= config.class_separation;
+  }
+
+  // Sub-cluster centers around each prototype.
+  geometry.centers.resize(classes);
+  for (int c = 0; c < classes; ++c) {
+    geometry.centers[c].resize(config.subclusters_per_class);
+    for (int m = 0; m < config.subclusters_per_class; ++m) {
+      std::vector<double> offset = RandomUnit(dim, rng);
+      geometry.centers[c][m].resize(dim);
+      for (size_t d = 0; d < dim; ++d) {
+        geometry.centers[c][m][d] =
+            geometry.prototypes[c][d] + config.subcluster_spread * offset[d];
+      }
+    }
+  }
+  return geometry;
+}
+
+ClassGeometry ShiftGeometry(const ClassGeometry& geometry, double shift,
+                            Rng& rng) {
+  ENLD_CHECK_GE(shift, 0.0);
+  ClassGeometry shifted = geometry;
+  if (shift == 0.0) return shifted;
+  const size_t dim = geometry.dim();
+  for (auto& modes : shifted.centers) {
+    for (auto& center : modes) {
+      const std::vector<double> direction = RandomUnit(dim, rng);
+      for (size_t d = 0; d < dim; ++d) center[d] += shift * direction[d];
+    }
+  }
+  return shifted;
+}
+
+Dataset SampleFromGeometry(const ClassGeometry& geometry,
+                           size_t samples_per_class, double sample_stddev,
+                           Rng& rng, uint64_t first_id) {
+  ENLD_CHECK_GT(samples_per_class, 0u);
+  const int classes = geometry.num_classes();
+  const size_t dim = geometry.dim();
+  ENLD_CHECK_GT(classes, 0);
+
+  const size_t total = static_cast<size_t>(classes) * samples_per_class;
+  Matrix features(total, dim);
+  std::vector<int> labels(total);
+  size_t row = 0;
+  for (int c = 0; c < classes; ++c) {
+    const auto& modes = geometry.centers[c];
+    for (size_t i = 0; i < samples_per_class; ++i) {
+      const auto& center = modes[i % modes.size()];
+      float* out = features.Row(row);
+      for (size_t d = 0; d < dim; ++d) {
+        out[d] =
+            static_cast<float>(center[d] + sample_stddev * rng.Gaussian());
+      }
+      labels[row] = c;
+      ++row;
+    }
+  }
+
+  // Shuffle sample order so splits downstream see mixed classes.
+  std::vector<size_t> perm(total);
+  for (size_t i = 0; i < total; ++i) perm[i] = i;
+  rng.Shuffle(perm);
+
+  Dataset grouped =
+      MakeDataset(std::move(features), std::move(labels), {}, classes,
+                  first_id);
+  return grouped.Subset(perm);
+}
+
+Dataset GenerateSynthetic(const SyntheticConfig& config) {
+  Rng rng(config.seed);
+  const ClassGeometry geometry = MakeClassGeometry(config, rng);
+  return SampleFromGeometry(geometry, config.samples_per_class,
+                            config.sample_stddev, rng);
+}
+
+SyntheticConfig EmnistSimConfig() {
+  SyntheticConfig config;
+  config.name = "emnist-sim";
+  config.num_classes = 26;
+  config.samples_per_class = 360;
+  config.feature_dim = 32;
+  config.class_separation = 8.0;
+  config.adjacent_correlation = 0.30;
+  config.subclusters_per_class = 2;
+  config.subcluster_spread = 1.2;
+  config.sample_stddev = 1.0;
+  config.incremental_domain_shift = 1.0;
+  config.seed = 101;
+  return config;
+}
+
+SyntheticConfig Cifar100SimConfig() {
+  SyntheticConfig config;
+  config.name = "cifar100-sim";
+  config.num_classes = 100;
+  config.samples_per_class = 120;
+  config.feature_dim = 32;
+  config.class_separation = 6.8;
+  config.adjacent_correlation = 0.42;
+  config.subclusters_per_class = 2;
+  config.subcluster_spread = 1.5;
+  config.sample_stddev = 1.0;
+  config.incremental_domain_shift = 1.4;
+  config.seed = 202;
+  return config;
+}
+
+SyntheticConfig TinyImagenetSimConfig() {
+  SyntheticConfig config;
+  config.name = "tiny-imagenet-sim";
+  config.num_classes = 200;
+  config.samples_per_class = 75;
+  config.feature_dim = 32;
+  config.class_separation = 6.2;
+  config.adjacent_correlation = 0.50;
+  config.subclusters_per_class = 3;
+  config.subcluster_spread = 1.8;
+  config.sample_stddev = 1.0;
+  config.incremental_domain_shift = 1.8;
+  config.seed = 303;
+  return config;
+}
+
+}  // namespace enld

@@ -1,0 +1,96 @@
+#ifndef ENLD_DATA_SYNTHETIC_H_
+#define ENLD_DATA_SYNTHETIC_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "data/dataset.h"
+
+namespace enld {
+
+/// Parameters of the synthetic Gaussian-mixture dataset generator that
+/// stands in for the paper's image datasets (see DESIGN.md §2).
+///
+/// Each class c gets a prototype vector; prototypes of adjacent classes
+/// (c, c+1) are correlated with coefficient `adjacent_correlation`, so the
+/// pair-asymmetric noise used in the paper corrupts labels between classes
+/// that are also close in feature space — the realistic hard case. Each
+/// class additionally splits into `subclusters_per_class` modes so that
+/// graph-based filtering (Topofilter) sees multi-modal class manifolds.
+struct SyntheticConfig {
+  /// Human-readable name, e.g. "emnist-sim".
+  std::string name = "synthetic";
+  int num_classes = 10;
+  size_t samples_per_class = 100;
+  size_t feature_dim = 32;
+  /// Norm of class prototypes; larger = easier task.
+  double class_separation = 6.0;
+  /// Correlation between the prototypes of classes c and c+1 in [0, 1).
+  double adjacent_correlation = 0.35;
+  /// Number of Gaussian modes per class (>= 1).
+  int subclusters_per_class = 2;
+  /// Distance of each mode center from the class prototype.
+  double subcluster_spread = 1.5;
+  /// Within-mode standard deviation per dimension.
+  double sample_stddev = 1.0;
+  /// Norm of the random per-mode offset applied to *incremental* data —
+  /// the paper's "changing data distribution" of newly arriving datasets
+  /// (Section I): arriving samples come from drifted variants of the
+  /// inventory's modes. 0 disables the shift.
+  double incremental_domain_shift = 0.0;
+  uint64_t seed = 7;
+};
+
+/// The latent geometry samples are drawn from: one prototype per class and
+/// `subclusters_per_class` mode centers around it.
+struct ClassGeometry {
+  /// class -> prototype vector (length = feature_dim).
+  std::vector<std::vector<double>> prototypes;
+  /// class -> mode -> center vector.
+  std::vector<std::vector<std::vector<double>>> centers;
+
+  int num_classes() const { return static_cast<int>(prototypes.size()); }
+  size_t dim() const {
+    return prototypes.empty() ? 0 : prototypes.front().size();
+  }
+};
+
+/// Builds the class geometry for `config` (deterministic given
+/// config.seed-derived `rng`).
+ClassGeometry MakeClassGeometry(const SyntheticConfig& config, Rng& rng);
+
+/// Returns a copy of `geometry` with every mode center displaced by a
+/// random offset of norm `shift` — the drifted distribution incremental
+/// data is drawn from.
+ClassGeometry ShiftGeometry(const ClassGeometry& geometry, double shift,
+                            Rng& rng);
+
+/// Draws `samples_per_class` samples per class around the geometry's mode
+/// centers with the given per-dimension standard deviation. Observed ==
+/// true labels (apply noise separately); sample order is shuffled.
+Dataset SampleFromGeometry(const ClassGeometry& geometry,
+                           size_t samples_per_class, double sample_stddev,
+                           Rng& rng, uint64_t first_id = 0);
+
+/// Generates a clean dataset (observed == true labels) from `config`:
+/// MakeClassGeometry + SampleFromGeometry with a config-seeded Rng.
+/// The domain shift is not applied here (it only affects workloads'
+/// incremental pools).
+Dataset GenerateSynthetic(const SyntheticConfig& config);
+
+/// Profile emulating EMNIST-letters: 26 classes, well separated (the
+/// "simple task" of the paper — confidence-only baselines still do well).
+SyntheticConfig EmnistSimConfig();
+
+/// Profile emulating CIFAR100: 100 classes with moderate overlap.
+SyntheticConfig Cifar100SimConfig();
+
+/// Profile emulating Tiny-ImageNet: 200 classes with heavy overlap (the
+/// "complex task" where pretrain-only baselines degrade most).
+SyntheticConfig TinyImagenetSimConfig();
+
+}  // namespace enld
+
+#endif  // ENLD_DATA_SYNTHETIC_H_

@@ -1,0 +1,49 @@
+#ifndef ENLD_DATA_WORKLOAD_H_
+#define ENLD_DATA_WORKLOAD_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "data/dataset.h"
+#include "data/noise.h"
+#include "data/split.h"
+#include "data/synthetic.h"
+
+namespace enld {
+
+/// Everything needed to stand up one paper experiment: a dataset profile,
+/// a noise level and the incremental-stream shape.
+struct WorkloadConfig {
+  SyntheticConfig profile;
+  /// Pair-asymmetric noise rate eta (Section V-A2).
+  double noise_rate = 0.2;
+  /// Fraction of the source that becomes inventory I (paper: 2:1).
+  double inventory_fraction = 2.0 / 3.0;
+  IncrementalStreamConfig stream;
+  /// Seed for noise injection and splitting (independent of profile.seed).
+  uint64_t seed = 4242;
+};
+
+/// A fully materialized experiment input: noisy inventory plus the noisy
+/// arriving datasets, with ground truth retained for evaluation only.
+struct Workload {
+  Dataset inventory;
+  std::vector<Dataset> incremental;
+  TransitionMatrix transition = TransitionMatrix::Identity(1);
+  WorkloadConfig config;
+};
+
+/// Generates the clean source, applies pair-asymmetric noise at
+/// `config.noise_rate` to all of it (the paper corrupts both I and D with
+/// the same transition matrix), then performs the 2:1 inventory split and
+/// carves the incremental stream. Deterministic for a fixed config.
+Workload BuildWorkload(const WorkloadConfig& config);
+
+/// Paper stream shapes (Section V-A1).
+WorkloadConfig EmnistWorkloadConfig(double noise_rate);
+WorkloadConfig Cifar100WorkloadConfig(double noise_rate);
+WorkloadConfig TinyImagenetWorkloadConfig(double noise_rate);
+
+}  // namespace enld
+
+#endif  // ENLD_DATA_WORKLOAD_H_

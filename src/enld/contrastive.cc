@@ -1,0 +1,70 @@
+#include "enld/contrastive.h"
+
+#include "common/check.h"
+
+namespace enld {
+
+int RandomLabel(int observed,
+                const std::vector<std::vector<double>>& conditional,
+                const std::vector<bool>& available, Rng& rng) {
+  const int classes = static_cast<int>(conditional.size());
+  ENLD_CHECK_GE(observed, 0);
+  ENLD_CHECK_LT(observed, classes);
+  ENLD_CHECK_EQ(available.size(), conditional.size());
+
+  std::vector<double> weights(classes, 0.0);
+  double mass = 0.0;
+  for (int j = 0; j < classes; ++j) {
+    if (available[j]) {
+      weights[j] = conditional[observed][j];
+      mass += weights[j];
+    }
+  }
+  if (mass > 0.0) return static_cast<int>(rng.Discrete(weights));
+
+  if (available[observed]) return observed;
+
+  std::vector<int> options;
+  for (int j = 0; j < classes; ++j) {
+    if (available[j]) options.push_back(j);
+  }
+  if (options.empty()) return -1;
+  return options[rng.UniformInt(options.size())];
+}
+
+std::vector<size_t> ContrastiveSampling(
+    const Dataset& incremental, const std::vector<size_t>& ambiguous,
+    const Matrix& ambiguous_features, const ClassKnnIndex& index,
+    const std::vector<std::vector<double>>& conditional, size_t k,
+    bool use_probability_label, Rng& rng) {
+  ENLD_CHECK_GT(k, 0u);
+  ENLD_CHECK_EQ(ambiguous_features.rows(), incremental.size());
+
+  std::vector<bool> available(index.num_classes(), false);
+  for (int c = 0; c < index.num_classes(); ++c) {
+    available[c] = index.HasClass(c);
+  }
+
+  std::vector<size_t> selected;
+  selected.reserve(k * ambiguous.size());
+  for (size_t pos : ambiguous) {
+    const int observed = incremental.observed_labels[pos];
+    ENLD_CHECK_NE(observed, kMissingLabel);
+    int j;
+    if (use_probability_label) {
+      j = RandomLabel(observed, conditional, available, rng);
+    } else {
+      // ENLD-4 ablation: query the observed label directly.
+      j = available[observed]
+              ? observed
+              : RandomLabel(observed, conditional, available, rng);
+    }
+    if (j < 0) continue;  // No high-quality sample available at all.
+    const auto neighbors =
+        index.Nearest(j, ambiguous_features.Row(pos), k);
+    for (const Neighbor& n : neighbors) selected.push_back(n.index);
+  }
+  return selected;
+}
+
+}  // namespace enld

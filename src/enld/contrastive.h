@@ -1,0 +1,42 @@
+#ifndef ENLD_ENLD_CONTRASTIVE_H_
+#define ENLD_ENLD_CONTRASTIVE_H_
+
+#include <vector>
+
+#include "common/rng.h"
+#include "data/dataset.h"
+#include "knn/class_index.h"
+
+namespace enld {
+
+/// Draws the estimated true label j for an ambiguous sample observed as
+/// `observed`: j ~ P̃(y* = · | ỹ = observed) restricted to the labels with
+/// `available[j]` (Corollary 1 restricts to label(H')). Falls back to the
+/// observed label when it is available and no restricted mass exists, and
+/// to a uniform available label otherwise. Returns -1 when nothing is
+/// available.
+int RandomLabel(int observed,
+                const std::vector<std::vector<double>>& conditional,
+                const std::vector<bool>& available, Rng& rng);
+
+/// Algorithm 2 — contrastive sampling. For each ambiguous sample of the
+/// incremental dataset: draw a plausible true label j, then take its k
+/// nearest high-quality candidate samples of class j in feature space.
+///
+/// `index` must be built over the candidate set's feature representations
+/// restricted to the (restricted + confidence-filtered) high-quality rows;
+/// `ambiguous_features` must hold the feature vectors of the incremental
+/// dataset under the same model.
+///
+/// Returns a *multiset* of candidate-set positions: duplicates are
+/// intentional and act as the paper's implicit re-weighting of samples that
+/// serve several ambiguous samples at once.
+std::vector<size_t> ContrastiveSampling(
+    const Dataset& incremental, const std::vector<size_t>& ambiguous,
+    const Matrix& ambiguous_features, const ClassKnnIndex& index,
+    const std::vector<std::vector<double>>& conditional, size_t k,
+    bool use_probability_label, Rng& rng);
+
+}  // namespace enld
+
+#endif  // ENLD_ENLD_CONTRASTIVE_H_

@@ -1,0 +1,89 @@
+#include "enld/framework.h"
+
+#include "common/check.h"
+#include "enld/fine_grained.h"
+#include "nn/trainer.h"
+
+namespace enld {
+
+EnldFramework::EnldFramework(const EnldConfig& config)
+    : config_(config), rng_(config.seed) {}
+
+void EnldFramework::Setup(const Dataset& inventory) {
+  general_ = InitGeneralModel(inventory, config_.general);
+  const JointCounts joint =
+      EstimateJointCounts(general_.model.get(), general_.candidate_set);
+  conditional_ = ConditionalFromJoint(joint);
+  selected_clean_.assign(general_.candidate_set.size(), false);
+}
+
+DetectionResult EnldFramework::Detect(const Dataset& incremental) {
+  ENLD_CHECK(general_.model != nullptr);  // Setup must run first.
+  ENLD_CHECK_EQ(incremental.num_classes, general_.candidate_set.num_classes);
+
+  // Fine-tune a copy of θ so the general model survives the request.
+  Rng model_rng = rng_.Fork();
+  MlpModel finetuned(general_.model->layer_dims(), model_rng);
+  finetuned.SetWeights(general_.model->GetWeights());
+
+  FineGrainedInputs inputs;
+  inputs.model = &finetuned;
+  inputs.incremental = &incremental;
+  inputs.candidate = &general_.candidate_set;
+  inputs.conditional = &conditional_;
+  FineGrainedOutputs outputs = FineGrainedDetect(inputs, config_, rng_);
+
+  for (size_t pos : outputs.selected_candidate) {
+    ENLD_CHECK_LT(pos, selected_clean_.size());
+    selected_clean_[pos] = true;
+  }
+  return std::move(outputs.result);
+}
+
+size_t EnldFramework::selected_clean_count() const {
+  size_t count = 0;
+  for (bool b : selected_clean_) count += b ? 1 : 0;
+  return count;
+}
+
+std::vector<size_t> EnldFramework::selected_clean_positions() const {
+  std::vector<size_t> out;
+  for (size_t i = 0; i < selected_clean_.size(); ++i) {
+    if (selected_clean_[i]) out.push_back(i);
+  }
+  return out;
+}
+
+Status EnldFramework::UpdateModel() {
+  if (general_.model == nullptr) {
+    return Status::FailedPrecondition("Setup has not been run");
+  }
+  const std::vector<size_t> positions = selected_clean_positions();
+  if (positions.empty()) {
+    return Status::FailedPrecondition(
+        "no clean inventory samples selected yet; run Detect first");
+  }
+
+  // θ^u = train(S_c): the updated model is warm-started from the current
+  // general model so classes under-represented in S_c keep their learned
+  // structure, then trained on the selected clean samples.
+  const Dataset clean = general_.candidate_set.Subset(positions);
+  Rng model_rng = rng_.Fork();
+  auto updated = MakeBackboneModel(config_.general.backbone, clean.dim(),
+                                   clean.num_classes, model_rng);
+  updated->SetWeights(general_.model->GetWeights());
+  TrainConfig train = config_.general.train;
+  train.seed = rng_.NextUInt64();
+  TrainModel(updated.get(), clean, /*validation=*/nullptr, train);
+  general_.model = std::move(updated);
+
+  // Swap I_t and I_c, then re-estimate P̃ on the new candidate set.
+  std::swap(general_.train_set, general_.candidate_set);
+  const JointCounts joint =
+      EstimateJointCounts(general_.model.get(), general_.candidate_set);
+  conditional_ = ConditionalFromJoint(joint);
+  selected_clean_.assign(general_.candidate_set.size(), false);
+  return Status::OK();
+}
+
+}  // namespace enld

@@ -1,0 +1,79 @@
+#ifndef ENLD_ENLD_FRAMEWORK_H_
+#define ENLD_ENLD_FRAMEWORK_H_
+
+#include <string>
+#include <vector>
+
+#include "baselines/detector.h"
+#include "common/rng.h"
+#include "common/status.h"
+#include "enld/config.h"
+#include "nn/confident_joint.h"
+#include "nn/general_model.h"
+
+namespace enld {
+
+/// The ENLD framework (Algorithm 1): one-time model initialization and
+/// probability estimation on the inventory, then per-arriving-dataset
+/// fine-grained detection with contrastive sampling, plus the optional
+/// model-update process (Algorithm 4).
+///
+/// Usage:
+///   EnldFramework enld(config);
+///   enld.Setup(inventory);                  // Stage 0.
+///   for (const Dataset& d : arriving) {
+///     DetectionResult r = enld.Detect(d);   // Stage 1 per dataset.
+///   }
+///   enld.UpdateModel();                     // Optional refresh.
+class EnldFramework : public NoisyLabelDetector {
+ public:
+  explicit EnldFramework(const EnldConfig& config);
+
+  /// Splits I into I_t / I_c, trains the general model θ on I_t with
+  /// mixup, and estimates P̃(y* = j | ỹ = i) on I_c (Section IV-B).
+  void Setup(const Dataset& inventory) override;
+
+  /// Fine-grained noisy-label detection on one arriving dataset. Fine-tunes
+  /// a *copy* of θ; the general model itself only changes via UpdateModel.
+  /// Also accumulates the inventory clean-selection S_c.
+  DetectionResult Detect(const Dataset& incremental) override;
+
+  std::string name() const override {
+    return SamplingPolicyName(config_.policy);
+  }
+
+  /// Algorithm 4: retrains the general model on the accumulated S_c, swaps
+  /// I_t and I_c, and re-estimates P̃ on the new candidate set. Fails with
+  /// FailedPrecondition when no clean inventory samples have been selected
+  /// yet (run Detect first).
+  Status UpdateModel();
+
+  /// The general model θ (valid after Setup).
+  MlpModel* general_model() { return general_.model.get(); }
+  /// The candidate set I_c.
+  const Dataset& candidate_set() const { return general_.candidate_set; }
+  /// The training set I_t.
+  const Dataset& train_set() const { return general_.train_set; }
+  /// P̃(y* = j | ỹ = i), row i = observed label.
+  const std::vector<std::vector<double>>& conditional() const {
+    return conditional_;
+  }
+  /// Number of inventory samples currently in S_c.
+  size_t selected_clean_count() const;
+  /// Positions of S_c inside candidate_set().
+  std::vector<size_t> selected_clean_positions() const;
+
+  const EnldConfig& config() const { return config_; }
+
+ private:
+  EnldConfig config_;
+  GeneralModel general_;
+  std::vector<std::vector<double>> conditional_;
+  /// S_c membership, parallel to general_.candidate_set.
+  std::vector<bool> selected_clean_;
+  Rng rng_;
+};
+
+}  // namespace enld
+
+#endif  // ENLD_ENLD_FRAMEWORK_H_

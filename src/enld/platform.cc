@@ -1,0 +1,73 @@
+#include "enld/platform.h"
+
+#include "common/stopwatch.h"
+
+namespace enld {
+
+DataPlatform::DataPlatform(const DataPlatformConfig& config)
+    : config_(config), framework_(config.enld) {}
+
+Status DataPlatform::Initialize(const Dataset& inventory) {
+  if (initialized_) {
+    return Status::FailedPrecondition("platform already initialized");
+  }
+  if (inventory.size() < 2) {
+    return Status::InvalidArgument("inventory needs at least 2 samples");
+  }
+  if (inventory.num_classes <= 1) {
+    return Status::InvalidArgument("inventory needs at least 2 classes");
+  }
+  framework_.Setup(inventory);
+  inventory_dim_ = inventory.dim();
+  inventory_classes_ = inventory.num_classes;
+  initialized_ = true;
+  return Status::OK();
+}
+
+StatusOr<DetectionResult> DataPlatform::Process(const Dataset& incremental) {
+  if (!initialized_) {
+    return Status::FailedPrecondition("platform not initialized");
+  }
+  if (incremental.empty()) {
+    return Status::InvalidArgument("incremental dataset is empty");
+  }
+  if (incremental.dim() != inventory_dim_) {
+    return Status::InvalidArgument(
+        "incremental feature dimension does not match the inventory");
+  }
+  if (incremental.num_classes != inventory_classes_) {
+    return Status::InvalidArgument(
+        "incremental class count does not match the inventory");
+  }
+
+  Stopwatch timer;
+  DetectionResult result = framework_.Detect(incremental);
+  stats_.total_process_seconds += timer.ElapsedSeconds();
+  ++stats_.requests;
+  stats_.samples_processed += incremental.size();
+  stats_.samples_flagged_noisy += result.noisy_indices.size();
+
+  if (config_.update_every > 0 &&
+      stats_.requests % config_.update_every == 0) {
+    // Best-effort policy update: skipped silently while S_c is too small.
+    if (framework_.selected_clean_count() >= config_.min_update_samples) {
+      if (framework_.UpdateModel().ok()) ++stats_.model_updates;
+    }
+  }
+  return result;
+}
+
+Status DataPlatform::Update() {
+  if (!initialized_) {
+    return Status::FailedPrecondition("platform not initialized");
+  }
+  if (framework_.selected_clean_count() < config_.min_update_samples) {
+    return Status::FailedPrecondition(
+        "selected clean set below min_update_samples");
+  }
+  ENLD_RETURN_IF_ERROR(framework_.UpdateModel());
+  ++stats_.model_updates;
+  return Status::OK();
+}
+
+}  // namespace enld

@@ -1,0 +1,71 @@
+#ifndef ENLD_ENLD_PLATFORM_H_
+#define ENLD_ENLD_PLATFORM_H_
+
+#include <cstdint>
+
+#include "common/status.h"
+#include "enld/framework.h"
+
+namespace enld {
+
+/// Configuration of the DataPlatform service façade.
+struct DataPlatformConfig {
+  EnldConfig enld;
+  /// Automatically refresh the general model (Algorithm 4) after this many
+  /// detection requests; 0 disables auto-updates.
+  size_t update_every = 0;
+  /// An auto-update is skipped (and retried after the next request) until
+  /// the accumulated clean-inventory selection reaches this size — updating
+  /// from a tiny S_c degrades the model instead of improving it.
+  size_t min_update_samples = 200;
+};
+
+/// Running counters of a platform instance.
+struct PlatformStats {
+  uint64_t requests = 0;
+  uint64_t samples_processed = 0;
+  uint64_t samples_flagged_noisy = 0;
+  uint64_t model_updates = 0;
+  double total_process_seconds = 0.0;
+};
+
+/// The deployment façade of Fig. 1: owns an EnldFramework, validates
+/// incoming requests, applies the automatic model-update policy, and keeps
+/// service statistics. This is the class a data platform embeds; the lower
+/// EnldFramework API remains available for research use.
+class DataPlatform {
+ public:
+  explicit DataPlatform(const DataPlatformConfig& config);
+
+  /// One-time initialization with the data-lake inventory. Fails on an
+  /// empty or inconsistent inventory. Must be called exactly once before
+  /// Process.
+  Status Initialize(const Dataset& inventory);
+
+  /// Serves one detection request. Fails when the platform is not
+  /// initialized or the dataset is incompatible with the inventory
+  /// (feature dimension / class-count mismatch, empty input). On success,
+  /// may trigger an automatic model update per the configured policy.
+  StatusOr<DetectionResult> Process(const Dataset& incremental);
+
+  /// Manually triggers a model update (same preconditions as
+  /// EnldFramework::UpdateModel, plus the min_update_samples policy).
+  Status Update();
+
+  bool initialized() const { return initialized_; }
+  const PlatformStats& stats() const { return stats_; }
+  /// Direct access to the underlying framework (valid after Initialize).
+  EnldFramework& framework() { return framework_; }
+
+ private:
+  DataPlatformConfig config_;
+  EnldFramework framework_;
+  PlatformStats stats_;
+  bool initialized_ = false;
+  size_t inventory_dim_ = 0;
+  int inventory_classes_ = 0;
+};
+
+}  // namespace enld
+
+#endif  // ENLD_ENLD_PLATFORM_H_

@@ -1,0 +1,87 @@
+#include "enld/strategies.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace enld {
+
+const char* SamplingPolicyName(SamplingPolicy policy) {
+  switch (policy) {
+    case SamplingPolicy::kContrastive:
+      return "ENLD";
+    case SamplingPolicy::kRandom:
+      return "Random-ENLD";
+    case SamplingPolicy::kHighestConfidence:
+      return "HC-ENLD";
+    case SamplingPolicy::kLeastConfidence:
+      return "LC-ENLD";
+    case SamplingPolicy::kEntropy:
+      return "Entropy-ENLD";
+    case SamplingPolicy::kPseudo:
+      return "Pseudo-ENLD";
+  }
+  return "unknown";
+}
+
+std::vector<double> RowEntropies(const Matrix& probs) {
+  std::vector<double> out(probs.rows(), 0.0);
+  for (size_t r = 0; r < probs.rows(); ++r) {
+    const float* p = probs.Row(r);
+    double h = 0.0;
+    for (size_t c = 0; c < probs.cols(); ++c) {
+      if (p[c] > 0.0f) h -= static_cast<double>(p[c]) * std::log(p[c]);
+    }
+    out[r] = h;
+  }
+  return out;
+}
+
+std::vector<size_t> PolicySampling(SamplingPolicy policy,
+                                   const Matrix& candidate_probs,
+                                   const std::vector<size_t>& pool,
+                                   size_t count, Rng& rng) {
+  ENLD_CHECK(policy != SamplingPolicy::kContrastive);
+  if (pool.empty() || count == 0) return {};
+  const size_t take = std::min(count, pool.size());
+
+  if (policy == SamplingPolicy::kRandom) {
+    std::vector<size_t> picks = rng.SampleWithoutReplacement(pool.size(),
+                                                             take);
+    std::vector<size_t> out;
+    out.reserve(take);
+    for (size_t p : picks) out.push_back(pool[p]);
+    return out;
+  }
+
+  // Score every pool row, then take the top-`take` by the policy.
+  std::vector<double> score(pool.size(), 0.0);
+  if (policy == SamplingPolicy::kEntropy) {
+    const std::vector<double> entropy = RowEntropies(candidate_probs);
+    for (size_t i = 0; i < pool.size(); ++i) score[i] = entropy[pool[i]];
+  } else {
+    for (size_t i = 0; i < pool.size(); ++i) {
+      const float* p = candidate_probs.Row(pool[i]);
+      float best = p[0];
+      for (size_t c = 1; c < candidate_probs.cols(); ++c) {
+        best = std::max(best, p[c]);
+      }
+      // Least-confidence ranks ascending; flip the sign so one sort works.
+      score[i] = policy == SamplingPolicy::kLeastConfidence
+                     ? -static_cast<double>(best)
+                     : static_cast<double>(best);
+    }
+  }
+
+  std::vector<size_t> order(pool.size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::partial_sort(order.begin(), order.begin() + take, order.end(),
+                    [&](size_t a, size_t b) { return score[a] > score[b]; });
+  std::vector<size_t> out;
+  out.reserve(take);
+  for (size_t i = 0; i < take; ++i) out.push_back(pool[order[i]]);
+  return out;
+}
+
+}  // namespace enld

@@ -1,0 +1,30 @@
+#ifndef ENLD_ENLD_STRATEGIES_H_
+#define ENLD_ENLD_STRATEGIES_H_
+
+#include <vector>
+
+#include "common/matrix.h"
+#include "common/rng.h"
+#include "enld/config.h"
+
+namespace enld {
+
+/// Selects `count` candidate-set positions according to the alternative
+/// sampling policies of Section V-D. `candidate_probs` are the current
+/// model's softmax outputs for every candidate row; `pool` restricts the
+/// selection (pass all rows for the paper's "select in I_c" semantics).
+///
+/// kRandom draws without replacement; the confidence/entropy policies take
+/// the top-`count` by their criterion. Must not be called with
+/// kContrastive (that path has its own sampler).
+std::vector<size_t> PolicySampling(SamplingPolicy policy,
+                                   const Matrix& candidate_probs,
+                                   const std::vector<size_t>& pool,
+                                   size_t count, Rng& rng);
+
+/// Row-wise Shannon entropy of a probability matrix (natural log).
+std::vector<double> RowEntropies(const Matrix& probs);
+
+}  // namespace enld
+
+#endif  // ENLD_ENLD_STRATEGIES_H_

@@ -1,0 +1,39 @@
+#include "eval/experiment.h"
+
+#include "common/check.h"
+#include "common/stopwatch.h"
+
+namespace enld {
+
+double MethodRunResult::average_process_seconds() const {
+  if (process_seconds.empty()) return 0.0;
+  double total = 0.0;
+  for (double s : process_seconds) total += s;
+  return total / static_cast<double>(process_seconds.size());
+}
+
+MethodRunResult RunDetector(NoisyLabelDetector* detector,
+                            const Workload& workload, bool keep_raw) {
+  ENLD_CHECK(detector != nullptr);
+  MethodRunResult out;
+  out.method = detector->name();
+  out.noise_rate = workload.config.noise_rate;
+
+  Stopwatch setup_timer;
+  detector->Setup(workload.inventory);
+  out.setup_seconds = setup_timer.ElapsedSeconds();
+
+  out.process_seconds.reserve(workload.incremental.size());
+  out.per_dataset.reserve(workload.incremental.size());
+  for (const Dataset& incremental : workload.incremental) {
+    Stopwatch process_timer;
+    DetectionResult result = detector->Detect(incremental);
+    out.process_seconds.push_back(process_timer.ElapsedSeconds());
+    out.per_dataset.push_back(
+        EvaluateDetection(incremental, result.noisy_indices));
+    if (keep_raw) out.raw_results.push_back(std::move(result));
+  }
+  return out;
+}
+
+}  // namespace enld

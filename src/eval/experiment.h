@@ -1,0 +1,40 @@
+#ifndef ENLD_EVAL_EXPERIMENT_H_
+#define ENLD_EVAL_EXPERIMENT_H_
+
+#include <string>
+#include <vector>
+
+#include "baselines/detector.h"
+#include "data/workload.h"
+#include "eval/metrics.h"
+
+namespace enld {
+
+/// Everything measured while running one detector over one workload's
+/// incremental stream: the paper's per-dataset metrics plus the
+/// setup-time / process-time split of Fig. 8.
+struct MethodRunResult {
+  std::string method;
+  double noise_rate = 0.0;
+  double setup_seconds = 0.0;
+  std::vector<double> process_seconds;     // Per incremental dataset.
+  std::vector<DetectionMetrics> per_dataset;
+  std::vector<DetectionResult> raw_results;  // Parallel to per_dataset.
+
+  /// Macro average over incremental datasets.
+  DetectionMetrics average() const { return AverageMetrics(per_dataset); }
+  /// Mean per-dataset process time in seconds.
+  double average_process_seconds() const;
+};
+
+/// Runs `detector` through Setup(inventory) and Detect() over every
+/// incremental dataset of the workload, timing both phases and scoring
+/// detections against ground truth. `keep_raw` retains each
+/// DetectionResult (needed by trajectory figures; off by default to save
+/// memory).
+MethodRunResult RunDetector(NoisyLabelDetector* detector,
+                            const Workload& workload, bool keep_raw = false);
+
+}  // namespace enld
+
+#endif  // ENLD_EVAL_EXPERIMENT_H_

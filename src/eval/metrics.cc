@@ -1,0 +1,108 @@
+#include "eval/metrics.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace enld {
+
+DetectionMetrics EvaluateDetection(
+    const Dataset& dataset, const std::vector<size_t>& detected_noisy) {
+  std::vector<bool> truth(dataset.size(), false);
+  size_t actual = 0;
+  for (size_t pos : dataset.GroundTruthNoisyIndices()) {
+    truth[pos] = true;
+    ++actual;
+  }
+
+  size_t tp = 0;
+  for (size_t pos : detected_noisy) {
+    ENLD_CHECK_LT(pos, dataset.size());
+    if (truth[pos]) ++tp;
+  }
+
+  DetectionMetrics m;
+  m.true_positives = tp;
+  m.detected = detected_noisy.size();
+  m.actual_noisy = actual;
+  if (m.detected == 0 && m.actual_noisy == 0) {
+    m.precision = m.recall = m.f1 = 1.0;
+    return m;
+  }
+  m.precision = m.detected == 0
+                    ? 0.0
+                    : static_cast<double>(tp) / static_cast<double>(m.detected);
+  m.recall = m.actual_noisy == 0 ? 0.0
+                                 : static_cast<double>(tp) /
+                                       static_cast<double>(m.actual_noisy);
+  m.f1 = (m.precision + m.recall) > 0.0
+             ? 2.0 * m.precision * m.recall / (m.precision + m.recall)
+             : 0.0;
+  return m;
+}
+
+DetectionMetrics AverageMetrics(const std::vector<DetectionMetrics>& all) {
+  DetectionMetrics avg;
+  if (all.empty()) return avg;
+  for (const DetectionMetrics& m : all) {
+    avg.precision += m.precision;
+    avg.recall += m.recall;
+    avg.f1 += m.f1;
+    avg.true_positives += m.true_positives;
+    avg.detected += m.detected;
+    avg.actual_noisy += m.actual_noisy;
+  }
+  const double n = static_cast<double>(all.size());
+  avg.precision /= n;
+  avg.recall /= n;
+  avg.f1 /= n;
+  return avg;
+}
+
+std::vector<DetectionMetrics> PerObservedClassMetrics(
+    const Dataset& dataset, const std::vector<size_t>& detected_noisy) {
+  const int classes = dataset.num_classes;
+  std::vector<std::vector<size_t>> detected_by_class(classes);
+  for (size_t pos : detected_noisy) {
+    ENLD_CHECK_LT(pos, dataset.size());
+    const int y = dataset.observed_labels[pos];
+    if (y != kMissingLabel) detected_by_class[y].push_back(pos);
+  }
+
+  std::vector<DetectionMetrics> out(classes);
+  for (int c = 0; c < classes; ++c) {
+    const std::vector<size_t> members = dataset.IndicesWithObservedLabel(c);
+    if (members.empty()) continue;
+    const Dataset class_view = dataset.Subset(members);
+    // Map global detected positions into the class view's positions.
+    std::vector<size_t> local;
+    for (size_t pos : detected_by_class[c]) {
+      for (size_t j = 0; j < members.size(); ++j) {
+        if (members[j] == pos) {
+          local.push_back(j);
+          break;
+        }
+      }
+    }
+    out[c] = EvaluateDetection(class_view, local);
+  }
+  return out;
+}
+
+double PseudoLabelAccuracy(const Dataset& dataset,
+                           const std::vector<int>& recovered,
+                           const std::vector<size_t>& missing_positions) {
+  if (missing_positions.empty()) return 0.0;
+  size_t correct = 0;
+  for (size_t pos : missing_positions) {
+    ENLD_CHECK_LT(pos, dataset.size());
+    if (pos < recovered.size() &&
+        recovered[pos] == dataset.true_labels[pos]) {
+      ++correct;
+    }
+  }
+  return static_cast<double>(correct) /
+         static_cast<double>(missing_positions.size());
+}
+
+}  // namespace enld

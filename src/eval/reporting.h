@@ -1,0 +1,23 @@
+#ifndef ENLD_EVAL_REPORTING_H_
+#define ENLD_EVAL_REPORTING_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "eval/experiment.h"
+
+namespace enld {
+
+/// Renders method runs as a CSV string with one row per (method, dataset):
+/// `method,noise,dataset,precision,recall,f1,process_seconds` plus a
+/// `setup` row per method. Used to feed external plotting.
+std::string MethodRunsToCsv(const std::vector<MethodRunResult>& runs);
+
+/// Writes MethodRunsToCsv(runs) to a file.
+Status WriteMethodRunsCsv(const std::vector<MethodRunResult>& runs,
+                          const std::string& path);
+
+}  // namespace enld
+
+#endif  // ENLD_EVAL_REPORTING_H_

@@ -1,0 +1,71 @@
+#include "graph/knn_graph.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+#include "graph/union_find.h"
+#include "knn/kdtree.h"
+
+namespace enld {
+
+std::vector<std::vector<size_t>> KnnGraphComponents(
+    const Matrix& features, const std::vector<size_t>& rows, size_t k,
+    bool mutual) {
+  if (rows.empty()) return {};
+  ENLD_CHECK_GT(k, 0u);
+
+  // Map feature-row -> position in `rows` so components index positions.
+  KdTree tree(features, rows);
+  std::vector<std::pair<size_t, size_t>> mapping(rows.size());
+  for (size_t pos = 0; pos < rows.size(); ++pos) {
+    mapping[pos] = {rows[pos], pos};
+  }
+  std::sort(mapping.begin(), mapping.end());
+  auto pos_of = [&](size_t row) {
+    auto it = std::lower_bound(
+        mapping.begin(), mapping.end(), std::make_pair(row, size_t{0}),
+        [](const auto& a, const auto& b) { return a.first < b.first; });
+    ENLD_CHECK(it != mapping.end() && it->first == row);
+    return it->second;
+  };
+
+  // Per-position kNN lists (k+1 because the query point is its own nearest
+  // neighbour).
+  std::vector<std::vector<size_t>> neighbors(rows.size());
+  for (size_t pos = 0; pos < rows.size(); ++pos) {
+    const auto found = tree.Nearest(features.Row(rows[pos]), k + 1);
+    for (const Neighbor& n : found) {
+      const size_t other = pos_of(n.index);
+      if (other != pos) neighbors[pos].push_back(other);
+    }
+  }
+
+  UnionFind uf(rows.size());
+  for (size_t pos = 0; pos < rows.size(); ++pos) {
+    for (size_t other : neighbors[pos]) {
+      if (mutual) {
+        // Require reciprocation: `pos` must be in `other`'s kNN list too.
+        const auto& back = neighbors[other];
+        if (std::find(back.begin(), back.end(), pos) == back.end()) {
+          continue;
+        }
+      }
+      uf.Union(pos, other);
+    }
+  }
+  return uf.Components();
+}
+
+std::vector<size_t> LargestKnnComponent(const Matrix& features,
+                                        const std::vector<size_t>& rows,
+                                        size_t k, bool mutual) {
+  auto components = KnnGraphComponents(features, rows, k, mutual);
+  if (components.empty()) return {};
+  size_t best = 0;
+  for (size_t i = 1; i < components.size(); ++i) {
+    if (components[i].size() > components[best].size()) best = i;
+  }
+  return components[best];
+}
+
+}  // namespace enld

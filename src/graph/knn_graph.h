@@ -1,0 +1,31 @@
+#ifndef ENLD_GRAPH_KNN_GRAPH_H_
+#define ENLD_GRAPH_KNN_GRAPH_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "common/matrix.h"
+
+namespace enld {
+
+/// Builds the k-nearest-neighbour graph over the given feature rows and
+/// returns its connected components (each component lists positions into
+/// `rows`). With `mutual` false, the union of directed kNN edges is treated
+/// as undirected; with `mutual` true an edge requires each endpoint to be
+/// among the other's k nearest (sparser, cluster-preserving — the variant
+/// the Topofilter baseline uses so that a single stray edge cannot merge a
+/// mislabeled sub-cluster into the clean component).
+std::vector<std::vector<size_t>> KnnGraphComponents(
+    const Matrix& features, const std::vector<size_t>& rows, size_t k,
+    bool mutual = false);
+
+/// Positions (into `rows`) of the members of the largest connected
+/// component of the kNN graph — Topofilter's per-class clean-set rule.
+/// Ties broken toward the first-seen component. Empty input -> empty.
+std::vector<size_t> LargestKnnComponent(const Matrix& features,
+                                        const std::vector<size_t>& rows,
+                                        size_t k, bool mutual = false);
+
+}  // namespace enld
+
+#endif  // ENLD_GRAPH_KNN_GRAPH_H_

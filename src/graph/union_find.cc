@@ -1,0 +1,50 @@
+#include "graph/union_find.h"
+
+#include "common/check.h"
+
+namespace enld {
+
+UnionFind::UnionFind(size_t n)
+    : parent_(n), size_(n, 1), num_sets_(n) {
+  for (size_t i = 0; i < n; ++i) parent_[i] = i;
+}
+
+size_t UnionFind::Find(size_t x) {
+  ENLD_CHECK_LT(x, parent_.size());
+  size_t root = x;
+  while (parent_[root] != root) root = parent_[root];
+  while (parent_[x] != root) {
+    const size_t next = parent_[x];
+    parent_[x] = root;
+    x = next;
+  }
+  return root;
+}
+
+bool UnionFind::Union(size_t a, size_t b) {
+  size_t ra = Find(a);
+  size_t rb = Find(b);
+  if (ra == rb) return false;
+  if (size_[ra] < size_[rb]) std::swap(ra, rb);
+  parent_[rb] = ra;
+  size_[ra] += size_[rb];
+  --num_sets_;
+  return true;
+}
+
+size_t UnionFind::SetSize(size_t x) { return size_[Find(x)]; }
+
+std::vector<std::vector<size_t>> UnionFind::Components() {
+  std::vector<std::vector<size_t>> by_root(parent_.size());
+  for (size_t i = 0; i < parent_.size(); ++i) {
+    by_root[Find(i)].push_back(i);
+  }
+  std::vector<std::vector<size_t>> out;
+  out.reserve(num_sets_);
+  for (auto& group : by_root) {
+    if (!group.empty()) out.push_back(std::move(group));
+  }
+  return out;
+}
+
+}  // namespace enld

@@ -1,0 +1,43 @@
+#ifndef ENLD_GRAPH_UNION_FIND_H_
+#define ENLD_GRAPH_UNION_FIND_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace enld {
+
+/// Disjoint-set forest with union by size and path compression. Substrate
+/// for the Topofilter baseline's connected-component computation.
+class UnionFind {
+ public:
+  /// Creates `n` singleton sets, labelled 0..n-1.
+  explicit UnionFind(size_t n);
+
+  /// Representative of the set containing `x` (with path compression).
+  size_t Find(size_t x);
+
+  /// Merges the sets containing `a` and `b`. Returns true if they were
+  /// previously distinct.
+  bool Union(size_t a, size_t b);
+
+  /// Number of elements in the set containing `x`.
+  size_t SetSize(size_t x);
+
+  /// Number of distinct sets remaining.
+  size_t num_sets() const { return num_sets_; }
+
+  size_t size() const { return parent_.size(); }
+
+  /// Groups all elements by representative; each inner vector is one
+  /// connected component.
+  std::vector<std::vector<size_t>> Components();
+
+ private:
+  std::vector<size_t> parent_;
+  std::vector<size_t> size_;
+  size_t num_sets_;
+};
+
+}  // namespace enld
+
+#endif  // ENLD_GRAPH_UNION_FIND_H_

@@ -1,0 +1,45 @@
+#include "knn/class_index.h"
+
+#include "common/check.h"
+
+namespace enld {
+
+ClassKnnIndex::ClassKnnIndex(const Matrix& features,
+                             const std::vector<int>& labels,
+                             const std::vector<size_t>& rows,
+                             int num_classes) {
+  ENLD_CHECK_GT(num_classes, 0);
+  ENLD_CHECK_EQ(features.rows(), labels.size());
+  std::vector<std::vector<size_t>> by_class(num_classes);
+  for (size_t r : rows) {
+    ENLD_CHECK_LT(r, features.rows());
+    const int y = labels[r];
+    ENLD_CHECK_GE(y, 0);
+    ENLD_CHECK_LT(y, num_classes);
+    by_class[y].push_back(r);
+  }
+  trees_.resize(num_classes);
+  class_sizes_.resize(num_classes, 0);
+  for (int c = 0; c < num_classes; ++c) {
+    class_sizes_[c] = by_class[c].size();
+    if (!by_class[c].empty()) {
+      trees_[c] = std::make_unique<KdTree>(features, by_class[c]);
+    }
+  }
+}
+
+size_t ClassKnnIndex::ClassSize(int label) const {
+  ENLD_CHECK_GE(label, 0);
+  ENLD_CHECK_LT(label, num_classes());
+  return class_sizes_[label];
+}
+
+std::vector<Neighbor> ClassKnnIndex::Nearest(int label, const float* query,
+                                             size_t k) const {
+  ENLD_CHECK_GE(label, 0);
+  ENLD_CHECK_LT(label, num_classes());
+  if (trees_[label] == nullptr) return {};
+  return trees_[label]->Nearest(query, k);
+}
+
+}  // namespace enld

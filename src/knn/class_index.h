@@ -1,0 +1,45 @@
+#ifndef ENLD_KNN_CLASS_INDEX_H_
+#define ENLD_KNN_CLASS_INDEX_H_
+
+#include <memory>
+#include <vector>
+
+#include "common/matrix.h"
+#include "knn/kdtree.h"
+
+namespace enld {
+
+/// One KD-tree per class label, the structure the paper builds "for each
+/// category in H" so contrastive sampling can repeatedly answer
+/// class-constrained k-nearest queries.
+///
+/// Indices returned by queries are *rows of the feature matrix* the index
+/// was built from, so callers can map them straight back to samples.
+class ClassKnnIndex {
+ public:
+  /// Builds per-class trees. `labels[r]` assigns feature row `r` to a class
+  /// in [0, num_classes); rows listed in `rows` are indexed, others ignored.
+  ClassKnnIndex(const Matrix& features, const std::vector<int>& labels,
+                const std::vector<size_t>& rows, int num_classes);
+
+  /// Number of indexed rows in class `label`.
+  size_t ClassSize(int label) const;
+
+  /// True if class `label` has at least one indexed row.
+  bool HasClass(int label) const { return ClassSize(label) > 0; }
+
+  /// Up to `k` nearest indexed rows of class `label` to `query`, ordered by
+  /// increasing distance. Empty if the class has no indexed rows.
+  std::vector<Neighbor> Nearest(int label, const float* query,
+                                size_t k) const;
+
+  int num_classes() const { return static_cast<int>(trees_.size()); }
+
+ private:
+  std::vector<std::unique_ptr<KdTree>> trees_;
+  std::vector<size_t> class_sizes_;
+};
+
+}  // namespace enld
+
+#endif  // ENLD_KNN_CLASS_INDEX_H_

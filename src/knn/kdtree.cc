@@ -1,0 +1,166 @@
+#include "knn/kdtree.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/check.h"
+
+namespace enld {
+
+namespace {
+
+/// Max-heap ordering on distance so the worst current neighbour is at the
+/// front and can be popped when a closer one arrives.
+bool HeapCmp(const Neighbor& a, const Neighbor& b) {
+  return a.distance_squared < b.distance_squared;
+}
+
+void HeapPush(std::vector<Neighbor>& heap, Neighbor n, size_t k) {
+  if (heap.size() < k) {
+    heap.push_back(n);
+    std::push_heap(heap.begin(), heap.end(), HeapCmp);
+  } else if (n.distance_squared < heap.front().distance_squared) {
+    std::pop_heap(heap.begin(), heap.end(), HeapCmp);
+    heap.back() = n;
+    std::push_heap(heap.begin(), heap.end(), HeapCmp);
+  }
+}
+
+}  // namespace
+
+KdTree::KdTree(const Matrix& points, const std::vector<size_t>& row_indices)
+    : dim_(points.cols()), count_(row_indices.size()) {
+  points_.resize(count_ * dim_);
+  original_ = row_indices;
+  order_.resize(count_);
+  for (size_t i = 0; i < count_; ++i) {
+    order_[i] = i;
+    const float* src = points.Row(row_indices[i]);
+    std::copy(src, src + dim_, points_.data() + i * dim_);
+  }
+  if (count_ > 0) {
+    nodes_.reserve(2 * count_ / kLeafSize + 2);
+    Build(0, count_);
+  }
+}
+
+KdTree::KdTree(const Matrix& points)
+    : KdTree(points, [&] {
+        std::vector<size_t> all(points.rows());
+        for (size_t i = 0; i < all.size(); ++i) all[i] = i;
+        return all;
+      }()) {}
+
+int KdTree::Build(size_t begin, size_t end) {
+  const int node_id = static_cast<int>(nodes_.size());
+  nodes_.emplace_back();
+  if (end - begin <= kLeafSize) {
+    Node& node = nodes_[node_id];
+    node.is_leaf = true;
+    node.begin = begin;
+    node.end = end;
+    return node_id;
+  }
+
+  // Split axis: dimension with the largest value spread in this range.
+  size_t best_axis = 0;
+  float best_spread = -1.0f;
+  for (size_t d = 0; d < dim_; ++d) {
+    float lo = std::numeric_limits<float>::max();
+    float hi = std::numeric_limits<float>::lowest();
+    for (size_t i = begin; i < end; ++i) {
+      const float v = points_[order_[i] * dim_ + d];
+      lo = std::min(lo, v);
+      hi = std::max(hi, v);
+    }
+    if (hi - lo > best_spread) {
+      best_spread = hi - lo;
+      best_axis = d;
+    }
+  }
+  if (best_spread <= 0.0f) {
+    // All points identical in every dimension; keep as one leaf.
+    Node& node = nodes_[node_id];
+    node.is_leaf = true;
+    node.begin = begin;
+    node.end = end;
+    return node_id;
+  }
+
+  const size_t mid = begin + (end - begin) / 2;
+  std::nth_element(order_.begin() + begin, order_.begin() + mid,
+                   order_.begin() + end, [&](size_t a, size_t b) {
+                     return points_[a * dim_ + best_axis] <
+                            points_[b * dim_ + best_axis];
+                   });
+  const float split_value = points_[order_[mid] * dim_ + best_axis];
+
+  // Fill the node fields after recursion: nodes_ may reallocate.
+  const int left = Build(begin, mid);
+  const int right = Build(mid, end);
+  Node& node = nodes_[node_id];
+  node.axis = best_axis;
+  node.split = split_value;
+  node.left = left;
+  node.right = right;
+  return node_id;
+}
+
+void KdTree::Search(int node_id, const float* query,
+                    std::vector<Neighbor>& heap, size_t k) const {
+  const Node& node = nodes_[node_id];
+  if (node.is_leaf) {
+    for (size_t i = node.begin; i < node.end; ++i) {
+      const size_t local = order_[i];
+      const float* p = points_.data() + local * dim_;
+      float dist = 0.0f;
+      for (size_t d = 0; d < dim_; ++d) {
+        const float diff = p[d] - query[d];
+        dist += diff * diff;
+      }
+      HeapPush(heap, Neighbor{original_[local], dist}, k);
+    }
+    return;
+  }
+
+  const float delta = query[node.axis] - node.split;
+  const int near = delta < 0.0f ? node.left : node.right;
+  const int far = delta < 0.0f ? node.right : node.left;
+  Search(near, query, heap, k);
+  if (heap.size() < k || delta * delta < heap.front().distance_squared) {
+    Search(far, query, heap, k);
+  }
+}
+
+std::vector<Neighbor> KdTree::Nearest(const float* query, size_t k) const {
+  ENLD_CHECK_GT(k, 0u);
+  std::vector<Neighbor> heap;
+  if (count_ == 0) return heap;
+  heap.reserve(std::min(k, count_));
+  Search(0, query, heap, k);
+  std::sort_heap(heap.begin(), heap.end(), HeapCmp);
+  return heap;
+}
+
+std::vector<Neighbor> KdTree::Nearest(const std::vector<float>& query,
+                                      size_t k) const {
+  ENLD_CHECK_EQ(query.size(), dim_);
+  return Nearest(query.data(), k);
+}
+
+std::vector<Neighbor> BruteForceNearest(const Matrix& points,
+                                        const std::vector<size_t>& row_indices,
+                                        const float* query, size_t k) {
+  ENLD_CHECK_GT(k, 0u);
+  std::vector<Neighbor> heap;
+  heap.reserve(std::min(k, row_indices.size()));
+  for (size_t row : row_indices) {
+    const float dist = points.RowDistanceSquared(row, query);
+    HeapPush(heap, Neighbor{row, dist}, k);
+  }
+  std::sort_heap(heap.begin(), heap.end(), HeapCmp);
+  return heap;
+}
+
+}  // namespace enld

@@ -1,0 +1,77 @@
+#ifndef ENLD_KNN_KDTREE_H_
+#define ENLD_KNN_KDTREE_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "common/matrix.h"
+
+namespace enld {
+
+/// Result of a nearest-neighbour query: index into the indexed point set
+/// plus the squared Euclidean distance.
+struct Neighbor {
+  size_t index;
+  float distance_squared;
+};
+
+/// Static KD-tree over a set of points (one per row of the source matrix),
+/// used by contrastive sampling to make repeated k-nearest queries cheap
+/// (Section IV-D "Implementation": O(k |A| log |H'|) instead of
+/// O(c |A| |H'|)). The tree copies its points; rebuilding after the feature
+/// space moves (each fine-tuning iteration) is the intended usage.
+class KdTree {
+ public:
+  /// Builds a tree over the given rows of `points`. If `row_indices` is
+  /// empty the tree is empty. Splits on the axis of maximum spread at the
+  /// median.
+  KdTree(const Matrix& points, const std::vector<size_t>& row_indices);
+
+  /// Builds over all rows of `points`.
+  explicit KdTree(const Matrix& points);
+
+  /// Number of indexed points.
+  size_t size() const { return count_; }
+  bool empty() const { return count_ == 0; }
+
+  /// Returns up to `k` nearest neighbours of `query` (length = point dim),
+  /// ordered by increasing distance. Indices refer to the row indices the
+  /// tree was built with.
+  std::vector<Neighbor> Nearest(const float* query, size_t k) const;
+  std::vector<Neighbor> Nearest(const std::vector<float>& query,
+                                size_t k) const;
+
+ private:
+  struct Node {
+    int left = -1;
+    int right = -1;
+    size_t axis = 0;
+    float split = 0.0f;
+    // Leaf payload: range [begin, end) into order_.
+    size_t begin = 0;
+    size_t end = 0;
+    bool is_leaf = false;
+  };
+
+  int Build(size_t begin, size_t end);
+  void Search(int node_id, const float* query,
+              std::vector<Neighbor>& heap, size_t k) const;
+
+  size_t dim_ = 0;
+  size_t count_ = 0;
+  std::vector<float> points_;        // count_ x dim_, row-major.
+  std::vector<size_t> original_;     // per local point: source row index.
+  std::vector<size_t> order_;        // permutation of local points.
+  std::vector<Node> nodes_;
+  static constexpr size_t kLeafSize = 16;
+};
+
+/// Brute-force k-nearest reference (exact), used to validate the KD-tree
+/// and as a fallback in tests.
+std::vector<Neighbor> BruteForceNearest(const Matrix& points,
+                                        const std::vector<size_t>& row_indices,
+                                        const float* query, size_t k);
+
+}  // namespace enld
+
+#endif  // ENLD_KNN_KDTREE_H_

@@ -1,0 +1,86 @@
+#include "nn/confident_joint.h"
+
+#include "common/check.h"
+
+namespace enld {
+
+JointCounts EstimateJointCounts(MlpModel* model, const Dataset& holdout) {
+  ENLD_CHECK(model != nullptr);
+  ENLD_CHECK_EQ(holdout.num_classes, model->num_classes());
+  const int classes = model->num_classes();
+  JointCounts joint(classes, std::vector<double>(classes, 0.0));
+  if (holdout.empty()) return joint;
+
+  const std::vector<int> predicted = model->Predict(holdout.features);
+  for (size_t i = 0; i < holdout.size(); ++i) {
+    const int observed = holdout.observed_labels[i];
+    if (observed == kMissingLabel) continue;
+    joint[observed][predicted[i]] += 1.0;
+  }
+  return joint;
+}
+
+JointCounts EstimateConfidentJoint(MlpModel* model, const Dataset& holdout) {
+  ENLD_CHECK(model != nullptr);
+  ENLD_CHECK_EQ(holdout.num_classes, model->num_classes());
+  const int classes = model->num_classes();
+  JointCounts joint(classes, std::vector<double>(classes, 0.0));
+  if (holdout.empty()) return joint;
+
+  const Matrix probs = model->Probabilities(holdout.features);
+
+  // Per-class threshold: mean predicted probability of class j over samples
+  // observed as j.
+  std::vector<double> threshold(classes, 0.0);
+  std::vector<size_t> count(classes, 0);
+  for (size_t i = 0; i < holdout.size(); ++i) {
+    const int observed = holdout.observed_labels[i];
+    if (observed == kMissingLabel) continue;
+    threshold[observed] += probs(i, observed);
+    ++count[observed];
+  }
+  for (int c = 0; c < classes; ++c) {
+    threshold[c] = count[c] > 0 ? threshold[c] / count[c] : 1.0;
+  }
+
+  // Count a sample toward (observed, j*) where j* maximizes probability
+  // among classes whose threshold the sample clears.
+  for (size_t i = 0; i < holdout.size(); ++i) {
+    const int observed = holdout.observed_labels[i];
+    if (observed == kMissingLabel) continue;
+    int best = -1;
+    float best_prob = 0.0f;
+    for (int j = 0; j < classes; ++j) {
+      const float p = probs(i, j);
+      if (p >= threshold[j] && p > best_prob) {
+        best = j;
+        best_prob = p;
+      }
+    }
+    if (best >= 0) joint[observed][best] += 1.0;
+  }
+  return joint;
+}
+
+std::vector<std::vector<double>> ConditionalFromJoint(const JointCounts& j) {
+  ENLD_CHECK(!j.empty());
+  const size_t classes = j.size();
+  std::vector<std::vector<double>> cond(classes,
+                                        std::vector<double>(classes, 0.0));
+  for (size_t i = 0; i < classes; ++i) {
+    ENLD_CHECK_EQ(j[i].size(), classes);
+    double row_sum = 0.0;
+    for (double v : j[i]) {
+      ENLD_CHECK_GE(v, 0.0);
+      row_sum += v;
+    }
+    if (row_sum > 0.0) {
+      for (size_t k = 0; k < classes; ++k) cond[i][k] = j[i][k] / row_sum;
+    } else {
+      cond[i][i] = 1.0;
+    }
+  }
+  return cond;
+}
+
+}  // namespace enld

@@ -1,0 +1,27 @@
+#include "nn/general_model.h"
+
+#include "common/check.h"
+#include "common/rng.h"
+
+namespace enld {
+
+GeneralModel InitGeneralModel(const Dataset& inventory,
+                              const GeneralModelConfig& config) {
+  ENLD_CHECK_GT(inventory.size(), 1u);
+  Rng rng(config.seed);
+
+  GeneralModel out;
+  TrainCandidateSplit split = SplitTrainCandidate(inventory, rng);
+  out.train_set = std::move(split.train);
+  out.candidate_set = std::move(split.candidate);
+
+  Rng init_rng = rng.Fork();
+  out.model = MakeBackboneModel(config.backbone, inventory.dim(),
+                                inventory.num_classes, init_rng);
+  TrainConfig train = config.train;
+  train.seed = rng.NextUInt64();
+  TrainModel(out.model.get(), out.train_set, /*validation=*/nullptr, train);
+  return out;
+}
+
+}  // namespace enld

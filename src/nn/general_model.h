@@ -1,0 +1,49 @@
+#ifndef ENLD_NN_GENERAL_MODEL_H_
+#define ENLD_NN_GENERAL_MODEL_H_
+
+#include <memory>
+
+#include "data/dataset.h"
+#include "data/split.h"
+#include "nn/mlp.h"
+#include "nn/model_zoo.h"
+#include "nn/trainer.h"
+
+namespace enld {
+
+/// Configuration of the Stage-0 "model initialization" shared by ENLD and
+/// the pretrain-based baselines (Section IV-B): split I into I_t / I_c,
+/// train a general model on I_t with mixup.
+struct GeneralModelConfig {
+  Backbone backbone = Backbone::kResNet110Sim;
+  TrainConfig train;
+  uint64_t seed = 97;
+
+  GeneralModelConfig() {
+    // Deliberately a *short* schedule: the paper's general model is weak
+    // (Table II reports 59% validation accuracy at noise 0.1) and much of
+    // ENLD's advantage rests on the general model disagreeing with
+    // mislabeled samples rather than memorizing them.
+    train.epochs = 9;
+    train.batch_size = 64;
+    train.sgd.learning_rate = 0.05;
+    train.mixup_alpha = 0.2;  // Paper: Beta(0.2, 0.2).
+    train.lr_decay_per_epoch = 0.93;
+  }
+};
+
+/// The artifacts of model initialization.
+struct GeneralModel {
+  std::unique_ptr<MlpModel> model;  // θ.
+  Dataset train_set;                // I_t.
+  Dataset candidate_set;            // I_c.
+};
+
+/// Performs the I_t / I_c split and trains θ on I_t. Deterministic for a
+/// fixed config and inventory.
+GeneralModel InitGeneralModel(const Dataset& inventory,
+                              const GeneralModelConfig& config);
+
+}  // namespace enld
+
+#endif  // ENLD_NN_GENERAL_MODEL_H_

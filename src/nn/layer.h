@@ -1,0 +1,100 @@
+#ifndef ENLD_NN_LAYER_H_
+#define ENLD_NN_LAYER_H_
+
+#include <memory>
+#include <vector>
+
+#include "common/matrix.h"
+#include "common/rng.h"
+
+namespace enld {
+
+/// A trainable parameter: the value matrix and its gradient accumulator.
+struct ParamRef {
+  Matrix* value;
+  Matrix* grad;
+};
+
+/// One differentiable layer of the minibatch network substrate. Layers are
+/// stateful across a Forward/Backward pair (they cache what the backward
+/// pass needs), which keeps the training loop allocation-free in steady
+/// state.
+class Layer {
+ public:
+  virtual ~Layer() = default;
+
+  /// Computes `output` from `input` (batch rows). Caches activations needed
+  /// by Backward.
+  virtual void Forward(const Matrix& input, Matrix* output) = 0;
+
+  /// Given d(loss)/d(output), accumulates parameter gradients and computes
+  /// d(loss)/d(input) into `grad_input`. Must follow a Forward call with
+  /// the matching batch.
+  virtual void Backward(const Matrix& grad_output, Matrix* grad_input) = 0;
+
+  /// Trainable parameters (empty for stateless layers). Stable order.
+  virtual std::vector<ParamRef> Params() { return {}; }
+
+  /// Switches between training and inference behaviour (dropout). The
+  /// default is inference; stateless layers ignore it.
+  virtual void SetTraining(bool training) { (void)training; }
+
+  /// Sets all parameter gradients to zero.
+  void ZeroGrads();
+};
+
+/// Fully connected layer: output = input * W + b.
+/// W is (in x out); b is (1 x out). He-normal initialization.
+class LinearLayer : public Layer {
+ public:
+  LinearLayer(size_t in_dim, size_t out_dim, Rng& rng);
+
+  void Forward(const Matrix& input, Matrix* output) override;
+  void Backward(const Matrix& grad_output, Matrix* grad_input) override;
+  std::vector<ParamRef> Params() override;
+
+  size_t in_dim() const { return weights_.rows(); }
+  size_t out_dim() const { return weights_.cols(); }
+
+ private:
+  Matrix weights_;
+  Matrix bias_;  // 1 x out.
+  Matrix grad_weights_;
+  Matrix grad_bias_;
+  Matrix cached_input_;
+};
+
+/// Rectified linear unit, applied elementwise.
+class ReluLayer : public Layer {
+ public:
+  void Forward(const Matrix& input, Matrix* output) override;
+  void Backward(const Matrix& grad_output, Matrix* grad_input) override;
+
+ private:
+  Matrix cached_input_;
+};
+
+/// Inverted dropout: during training each activation is zeroed with
+/// probability `rate` and survivors are scaled by 1/(1-rate); at inference
+/// the layer is the identity.
+class DropoutLayer : public Layer {
+ public:
+  /// Requires 0 <= rate < 1.
+  DropoutLayer(double rate, uint64_t seed);
+
+  void Forward(const Matrix& input, Matrix* output) override;
+  void Backward(const Matrix& grad_output, Matrix* grad_input) override;
+  void SetTraining(bool training) override { training_ = training; }
+
+  double rate() const { return rate_; }
+
+ private:
+  double rate_;
+  Rng rng_;
+  Matrix mask_;
+  bool training_ = false;
+};
+
+}  // namespace enld
+
+#endif  // ENLD_NN_LAYER_H_

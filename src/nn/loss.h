@@ -1,0 +1,33 @@
+#ifndef ENLD_NN_LOSS_H_
+#define ENLD_NN_LOSS_H_
+
+#include <vector>
+
+#include "common/matrix.h"
+
+namespace enld {
+
+/// Builds a (n x num_classes) one-hot target matrix from hard labels.
+/// Every label must be in [0, num_classes).
+Matrix OneHot(const std::vector<int>& labels, int num_classes);
+
+/// Softmax cross-entropy against a (batch x classes) target distribution
+/// (soft targets support mixup). Returns the mean loss over the batch and,
+/// if `grad_logits` is non-null, writes d(mean loss)/d(logits) into it.
+double SoftmaxCrossEntropy(const Matrix& logits, const Matrix& targets,
+                           Matrix* grad_logits);
+
+/// Convenience overload for hard integer labels.
+double SoftmaxCrossEntropy(const Matrix& logits,
+                           const std::vector<int>& labels, int num_classes,
+                           Matrix* grad_logits);
+
+/// Per-row cross-entropy -log p(label | logits). Rows whose label is
+/// negative (e.g. kMissingLabel) get loss 0. Used by the loss-tracking
+/// baselines (O2U-Net, Co-teaching).
+std::vector<double> PerSampleCrossEntropy(const Matrix& logits,
+                                          const std::vector<int>& labels);
+
+}  // namespace enld
+
+#endif  // ENLD_NN_LOSS_H_

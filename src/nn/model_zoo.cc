@@ -1,0 +1,42 @@
+#include "nn/model_zoo.h"
+
+#include "common/check.h"
+
+namespace enld {
+
+const char* BackboneName(Backbone backbone) {
+  switch (backbone) {
+    case Backbone::kResNet110Sim:
+      return "resnet110-sim";
+    case Backbone::kDenseNet121Sim:
+      return "densenet121-sim";
+    case Backbone::kResNet164Sim:
+      return "resnet164-sim";
+  }
+  return "unknown";
+}
+
+std::vector<size_t> BackboneLayerDims(Backbone backbone, size_t input_dim,
+                                      int num_classes) {
+  ENLD_CHECK_GT(input_dim, 0u);
+  ENLD_CHECK_GT(num_classes, 0);
+  const size_t c = static_cast<size_t>(num_classes);
+  switch (backbone) {
+    case Backbone::kResNet110Sim:
+      return {input_dim, 128, 64, c};
+    case Backbone::kDenseNet121Sim:
+      return {input_dim, 160, 96, 64, c};
+    case Backbone::kResNet164Sim:
+      return {input_dim, 192, 96, c};
+  }
+  return {input_dim, 128, 64, c};
+}
+
+std::unique_ptr<MlpModel> MakeBackboneModel(Backbone backbone,
+                                            size_t input_dim,
+                                            int num_classes, Rng& rng) {
+  return std::make_unique<MlpModel>(
+      BackboneLayerDims(backbone, input_dim, num_classes), rng);
+}
+
+}  // namespace enld

@@ -1,0 +1,38 @@
+#ifndef ENLD_NN_MODEL_ZOO_H_
+#define ENLD_NN_MODEL_ZOO_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "nn/mlp.h"
+
+namespace enld {
+
+/// The three backbones the paper evaluates. Our substitutes are MLPs of
+/// increasing depth/width with distinct feature dimensions; what matters to
+/// every algorithm here is only that each backbone exposes confidences and
+/// a feature layer, and that "bigger backbone" costs proportionally more to
+/// train — both preserved (DESIGN.md §2).
+enum class Backbone {
+  kResNet110Sim,     // Paper default.
+  kDenseNet121Sim,   // Section V-G.
+  kResNet164Sim,     // Section V-G.
+};
+
+/// Human-readable name (matches the paper's labels).
+const char* BackboneName(Backbone backbone);
+
+/// Layer sizes {input_dim, hidden..., num_classes} for a backbone.
+std::vector<size_t> BackboneLayerDims(Backbone backbone, size_t input_dim,
+                                      int num_classes);
+
+/// Constructs a freshly initialized model of the given backbone.
+std::unique_ptr<MlpModel> MakeBackboneModel(Backbone backbone,
+                                            size_t input_dim,
+                                            int num_classes, Rng& rng);
+
+}  // namespace enld
+
+#endif  // ENLD_NN_MODEL_ZOO_H_

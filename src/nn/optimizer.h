@@ -1,0 +1,87 @@
+#ifndef ENLD_NN_OPTIMIZER_H_
+#define ENLD_NN_OPTIMIZER_H_
+
+#include <vector>
+
+#include "nn/layer.h"
+
+namespace enld {
+
+/// Abstract optimizer: consumes accumulated gradients and updates
+/// parameters in place. Implementations keep per-parameter state keyed by
+/// position, so an optimizer instance must always be stepped with the same
+/// model's parameter list.
+class Optimizer {
+ public:
+  virtual ~Optimizer() = default;
+
+  /// Applies one update to every parameter and leaves gradients untouched
+  /// (callers zero them before the next accumulation).
+  virtual void Step(const std::vector<ParamRef>& params) = 0;
+
+  virtual double learning_rate() const = 0;
+  virtual void set_learning_rate(double lr) = 0;
+};
+
+/// Hyperparameters for stochastic gradient descent with momentum.
+struct SgdConfig {
+  double learning_rate = 0.05;
+  double momentum = 0.9;
+  /// L2 weight decay applied to all parameters.
+  double weight_decay = 1e-4;
+};
+
+/// SGD with classical momentum:
+///   v <- momentum * v - lr * (g + weight_decay * w);  w <- w + v.
+class SgdOptimizer : public Optimizer {
+ public:
+  explicit SgdOptimizer(const SgdConfig& config) : config_(config) {}
+
+  void Step(const std::vector<ParamRef>& params) override;
+
+  /// Drops all velocity state (used when the parameter set changes).
+  void ResetState() { velocity_.clear(); }
+
+  double learning_rate() const override { return config_.learning_rate; }
+  void set_learning_rate(double lr) override {
+    config_.learning_rate = lr;
+  }
+
+ private:
+  SgdConfig config_;
+  std::vector<Matrix> velocity_;
+};
+
+/// Hyperparameters for Adam.
+struct AdamConfig {
+  double learning_rate = 0.001;
+  double beta1 = 0.9;
+  double beta2 = 0.999;
+  double epsilon = 1e-8;
+  double weight_decay = 0.0;
+};
+
+/// Adam (Kingma & Ba 2015) with optional decoupled-style L2 applied to the
+/// gradient. Provided as an alternative to the paper's SGD schedule for
+/// users embedding the library.
+class AdamOptimizer : public Optimizer {
+ public:
+  explicit AdamOptimizer(const AdamConfig& config) : config_(config) {}
+
+  void Step(const std::vector<ParamRef>& params) override;
+
+  double learning_rate() const override { return config_.learning_rate; }
+  void set_learning_rate(double lr) override {
+    config_.learning_rate = lr;
+  }
+
+ private:
+  AdamConfig config_;
+  std::vector<Matrix> first_moment_;
+  std::vector<Matrix> second_moment_;
+  uint64_t step_count_ = 0;
+};
+
+}  // namespace enld
+
+#endif  // ENLD_NN_OPTIMIZER_H_

@@ -1,0 +1,112 @@
+#include "nn/serialization.h"
+
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace enld {
+
+namespace {
+
+constexpr char kMagic[8] = {'E', 'N', 'L', 'D', 'M', 'D', 'L', '1'};
+
+/// RAII file handle.
+class File {
+ public:
+  File(const std::string& path, const char* mode)
+      : handle_(std::fopen(path.c_str(), mode)) {}
+  ~File() {
+    if (handle_ != nullptr) std::fclose(handle_);
+  }
+  File(const File&) = delete;
+  File& operator=(const File&) = delete;
+
+  FILE* get() const { return handle_; }
+  bool ok() const { return handle_ != nullptr; }
+
+ private:
+  FILE* handle_;
+};
+
+}  // namespace
+
+Status SaveModel(const MlpModel& model, const std::string& path) {
+  File file(path, "wb");
+  if (!file.ok()) {
+    return Status::NotFound("cannot open for writing: " + path);
+  }
+
+  if (std::fwrite(kMagic, 1, sizeof(kMagic), file.get()) != sizeof(kMagic)) {
+    return Status::Internal("short write of header");
+  }
+  const auto& dims = model.layer_dims();
+  const uint64_t num_dims = dims.size();
+  std::fwrite(&num_dims, sizeof(num_dims), 1, file.get());
+  for (size_t d : dims) {
+    const uint64_t v = d;
+    std::fwrite(&v, sizeof(v), 1, file.get());
+  }
+  const std::vector<float> weights = model.GetWeights();
+  const uint64_t count = weights.size();
+  std::fwrite(&count, sizeof(count), 1, file.get());
+  if (std::fwrite(weights.data(), sizeof(float), weights.size(),
+                  file.get()) != weights.size()) {
+    return Status::Internal("short write of weights");
+  }
+  return Status::OK();
+}
+
+StatusOr<std::unique_ptr<MlpModel>> LoadModel(const std::string& path) {
+  File file(path, "rb");
+  if (!file.ok()) {
+    return Status::NotFound("cannot open for reading: " + path);
+  }
+
+  char magic[sizeof(kMagic)];
+  if (std::fread(magic, 1, sizeof(magic), file.get()) != sizeof(magic) ||
+      std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
+    return Status::InvalidArgument("not an ENLD model file: " + path);
+  }
+  uint64_t num_dims = 0;
+  if (std::fread(&num_dims, sizeof(num_dims), 1, file.get()) != 1 ||
+      num_dims < 3 || num_dims > 64) {
+    return Status::InvalidArgument("corrupt layer-dimension header");
+  }
+  std::vector<size_t> dims(num_dims);
+  for (auto& d : dims) {
+    uint64_t v = 0;
+    if (std::fread(&v, sizeof(v), 1, file.get()) != 1 || v == 0 ||
+        v > (1u << 24)) {
+      return Status::InvalidArgument("corrupt layer dimension");
+    }
+    d = static_cast<size_t>(v);
+  }
+  uint64_t count = 0;
+  if (std::fread(&count, sizeof(count), 1, file.get()) != 1) {
+    return Status::InvalidArgument("missing weight count");
+  }
+  std::vector<float> weights(count);
+  if (std::fread(weights.data(), sizeof(float), weights.size(),
+                 file.get()) != weights.size()) {
+    return Status::InvalidArgument("truncated weights");
+  }
+
+  // Validate the weight count against the architecture before restoring.
+  uint64_t expected = 0;
+  for (size_t i = 0; i + 1 < dims.size(); ++i) {
+    expected += dims[i] * dims[i + 1] + dims[i + 1];
+  }
+  if (expected != count) {
+    return Status::InvalidArgument("weight count does not match layers");
+  }
+
+  Rng rng(0);  // Immediately overwritten by SetWeights.
+  auto model = std::make_unique<MlpModel>(dims, rng);
+  model->SetWeights(weights);
+  return model;
+}
+
+}  // namespace enld

@@ -1,0 +1,23 @@
+#ifndef ENLD_NN_SERIALIZATION_H_
+#define ENLD_NN_SERIALIZATION_H_
+
+#include <memory>
+#include <string>
+
+#include "common/status.h"
+#include "nn/mlp.h"
+
+namespace enld {
+
+/// Writes the model architecture and weights to a binary file
+/// ("ENLDMDL1" magic, layer dims, float32 weights, little-endian as on the
+/// writing machine). Overwrites an existing file.
+Status SaveModel(const MlpModel& model, const std::string& path);
+
+/// Reads a model written by SaveModel. Fails with InvalidArgument on
+/// format problems and NotFound when the file cannot be opened.
+StatusOr<std::unique_ptr<MlpModel>> LoadModel(const std::string& path);
+
+}  // namespace enld
+
+#endif  // ENLD_NN_SERIALIZATION_H_

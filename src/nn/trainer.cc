@@ -1,0 +1,138 @@
+#include "nn/trainer.h"
+
+#include <algorithm>
+#include <memory>
+
+#include "common/check.h"
+#include "common/rng.h"
+#include "nn/loss.h"
+
+namespace enld {
+
+namespace {
+
+/// Positions of trainable samples (observed label present).
+std::vector<size_t> TrainablePositions(const Dataset& data) {
+  std::vector<size_t> out;
+  out.reserve(data.size());
+  for (size_t i = 0; i < data.size(); ++i) {
+    if (data.observed_labels[i] != kMissingLabel) out.push_back(i);
+  }
+  return out;
+}
+
+}  // namespace
+
+TrainResult TrainModel(MlpModel* model, const Dataset& train,
+                       const Dataset* validation,
+                       const TrainConfig& config) {
+  ENLD_CHECK(model != nullptr);
+  ENLD_CHECK_GT(config.batch_size, 0u);
+  ENLD_CHECK_EQ(train.dim(), model->input_dim());
+  ENLD_CHECK_EQ(train.num_classes, model->num_classes());
+
+  TrainResult result;
+  std::vector<size_t> positions = TrainablePositions(train);
+  if (positions.empty() || config.epochs == 0) return result;
+
+  Rng rng(config.seed);
+  std::unique_ptr<Optimizer> optimizer;
+  if (config.optimizer == OptimizerKind::kAdam) {
+    optimizer = std::make_unique<AdamOptimizer>(config.adam);
+  } else {
+    optimizer = std::make_unique<SgdOptimizer>(config.sgd);
+  }
+  const int classes = model->num_classes();
+  const size_t dim = train.dim();
+
+  std::vector<float> best_weights;
+  double best_val = -1.0;
+
+  Matrix batch_x;
+  Matrix batch_y;
+  for (size_t epoch = 0; epoch < config.epochs; ++epoch) {
+    rng.Shuffle(positions);
+    double epoch_loss = 0.0;
+    size_t batches = 0;
+    for (size_t start = 0; start < positions.size();
+         start += config.batch_size) {
+      const size_t count =
+          std::min(config.batch_size, positions.size() - start);
+      batch_x.Reset(count, dim);
+      batch_y.Reset(count, classes);
+      for (size_t b = 0; b < count; ++b) {
+        const size_t i = positions[start + b];
+        const float* src = train.features.Row(i);
+        float* dst = batch_x.Row(b);
+        std::copy(src, src + dim, dst);
+        if (config.mixup_alpha > 0.0) {
+          // Mixup (Eq. 1 / Eq. 2): blend with a random trainable partner.
+          const size_t j = positions[rng.UniformInt(positions.size())];
+          const double lambda = rng.BetaSymmetric(config.mixup_alpha);
+          const float lf = static_cast<float>(lambda);
+          const float* other = train.features.Row(j);
+          for (size_t d = 0; d < dim; ++d) {
+            dst[d] = lf * dst[d] + (1.0f - lf) * other[d];
+          }
+          batch_y(b, train.observed_labels[i]) += lf;
+          batch_y(b, train.observed_labels[j]) += 1.0f - lf;
+        } else {
+          batch_y(b, train.observed_labels[i]) = 1.0f;
+        }
+      }
+      epoch_loss += model->TrainStep(batch_x, batch_y, optimizer.get());
+      ++batches;
+    }
+    result.final_train_loss = batches > 0 ? epoch_loss / batches : 0.0;
+    ++result.epochs_run;
+
+    if (validation != nullptr) {
+      const double val = AccuracyAgainstObserved(model, *validation);
+      if (val > best_val) {
+        best_val = val;
+        if (config.select_best_on_validation) {
+          best_weights = model->GetWeights();
+        }
+      }
+    }
+    optimizer->set_learning_rate(optimizer->learning_rate() *
+                                 config.lr_decay_per_epoch);
+  }
+
+  if (validation != nullptr) {
+    result.best_validation_accuracy = std::max(best_val, 0.0);
+    if (config.select_best_on_validation && !best_weights.empty()) {
+      model->SetWeights(best_weights);
+    }
+  }
+  return result;
+}
+
+double AccuracyAgainstObserved(MlpModel* model, const Dataset& dataset) {
+  ENLD_CHECK(model != nullptr);
+  if (dataset.empty()) return 0.0;
+  const std::vector<int> predicted = model->Predict(dataset.features);
+  size_t correct = 0;
+  size_t counted = 0;
+  for (size_t i = 0; i < dataset.size(); ++i) {
+    if (dataset.observed_labels[i] == kMissingLabel) continue;
+    ++counted;
+    if (predicted[i] == dataset.observed_labels[i]) ++correct;
+  }
+  return counted == 0 ? 0.0
+                      : static_cast<double>(correct) /
+                            static_cast<double>(counted);
+}
+
+double AccuracyAgainstTrue(MlpModel* model, const Dataset& dataset) {
+  ENLD_CHECK(model != nullptr);
+  if (dataset.empty()) return 0.0;
+  const std::vector<int> predicted = model->Predict(dataset.features);
+  size_t correct = 0;
+  for (size_t i = 0; i < dataset.size(); ++i) {
+    if (predicted[i] == dataset.true_labels[i]) ++correct;
+  }
+  return static_cast<double>(correct) / static_cast<double>(dataset.size());
+}
+
+}  // namespace enld

@@ -1,0 +1,61 @@
+#ifndef ENLD_NN_TRAINER_H_
+#define ENLD_NN_TRAINER_H_
+
+#include <cstdint>
+
+#include "data/dataset.h"
+#include "nn/mlp.h"
+#include "nn/optimizer.h"
+
+namespace enld {
+
+/// Which optimizer drives the minibatch updates.
+enum class OptimizerKind {
+  kSgd,   // Paper setting.
+  kAdam,  // Library alternative.
+};
+
+/// Minibatch training configuration.
+struct TrainConfig {
+  size_t epochs = 20;
+  size_t batch_size = 64;
+  OptimizerKind optimizer = OptimizerKind::kSgd;
+  SgdConfig sgd;
+  /// Used when optimizer == kAdam.
+  AdamConfig adam;
+  /// Mixup Beta(alpha, alpha) parameter (paper: 0.2). 0 disables mixup.
+  double mixup_alpha = 0.0;
+  /// Per-epoch multiplicative learning-rate decay (1.0 = constant).
+  double lr_decay_per_epoch = 1.0;
+  /// When a validation set is given, keep the weights from the epoch with
+  /// the best validation accuracy (used by ENLD's warm-up stage).
+  bool select_best_on_validation = false;
+  uint64_t seed = 1;
+};
+
+/// Summary of one training run.
+struct TrainResult {
+  double final_train_loss = 0.0;
+  /// Best validation accuracy seen (0 when no validation set is supplied).
+  double best_validation_accuracy = 0.0;
+  size_t epochs_run = 0;
+};
+
+/// Trains `model` on the dataset's observed labels (samples with missing
+/// labels are skipped). If `validation` is non-null, validation accuracy
+/// against *observed* labels is tracked each epoch, and with
+/// `select_best_on_validation` the best-epoch weights are restored at the
+/// end. Deterministic for a fixed seed.
+TrainResult TrainModel(MlpModel* model, const Dataset& train,
+                       const Dataset* validation, const TrainConfig& config);
+
+/// Fraction of samples whose model prediction equals the observed label
+/// (samples with missing labels are excluded).
+double AccuracyAgainstObserved(MlpModel* model, const Dataset& dataset);
+
+/// Fraction of samples whose model prediction equals the true label.
+double AccuracyAgainstTrue(MlpModel* model, const Dataset& dataset);
+
+}  // namespace enld
+
+#endif  // ENLD_NN_TRAINER_H_

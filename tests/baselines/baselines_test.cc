@@ -1,0 +1,187 @@
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "baselines/confident_learning.h"
+#include "baselines/default_detector.h"
+#include "baselines/topofilter.h"
+#include "data/noise.h"
+#include "eval/metrics.h"
+#include "test_util.h"
+
+namespace enld {
+namespace {
+
+using testing_util::TinyGeneralConfig;
+using testing_util::TinyWorkloadConfig;
+
+class BaselinesTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    workload_ = new Workload(BuildWorkload(TinyWorkloadConfig(0.2)));
+  }
+  static void TearDownTestSuite() {
+    delete workload_;
+    workload_ = nullptr;
+  }
+
+  static void ExpectValidPartition(const Dataset& d,
+                                   const DetectionResult& result) {
+    std::set<size_t> seen;
+    for (size_t i : result.clean_indices) EXPECT_TRUE(seen.insert(i).second);
+    for (size_t i : result.noisy_indices) EXPECT_TRUE(seen.insert(i).second);
+    EXPECT_EQ(seen.size(), d.size() - d.MissingLabelIndices().size());
+  }
+
+  static Workload* workload_;
+};
+
+Workload* BaselinesTest::workload_ = nullptr;
+
+TEST_F(BaselinesTest, DefaultDetectorPartitionAndSemantics) {
+  DefaultDetector detector(TinyGeneralConfig());
+  detector.Setup(workload_->inventory);
+  const Dataset& d = workload_->incremental[0];
+  const DetectionResult result = detector.Detect(d);
+  ExpectValidPartition(d, result);
+  // Semantics: flagged iff prediction != observed.
+  const auto predicted = detector.model()->Predict(d.features);
+  for (size_t i : result.noisy_indices) {
+    EXPECT_NE(predicted[i], d.observed_labels[i]);
+  }
+  for (size_t i : result.clean_indices) {
+    EXPECT_EQ(predicted[i], d.observed_labels[i]);
+  }
+}
+
+TEST_F(BaselinesTest, DefaultDetectorBeatsChance) {
+  DefaultDetector detector(TinyGeneralConfig());
+  detector.Setup(workload_->inventory);
+  double f1 = 0.0;
+  for (const Dataset& d : workload_->incremental) {
+    f1 += EvaluateDetection(d, detector.Detect(d).noisy_indices).f1;
+  }
+  EXPECT_GT(f1 / workload_->incremental.size(), 0.4);
+}
+
+TEST_F(BaselinesTest, DefaultDetectorName) {
+  DefaultDetector detector(TinyGeneralConfig());
+  EXPECT_EQ(detector.name(), "Default");
+}
+
+TEST_F(BaselinesTest, DefaultSkipsMissingLabels) {
+  DefaultDetector detector(TinyGeneralConfig());
+  detector.Setup(workload_->inventory);
+  Dataset d = workload_->incremental[0];
+  Rng rng(1);
+  const auto masked = MaskMissingLabels(&d, 0.4, rng);
+  const DetectionResult result = detector.Detect(d);
+  ExpectValidPartition(d, result);
+  std::set<size_t> flagged(result.noisy_indices.begin(),
+                           result.noisy_indices.end());
+  for (size_t i : masked) EXPECT_EQ(flagged.count(i), 0u);
+}
+
+TEST_F(BaselinesTest, ConfidentLearningVariantsDiffer) {
+  ConfidentLearningDetector cl1(TinyGeneralConfig(),
+                                ClVariant::kPruneByClass);
+  ConfidentLearningDetector cl2(TinyGeneralConfig(),
+                                ClVariant::kPruneByNoiseRate);
+  EXPECT_EQ(cl1.name(), "CL-1");
+  EXPECT_EQ(cl2.name(), "CL-2");
+  cl1.Setup(workload_->inventory);
+  cl2.Setup(workload_->inventory);
+  const Dataset& d = workload_->incremental[0];
+  const auto r1 = cl1.Detect(d);
+  const auto r2 = cl2.Detect(d);
+  ExpectValidPartition(d, r1);
+  ExpectValidPartition(d, r2);
+}
+
+TEST_F(BaselinesTest, ConfidentLearningDetectsRoughlyNoiseRateFraction) {
+  ConfidentLearningDetector detector(TinyGeneralConfig(),
+                                     ClVariant::kPruneByClass);
+  detector.Setup(workload_->inventory);
+  size_t flagged = 0;
+  size_t total = 0;
+  for (const Dataset& d : workload_->incremental) {
+    flagged += detector.Detect(d).noisy_indices.size();
+    total += d.size();
+  }
+  const double fraction = static_cast<double>(flagged) / total;
+  // Prune-by-class removes approximately the estimated noise mass.
+  EXPECT_GT(fraction, 0.05);
+  EXPECT_LT(fraction, 0.5);
+}
+
+TEST_F(BaselinesTest, ConfidentLearningBeatsChance) {
+  ConfidentLearningDetector detector(TinyGeneralConfig(),
+                                     ClVariant::kPruneByNoiseRate);
+  detector.Setup(workload_->inventory);
+  double f1 = 0.0;
+  for (const Dataset& d : workload_->incremental) {
+    f1 += EvaluateDetection(d, detector.Detect(d).noisy_indices).f1;
+  }
+  EXPECT_GT(f1 / workload_->incremental.size(), 0.4);
+}
+
+TEST_F(BaselinesTest, TopofilterPartitionAndQuality) {
+  TopofilterConfig config;
+  config.train.epochs = 5;
+  TopofilterDetector detector(config);
+  detector.Setup(workload_->inventory);
+  double f1 = 0.0;
+  for (const Dataset& d : workload_->incremental) {
+    const DetectionResult result = detector.Detect(d);
+    ExpectValidPartition(d, result);
+    f1 += EvaluateDetection(d, result.noisy_indices).f1;
+  }
+  EXPECT_GT(f1 / workload_->incremental.size(), 0.3);
+}
+
+TEST_F(BaselinesTest, TopofilterName) {
+  EXPECT_EQ(TopofilterDetector(TopofilterConfig()).name(), "Topofilter");
+}
+
+TEST_F(BaselinesTest, TopofilterDeterministicPerRequestIndex) {
+  TopofilterConfig config;
+  config.train.epochs = 3;
+  auto run = [&] {
+    TopofilterDetector detector(config);
+    detector.Setup(workload_->inventory);
+    return detector.Detect(workload_->incremental[0]).noisy_indices;
+  };
+  EXPECT_EQ(run(), run());
+}
+
+TEST_F(BaselinesTest, TopofilterSkipsMissingLabels) {
+  TopofilterConfig config;
+  config.train.epochs = 3;
+  TopofilterDetector detector(config);
+  detector.Setup(workload_->inventory);
+  Dataset d = workload_->incremental[0];
+  Rng rng(2);
+  const auto masked = MaskMissingLabels(&d, 0.3, rng);
+  const DetectionResult result = detector.Detect(d);
+  ExpectValidPartition(d, result);
+}
+
+TEST_F(BaselinesTest, TopofilterCheckpointVotingConfig) {
+  // checkpoints = 1 and = 3 must both run and may differ in output.
+  TopofilterConfig one;
+  one.train.epochs = 6;
+  one.checkpoints = 1;
+  TopofilterConfig three;
+  three.train.epochs = 6;
+  three.checkpoints = 3;
+  TopofilterDetector d1(one);
+  TopofilterDetector d3(three);
+  d1.Setup(workload_->inventory);
+  d3.Setup(workload_->inventory);
+  const Dataset& d = workload_->incremental[0];
+  ExpectValidPartition(d, d1.Detect(d));
+  ExpectValidPartition(d, d3.Detect(d));
+}
+
+}  // namespace
+}  // namespace enld

@@ -1,0 +1,234 @@
+#include "common/matrix.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace enld {
+namespace {
+
+Matrix RandomMatrix(size_t rows, size_t cols, Rng& rng) {
+  Matrix m(rows, cols);
+  for (size_t r = 0; r < rows; ++r) {
+    for (size_t c = 0; c < cols; ++c) {
+      m(r, c) = static_cast<float>(rng.Gaussian());
+    }
+  }
+  return m;
+}
+
+/// Reference O(n^3) multiply used to validate the production kernels.
+Matrix NaiveMatMul(const Matrix& a, const Matrix& b) {
+  Matrix out(a.rows(), b.cols());
+  for (size_t i = 0; i < a.rows(); ++i) {
+    for (size_t j = 0; j < b.cols(); ++j) {
+      float sum = 0.0f;
+      for (size_t k = 0; k < a.cols(); ++k) sum += a(i, k) * b(k, j);
+      out(i, j) = sum;
+    }
+  }
+  return out;
+}
+
+void ExpectMatrixNear(const Matrix& a, const Matrix& b, float tol = 1e-4f) {
+  ASSERT_EQ(a.rows(), b.rows());
+  ASSERT_EQ(a.cols(), b.cols());
+  for (size_t r = 0; r < a.rows(); ++r) {
+    for (size_t c = 0; c < a.cols(); ++c) {
+      EXPECT_NEAR(a(r, c), b(r, c), tol) << "at (" << r << "," << c << ")";
+    }
+  }
+}
+
+TEST(MatrixTest, ConstructionAndFill) {
+  Matrix m(3, 4, 2.5f);
+  EXPECT_EQ(m.rows(), 3u);
+  EXPECT_EQ(m.cols(), 4u);
+  EXPECT_EQ(m.size(), 12u);
+  EXPECT_FALSE(m.empty());
+  for (size_t r = 0; r < 3; ++r) {
+    for (size_t c = 0; c < 4; ++c) EXPECT_EQ(m.At(r, c), 2.5f);
+  }
+  m.Fill(-1.0f);
+  EXPECT_EQ(m(2, 3), -1.0f);
+}
+
+TEST(MatrixTest, EmptyMatrix) {
+  Matrix m;
+  EXPECT_TRUE(m.empty());
+  EXPECT_EQ(m.rows(), 0u);
+}
+
+TEST(MatrixTest, RowAccess) {
+  Matrix m(2, 3);
+  m(1, 0) = 1.0f;
+  m(1, 2) = 3.0f;
+  const float* row = m.Row(1);
+  EXPECT_EQ(row[0], 1.0f);
+  EXPECT_EQ(row[2], 3.0f);
+  const auto vec = m.RowVector(1);
+  EXPECT_EQ(vec, (std::vector<float>{1.0f, 0.0f, 3.0f}));
+}
+
+TEST(MatrixTest, SelectRows) {
+  Matrix m(4, 2);
+  for (size_t r = 0; r < 4; ++r) m(r, 0) = static_cast<float>(r);
+  const Matrix sel = m.SelectRows({3, 1, 1});
+  ASSERT_EQ(sel.rows(), 3u);
+  EXPECT_EQ(sel(0, 0), 3.0f);
+  EXPECT_EQ(sel(1, 0), 1.0f);
+  EXPECT_EQ(sel(2, 0), 1.0f);
+}
+
+TEST(MatrixTest, Reset) {
+  Matrix m(2, 2, 9.0f);
+  m.Reset(3, 5);
+  EXPECT_EQ(m.rows(), 3u);
+  EXPECT_EQ(m.cols(), 5u);
+  for (size_t i = 0; i < m.size(); ++i) EXPECT_EQ(m.data()[i], 0.0f);
+}
+
+TEST(MatrixTest, AddAndAddScaledAndScale) {
+  Matrix a(2, 2, 1.0f);
+  Matrix b(2, 2, 2.0f);
+  a.Add(b);
+  EXPECT_EQ(a(0, 0), 3.0f);
+  a.AddScaled(b, 0.5f);
+  EXPECT_EQ(a(1, 1), 4.0f);
+  a.Scale(2.0f);
+  EXPECT_EQ(a(0, 1), 8.0f);
+}
+
+TEST(MatrixTest, Transposed) {
+  Matrix m(2, 3);
+  m(0, 1) = 5.0f;
+  m(1, 2) = 7.0f;
+  const Matrix t = m.Transposed();
+  EXPECT_EQ(t.rows(), 3u);
+  EXPECT_EQ(t.cols(), 2u);
+  EXPECT_EQ(t(1, 0), 5.0f);
+  EXPECT_EQ(t(2, 1), 7.0f);
+}
+
+TEST(MatrixTest, FrobeniusNorm) {
+  Matrix m(1, 2);
+  m(0, 0) = 3.0f;
+  m(0, 1) = 4.0f;
+  EXPECT_FLOAT_EQ(m.FrobeniusNorm(), 5.0f);
+}
+
+TEST(MatrixTest, RowDistanceSquared) {
+  Matrix m(2, 2);
+  m(0, 0) = 1.0f;
+  m(0, 1) = 2.0f;
+  const float query[2] = {4.0f, 6.0f};
+  EXPECT_FLOAT_EQ(m.RowDistanceSquared(0, query), 9.0f + 16.0f);
+}
+
+TEST(MatMulTest, MatchesNaiveReference) {
+  Rng rng(1);
+  for (int trial = 0; trial < 5; ++trial) {
+    const size_t m = 1 + rng.UniformInt(8);
+    const size_t k = 1 + rng.UniformInt(8);
+    const size_t n = 1 + rng.UniformInt(8);
+    const Matrix a = RandomMatrix(m, k, rng);
+    const Matrix b = RandomMatrix(k, n, rng);
+    Matrix out;
+    MatMul(a, b, &out);
+    ExpectMatrixNear(out, NaiveMatMul(a, b));
+  }
+}
+
+TEST(MatMulTest, BtMatchesExplicitTranspose) {
+  Rng rng(2);
+  const Matrix a = RandomMatrix(4, 6, rng);
+  const Matrix b = RandomMatrix(5, 6, rng);
+  Matrix out;
+  MatMulBt(a, b, &out);
+  ExpectMatrixNear(out, NaiveMatMul(a, b.Transposed()));
+}
+
+TEST(MatMulTest, AtMatchesExplicitTranspose) {
+  Rng rng(3);
+  const Matrix a = RandomMatrix(6, 4, rng);
+  const Matrix b = RandomMatrix(6, 5, rng);
+  Matrix out;
+  MatMulAt(a, b, &out);
+  ExpectMatrixNear(out, NaiveMatMul(a.Transposed(), b));
+}
+
+TEST(MatMulTest, IdentityIsNeutral) {
+  Rng rng(4);
+  const Matrix a = RandomMatrix(3, 3, rng);
+  Matrix eye(3, 3);
+  for (size_t i = 0; i < 3; ++i) eye(i, i) = 1.0f;
+  Matrix out;
+  MatMul(a, eye, &out);
+  ExpectMatrixNear(out, a);
+}
+
+TEST(MatrixOpsTest, AddRowBroadcast) {
+  Matrix m(2, 3, 1.0f);
+  AddRowBroadcast(&m, {1.0f, 2.0f, 3.0f});
+  EXPECT_EQ(m(0, 0), 2.0f);
+  EXPECT_EQ(m(1, 2), 4.0f);
+}
+
+TEST(MatrixOpsTest, ColumnSums) {
+  Matrix m(2, 2);
+  m(0, 0) = 1.0f;
+  m(1, 0) = 2.0f;
+  m(0, 1) = -1.0f;
+  const auto sums = ColumnSums(m);
+  EXPECT_FLOAT_EQ(sums[0], 3.0f);
+  EXPECT_FLOAT_EQ(sums[1], -1.0f);
+}
+
+TEST(SoftmaxTest, RowsSumToOne) {
+  Rng rng(5);
+  const Matrix logits = RandomMatrix(10, 7, rng);
+  Matrix probs;
+  SoftmaxRows(logits, &probs);
+  for (size_t r = 0; r < probs.rows(); ++r) {
+    float sum = 0.0f;
+    for (size_t c = 0; c < probs.cols(); ++c) {
+      EXPECT_GT(probs(r, c), 0.0f);
+      sum += probs(r, c);
+    }
+    EXPECT_NEAR(sum, 1.0f, 1e-5f);
+  }
+}
+
+TEST(SoftmaxTest, StableWithLargeLogits) {
+  Matrix logits(1, 3);
+  logits(0, 0) = 1000.0f;
+  logits(0, 1) = 999.0f;
+  logits(0, 2) = -1000.0f;
+  Matrix probs;
+  SoftmaxRows(logits, &probs);
+  EXPECT_FALSE(std::isnan(probs(0, 0)));
+  EXPECT_GT(probs(0, 0), probs(0, 1));
+  EXPECT_NEAR(probs(0, 2), 0.0f, 1e-6f);
+}
+
+TEST(SoftmaxTest, PreservesArgMax) {
+  Rng rng(6);
+  const Matrix logits = RandomMatrix(20, 5, rng);
+  Matrix probs;
+  SoftmaxRows(logits, &probs);
+  for (size_t r = 0; r < logits.rows(); ++r) {
+    EXPECT_EQ(ArgMaxRow(logits, r), ArgMaxRow(probs, r));
+  }
+}
+
+TEST(ArgMaxTest, PicksFirstMaximum) {
+  Matrix m(1, 4);
+  m(0, 1) = 5.0f;
+  m(0, 3) = 5.0f;
+  EXPECT_EQ(ArgMaxRow(m, 0), 1u);
+}
+
+}  // namespace
+}  // namespace enld

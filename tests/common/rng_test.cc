@@ -1,0 +1,237 @@
+#include "common/rng.h"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include <gtest/gtest.h>
+
+namespace enld {
+namespace {
+
+TEST(RngTest, DeterministicGivenSeed) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.NextUInt64(), b.NextUInt64());
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(1);
+  Rng b(2);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.NextUInt64() == b.NextUInt64()) ++equal;
+  }
+  EXPECT_LT(equal, 2);
+}
+
+TEST(RngTest, CopyReproducesStream) {
+  Rng a(5);
+  a.NextUInt64();
+  Rng b = a;
+  for (int i = 0; i < 20; ++i) EXPECT_EQ(a.NextUInt64(), b.NextUInt64());
+}
+
+TEST(RngTest, UniformInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.Uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(RngTest, UniformMeanNearHalf) {
+  Rng rng(11);
+  double sum = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) sum += rng.Uniform();
+  EXPECT_NEAR(sum / n, 0.5, 0.02);
+}
+
+TEST(RngTest, UniformRangeRespectsBounds) {
+  Rng rng(13);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.Uniform(-3.5, 2.5);
+    EXPECT_GE(u, -3.5);
+    EXPECT_LT(u, 2.5);
+  }
+}
+
+TEST(RngTest, UniformIntCoversAllValues) {
+  Rng rng(17);
+  std::set<size_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(rng.UniformInt(7));
+  EXPECT_EQ(seen.size(), 7u);
+  EXPECT_EQ(*seen.rbegin(), 6u);
+}
+
+TEST(RngTest, UniformIntRoughlyUniform) {
+  Rng rng(19);
+  const size_t buckets = 10;
+  std::vector<int> counts(buckets, 0);
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) ++counts[rng.UniformInt(buckets)];
+  for (int c : counts) {
+    EXPECT_NEAR(static_cast<double>(c) / n, 0.1, 0.02);
+  }
+}
+
+TEST(RngTest, GaussianMoments) {
+  Rng rng(23);
+  double sum = 0.0, sum_sq = 0.0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) {
+    const double g = rng.Gaussian();
+    sum += g;
+    sum_sq += g * g;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.03);
+  EXPECT_NEAR(sum_sq / n, 1.0, 0.05);
+}
+
+TEST(RngTest, GaussianWithParams) {
+  Rng rng(29);
+  double sum = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) sum += rng.Gaussian(5.0, 2.0);
+  EXPECT_NEAR(sum / n, 5.0, 0.1);
+}
+
+TEST(RngTest, BernoulliFrequency) {
+  Rng rng(31);
+  int hits = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) hits += rng.Bernoulli(0.3) ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.02);
+}
+
+TEST(RngTest, DiscreteMatchesWeights) {
+  Rng rng(37);
+  const std::vector<double> weights = {1.0, 0.0, 3.0};
+  std::vector<int> counts(3, 0);
+  const int n = 40000;
+  for (int i = 0; i < n; ++i) ++counts[rng.Discrete(weights)];
+  EXPECT_EQ(counts[1], 0);
+  EXPECT_NEAR(static_cast<double>(counts[0]) / n, 0.25, 0.02);
+  EXPECT_NEAR(static_cast<double>(counts[2]) / n, 0.75, 0.02);
+}
+
+TEST(RngTest, DiscreteSingleOption) {
+  Rng rng(41);
+  EXPECT_EQ(rng.Discrete({2.0}), 0u);
+}
+
+TEST(RngTest, BetaSymmetricInUnitInterval) {
+  Rng rng(43);
+  for (double alpha : {0.2, 1.0, 5.0}) {
+    for (int i = 0; i < 2000; ++i) {
+      const double b = rng.BetaSymmetric(alpha);
+      EXPECT_GE(b, 0.0);
+      EXPECT_LE(b, 1.0);
+    }
+  }
+}
+
+TEST(RngTest, BetaSymmetricMeanIsHalf) {
+  Rng rng(47);
+  for (double alpha : {0.2, 2.0}) {
+    double sum = 0.0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i) sum += rng.BetaSymmetric(alpha);
+    EXPECT_NEAR(sum / n, 0.5, 0.02) << "alpha=" << alpha;
+  }
+}
+
+TEST(RngTest, BetaLowAlphaConcentratesAtEndpoints) {
+  // Beta(0.2, 0.2) is U-shaped: most mass near 0 and 1 — the property
+  // mixup relies on (mostly "almost one of the two samples").
+  Rng rng(53);
+  int extreme = 0;
+  const int n = 10000;
+  for (int i = 0; i < n; ++i) {
+    const double b = rng.BetaSymmetric(0.2);
+    if (b < 0.1 || b > 0.9) ++extreme;
+  }
+  EXPECT_GT(static_cast<double>(extreme) / n, 0.5);
+}
+
+TEST(RngTest, ShuffleIsPermutation) {
+  Rng rng(59);
+  std::vector<int> v(100);
+  for (int i = 0; i < 100; ++i) v[i] = i;
+  std::vector<int> original = v;
+  rng.Shuffle(v);
+  EXPECT_NE(v, original);  // Astronomically unlikely to match.
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, original);
+}
+
+TEST(RngTest, ShuffleEmptyAndSingle) {
+  Rng rng(61);
+  std::vector<int> empty;
+  rng.Shuffle(empty);
+  EXPECT_TRUE(empty.empty());
+  std::vector<int> one = {5};
+  rng.Shuffle(one);
+  EXPECT_EQ(one, std::vector<int>({5}));
+}
+
+TEST(RngTest, SampleWithoutReplacementDistinct) {
+  Rng rng(67);
+  const auto sample = rng.SampleWithoutReplacement(50, 20);
+  EXPECT_EQ(sample.size(), 20u);
+  std::set<size_t> unique(sample.begin(), sample.end());
+  EXPECT_EQ(unique.size(), 20u);
+  for (size_t s : sample) EXPECT_LT(s, 50u);
+}
+
+TEST(RngTest, SampleWithoutReplacementFull) {
+  Rng rng(71);
+  const auto sample = rng.SampleWithoutReplacement(10, 10);
+  std::set<size_t> unique(sample.begin(), sample.end());
+  EXPECT_EQ(unique.size(), 10u);
+}
+
+TEST(RngTest, SampleWithoutReplacementZero) {
+  Rng rng(73);
+  EXPECT_TRUE(rng.SampleWithoutReplacement(10, 0).empty());
+}
+
+TEST(RngTest, ForkProducesIndependentStream) {
+  Rng a(79);
+  Rng forked = a.Fork();
+  // The fork and the parent should not produce identical streams.
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.NextUInt64() == forked.NextUInt64()) ++equal;
+  }
+  EXPECT_LT(equal, 2);
+}
+
+class RngSeedSweepTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(RngSeedSweepTest, UniformIntNeverExceedsBound) {
+  Rng rng(GetParam());
+  for (size_t n : {1u, 2u, 3u, 17u, 1000u}) {
+    for (int i = 0; i < 200; ++i) EXPECT_LT(rng.UniformInt(n), n);
+  }
+}
+
+TEST_P(RngSeedSweepTest, DiscreteOnlyReturnsPositiveWeightIndices) {
+  Rng rng(GetParam());
+  const std::vector<double> weights = {0.0, 1.0, 0.0, 2.0, 0.0};
+  for (int i = 0; i < 500; ++i) {
+    const size_t pick = rng.Discrete(weights);
+    EXPECT_TRUE(pick == 1 || pick == 3);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RngSeedSweepTest,
+                         ::testing::Values(0, 1, 42, 0xdeadbeef,
+                                           0xffffffffffffffffULL));
+
+}  // namespace
+}  // namespace enld

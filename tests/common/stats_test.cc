@@ -1,0 +1,87 @@
+#include "common/stats.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace enld {
+namespace {
+
+TEST(OnlineStatsTest, EmptyState) {
+  OnlineStats stats;
+  EXPECT_EQ(stats.count(), 0u);
+  EXPECT_DOUBLE_EQ(stats.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(stats.variance(), 0.0);
+}
+
+TEST(OnlineStatsTest, SingleValue) {
+  OnlineStats stats;
+  stats.Add(5.0);
+  EXPECT_EQ(stats.count(), 1u);
+  EXPECT_DOUBLE_EQ(stats.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(stats.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(stats.min(), 5.0);
+  EXPECT_DOUBLE_EQ(stats.max(), 5.0);
+}
+
+TEST(OnlineStatsTest, KnownMoments) {
+  OnlineStats stats;
+  for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) stats.Add(v);
+  EXPECT_DOUBLE_EQ(stats.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(stats.variance(), 4.0);
+  EXPECT_DOUBLE_EQ(stats.stddev(), 2.0);
+  EXPECT_DOUBLE_EQ(stats.min(), 2.0);
+  EXPECT_DOUBLE_EQ(stats.max(), 9.0);
+}
+
+TEST(OnlineStatsTest, MatchesBatchComputation) {
+  Rng rng(1);
+  OnlineStats stats;
+  std::vector<double> values;
+  for (int i = 0; i < 1000; ++i) {
+    const double v = rng.Gaussian(3.0, 2.0);
+    values.push_back(v);
+    stats.Add(v);
+  }
+  double mean = 0.0;
+  for (double v : values) mean += v;
+  mean /= values.size();
+  double var = 0.0;
+  for (double v : values) var += (v - mean) * (v - mean);
+  var /= values.size();
+  EXPECT_NEAR(stats.mean(), mean, 1e-9);
+  EXPECT_NEAR(stats.variance(), var, 1e-9);
+}
+
+TEST(TwoMeansTest, SeparatesTwoClusters) {
+  std::vector<double> values;
+  Rng rng(2);
+  for (int i = 0; i < 100; ++i) values.push_back(rng.Gaussian(0.0, 0.3));
+  for (int i = 0; i < 40; ++i) values.push_back(rng.Gaussian(5.0, 0.3));
+  const double threshold = TwoMeansThreshold(values);
+  EXPECT_GT(threshold, 1.0);
+  EXPECT_LT(threshold, 4.0);
+}
+
+TEST(TwoMeansTest, AllEqualReturnsValue) {
+  EXPECT_DOUBLE_EQ(TwoMeansThreshold({3.0, 3.0, 3.0}), 3.0);
+}
+
+TEST(TwoMeansTest, TwoValues) {
+  const double threshold = TwoMeansThreshold({1.0, 9.0});
+  EXPECT_DOUBLE_EQ(threshold, 5.0);
+}
+
+TEST(TwoMeansTest, UnbalancedClusters) {
+  // 95 low values, 5 high: the threshold must still land between.
+  std::vector<double> values(95, 0.1);
+  for (int i = 0; i < 5; ++i) values.push_back(8.0);
+  const double threshold = TwoMeansThreshold(values);
+  EXPECT_GT(threshold, 0.1);
+  EXPECT_LT(threshold, 8.0);
+}
+
+}  // namespace
+}  // namespace enld

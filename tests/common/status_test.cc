@@ -1,0 +1,96 @@
+#include "common/status.h"
+
+#include <gtest/gtest.h>
+
+namespace enld {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, OkFactory) {
+  EXPECT_TRUE(Status::OK().ok());
+}
+
+TEST(StatusTest, ErrorFactoriesCarryCodeAndMessage) {
+  struct Case {
+    Status status;
+    StatusCode code;
+    const char* name;
+  };
+  const Case cases[] = {
+      {Status::InvalidArgument("bad k"), StatusCode::kInvalidArgument,
+       "InvalidArgument"},
+      {Status::NotFound("no class"), StatusCode::kNotFound, "NotFound"},
+      {Status::FailedPrecondition("no setup"),
+       StatusCode::kFailedPrecondition, "FailedPrecondition"},
+      {Status::OutOfRange("idx"), StatusCode::kOutOfRange, "OutOfRange"},
+      {Status::Internal("bug"), StatusCode::kInternal, "Internal"},
+  };
+  for (const Case& c : cases) {
+    EXPECT_FALSE(c.status.ok());
+    EXPECT_EQ(c.status.code(), c.code);
+    EXPECT_NE(c.status.ToString().find(c.name), std::string::npos);
+    EXPECT_NE(c.status.ToString().find(c.status.message()),
+              std::string::npos);
+  }
+}
+
+TEST(StatusTest, ToStringWithEmptyMessage) {
+  Status s(StatusCode::kInternal, "");
+  EXPECT_EQ(s.ToString(), "Internal");
+}
+
+Status Inner(bool fail) {
+  if (fail) return Status::InvalidArgument("inner");
+  return Status::OK();
+}
+
+Status Outer(bool fail) {
+  ENLD_RETURN_IF_ERROR(Inner(fail));
+  return Status::NotFound("outer ran");
+}
+
+TEST(StatusTest, ReturnIfErrorPropagates) {
+  EXPECT_EQ(Outer(true).code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(Outer(false).code(), StatusCode::kNotFound);
+}
+
+TEST(StatusOrTest, HoldsValue) {
+  StatusOr<int> v(42);
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(*v, 42);
+  EXPECT_EQ(v.value(), 42);
+}
+
+TEST(StatusOrTest, HoldsError) {
+  StatusOr<int> v(Status::NotFound("missing"));
+  EXPECT_FALSE(v.ok());
+  EXPECT_EQ(v.status().code(), StatusCode::kNotFound);
+}
+
+TEST(StatusOrTest, WorksWithNonDefaultConstructibleTypes) {
+  struct NoDefault {
+    explicit NoDefault(int x) : value(x) {}
+    int value;
+  };
+  StatusOr<NoDefault> ok_value(NoDefault(7));
+  ASSERT_TRUE(ok_value.ok());
+  EXPECT_EQ(ok_value->value, 7);
+  StatusOr<NoDefault> err(Status::Internal("nope"));
+  EXPECT_FALSE(err.ok());
+}
+
+TEST(StatusOrTest, MoveOutValue) {
+  StatusOr<std::string> v(std::string(1000, 'x'));
+  ASSERT_TRUE(v.ok());
+  std::string taken = std::move(v).value();
+  EXPECT_EQ(taken.size(), 1000u);
+}
+
+}  // namespace
+}  // namespace enld

@@ -1,0 +1,103 @@
+#include "data/dataset.h"
+
+#include <gtest/gtest.h>
+
+namespace enld {
+namespace {
+
+Dataset SmallDataset() {
+  Matrix features(5, 2);
+  for (size_t r = 0; r < 5; ++r) {
+    features(r, 0) = static_cast<float>(r);
+    features(r, 1) = static_cast<float>(r * 10);
+  }
+  // observed: {0, 1, 2, missing, 1}; true: {0, 2, 2, 1, 1}.
+  Dataset d = MakeDataset(std::move(features), {0, 1, 2, kMissingLabel, 1},
+                          {0, 2, 2, 1, 1}, /*num_classes=*/3,
+                          /*first_id=*/100);
+  return d;
+}
+
+TEST(DatasetTest, MakeDatasetAssignsSequentialIds) {
+  const Dataset d = SmallDataset();
+  EXPECT_EQ(d.size(), 5u);
+  EXPECT_EQ(d.dim(), 2u);
+  EXPECT_EQ(d.ids[0], 100u);
+  EXPECT_EQ(d.ids[4], 104u);
+}
+
+TEST(DatasetTest, MakeDatasetDefaultsTrueLabelsToObserved) {
+  Matrix features(2, 1);
+  Dataset d = MakeDataset(std::move(features), {1, 0}, {}, 2);
+  EXPECT_EQ(d.true_labels, d.observed_labels);
+}
+
+TEST(DatasetTest, SubsetPreservesIdsAndLabels) {
+  const Dataset d = SmallDataset();
+  const Dataset sub = d.Subset({4, 0});
+  ASSERT_EQ(sub.size(), 2u);
+  EXPECT_EQ(sub.ids[0], 104u);
+  EXPECT_EQ(sub.ids[1], 100u);
+  EXPECT_EQ(sub.observed_labels[0], 1);
+  EXPECT_EQ(sub.true_labels[1], 0);
+  EXPECT_EQ(sub.features(0, 0), 4.0f);
+  EXPECT_EQ(sub.num_classes, 3);
+}
+
+TEST(DatasetTest, SubsetEmpty) {
+  const Dataset d = SmallDataset();
+  const Dataset sub = d.Subset({});
+  EXPECT_TRUE(sub.empty());
+}
+
+TEST(DatasetTest, AppendConcatenates) {
+  Dataset a = SmallDataset();
+  const Dataset b = SmallDataset().Subset({0, 1});
+  const size_t original = a.size();
+  a.Append(b);
+  EXPECT_EQ(a.size(), original + 2);
+  EXPECT_EQ(a.observed_labels[original], 0);
+  EXPECT_EQ(a.features(original + 1, 1), 10.0f);
+}
+
+TEST(DatasetTest, AppendToEmpty) {
+  Dataset empty;
+  empty.Append(SmallDataset());
+  EXPECT_EQ(empty.size(), 5u);
+}
+
+TEST(DatasetTest, AppendEmptyIsNoOp) {
+  Dataset a = SmallDataset();
+  a.Append(Dataset());
+  EXPECT_EQ(a.size(), 5u);
+}
+
+TEST(DatasetTest, IndicesWithObservedLabel) {
+  const Dataset d = SmallDataset();
+  EXPECT_EQ(d.IndicesWithObservedLabel(1),
+            (std::vector<size_t>{1, 4}));
+  EXPECT_TRUE(d.IndicesWithObservedLabel(9).empty());
+}
+
+TEST(DatasetTest, ObservedLabelSetExcludesMissing) {
+  const Dataset d = SmallDataset();
+  EXPECT_EQ(d.ObservedLabelSet(), (std::vector<int>{0, 1, 2}));
+}
+
+TEST(DatasetTest, MissingLabelIndices) {
+  const Dataset d = SmallDataset();
+  EXPECT_EQ(d.MissingLabelIndices(), (std::vector<size_t>{3}));
+}
+
+TEST(DatasetTest, GroundTruthNoisyIndices) {
+  const Dataset d = SmallDataset();
+  // Sample 1: observed 1, true 2 -> noisy. Sample 3 missing -> excluded.
+  EXPECT_EQ(d.GroundTruthNoisyIndices(), (std::vector<size_t>{1}));
+}
+
+TEST(DatasetTest, CheckConsistentAcceptsValid) {
+  SmallDataset().CheckConsistent();  // Must not abort.
+}
+
+}  // namespace
+}  // namespace enld

@@ -1,0 +1,156 @@
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "data/noise.h"
+#include "data/synthetic.h"
+#include "eval/metrics.h"
+
+namespace enld {
+namespace {
+
+struct Fixture {
+  SyntheticConfig config;
+  ClassGeometry geometry;
+  Dataset data;
+};
+
+Fixture MakeFixture() {
+  Fixture f;
+  f.config.num_classes = 6;
+  f.config.samples_per_class = 200;
+  f.config.feature_dim = 8;
+  f.config.class_separation = 6.0;
+  f.config.seed = 51;
+  Rng geometry_rng(f.config.seed);
+  f.geometry = MakeClassGeometry(f.config, geometry_rng);
+  f.data = SampleFromGeometry(f.geometry, f.config.samples_per_class,
+                              f.config.sample_stddev, geometry_rng);
+  return f;
+}
+
+TEST(InstanceNoiseTest, AverageRateMatchesEta) {
+  Fixture f = MakeFixture();
+  Rng rng(1);
+  const size_t flipped =
+      ApplyInstanceDependentNoise(&f.data, f.geometry, 0.25, 2.0, rng);
+  EXPECT_NEAR(static_cast<double>(flipped) / f.data.size(), 0.25, 0.04);
+  EXPECT_EQ(flipped, f.data.GroundTruthNoisyIndices().size());
+}
+
+TEST(InstanceNoiseTest, ZeroEtaFlipsNothing) {
+  Fixture f = MakeFixture();
+  Rng rng(2);
+  EXPECT_EQ(ApplyInstanceDependentNoise(&f.data, f.geometry, 0.0, 2.0, rng),
+            0u);
+}
+
+TEST(InstanceNoiseTest, TrueLabelsUntouched) {
+  Fixture f = MakeFixture();
+  const std::vector<int> truth_before = f.data.true_labels;
+  Rng rng(3);
+  ApplyInstanceDependentNoise(&f.data, f.geometry, 0.3, 2.0, rng);
+  EXPECT_EQ(f.data.true_labels, truth_before);
+}
+
+TEST(InstanceNoiseTest, FlipsTargetNearestOtherClass) {
+  Fixture f = MakeFixture();
+  Rng rng(4);
+  ApplyInstanceDependentNoise(&f.data, f.geometry, 0.3, 2.0, rng);
+  const size_t dim = f.data.dim();
+  for (size_t i : f.data.GroundTruthNoisyIndices()) {
+    // The observed (wrong) label is the nearest non-true prototype.
+    const float* x = f.data.features.Row(i);
+    double best = 1e300;
+    int best_class = -1;
+    for (int c = 0; c < f.data.num_classes; ++c) {
+      if (c == f.data.true_labels[i]) continue;
+      double dist = 0.0;
+      for (size_t d = 0; d < dim; ++d) {
+        const double diff = x[d] - f.geometry.prototypes[c][d];
+        dist += diff * diff;
+      }
+      if (dist < best) {
+        best = dist;
+        best_class = c;
+      }
+    }
+    EXPECT_EQ(f.data.observed_labels[i], best_class);
+  }
+}
+
+TEST(InstanceNoiseTest, BoundarySamplesFlipMoreOften) {
+  // Flipped samples must sit closer to their nearest other prototype than
+  // kept samples on average — the defining property of instance-dependent
+  // noise.
+  Fixture f = MakeFixture();
+  Rng rng(5);
+  ApplyInstanceDependentNoise(&f.data, f.geometry, 0.3, 2.0, rng);
+
+  auto margin = [&](size_t i) {
+    const float* x = f.data.features.Row(i);
+    const int truth = f.data.true_labels[i];
+    double own = 0.0;
+    double other = 1e300;
+    for (int c = 0; c < f.data.num_classes; ++c) {
+      double dist = 0.0;
+      for (size_t d = 0; d < f.data.dim(); ++d) {
+        const double diff = x[d] - f.geometry.prototypes[c][d];
+        dist += diff * diff;
+      }
+      dist = std::sqrt(dist);
+      if (c == truth) {
+        own = dist;
+      } else {
+        other = std::min(other, dist);
+      }
+    }
+    return other - own;
+  };
+
+  double flipped_margin = 0.0;
+  size_t flipped_count = 0;
+  double kept_margin = 0.0;
+  size_t kept_count = 0;
+  for (size_t i = 0; i < f.data.size(); ++i) {
+    if (f.data.observed_labels[i] != f.data.true_labels[i]) {
+      flipped_margin += margin(i);
+      ++flipped_count;
+    } else {
+      kept_margin += margin(i);
+      ++kept_count;
+    }
+  }
+  ASSERT_GT(flipped_count, 0u);
+  ASSERT_GT(kept_count, 0u);
+  EXPECT_LT(flipped_margin / flipped_count, kept_margin / kept_count);
+}
+
+TEST(PerClassMetricsTest, SplitsByObservedClass) {
+  Matrix features(6, 1);
+  // Observed: {0,0,0,1,1,1}; true: {0,1,0,1,0,1} -> noisy at 1 and 4.
+  Dataset d = MakeDataset(std::move(features), {0, 0, 0, 1, 1, 1},
+                          {0, 1, 0, 1, 0, 1}, 2);
+  const auto per_class = PerObservedClassMetrics(d, {1, 4});
+  ASSERT_EQ(per_class.size(), 2u);
+  EXPECT_DOUBLE_EQ(per_class[0].precision, 1.0);
+  EXPECT_DOUBLE_EQ(per_class[0].recall, 1.0);
+  EXPECT_DOUBLE_EQ(per_class[1].precision, 1.0);
+  EXPECT_DOUBLE_EQ(per_class[1].recall, 1.0);
+  // A wrong detection only hurts its own class's metrics.
+  const auto wrong = PerObservedClassMetrics(d, {0, 4});
+  EXPECT_DOUBLE_EQ(wrong[0].precision, 0.0);
+  EXPECT_DOUBLE_EQ(wrong[1].precision, 1.0);
+}
+
+TEST(PerClassMetricsTest, AbsentClassGetsZeroCounts) {
+  Matrix features(2, 1);
+  Dataset d = MakeDataset(std::move(features), {0, 0}, {0, 0}, 3);
+  const auto per_class = PerObservedClassMetrics(d, {});
+  ASSERT_EQ(per_class.size(), 3u);
+  EXPECT_EQ(per_class[1].actual_noisy, 0u);
+  EXPECT_EQ(per_class[1].detected, 0u);
+}
+
+}  // namespace
+}  // namespace enld

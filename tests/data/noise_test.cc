@@ -1,0 +1,161 @@
+#include "data/noise.h"
+
+#include <gtest/gtest.h>
+
+#include "data/synthetic.h"
+
+namespace enld {
+namespace {
+
+TEST(TransitionMatrixTest, IdentityIsNoiseless) {
+  const auto t = TransitionMatrix::Identity(4);
+  EXPECT_TRUE(t.IsRowStochastic());
+  EXPECT_DOUBLE_EQ(t.ExpectedNoiseRate(), 0.0);
+  for (int i = 0; i < 4; ++i) EXPECT_DOUBLE_EQ(t.At(i, i), 1.0);
+}
+
+TEST(TransitionMatrixTest, PairAsymmetricStructure) {
+  const double eta = 0.3;
+  const auto t = TransitionMatrix::PairAsymmetric(5, eta);
+  EXPECT_TRUE(t.IsRowStochastic());
+  EXPECT_NEAR(t.ExpectedNoiseRate(), eta, 1e-12);
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_DOUBLE_EQ(t.At(i, i), 1.0 - eta);
+    EXPECT_DOUBLE_EQ(t.At(i, (i + 1) % 5), eta);
+    for (int j = 0; j < 5; ++j) {
+      if (j != i && j != (i + 1) % 5) {
+        EXPECT_DOUBLE_EQ(t.At(i, j), 0.0);
+      }
+    }
+  }
+}
+
+TEST(TransitionMatrixTest, PairAsymmetricSatisfiesPaperDefinition) {
+  // Asymmetric noise (Section V-A2): T_ii = 1 - eta and there exist i != j
+  // with T_ij > T_ik for k not in {i, j}.
+  const auto t = TransitionMatrix::PairAsymmetric(4, 0.2);
+  EXPECT_GT(t.At(0, 1), t.At(0, 2));
+  EXPECT_GT(t.At(0, 1), t.At(0, 3));
+}
+
+TEST(TransitionMatrixTest, SymmetricStructure) {
+  const double eta = 0.4;
+  const auto t = TransitionMatrix::Symmetric(5, eta);
+  EXPECT_TRUE(t.IsRowStochastic());
+  EXPECT_NEAR(t.ExpectedNoiseRate(), eta, 1e-12);
+  EXPECT_DOUBLE_EQ(t.At(2, 2), 0.6);
+  EXPECT_DOUBLE_EQ(t.At(2, 0), 0.1);
+}
+
+TEST(TransitionMatrixTest, FromRowsValid) {
+  auto result = TransitionMatrix::FromRows({{0.5, 0.5}, {0.0, 1.0}});
+  ASSERT_TRUE(result.ok());
+  EXPECT_DOUBLE_EQ(result->At(0, 1), 0.5);
+}
+
+TEST(TransitionMatrixTest, FromRowsRejectsNonSquare) {
+  auto result = TransitionMatrix::FromRows({{1.0, 0.0}});
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(TransitionMatrixTest, FromRowsRejectsNegative) {
+  auto result = TransitionMatrix::FromRows({{1.5, -0.5}, {0.0, 1.0}});
+  EXPECT_FALSE(result.ok());
+}
+
+TEST(TransitionMatrixTest, FromRowsRejectsBadRowSum) {
+  auto result = TransitionMatrix::FromRows({{0.5, 0.4}, {0.0, 1.0}});
+  EXPECT_FALSE(result.ok());
+}
+
+TEST(TransitionMatrixTest, FromRowsRejectsEmpty) {
+  EXPECT_FALSE(TransitionMatrix::FromRows({}).ok());
+}
+
+TEST(TransitionMatrixTest, SampleObservedMatchesDistribution) {
+  const auto t = TransitionMatrix::PairAsymmetric(3, 0.25);
+  Rng rng(1);
+  int flipped = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    const int observed = t.SampleObserved(1, rng);
+    EXPECT_TRUE(observed == 1 || observed == 2);
+    if (observed == 2) ++flipped;
+  }
+  EXPECT_NEAR(static_cast<double>(flipped) / n, 0.25, 0.02);
+}
+
+class ApplyNoiseTest
+    : public ::testing::TestWithParam<std::tuple<double, int>> {};
+
+TEST_P(ApplyNoiseTest, FlipRateTracksEta) {
+  const double eta = std::get<0>(GetParam());
+  const int classes = std::get<1>(GetParam());
+
+  SyntheticConfig config;
+  config.num_classes = classes;
+  config.samples_per_class = 300;
+  config.feature_dim = 4;
+  config.seed = 5;
+  Dataset data = GenerateSynthetic(config);
+  const std::vector<int> truth_before = data.true_labels;
+
+  Rng rng(7);
+  const auto t = TransitionMatrix::PairAsymmetric(classes, eta);
+  const size_t flipped = ApplyLabelNoise(&data, t, rng);
+
+  EXPECT_EQ(data.true_labels, truth_before);  // Truth untouched.
+  EXPECT_NEAR(static_cast<double>(flipped) / data.size(), eta, 0.03);
+  EXPECT_EQ(flipped, data.GroundTruthNoisyIndices().size());
+  // Every flip lands on the pair class.
+  for (size_t i : data.GroundTruthNoisyIndices()) {
+    EXPECT_EQ(data.observed_labels[i],
+              (data.true_labels[i] + 1) % classes);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    NoiseRates, ApplyNoiseTest,
+    ::testing::Combine(::testing::Values(0.1, 0.2, 0.3, 0.4),
+                       ::testing::Values(5, 12)));
+
+TEST(ApplyNoiseTest, ZeroNoiseFlipsNothing) {
+  SyntheticConfig config;
+  config.num_classes = 3;
+  config.samples_per_class = 50;
+  config.feature_dim = 4;
+  Dataset data = GenerateSynthetic(config);
+  Rng rng(9);
+  EXPECT_EQ(ApplyLabelNoise(&data, TransitionMatrix::Identity(3), rng), 0u);
+}
+
+TEST(MaskMissingLabelsTest, MasksRequestedFraction) {
+  SyntheticConfig config;
+  config.num_classes = 4;
+  config.samples_per_class = 100;
+  config.feature_dim = 4;
+  Dataset data = GenerateSynthetic(config);
+  Rng rng(11);
+  const auto masked = MaskMissingLabels(&data, 0.25, rng);
+  EXPECT_EQ(masked.size(), 100u);
+  EXPECT_EQ(data.MissingLabelIndices().size(), 100u);
+  for (size_t i : masked) {
+    EXPECT_EQ(data.observed_labels[i], kMissingLabel);
+  }
+}
+
+TEST(MaskMissingLabelsTest, ZeroAndFullRates) {
+  SyntheticConfig config;
+  config.num_classes = 2;
+  config.samples_per_class = 10;
+  config.feature_dim = 2;
+  Dataset data = GenerateSynthetic(config);
+  Rng rng(13);
+  EXPECT_TRUE(MaskMissingLabels(&data, 0.0, rng).empty());
+  const auto all = MaskMissingLabels(&data, 1.0, rng);
+  EXPECT_EQ(all.size(), data.size());
+}
+
+}  // namespace
+}  // namespace enld

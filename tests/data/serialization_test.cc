@@ -1,0 +1,98 @@
+#include "data/serialization.h"
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "data/noise.h"
+#include "data/synthetic.h"
+
+namespace enld {
+namespace {
+
+std::string TempPath(const char* name) {
+  return std::string(::testing::TempDir()) + "/" + name;
+}
+
+Dataset SampleData() {
+  SyntheticConfig config;
+  config.num_classes = 4;
+  config.samples_per_class = 10;
+  config.feature_dim = 3;
+  config.seed = 7;
+  Dataset d = GenerateSynthetic(config);
+  Rng rng(8);
+  ApplyLabelNoise(&d, TransitionMatrix::PairAsymmetric(4, 0.25), rng);
+  MaskMissingLabels(&d, 0.1, rng);
+  return d;
+}
+
+TEST(DatasetCsvTest, RoundTrip) {
+  const Dataset original = SampleData();
+  const std::string path = TempPath("dataset_roundtrip.csv");
+  ASSERT_TRUE(SaveDatasetCsv(original, path).ok());
+
+  const auto loaded = LoadDatasetCsv(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded->size(), original.size());
+  EXPECT_EQ(loaded->dim(), original.dim());
+  EXPECT_EQ(loaded->num_classes, original.num_classes);
+  EXPECT_EQ(loaded->observed_labels, original.observed_labels);
+  EXPECT_EQ(loaded->true_labels, original.true_labels);
+  EXPECT_EQ(loaded->ids, original.ids);
+  for (size_t i = 0; i < original.features.size(); ++i) {
+    EXPECT_NEAR(loaded->features.data()[i], original.features.data()[i],
+                1e-5f);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(DatasetCsvTest, MissingFileIsNotFound) {
+  const auto loaded = LoadDatasetCsv(TempPath("nope.csv"));
+  EXPECT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kNotFound);
+}
+
+TEST(DatasetCsvTest, RejectsMissingMetadata) {
+  const std::string path = TempPath("no_meta.csv");
+  std::ofstream(path) << "id,observed,true,f0\n1,0,0,0.5\n";
+  const auto loaded = LoadDatasetCsv(path);
+  EXPECT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kInvalidArgument);
+  std::remove(path.c_str());
+}
+
+TEST(DatasetCsvTest, RejectsWrongFieldCount) {
+  const std::string path = TempPath("bad_fields.csv");
+  std::ofstream(path) << "# classes=2 dim=2\nid,observed,true,f0,f1\n"
+                      << "1,0,0,0.5\n";  // Missing f1.
+  const auto loaded = LoadDatasetCsv(path);
+  EXPECT_FALSE(loaded.ok());
+  std::remove(path.c_str());
+}
+
+TEST(DatasetCsvTest, RejectsOutOfRangeLabel) {
+  const std::string path = TempPath("bad_label.csv");
+  std::ofstream(path) << "# classes=2 dim=1\nid,observed,true,f0\n"
+                      << "1,5,0,0.5\n";  // Observed label 5 of 2 classes.
+  const auto loaded = LoadDatasetCsv(path);
+  EXPECT_FALSE(loaded.ok());
+  std::remove(path.c_str());
+}
+
+TEST(DatasetCsvTest, PreservesMissingLabels) {
+  Dataset d = SampleData();
+  const size_t missing_before = d.MissingLabelIndices().size();
+  ASSERT_GT(missing_before, 0u);
+  const std::string path = TempPath("missing.csv");
+  ASSERT_TRUE(SaveDatasetCsv(d, path).ok());
+  const auto loaded = LoadDatasetCsv(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->MissingLabelIndices().size(), missing_before);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace enld

@@ -1,0 +1,156 @@
+#include "data/split.h"
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "data/synthetic.h"
+
+namespace enld {
+namespace {
+
+Dataset PoolDataset(int classes = 10, size_t per_class = 50) {
+  SyntheticConfig config;
+  config.num_classes = classes;
+  config.samples_per_class = per_class;
+  config.feature_dim = 8;
+  config.seed = 3;
+  return GenerateSynthetic(config);
+}
+
+TEST(InventorySplitTest, RespectsFraction) {
+  const Dataset source = PoolDataset();
+  Rng rng(1);
+  const InventorySplit split =
+      SplitInventoryIncremental(source, 2.0 / 3.0, rng);
+  EXPECT_EQ(split.inventory.size() + split.incremental_pool.size(),
+            source.size());
+  EXPECT_NEAR(static_cast<double>(split.inventory.size()) / source.size(),
+              2.0 / 3.0, 0.01);
+}
+
+TEST(InventorySplitTest, PartitionsIds) {
+  const Dataset source = PoolDataset();
+  Rng rng(2);
+  const InventorySplit split = SplitInventoryIncremental(source, 0.5, rng);
+  std::set<uint64_t> ids(split.inventory.ids.begin(),
+                         split.inventory.ids.end());
+  for (uint64_t id : split.incremental_pool.ids) {
+    EXPECT_EQ(ids.count(id), 0u);
+    ids.insert(id);
+  }
+  EXPECT_EQ(ids.size(), source.size());
+}
+
+TEST(TrainCandidateSplitTest, HalvesUniformly) {
+  const Dataset inventory = PoolDataset();
+  Rng rng(3);
+  const TrainCandidateSplit split = SplitTrainCandidate(inventory, rng);
+  EXPECT_EQ(split.train.size(), inventory.size() / 2);
+  EXPECT_EQ(split.train.size() + split.candidate.size(), inventory.size());
+  std::set<uint64_t> ids(split.train.ids.begin(), split.train.ids.end());
+  for (uint64_t id : split.candidate.ids) EXPECT_EQ(ids.count(id), 0u);
+}
+
+TEST(IncrementalDatasetsTest, ProducesRequestedCount) {
+  const Dataset pool = PoolDataset();
+  IncrementalStreamConfig config;
+  config.num_datasets = 5;
+  config.min_classes_per_dataset = 3;
+  config.max_classes_per_dataset = 4;
+  Rng rng(4);
+  const auto datasets = BuildIncrementalDatasets(pool, config, rng);
+  EXPECT_EQ(datasets.size(), 5u);
+  for (const Dataset& d : datasets) {
+    EXPECT_FALSE(d.empty());
+    d.CheckConsistent();
+  }
+}
+
+TEST(IncrementalDatasetsTest, ClassCountsInRange) {
+  const Dataset pool = PoolDataset();
+  IncrementalStreamConfig config;
+  config.num_datasets = 4;
+  config.min_classes_per_dataset = 3;
+  config.max_classes_per_dataset = 5;
+  Rng rng(5);
+  for (const Dataset& d : BuildIncrementalDatasets(pool, config, rng)) {
+    const size_t classes = d.ObservedLabelSet().size();
+    EXPECT_GE(classes, 3u);
+    EXPECT_LE(classes, 5u);
+  }
+}
+
+TEST(IncrementalDatasetsTest, SamplesUsedAtMostOnce) {
+  const Dataset pool = PoolDataset();
+  IncrementalStreamConfig config;
+  config.num_datasets = 8;
+  config.min_classes_per_dataset = 4;
+  config.max_classes_per_dataset = 4;
+  Rng rng(6);
+  std::set<uint64_t> seen;
+  for (const Dataset& d : BuildIncrementalDatasets(pool, config, rng)) {
+    for (uint64_t id : d.ids) {
+      EXPECT_EQ(seen.count(id), 0u) << "sample reused across stream";
+      seen.insert(id);
+    }
+  }
+  EXPECT_LE(seen.size(), pool.size());
+}
+
+TEST(IncrementalDatasetsTest, UnbalancedClassSizes) {
+  // With take fractions in [0.25, 1.0], per-class counts inside one
+  // dataset should not all be equal (the paper's "unbalanced" datasets).
+  const Dataset pool = PoolDataset(12, 80);
+  IncrementalStreamConfig config;
+  config.num_datasets = 3;
+  config.min_classes_per_dataset = 6;
+  config.max_classes_per_dataset = 6;
+  Rng rng(7);
+  const auto datasets = BuildIncrementalDatasets(pool, config, rng);
+  bool found_unbalanced = false;
+  for (const Dataset& d : datasets) {
+    std::vector<size_t> counts;
+    for (int y : d.ObservedLabelSet()) {
+      counts.push_back(d.IndicesWithObservedLabel(y).size());
+    }
+    for (size_t i = 1; i < counts.size(); ++i) {
+      if (counts[i] != counts[0]) found_unbalanced = true;
+    }
+  }
+  EXPECT_TRUE(found_unbalanced);
+}
+
+TEST(IncrementalDatasetsTest, HandlesPoolExhaustion) {
+  // Ask for far more datasets than the pool can fill; the builder must
+  // stop early rather than emit empty datasets.
+  const Dataset pool = PoolDataset(3, 5);
+  IncrementalStreamConfig config;
+  config.num_datasets = 50;
+  config.min_classes_per_dataset = 3;
+  config.max_classes_per_dataset = 3;
+  config.min_take_fraction = 0.9;
+  Rng rng(8);
+  const auto datasets = BuildIncrementalDatasets(pool, config, rng);
+  EXPECT_GE(datasets.size(), 1u);
+  EXPECT_LE(datasets.size(), 50u);
+  for (const Dataset& d : datasets) EXPECT_FALSE(d.empty());
+}
+
+TEST(IncrementalDatasetsTest, SkipsMissingLabelSamples) {
+  Dataset pool = PoolDataset(4, 20);
+  for (size_t i = 0; i < pool.size(); i += 2) {
+    pool.observed_labels[i] = kMissingLabel;
+  }
+  IncrementalStreamConfig config;
+  config.num_datasets = 2;
+  config.min_classes_per_dataset = 2;
+  config.max_classes_per_dataset = 3;
+  Rng rng(9);
+  for (const Dataset& d : BuildIncrementalDatasets(pool, config, rng)) {
+    EXPECT_TRUE(d.MissingLabelIndices().empty());
+  }
+}
+
+}  // namespace
+}  // namespace enld

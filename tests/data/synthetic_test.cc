@@ -1,0 +1,198 @@
+#include "data/synthetic.h"
+
+#include <cmath>
+#include <set>
+
+#include <gtest/gtest.h>
+
+namespace enld {
+namespace {
+
+double Distance(const std::vector<double>& a, const std::vector<double>& b) {
+  double sum = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    const double d = a[i] - b[i];
+    sum += d * d;
+  }
+  return std::sqrt(sum);
+}
+
+SyntheticConfig SmallConfig() {
+  SyntheticConfig config;
+  config.num_classes = 8;
+  config.samples_per_class = 40;
+  config.feature_dim = 16;
+  config.class_separation = 6.0;
+  config.adjacent_correlation = 0.4;
+  config.seed = 77;
+  return config;
+}
+
+TEST(SyntheticTest, GeneratesRequestedShape) {
+  const Dataset d = GenerateSynthetic(SmallConfig());
+  EXPECT_EQ(d.size(), 8u * 40u);
+  EXPECT_EQ(d.dim(), 16u);
+  EXPECT_EQ(d.num_classes, 8);
+  d.CheckConsistent();
+}
+
+TEST(SyntheticTest, CleanLabels) {
+  const Dataset d = GenerateSynthetic(SmallConfig());
+  EXPECT_EQ(d.observed_labels, d.true_labels);
+  EXPECT_TRUE(d.GroundTruthNoisyIndices().empty());
+}
+
+TEST(SyntheticTest, BalancedClasses) {
+  const Dataset d = GenerateSynthetic(SmallConfig());
+  std::vector<int> counts(8, 0);
+  for (int y : d.true_labels) ++counts[y];
+  for (int c : counts) EXPECT_EQ(c, 40);
+}
+
+TEST(SyntheticTest, DeterministicGivenConfig) {
+  const Dataset a = GenerateSynthetic(SmallConfig());
+  const Dataset b = GenerateSynthetic(SmallConfig());
+  ASSERT_EQ(a.size(), b.size());
+  EXPECT_EQ(a.true_labels, b.true_labels);
+  for (size_t i = 0; i < a.features.size(); ++i) {
+    EXPECT_EQ(a.features.data()[i], b.features.data()[i]);
+  }
+}
+
+TEST(SyntheticTest, DifferentSeedsDiffer) {
+  SyntheticConfig c1 = SmallConfig();
+  SyntheticConfig c2 = SmallConfig();
+  c2.seed = 78;
+  const Dataset a = GenerateSynthetic(c1);
+  const Dataset b = GenerateSynthetic(c2);
+  size_t differing = 0;
+  for (size_t i = 0; i < a.features.size(); ++i) {
+    if (a.features.data()[i] != b.features.data()[i]) ++differing;
+  }
+  EXPECT_GT(differing, a.features.size() / 2);
+}
+
+TEST(SyntheticTest, SampleOrderIsShuffled) {
+  const Dataset d = GenerateSynthetic(SmallConfig());
+  // If unshuffled, the first samples_per_class labels would all be 0.
+  std::set<int> first_block(d.true_labels.begin(),
+                            d.true_labels.begin() + 40);
+  EXPECT_GT(first_block.size(), 1u);
+}
+
+TEST(GeometryTest, PrototypeNormsEqualSeparation) {
+  const SyntheticConfig config = SmallConfig();
+  Rng rng(config.seed);
+  const ClassGeometry g = MakeClassGeometry(config, rng);
+  for (const auto& p : g.prototypes) {
+    double norm = 0.0;
+    for (double x : p) norm += x * x;
+    EXPECT_NEAR(std::sqrt(norm), config.class_separation, 1e-9);
+  }
+}
+
+TEST(GeometryTest, AdjacentClassesCloserThanDistantOnAverage) {
+  // The correlated prototype chain must make (c, c+1) pairs closer than
+  // random pairs — the property pair-asymmetric noise exploits.
+  SyntheticConfig config = SmallConfig();
+  config.num_classes = 40;
+  config.adjacent_correlation = 0.5;
+  Rng rng(5);
+  const ClassGeometry g = MakeClassGeometry(config, rng);
+  double adjacent = 0.0;
+  int adjacent_count = 0;
+  double distant = 0.0;
+  int distant_count = 0;
+  for (int c = 0; c + 1 < config.num_classes; ++c) {
+    adjacent += Distance(g.prototypes[c], g.prototypes[c + 1]);
+    ++adjacent_count;
+  }
+  for (int c = 0; c + 10 < config.num_classes; c += 3) {
+    distant += Distance(g.prototypes[c], g.prototypes[c + 10]);
+    ++distant_count;
+  }
+  EXPECT_LT(adjacent / adjacent_count, distant / distant_count);
+}
+
+TEST(GeometryTest, SubclusterCentersAtConfiguredSpread) {
+  SyntheticConfig config = SmallConfig();
+  config.subclusters_per_class = 3;
+  config.subcluster_spread = 2.0;
+  Rng rng(6);
+  const ClassGeometry g = MakeClassGeometry(config, rng);
+  for (int c = 0; c < config.num_classes; ++c) {
+    ASSERT_EQ(g.centers[c].size(), 3u);
+    for (const auto& center : g.centers[c]) {
+      EXPECT_NEAR(Distance(center, g.prototypes[c]), 2.0, 1e-9);
+    }
+  }
+}
+
+TEST(GeometryTest, ShiftMovesCentersByRequestedNorm) {
+  const SyntheticConfig config = SmallConfig();
+  Rng rng(config.seed);
+  const ClassGeometry g = MakeClassGeometry(config, rng);
+  Rng shift_rng(9);
+  const ClassGeometry shifted = ShiftGeometry(g, 1.5, shift_rng);
+  for (int c = 0; c < config.num_classes; ++c) {
+    EXPECT_EQ(shifted.prototypes[c], g.prototypes[c]);
+    for (size_t m = 0; m < g.centers[c].size(); ++m) {
+      EXPECT_NEAR(Distance(shifted.centers[c][m], g.centers[c][m]), 1.5,
+                  1e-9);
+    }
+  }
+}
+
+TEST(GeometryTest, ZeroShiftIsIdentity) {
+  const SyntheticConfig config = SmallConfig();
+  Rng rng(config.seed);
+  const ClassGeometry g = MakeClassGeometry(config, rng);
+  Rng shift_rng(9);
+  const ClassGeometry shifted = ShiftGeometry(g, 0.0, shift_rng);
+  for (int c = 0; c < config.num_classes; ++c) {
+    EXPECT_EQ(shifted.centers[c], g.centers[c]);
+  }
+}
+
+TEST(GeometryTest, SamplesConcentrateAroundOwnPrototype) {
+  SyntheticConfig config = SmallConfig();
+  config.class_separation = 10.0;  // Strongly separated for this check.
+  Rng rng(config.seed);
+  const ClassGeometry g = MakeClassGeometry(config, rng);
+  Rng sample_rng(11);
+  const Dataset d =
+      SampleFromGeometry(g, 30, config.sample_stddev, sample_rng);
+  size_t nearest_own = 0;
+  for (size_t i = 0; i < d.size(); ++i) {
+    std::vector<double> x(d.dim());
+    for (size_t dd = 0; dd < d.dim(); ++dd) x[dd] = d.features(i, dd);
+    int best = -1;
+    double best_dist = 1e300;
+    for (int c = 0; c < config.num_classes; ++c) {
+      const double dist = Distance(x, g.prototypes[c]);
+      if (dist < best_dist) {
+        best_dist = dist;
+        best = c;
+      }
+    }
+    if (best == d.true_labels[i]) ++nearest_own;
+  }
+  EXPECT_GT(static_cast<double>(nearest_own) / d.size(), 0.95);
+}
+
+TEST(ProfilesTest, PaperProfilesHaveDocumentedShapes) {
+  const SyntheticConfig emnist = EmnistSimConfig();
+  EXPECT_EQ(emnist.num_classes, 26);
+  const SyntheticConfig cifar = Cifar100SimConfig();
+  EXPECT_EQ(cifar.num_classes, 100);
+  const SyntheticConfig tiny = TinyImagenetSimConfig();
+  EXPECT_EQ(tiny.num_classes, 200);
+  // Difficulty ordering: EMNIST easiest, Tiny-ImageNet hardest.
+  EXPECT_GT(emnist.class_separation, cifar.class_separation);
+  EXPECT_GT(cifar.class_separation, tiny.class_separation);
+  EXPECT_LE(emnist.adjacent_correlation, cifar.adjacent_correlation);
+  EXPECT_LE(cifar.adjacent_correlation, tiny.adjacent_correlation);
+}
+
+}  // namespace
+}  // namespace enld

@@ -1,0 +1,153 @@
+#include "data/workload.h"
+
+#include <cmath>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace enld {
+namespace {
+
+using testing_util::TinyWorkloadConfig;
+
+TEST(WorkloadTest, BuildsInventoryAndStream) {
+  const Workload w = BuildWorkload(TinyWorkloadConfig(0.2));
+  EXPECT_FALSE(w.inventory.empty());
+  EXPECT_EQ(w.incremental.size(), 3u);
+  w.inventory.CheckConsistent();
+  for (const Dataset& d : w.incremental) d.CheckConsistent();
+}
+
+TEST(WorkloadTest, DeterministicGivenConfig) {
+  const Workload a = BuildWorkload(TinyWorkloadConfig(0.2));
+  const Workload b = BuildWorkload(TinyWorkloadConfig(0.2));
+  ASSERT_EQ(a.inventory.size(), b.inventory.size());
+  EXPECT_EQ(a.inventory.observed_labels, b.inventory.observed_labels);
+  ASSERT_EQ(a.incremental.size(), b.incremental.size());
+  for (size_t i = 0; i < a.incremental.size(); ++i) {
+    EXPECT_EQ(a.incremental[i].ids, b.incremental[i].ids);
+  }
+}
+
+TEST(WorkloadTest, NoiseRateMatchesConfig) {
+  for (double eta : {0.1, 0.3}) {
+    const Workload w = BuildWorkload(TinyWorkloadConfig(eta));
+    const double observed =
+        static_cast<double>(w.inventory.GroundTruthNoisyIndices().size()) /
+        static_cast<double>(w.inventory.size());
+    EXPECT_NEAR(observed, eta, 0.05) << "eta=" << eta;
+  }
+}
+
+TEST(WorkloadTest, IncrementalDataAlsoNoisy) {
+  const Workload w = BuildWorkload(TinyWorkloadConfig(0.3));
+  size_t noisy = 0;
+  size_t total = 0;
+  for (const Dataset& d : w.incremental) {
+    noisy += d.GroundTruthNoisyIndices().size();
+    total += d.size();
+  }
+  EXPECT_NEAR(static_cast<double>(noisy) / total, 0.3, 0.08);
+}
+
+TEST(WorkloadTest, InventoryAndIncrementalIdsDisjoint) {
+  const Workload w = BuildWorkload(TinyWorkloadConfig(0.2));
+  std::set<uint64_t> inventory_ids(w.inventory.ids.begin(),
+                                   w.inventory.ids.end());
+  for (const Dataset& d : w.incremental) {
+    for (uint64_t id : d.ids) EXPECT_EQ(inventory_ids.count(id), 0u);
+  }
+}
+
+TEST(WorkloadTest, TransitionMatrixMatchesNoiseRate) {
+  const Workload w = BuildWorkload(TinyWorkloadConfig(0.25));
+  EXPECT_NEAR(w.transition.ExpectedNoiseRate(), 0.25, 1e-12);
+  EXPECT_EQ(w.transition.num_classes(), w.inventory.num_classes);
+}
+
+TEST(WorkloadTest, DomainShiftMovesIncrementalClassMeans) {
+  WorkloadConfig with_shift = TinyWorkloadConfig(0.0);
+  with_shift.profile.incremental_domain_shift = 3.0;
+  WorkloadConfig no_shift = TinyWorkloadConfig(0.0);
+  no_shift.profile.incremental_domain_shift = 0.0;
+
+  auto class_mean_distance = [](const Workload& w) {
+    // Mean distance between inventory and incremental class centroids.
+    const int classes = w.inventory.num_classes;
+    const size_t dim = w.inventory.dim();
+    std::vector<std::vector<double>> inv_mean(classes,
+                                              std::vector<double>(dim, 0.0));
+    std::vector<size_t> inv_count(classes, 0);
+    for (size_t i = 0; i < w.inventory.size(); ++i) {
+      const int y = w.inventory.true_labels[i];
+      for (size_t d = 0; d < dim; ++d) {
+        inv_mean[y][d] += w.inventory.features(i, d);
+      }
+      ++inv_count[y];
+    }
+    std::vector<std::vector<double>> inc_mean(classes,
+                                              std::vector<double>(dim, 0.0));
+    std::vector<size_t> inc_count(classes, 0);
+    for (const Dataset& data : w.incremental) {
+      for (size_t i = 0; i < data.size(); ++i) {
+        const int y = data.true_labels[i];
+        for (size_t d = 0; d < dim; ++d) {
+          inc_mean[y][d] += data.features(i, d);
+        }
+        ++inc_count[y];
+      }
+    }
+    double total = 0.0;
+    int counted = 0;
+    for (int c = 0; c < classes; ++c) {
+      if (inv_count[c] < 10 || inc_count[c] < 10) continue;
+      double dist = 0.0;
+      for (size_t d = 0; d < dim; ++d) {
+        const double diff = inv_mean[c][d] / inv_count[c] -
+                            inc_mean[c][d] / inc_count[c];
+        dist += diff * diff;
+      }
+      total += std::sqrt(dist);
+      ++counted;
+    }
+    return counted > 0 ? total / counted : 0.0;
+  };
+
+  const double shifted = class_mean_distance(BuildWorkload(with_shift));
+  const double unshifted = class_mean_distance(BuildWorkload(no_shift));
+  EXPECT_GT(shifted, unshifted + 0.5);
+}
+
+TEST(WorkloadTest, PaperConfigsHaveDocumentedStreamShapes) {
+  const WorkloadConfig emnist = EmnistWorkloadConfig(0.2);
+  EXPECT_EQ(emnist.stream.num_datasets, 10u);
+  EXPECT_EQ(emnist.stream.min_classes_per_dataset, 5);
+  EXPECT_EQ(emnist.stream.max_classes_per_dataset, 6);
+
+  const WorkloadConfig cifar = Cifar100WorkloadConfig(0.2);
+  EXPECT_EQ(cifar.stream.num_datasets, 20u);
+  EXPECT_EQ(cifar.stream.min_classes_per_dataset, 10);
+
+  const WorkloadConfig tiny = TinyImagenetWorkloadConfig(0.2);
+  EXPECT_EQ(tiny.stream.num_datasets, 20u);
+  EXPECT_EQ(tiny.stream.min_classes_per_dataset, 20);
+}
+
+TEST(WorkloadTest, InventoryFractionRoughlyTwoToOne) {
+  const Workload w = BuildWorkload(TinyWorkloadConfig(0.1));
+  size_t incremental_total = 0;
+  for (const Dataset& d : w.incremental) incremental_total += d.size();
+  // The pool may not be fully consumed, so inventory / (pool) >= 2.
+  EXPECT_GE(static_cast<double>(w.inventory.size()),
+            2.0 * 0.9 * incremental_total / 1.0 * 0.5);
+  // Per-class inventory count should be about twice the per-class pool.
+  EXPECT_NEAR(static_cast<double>(w.inventory.size()) /
+                  (w.inventory.num_classes *
+                   w.config.profile.samples_per_class),
+              2.0 / 3.0, 0.05);
+}
+
+}  // namespace
+}  // namespace enld

@@ -1,0 +1,205 @@
+#include "enld/contrastive.h"
+
+#include <algorithm>
+#include <map>
+
+#include <gtest/gtest.h>
+
+#include "data/dataset.h"
+
+namespace enld {
+namespace {
+
+std::vector<std::vector<double>> UniformPairConditional(int classes,
+                                                        double offdiag) {
+  std::vector<std::vector<double>> cond(
+      classes, std::vector<double>(classes, 0.0));
+  for (int i = 0; i < classes; ++i) {
+    cond[i][i] = 1.0 - offdiag;
+    cond[i][(i + classes - 1) % classes] = offdiag;
+  }
+  return cond;
+}
+
+TEST(RandomLabelTest, RespectsAvailabilityMask) {
+  const auto cond = UniformPairConditional(4, 0.3);
+  Rng rng(1);
+  std::vector<bool> available = {true, false, true, true};
+  for (int trial = 0; trial < 200; ++trial) {
+    const int label = RandomLabel(2, cond, available, rng);
+    ASSERT_GE(label, 0);
+    EXPECT_TRUE(available[label]);
+  }
+}
+
+TEST(RandomLabelTest, MatchesConditionalFrequencies) {
+  const auto cond = UniformPairConditional(4, 0.3);
+  Rng rng(2);
+  std::vector<bool> available(4, true);
+  std::map<int, int> counts;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) ++counts[RandomLabel(2, cond, available, rng)];
+  EXPECT_NEAR(static_cast<double>(counts[2]) / n, 0.7, 0.02);
+  EXPECT_NEAR(static_cast<double>(counts[1]) / n, 0.3, 0.02);
+  EXPECT_EQ(counts[0], 0);
+  EXPECT_EQ(counts[3], 0);
+}
+
+TEST(RandomLabelTest, FallsBackToObservedWhenNoMass) {
+  // All conditional mass is on unavailable classes; observed is available.
+  std::vector<std::vector<double>> cond = {{0.0, 1.0}, {1.0, 0.0}};
+  Rng rng(3);
+  const std::vector<bool> available = {true, false};
+  EXPECT_EQ(RandomLabel(0, cond, available, rng), 0);
+}
+
+TEST(RandomLabelTest, FallsBackToUniformAvailable) {
+  // No mass on available classes and observed unavailable.
+  std::vector<std::vector<double>> cond = {
+      {1.0, 0.0, 0.0}, {0.0, 1.0, 0.0}, {0.0, 0.0, 1.0}};
+  Rng rng(4);
+  const std::vector<bool> available = {false, false, true};
+  EXPECT_EQ(RandomLabel(0, cond, available, rng), 2);
+}
+
+TEST(RandomLabelTest, NothingAvailableReturnsMinusOne) {
+  std::vector<std::vector<double>> cond = {{1.0, 0.0}, {0.0, 1.0}};
+  Rng rng(5);
+  EXPECT_EQ(RandomLabel(0, cond, {false, false}, rng), -1);
+}
+
+/// Builds a deterministic two-class candidate layout on a line:
+/// class 0 candidates at x = 0, 1, 2, ...; class 1 at x = 100, 101, ...
+struct LineFixture {
+  Dataset candidate;
+  Matrix features;  // Same as candidate.features (identity feature map).
+  ClassKnnIndex index;
+
+  static LineFixture Make(size_t per_class) {
+    Matrix features(per_class * 2, 1);
+    std::vector<int> labels(per_class * 2);
+    for (size_t i = 0; i < per_class; ++i) {
+      features(i, 0) = static_cast<float>(i);
+      labels[i] = 0;
+      features(per_class + i, 0) = 100.0f + static_cast<float>(i);
+      labels[per_class + i] = 1;
+    }
+    Dataset candidate = MakeDataset(features, labels, {}, 2);
+    // MakeDataset copies by value; rebuild features from the dataset to
+    // keep them aligned after the internal shuffle-free construction.
+    std::vector<size_t> all(candidate.size());
+    for (size_t i = 0; i < all.size(); ++i) all[i] = i;
+    ClassKnnIndex index(candidate.features, candidate.observed_labels, all,
+                        2);
+    return LineFixture{candidate, candidate.features, std::move(index)};
+  }
+};
+
+TEST(ContrastiveSamplingTest, PicksNearestOfDrawnClass) {
+  LineFixture fixture = LineFixture::Make(10);
+  // One ambiguous sample at x = 3.4 observed as class 0; conditional is
+  // identity so the drawn class is always 0.
+  Matrix d_features(1, 1);
+  d_features(0, 0) = 3.4f;
+  Dataset incremental = MakeDataset(d_features, {0}, {}, 2);
+  const auto cond = UniformPairConditional(2, 0.0);
+  Rng rng(6);
+  const auto picks = ContrastiveSampling(
+      incremental, {0}, incremental.features, fixture.index, cond,
+      /*k=*/3, /*use_probability_label=*/true, rng);
+  ASSERT_EQ(picks.size(), 3u);
+  // Nearest class-0 candidates to 3.4 are rows 3, 4, 2.
+  std::vector<size_t> sorted = picks;
+  std::sort(sorted.begin(), sorted.end());
+  EXPECT_EQ(sorted, (std::vector<size_t>{2, 3, 4}));
+}
+
+TEST(ContrastiveSamplingTest, BudgetIsKPerAmbiguousSample) {
+  LineFixture fixture = LineFixture::Make(10);
+  Matrix d_features(4, 1);
+  for (size_t i = 0; i < 4; ++i) d_features(i, 0) = static_cast<float>(i);
+  Dataset incremental = MakeDataset(d_features, {0, 0, 1, 1}, {}, 2);
+  const auto cond = UniformPairConditional(2, 0.0);
+  Rng rng(7);
+  const auto picks = ContrastiveSampling(
+      incremental, {0, 1, 2, 3}, incremental.features, fixture.index, cond,
+      2, true, rng);
+  EXPECT_EQ(picks.size(), 8u);
+}
+
+TEST(ContrastiveSamplingTest, DuplicatesActAsWeights) {
+  // Two ambiguous samples at the same location must fetch the same
+  // nearest candidates -> duplicates in the multiset.
+  LineFixture fixture = LineFixture::Make(10);
+  Matrix d_features(2, 1);
+  d_features(0, 0) = 5.0f;
+  d_features(1, 0) = 5.0f;
+  Dataset incremental = MakeDataset(d_features, {0, 0}, {}, 2);
+  const auto cond = UniformPairConditional(2, 0.0);
+  Rng rng(8);
+  const auto picks = ContrastiveSampling(
+      incremental, {0, 1}, incremental.features, fixture.index, cond, 2,
+      true, rng);
+  ASSERT_EQ(picks.size(), 4u);
+  std::map<size_t, int> counts;
+  for (size_t p : picks) ++counts[p];
+  int max_count = 0;
+  for (const auto& [pos, count] : counts) max_count = std::max(max_count,
+                                                               count);
+  EXPECT_EQ(max_count, 2);
+}
+
+TEST(ContrastiveSamplingTest, Enld4QueriesObservedClass) {
+  LineFixture fixture = LineFixture::Make(10);
+  Matrix d_features(1, 1);
+  d_features(0, 0) = 102.0f;  // Sits inside class 1's region.
+  Dataset incremental = MakeDataset(d_features, {0}, {}, 2);
+  // Conditional puts all mass on class 1, but ENLD-4 ignores it.
+  std::vector<std::vector<double>> cond = {{0.0, 1.0}, {0.0, 1.0}};
+  Rng rng(9);
+  const auto picks = ContrastiveSampling(
+      incremental, {0}, incremental.features, fixture.index, cond, 2,
+      /*use_probability_label=*/false, rng);
+  ASSERT_EQ(picks.size(), 2u);
+  for (size_t p : picks) {
+    EXPECT_EQ(fixture.candidate.observed_labels[p], 0);
+  }
+}
+
+TEST(ContrastiveSamplingTest, LabelDistributionTracksConditional) {
+  // Corollary 2: with many draws, the class distribution of the picks
+  // matches the conditional mixture.
+  LineFixture fixture = LineFixture::Make(50);
+  const size_t n = 400;
+  Matrix d_features(n, 1);
+  std::vector<int> labels(n, 0);
+  for (size_t i = 0; i < n; ++i) d_features(i, 0) = 50.0f;  // Between both.
+  Dataset incremental = MakeDataset(d_features, labels, {}, 2);
+  std::vector<size_t> ambiguous(n);
+  for (size_t i = 0; i < n; ++i) ambiguous[i] = i;
+  std::vector<std::vector<double>> cond = {{0.6, 0.4}, {0.0, 1.0}};
+  Rng rng(10);
+  const auto picks = ContrastiveSampling(
+      incremental, ambiguous, incremental.features, fixture.index, cond, 1,
+      true, rng);
+  ASSERT_EQ(picks.size(), n);
+  size_t class1 = 0;
+  for (size_t p : picks) {
+    if (fixture.candidate.observed_labels[p] == 1) ++class1;
+  }
+  EXPECT_NEAR(static_cast<double>(class1) / n, 0.4, 0.07);
+}
+
+TEST(ContrastiveSamplingTest, EmptyAmbiguousSetYieldsEmpty) {
+  LineFixture fixture = LineFixture::Make(5);
+  Matrix d_features(1, 1);
+  Dataset incremental = MakeDataset(d_features, {0}, {}, 2);
+  const auto cond = UniformPairConditional(2, 0.1);
+  Rng rng(11);
+  EXPECT_TRUE(ContrastiveSampling(incremental, {}, incremental.features,
+                                  fixture.index, cond, 3, true, rng)
+                  .empty());
+}
+
+}  // namespace
+}  // namespace enld

@@ -1,0 +1,142 @@
+#include "enld/platform.h"
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace enld {
+namespace {
+
+using testing_util::TinyGeneralConfig;
+using testing_util::TinyWorkloadConfig;
+
+DataPlatformConfig FastPlatformConfig() {
+  DataPlatformConfig config;
+  config.enld.general = TinyGeneralConfig();
+  config.enld.iterations = 3;
+  config.enld.steps_per_iteration = 3;
+  return config;
+}
+
+class PlatformTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    workload_ = new Workload(BuildWorkload(TinyWorkloadConfig(0.2)));
+  }
+  static void TearDownTestSuite() {
+    delete workload_;
+    workload_ = nullptr;
+  }
+  static Workload* workload_;
+};
+
+Workload* PlatformTest::workload_ = nullptr;
+
+TEST_F(PlatformTest, ProcessBeforeInitializeFails) {
+  DataPlatform platform(FastPlatformConfig());
+  EXPECT_FALSE(platform.initialized());
+  const auto result = platform.Process(workload_->incremental[0]);
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST_F(PlatformTest, InitializeValidatesInventory) {
+  DataPlatform platform(FastPlatformConfig());
+  Dataset empty;
+  EXPECT_EQ(platform.Initialize(empty).code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_TRUE(platform.Initialize(workload_->inventory).ok());
+  EXPECT_TRUE(platform.initialized());
+  // Double initialization is rejected.
+  EXPECT_EQ(platform.Initialize(workload_->inventory).code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST_F(PlatformTest, ProcessValidatesRequest) {
+  DataPlatform platform(FastPlatformConfig());
+  ASSERT_TRUE(platform.Initialize(workload_->inventory).ok());
+
+  EXPECT_EQ(platform.Process(Dataset()).status().code(),
+            StatusCode::kInvalidArgument);
+
+  // Wrong feature dimension.
+  Dataset wrong_dim = workload_->incremental[0];
+  wrong_dim.features = Matrix(wrong_dim.size(), wrong_dim.dim() + 1);
+  EXPECT_EQ(platform.Process(wrong_dim).status().code(),
+            StatusCode::kInvalidArgument);
+
+  // Wrong class count.
+  Dataset wrong_classes = workload_->incremental[0];
+  wrong_classes.num_classes += 5;
+  EXPECT_EQ(platform.Process(wrong_classes).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST_F(PlatformTest, ProcessServesRequestsAndTracksStats) {
+  DataPlatform platform(FastPlatformConfig());
+  ASSERT_TRUE(platform.Initialize(workload_->inventory).ok());
+  size_t total = 0;
+  size_t flagged = 0;
+  for (const Dataset& d : workload_->incremental) {
+    const auto result = platform.Process(d);
+    ASSERT_TRUE(result.ok());
+    total += d.size();
+    flagged += result->noisy_indices.size();
+  }
+  const PlatformStats& stats = platform.stats();
+  EXPECT_EQ(stats.requests, workload_->incremental.size());
+  EXPECT_EQ(stats.samples_processed, total);
+  EXPECT_EQ(stats.samples_flagged_noisy, flagged);
+  EXPECT_GT(stats.total_process_seconds, 0.0);
+  EXPECT_EQ(stats.model_updates, 0u);
+}
+
+TEST_F(PlatformTest, AutoUpdatePolicyFiresWhenEnoughSelected) {
+  DataPlatformConfig config = FastPlatformConfig();
+  config.update_every = 2;
+  config.min_update_samples = 1;  // Fire as soon as anything is selected.
+  DataPlatform platform(config);
+  ASSERT_TRUE(platform.Initialize(workload_->inventory).ok());
+  for (const Dataset& d : workload_->incremental) {
+    ASSERT_TRUE(platform.Process(d).ok());
+  }
+  EXPECT_GE(platform.stats().model_updates, 1u);
+}
+
+TEST_F(PlatformTest, AutoUpdateSkippedBelowMinimum) {
+  DataPlatformConfig config = FastPlatformConfig();
+  config.update_every = 1;
+  config.min_update_samples = 1'000'000;  // Never enough.
+  DataPlatform platform(config);
+  ASSERT_TRUE(platform.Initialize(workload_->inventory).ok());
+  for (const Dataset& d : workload_->incremental) {
+    ASSERT_TRUE(platform.Process(d).ok());
+  }
+  EXPECT_EQ(platform.stats().model_updates, 0u);
+}
+
+TEST_F(PlatformTest, ManualUpdateRespectsMinimum) {
+  DataPlatformConfig config = FastPlatformConfig();
+  config.min_update_samples = 1'000'000;
+  DataPlatform platform(config);
+  ASSERT_TRUE(platform.Initialize(workload_->inventory).ok());
+  ASSERT_TRUE(platform.Process(workload_->incremental[0]).ok());
+  EXPECT_EQ(platform.Update().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST_F(PlatformTest, ManualUpdateSucceedsWithSelection) {
+  DataPlatformConfig config = FastPlatformConfig();
+  config.min_update_samples = 1;
+  DataPlatform platform(config);
+  ASSERT_TRUE(platform.Initialize(workload_->inventory).ok());
+  for (const Dataset& d : workload_->incremental) {
+    ASSERT_TRUE(platform.Process(d).ok());
+  }
+  EXPECT_TRUE(platform.Update().ok());
+  EXPECT_EQ(platform.stats().model_updates, 1u);
+  // Platform keeps serving after an update.
+  EXPECT_TRUE(platform.Process(workload_->incremental[0]).ok());
+}
+
+}  // namespace
+}  // namespace enld

@@ -1,0 +1,130 @@
+#include "enld/strategies.h"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include <gtest/gtest.h>
+
+namespace enld {
+namespace {
+
+/// Probabilities where row r has max-confidence (r+1)/(n+1) concentrated on
+/// class 0 and the remainder spread over class 1.
+Matrix GradedProbs(size_t n) {
+  Matrix probs(n, 2);
+  for (size_t r = 0; r < n; ++r) {
+    const float p = static_cast<float>(r + 1) / static_cast<float>(n + 1);
+    probs(r, 0) = p;
+    probs(r, 1) = 1.0f - p;
+  }
+  return probs;
+}
+
+std::vector<size_t> AllRows(size_t n) {
+  std::vector<size_t> rows(n);
+  for (size_t i = 0; i < n; ++i) rows[i] = i;
+  return rows;
+}
+
+TEST(PolicyNamesTest, MatchPaperLegends) {
+  EXPECT_STREQ(SamplingPolicyName(SamplingPolicy::kContrastive), "ENLD");
+  EXPECT_STREQ(SamplingPolicyName(SamplingPolicy::kRandom), "Random-ENLD");
+  EXPECT_STREQ(SamplingPolicyName(SamplingPolicy::kHighestConfidence),
+               "HC-ENLD");
+  EXPECT_STREQ(SamplingPolicyName(SamplingPolicy::kLeastConfidence),
+               "LC-ENLD");
+  EXPECT_STREQ(SamplingPolicyName(SamplingPolicy::kEntropy),
+               "Entropy-ENLD");
+  EXPECT_STREQ(SamplingPolicyName(SamplingPolicy::kPseudo), "Pseudo-ENLD");
+}
+
+TEST(RowEntropiesTest, UniformHasMaxEntropy) {
+  Matrix probs(2, 4);
+  for (size_t c = 0; c < 4; ++c) probs(0, c) = 0.25f;
+  probs(1, 0) = 1.0f;
+  const auto entropy = RowEntropies(probs);
+  EXPECT_NEAR(entropy[0], std::log(4.0), 1e-5);
+  EXPECT_NEAR(entropy[1], 0.0, 1e-9);
+}
+
+TEST(PolicySamplingTest, RandomSamplesWithoutReplacement) {
+  const Matrix probs = GradedProbs(20);
+  Rng rng(1);
+  const auto picks = PolicySampling(SamplingPolicy::kRandom, probs,
+                                    AllRows(20), 10, rng);
+  EXPECT_EQ(picks.size(), 10u);
+  std::set<size_t> unique(picks.begin(), picks.end());
+  EXPECT_EQ(unique.size(), 10u);
+}
+
+TEST(PolicySamplingTest, HighestConfidencePicksTop) {
+  const Matrix probs = GradedProbs(10);
+  Rng rng(2);
+  const auto picks = PolicySampling(SamplingPolicy::kHighestConfidence,
+                                    probs, AllRows(10), 3, rng);
+  // Highest max-confidence rows: 9 (0.909...), 0 (0.909 flipped?) — row r
+  // max = max(p, 1-p); graded rows near the ends have the largest max.
+  ASSERT_EQ(picks.size(), 3u);
+  for (size_t p : picks) {
+    EXPECT_TRUE(p <= 1 || p >= 8) << "picked middle row " << p;
+  }
+}
+
+TEST(PolicySamplingTest, LeastConfidencePicksMiddle) {
+  const Matrix probs = GradedProbs(11);  // Row 5 is the 0.5/0.5 row.
+  Rng rng(3);
+  const auto picks = PolicySampling(SamplingPolicy::kLeastConfidence,
+                                    probs, AllRows(11), 1, rng);
+  ASSERT_EQ(picks.size(), 1u);
+  EXPECT_EQ(picks[0], 5u);
+}
+
+TEST(PolicySamplingTest, EntropyPicksUniformRows) {
+  Matrix probs(3, 3, 0.0f);
+  probs(0, 0) = 1.0f;                                  // Entropy 0.
+  probs(1, 0) = probs(1, 1) = probs(1, 2) = 1.0f / 3;  // Max entropy.
+  probs(2, 0) = 0.8f;
+  probs(2, 1) = 0.2f;
+  Rng rng(4);
+  const auto picks = PolicySampling(SamplingPolicy::kEntropy, probs,
+                                    AllRows(3), 1, rng);
+  ASSERT_EQ(picks.size(), 1u);
+  EXPECT_EQ(picks[0], 1u);
+}
+
+TEST(PolicySamplingTest, RespectsPool) {
+  const Matrix probs = GradedProbs(10);
+  Rng rng(5);
+  const std::vector<size_t> pool = {2, 4, 6};
+  for (auto policy : {SamplingPolicy::kRandom,
+                      SamplingPolicy::kHighestConfidence,
+                      SamplingPolicy::kLeastConfidence,
+                      SamplingPolicy::kEntropy}) {
+    const auto picks = PolicySampling(policy, probs, pool, 2, rng);
+    for (size_t p : picks) {
+      EXPECT_TRUE(std::find(pool.begin(), pool.end(), p) != pool.end());
+    }
+  }
+}
+
+TEST(PolicySamplingTest, CountClampedToPoolSize) {
+  const Matrix probs = GradedProbs(5);
+  Rng rng(6);
+  const auto picks = PolicySampling(SamplingPolicy::kRandom, probs,
+                                    AllRows(5), 50, rng);
+  EXPECT_EQ(picks.size(), 5u);
+}
+
+TEST(PolicySamplingTest, EmptyPoolOrZeroCount) {
+  const Matrix probs = GradedProbs(5);
+  Rng rng(7);
+  EXPECT_TRUE(
+      PolicySampling(SamplingPolicy::kRandom, probs, {}, 3, rng).empty());
+  EXPECT_TRUE(PolicySampling(SamplingPolicy::kEntropy, probs, AllRows(5), 0,
+                             rng)
+                  .empty());
+}
+
+}  // namespace
+}  // namespace enld

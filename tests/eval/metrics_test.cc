@@ -1,0 +1,105 @@
+#include "eval/metrics.h"
+
+#include <gtest/gtest.h>
+
+namespace enld {
+namespace {
+
+/// Dataset with ground-truth noisy positions {1, 3}.
+Dataset FourSamples() {
+  Matrix features(4, 1);
+  return MakeDataset(std::move(features), {0, 1, 0, 1}, {0, 0, 0, 0}, 2);
+}
+
+TEST(EvaluateDetectionTest, PerfectDetection) {
+  const Dataset d = FourSamples();
+  const DetectionMetrics m = EvaluateDetection(d, {1, 3});
+  EXPECT_DOUBLE_EQ(m.precision, 1.0);
+  EXPECT_DOUBLE_EQ(m.recall, 1.0);
+  EXPECT_DOUBLE_EQ(m.f1, 1.0);
+  EXPECT_EQ(m.true_positives, 2u);
+}
+
+TEST(EvaluateDetectionTest, PartialDetection) {
+  const Dataset d = FourSamples();
+  // Detected {1, 2}: one true positive, one false positive, one miss.
+  const DetectionMetrics m = EvaluateDetection(d, {1, 2});
+  EXPECT_DOUBLE_EQ(m.precision, 0.5);
+  EXPECT_DOUBLE_EQ(m.recall, 0.5);
+  EXPECT_DOUBLE_EQ(m.f1, 0.5);
+}
+
+TEST(EvaluateDetectionTest, NothingDetected) {
+  const Dataset d = FourSamples();
+  const DetectionMetrics m = EvaluateDetection(d, {});
+  EXPECT_DOUBLE_EQ(m.precision, 0.0);
+  EXPECT_DOUBLE_EQ(m.recall, 0.0);
+  EXPECT_DOUBLE_EQ(m.f1, 0.0);
+}
+
+TEST(EvaluateDetectionTest, CleanDatasetEmptyDetection) {
+  Matrix features(3, 1);
+  const Dataset d =
+      MakeDataset(std::move(features), {0, 1, 0}, {0, 1, 0}, 2);
+  const DetectionMetrics m = EvaluateDetection(d, {});
+  EXPECT_DOUBLE_EQ(m.precision, 1.0);
+  EXPECT_DOUBLE_EQ(m.recall, 1.0);
+  EXPECT_DOUBLE_EQ(m.f1, 1.0);
+}
+
+TEST(EvaluateDetectionTest, CleanDatasetFalsePositives) {
+  Matrix features(3, 1);
+  const Dataset d =
+      MakeDataset(std::move(features), {0, 1, 0}, {0, 1, 0}, 2);
+  const DetectionMetrics m = EvaluateDetection(d, {0});
+  EXPECT_DOUBLE_EQ(m.precision, 0.0);
+  EXPECT_DOUBLE_EQ(m.recall, 0.0);
+}
+
+TEST(EvaluateDetectionTest, F1IsHarmonicMean) {
+  const Dataset d = FourSamples();
+  const DetectionMetrics m = EvaluateDetection(d, {1, 0, 2});
+  // precision 1/3, recall 1/2 -> f1 = 2 * (1/3 * 1/2) / (1/3 + 1/2) = 0.4.
+  EXPECT_NEAR(m.f1, 0.4, 1e-12);
+}
+
+TEST(AverageMetricsTest, MacroAverage) {
+  DetectionMetrics a;
+  a.precision = 1.0;
+  a.recall = 0.5;
+  a.f1 = 2.0 / 3.0;
+  DetectionMetrics b;
+  b.precision = 0.0;
+  b.recall = 0.5;
+  b.f1 = 0.0;
+  const DetectionMetrics avg = AverageMetrics({a, b});
+  EXPECT_DOUBLE_EQ(avg.precision, 0.5);
+  EXPECT_DOUBLE_EQ(avg.recall, 0.5);
+  EXPECT_NEAR(avg.f1, 1.0 / 3.0, 1e-12);
+}
+
+TEST(AverageMetricsTest, EmptyInputIsZero) {
+  const DetectionMetrics avg = AverageMetrics({});
+  EXPECT_DOUBLE_EQ(avg.f1, 0.0);
+}
+
+TEST(PseudoLabelAccuracyTest, CountsMatches) {
+  Matrix features(4, 1);
+  const Dataset d = MakeDataset(std::move(features),
+                                {kMissingLabel, kMissingLabel, kMissingLabel,
+                                 0},
+                                {1, 2, 1, 0}, 3);
+  const std::vector<int> recovered = {1, 0, kMissingLabel, kMissingLabel};
+  // Positions 0,1,2 are missing; recovered correctly only at 0.
+  EXPECT_NEAR(PseudoLabelAccuracy(d, recovered, {0, 1, 2}), 1.0 / 3.0,
+              1e-12);
+}
+
+TEST(PseudoLabelAccuracyTest, EmptyPositions) {
+  Matrix features(1, 1);
+  const Dataset d = MakeDataset(std::move(features), {0}, {0}, 1);
+  EXPECT_DOUBLE_EQ(PseudoLabelAccuracy(d, {0}, {}), 0.0);
+}
+
+}  // namespace
+}  // namespace enld

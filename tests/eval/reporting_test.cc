@@ -1,0 +1,71 @@
+#include "eval/reporting.h"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+namespace enld {
+namespace {
+
+MethodRunResult SampleRun() {
+  MethodRunResult run;
+  run.method = "ENLD";
+  run.noise_rate = 0.2;
+  run.setup_seconds = 1.5;
+  run.process_seconds = {0.1, 0.2};
+  DetectionMetrics a;
+  a.precision = 0.9;
+  a.recall = 0.8;
+  a.f1 = 0.847;
+  DetectionMetrics b;
+  b.precision = 0.5;
+  b.recall = 0.5;
+  b.f1 = 0.5;
+  run.per_dataset = {a, b};
+  return run;
+}
+
+TEST(ReportingTest, CsvHasHeaderSetupAndDataRows) {
+  const std::string csv = MethodRunsToCsv({SampleRun()});
+  std::istringstream stream(csv);
+  std::string line;
+  ASSERT_TRUE(std::getline(stream, line));
+  EXPECT_EQ(line, "method,noise,dataset,precision,recall,f1,process_seconds");
+  ASSERT_TRUE(std::getline(stream, line));
+  EXPECT_NE(line.find("ENLD,0.200,setup"), std::string::npos);
+  ASSERT_TRUE(std::getline(stream, line));
+  EXPECT_NE(line.find("ENLD,0.200,0,0.9"), std::string::npos);
+  ASSERT_TRUE(std::getline(stream, line));
+  EXPECT_NE(line.find(",1,0.5"), std::string::npos);
+  EXPECT_FALSE(std::getline(stream, line));
+}
+
+TEST(ReportingTest, MultipleRunsConcatenate) {
+  MethodRunResult second = SampleRun();
+  second.method = "Topofilter";
+  const std::string csv = MethodRunsToCsv({SampleRun(), second});
+  EXPECT_NE(csv.find("Topofilter"), std::string::npos);
+  // One header only.
+  EXPECT_EQ(csv.find("method,noise"), csv.rfind("method,noise"));
+}
+
+TEST(ReportingTest, WritesFile) {
+  const std::string path =
+      std::string(::testing::TempDir()) + "/runs.csv";
+  ASSERT_TRUE(WriteMethodRunsCsv({SampleRun()}, path).ok());
+  std::ifstream in(path);
+  std::string contents((std::istreambuf_iterator<char>(in)),
+                       std::istreambuf_iterator<char>());
+  EXPECT_EQ(contents, MethodRunsToCsv({SampleRun()}));
+  std::remove(path.c_str());
+}
+
+TEST(ReportingTest, BadPathFails) {
+  EXPECT_EQ(WriteMethodRunsCsv({}, "/no_such_dir/x.csv").code(),
+            StatusCode::kNotFound);
+}
+
+}  // namespace
+}  // namespace enld

@@ -1,0 +1,122 @@
+#include "graph/knn_graph.h"
+
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace enld {
+namespace {
+
+/// Two Gaussian blobs far apart: rows [0, n1) near origin, rows [n1, n1+n2)
+/// near (20, 20, ...).
+Matrix TwoBlobs(size_t n1, size_t n2, size_t dim, Rng& rng) {
+  Matrix m(n1 + n2, dim);
+  for (size_t r = 0; r < n1 + n2; ++r) {
+    const float offset = r < n1 ? 0.0f : 20.0f;
+    for (size_t c = 0; c < dim; ++c) {
+      m(r, c) = offset + static_cast<float>(rng.Gaussian());
+    }
+  }
+  return m;
+}
+
+std::vector<size_t> AllRows(size_t n) {
+  std::vector<size_t> rows(n);
+  for (size_t i = 0; i < n; ++i) rows[i] = i;
+  return rows;
+}
+
+TEST(KnnGraphTest, EmptyInput) {
+  Matrix m(0, 2);
+  EXPECT_TRUE(KnnGraphComponents(m, {}, 3).empty());
+  EXPECT_TRUE(LargestKnnComponent(m, {}, 3).empty());
+}
+
+TEST(KnnGraphTest, SeparatedBlobsFormTwoComponents) {
+  Rng rng(1);
+  const Matrix points = TwoBlobs(30, 20, 4, rng);
+  const auto components = KnnGraphComponents(points, AllRows(50), 4);
+  ASSERT_EQ(components.size(), 2u);
+  std::vector<size_t> sizes = {components[0].size(), components[1].size()};
+  std::sort(sizes.begin(), sizes.end());
+  EXPECT_EQ(sizes[0], 20u);
+  EXPECT_EQ(sizes[1], 30u);
+}
+
+TEST(KnnGraphTest, ComponentsPartitionPositions) {
+  Rng rng(2);
+  const Matrix points = TwoBlobs(15, 15, 3, rng);
+  const auto components = KnnGraphComponents(points, AllRows(30), 3);
+  std::vector<bool> seen(30, false);
+  for (const auto& comp : components) {
+    for (size_t pos : comp) {
+      EXPECT_LT(pos, 30u);
+      EXPECT_FALSE(seen[pos]);
+      seen[pos] = true;
+    }
+  }
+  EXPECT_TRUE(std::all_of(seen.begin(), seen.end(),
+                          [](bool b) { return b; }));
+}
+
+TEST(KnnGraphTest, LargestComponentPicksBiggerBlob) {
+  Rng rng(3);
+  const Matrix points = TwoBlobs(40, 10, 4, rng);
+  const auto largest = LargestKnnComponent(points, AllRows(50), 4);
+  EXPECT_EQ(largest.size(), 40u);
+  for (size_t pos : largest) EXPECT_LT(pos, 40u);
+}
+
+TEST(KnnGraphTest, SingleNodeIsItsOwnComponent) {
+  Matrix points(1, 2);
+  const auto components = KnnGraphComponents(points, {0}, 3);
+  ASSERT_EQ(components.size(), 1u);
+  EXPECT_EQ(components[0], (std::vector<size_t>{0}));
+}
+
+TEST(KnnGraphTest, KAtLeastClusterSizeMergesEverything) {
+  Rng rng(4);
+  const Matrix points = TwoBlobs(5, 5, 2, rng);
+  // With k = 9, every node links to all others -> one component.
+  const auto components = KnnGraphComponents(points, AllRows(10), 9);
+  EXPECT_EQ(components.size(), 1u);
+}
+
+TEST(KnnGraphTest, MutualVariantIsSparser) {
+  // A chain of points with one outlier bridging two clusters: the directed
+  // union may connect them, the mutual variant should not.
+  Rng rng(5);
+  Matrix points = TwoBlobs(20, 20, 3, rng);
+  // Move one point of blob A halfway toward blob B: its nearest neighbours
+  // include blob B points, but blob B's mutual sets exclude it.
+  for (size_t c = 0; c < 3; ++c) points(0, c) = 12.0f;
+  const auto loose = KnnGraphComponents(points, AllRows(40), 3, false);
+  const auto strict = KnnGraphComponents(points, AllRows(40), 3, true);
+  EXPECT_GE(strict.size(), loose.size());
+}
+
+TEST(KnnGraphTest, SubsetRowsIndexPositionsNotRows) {
+  Rng rng(6);
+  const Matrix points = TwoBlobs(10, 10, 2, rng);
+  const std::vector<size_t> rows = {12, 13, 14, 15};
+  const auto components = KnnGraphComponents(points, rows, 2);
+  for (const auto& comp : components) {
+    for (size_t pos : comp) EXPECT_LT(pos, rows.size());
+  }
+}
+
+TEST(KnnGraphTest, NoiseClusterDetectionScenario) {
+  // The Topofilter use case: 40 "clean" points in one blob plus 10
+  // "mislabeled" points that really live in another class's region.
+  // The largest mutual-kNN component must be exactly the clean blob.
+  Rng rng(7);
+  const Matrix points = TwoBlobs(40, 10, 4, rng);
+  const auto largest = LargestKnnComponent(points, AllRows(50), 4, true);
+  EXPECT_GE(largest.size(), 30u);
+  for (size_t pos : largest) EXPECT_LT(pos, 40u);
+}
+
+}  // namespace
+}  // namespace enld

@@ -1,0 +1,86 @@
+#include "graph/union_find.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace enld {
+namespace {
+
+TEST(UnionFindTest, StartsAsSingletons) {
+  UnionFind uf(5);
+  EXPECT_EQ(uf.num_sets(), 5u);
+  EXPECT_EQ(uf.size(), 5u);
+  for (size_t i = 0; i < 5; ++i) {
+    EXPECT_EQ(uf.Find(i), i);
+    EXPECT_EQ(uf.SetSize(i), 1u);
+  }
+}
+
+TEST(UnionFindTest, UnionMergesSets) {
+  UnionFind uf(4);
+  EXPECT_TRUE(uf.Union(0, 1));
+  EXPECT_EQ(uf.num_sets(), 3u);
+  EXPECT_EQ(uf.Find(0), uf.Find(1));
+  EXPECT_EQ(uf.SetSize(0), 2u);
+  EXPECT_NE(uf.Find(0), uf.Find(2));
+}
+
+TEST(UnionFindTest, RedundantUnionReturnsFalse) {
+  UnionFind uf(3);
+  EXPECT_TRUE(uf.Union(0, 1));
+  EXPECT_FALSE(uf.Union(1, 0));
+  EXPECT_EQ(uf.num_sets(), 2u);
+}
+
+TEST(UnionFindTest, TransitiveMerge) {
+  UnionFind uf(6);
+  uf.Union(0, 1);
+  uf.Union(2, 3);
+  uf.Union(1, 2);
+  EXPECT_EQ(uf.Find(0), uf.Find(3));
+  EXPECT_EQ(uf.SetSize(3), 4u);
+  EXPECT_EQ(uf.num_sets(), 3u);
+}
+
+TEST(UnionFindTest, ComponentsPartitionElements) {
+  UnionFind uf(7);
+  uf.Union(0, 1);
+  uf.Union(1, 2);
+  uf.Union(4, 5);
+  auto components = uf.Components();
+  EXPECT_EQ(components.size(), 4u);  // {0,1,2}, {3}, {4,5}, {6}.
+  size_t total = 0;
+  for (const auto& comp : components) total += comp.size();
+  EXPECT_EQ(total, 7u);
+}
+
+TEST(UnionFindTest, RandomizedSizeInvariant) {
+  Rng rng(1);
+  const size_t n = 500;
+  UnionFind uf(n);
+  for (int i = 0; i < 1000; ++i) {
+    uf.Union(rng.UniformInt(n), rng.UniformInt(n));
+  }
+  // Sum of distinct component sizes equals n.
+  auto components = uf.Components();
+  EXPECT_EQ(components.size(), uf.num_sets());
+  size_t total = 0;
+  for (const auto& comp : components) {
+    total += comp.size();
+    // Every member agrees on its set size.
+    for (size_t member : comp) {
+      EXPECT_EQ(uf.SetSize(member), comp.size());
+    }
+  }
+  EXPECT_EQ(total, n);
+}
+
+TEST(UnionFindTest, SingleElement) {
+  UnionFind uf(1);
+  EXPECT_EQ(uf.Find(0), 0u);
+  EXPECT_FALSE(uf.Union(0, 0));
+}
+
+}  // namespace
+}  // namespace enld

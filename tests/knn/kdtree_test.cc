@@ -1,0 +1,179 @@
+#include "knn/kdtree.h"
+
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "knn/class_index.h"
+
+namespace enld {
+namespace {
+
+Matrix RandomPoints(size_t n, size_t dim, Rng& rng) {
+  Matrix m(n, dim);
+  for (size_t r = 0; r < n; ++r) {
+    for (size_t c = 0; c < dim; ++c) {
+      m(r, c) = static_cast<float>(rng.Gaussian());
+    }
+  }
+  return m;
+}
+
+std::vector<size_t> AllRows(size_t n) {
+  std::vector<size_t> rows(n);
+  for (size_t i = 0; i < n; ++i) rows[i] = i;
+  return rows;
+}
+
+TEST(KdTreeTest, EmptyTree) {
+  Matrix points(0, 3);
+  KdTree tree(points, {});
+  EXPECT_TRUE(tree.empty());
+  const float query[3] = {0, 0, 0};
+  EXPECT_TRUE(tree.Nearest(query, 5).empty());
+}
+
+TEST(KdTreeTest, SinglePoint) {
+  Matrix points(1, 2);
+  points(0, 0) = 1.0f;
+  KdTree tree(points);
+  const float query[2] = {0.0f, 0.0f};
+  const auto result = tree.Nearest(query, 3);
+  ASSERT_EQ(result.size(), 1u);
+  EXPECT_EQ(result[0].index, 0u);
+  EXPECT_FLOAT_EQ(result[0].distance_squared, 1.0f);
+}
+
+TEST(KdTreeTest, ExactNearestOnLine) {
+  Matrix points(5, 1);
+  for (size_t i = 0; i < 5; ++i) points(i, 0) = static_cast<float>(i * 2);
+  KdTree tree(points);
+  const float query[1] = {4.6f};
+  const auto result = tree.Nearest(query, 2);
+  ASSERT_EQ(result.size(), 2u);
+  EXPECT_EQ(result[0].index, 2u);  // 4.0 is nearest to 4.6.
+  EXPECT_EQ(result[1].index, 3u);  // then 6.0.
+}
+
+TEST(KdTreeTest, ResultsOrderedByDistance) {
+  Rng rng(1);
+  const Matrix points = RandomPoints(200, 5, rng);
+  KdTree tree(points);
+  const auto query = points.RowVector(17);
+  const auto result = tree.Nearest(query, 10);
+  ASSERT_EQ(result.size(), 10u);
+  EXPECT_EQ(result[0].index, 17u);  // The point itself.
+  for (size_t i = 1; i < result.size(); ++i) {
+    EXPECT_LE(result[i - 1].distance_squared, result[i].distance_squared);
+  }
+}
+
+TEST(KdTreeTest, KLargerThanNReturnsAll) {
+  Rng rng(2);
+  const Matrix points = RandomPoints(7, 3, rng);
+  KdTree tree(points);
+  const float query[3] = {0, 0, 0};
+  EXPECT_EQ(tree.Nearest(query, 100).size(), 7u);
+}
+
+TEST(KdTreeTest, DuplicatePointsHandled) {
+  Matrix points(6, 2, 1.0f);  // All identical.
+  KdTree tree(points);
+  const float query[2] = {1.0f, 1.0f};
+  const auto result = tree.Nearest(query, 4);
+  EXPECT_EQ(result.size(), 4u);
+  for (const auto& n : result) EXPECT_FLOAT_EQ(n.distance_squared, 0.0f);
+}
+
+TEST(KdTreeTest, SubsetIndexingReturnsSourceRows) {
+  Rng rng(3);
+  const Matrix points = RandomPoints(50, 4, rng);
+  const std::vector<size_t> rows = {5, 10, 15, 20, 25};
+  KdTree tree(points, rows);
+  EXPECT_EQ(tree.size(), 5u);
+  const auto query = points.RowVector(15);
+  const auto result = tree.Nearest(query, 1);
+  ASSERT_EQ(result.size(), 1u);
+  EXPECT_EQ(result[0].index, 15u);
+}
+
+struct SweepParam {
+  size_t n;
+  size_t dim;
+  size_t k;
+  uint64_t seed;
+};
+
+class KdTreeBruteForceEquivalence
+    : public ::testing::TestWithParam<SweepParam> {};
+
+TEST_P(KdTreeBruteForceEquivalence, MatchesBruteForce) {
+  const SweepParam p = GetParam();
+  Rng rng(p.seed);
+  const Matrix points = RandomPoints(p.n, p.dim, rng);
+  const auto rows = AllRows(p.n);
+  KdTree tree(points, rows);
+
+  for (int trial = 0; trial < 20; ++trial) {
+    std::vector<float> query(p.dim);
+    for (auto& q : query) q = static_cast<float>(rng.Gaussian(0.0, 2.0));
+    const auto fast = tree.Nearest(query.data(), p.k);
+    const auto slow = BruteForceNearest(points, rows, query.data(), p.k);
+    ASSERT_EQ(fast.size(), slow.size());
+    for (size_t i = 0; i < fast.size(); ++i) {
+      // Indices can differ under distance ties; distances must agree.
+      EXPECT_FLOAT_EQ(fast[i].distance_squared, slow[i].distance_squared);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, KdTreeBruteForceEquivalence,
+    ::testing::Values(SweepParam{1, 2, 1, 10}, SweepParam{10, 2, 3, 11},
+                      SweepParam{100, 3, 5, 12}, SweepParam{500, 8, 7, 13},
+                      SweepParam{1000, 16, 10, 14},
+                      SweepParam{64, 1, 64, 15}, SweepParam{33, 5, 1, 16}));
+
+TEST(ClassIndexTest, RespectsClassConstraint) {
+  Rng rng(4);
+  const Matrix points = RandomPoints(60, 3, rng);
+  std::vector<int> labels(60);
+  for (size_t i = 0; i < 60; ++i) labels[i] = static_cast<int>(i % 3);
+  ClassKnnIndex index(points, labels, AllRows(60), 3);
+  EXPECT_EQ(index.ClassSize(0), 20u);
+  EXPECT_TRUE(index.HasClass(2));
+
+  const auto query = points.RowVector(0);
+  for (int label = 0; label < 3; ++label) {
+    for (const Neighbor& n : index.Nearest(label, query.data(), 5)) {
+      EXPECT_EQ(labels[n.index], label);
+    }
+  }
+}
+
+TEST(ClassIndexTest, MissingClassReturnsEmpty) {
+  Rng rng(5);
+  const Matrix points = RandomPoints(10, 2, rng);
+  std::vector<int> labels(10, 0);  // Only class 0 populated.
+  ClassKnnIndex index(points, labels, AllRows(10), 4);
+  EXPECT_FALSE(index.HasClass(3));
+  const float query[2] = {0, 0};
+  EXPECT_TRUE(index.Nearest(3, query, 2).empty());
+  EXPECT_EQ(index.Nearest(0, query, 2).size(), 2u);
+}
+
+TEST(ClassIndexTest, IndexesOnlyGivenRows) {
+  Rng rng(6);
+  const Matrix points = RandomPoints(20, 2, rng);
+  std::vector<int> labels(20, 0);
+  ClassKnnIndex index(points, labels, {1, 3, 5}, 1);
+  EXPECT_EQ(index.ClassSize(0), 3u);
+  const float query[2] = {0, 0};
+  for (const Neighbor& n : index.Nearest(0, query, 10)) {
+    EXPECT_TRUE(n.index == 1 || n.index == 3 || n.index == 5);
+  }
+}
+
+}  // namespace
+}  // namespace enld

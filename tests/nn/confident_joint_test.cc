@@ -1,0 +1,176 @@
+#include "nn/confident_joint.h"
+
+#include <gtest/gtest.h>
+
+#include "data/noise.h"
+#include "data/synthetic.h"
+#include "nn/trainer.h"
+
+namespace enld {
+namespace {
+
+struct TrainedSetup {
+  Dataset train;
+  Dataset holdout;
+  std::unique_ptr<MlpModel> model;
+};
+
+TrainedSetup MakeTrainedSetup(double noise_rate) {
+  SyntheticConfig config;
+  config.num_classes = 6;
+  config.samples_per_class = 80;
+  config.feature_dim = 8;
+  config.class_separation = 7.0;
+  config.seed = 31;
+  Dataset all = GenerateSynthetic(config);
+  Rng rng(32);
+  if (noise_rate > 0) {
+    const auto t = TransitionMatrix::PairAsymmetric(6, noise_rate);
+    ApplyLabelNoise(&all, t, rng);
+  }
+  std::vector<size_t> first_half, second_half;
+  for (size_t i = 0; i < all.size(); ++i) {
+    (i % 2 == 0 ? first_half : second_half).push_back(i);
+  }
+  TrainedSetup setup;
+  setup.train = all.Subset(first_half);
+  setup.holdout = all.Subset(second_half);
+  Rng model_rng(33);
+  setup.model = std::make_unique<MlpModel>(
+      std::vector<size_t>{8, 16, 8, 6}, model_rng);
+  TrainConfig train;
+  train.epochs = 12;
+  train.seed = 34;
+  TrainModel(setup.model.get(), setup.train, nullptr, train);
+  return setup;
+}
+
+TEST(JointCountsTest, CountsSumToLabeledSamples) {
+  TrainedSetup setup = MakeTrainedSetup(0.2);
+  const JointCounts joint =
+      EstimateJointCounts(setup.model.get(), setup.holdout);
+  double total = 0.0;
+  for (const auto& row : joint) {
+    for (double v : row) total += v;
+  }
+  EXPECT_DOUBLE_EQ(total, static_cast<double>(setup.holdout.size()));
+}
+
+TEST(JointCountsTest, CleanDataIsDiagonalDominant) {
+  TrainedSetup setup = MakeTrainedSetup(0.0);
+  const JointCounts joint =
+      EstimateJointCounts(setup.model.get(), setup.holdout);
+  for (size_t i = 0; i < joint.size(); ++i) {
+    double row_sum = 0.0;
+    for (double v : joint[i]) row_sum += v;
+    if (row_sum > 0) {
+      EXPECT_GT(joint[i][i] / row_sum, 0.6) << "class " << i;
+    }
+  }
+}
+
+TEST(JointCountsTest, NoisyDataShowsPairStructure) {
+  TrainedSetup setup = MakeTrainedSetup(0.3);
+  const JointCounts joint =
+      EstimateJointCounts(setup.model.get(), setup.holdout);
+  // In aggregate, the off-diagonal mass of row i (observed i) must sit on
+  // class i-1 (the pair-noise source) more than on an average other class.
+  const int classes = static_cast<int>(joint.size());
+  double pair_mass = 0.0;
+  double other_mass = 0.0;
+  for (int i = 0; i < classes; ++i) {
+    const int source = (i + classes - 1) % classes;
+    for (int j = 0; j < classes; ++j) {
+      if (j == i) continue;
+      if (j == source) {
+        pair_mass += joint[i][j];
+      } else {
+        other_mass += joint[i][j];
+      }
+    }
+  }
+  // Per-cell: one pair cell per row vs (classes - 2) other cells.
+  EXPECT_GT(pair_mass, other_mass / (classes - 2));
+}
+
+TEST(JointCountsTest, SkipsMissingLabels) {
+  TrainedSetup setup = MakeTrainedSetup(0.1);
+  Rng rng(35);
+  MaskMissingLabels(&setup.holdout, 0.5, rng);
+  const JointCounts joint =
+      EstimateJointCounts(setup.model.get(), setup.holdout);
+  double total = 0.0;
+  for (const auto& row : joint) {
+    for (double v : row) total += v;
+  }
+  EXPECT_DOUBLE_EQ(
+      total, static_cast<double>(setup.holdout.size() -
+                                 setup.holdout.MissingLabelIndices().size()));
+}
+
+TEST(ConfidentJointTest, MoreConservativeThanPlainCounts) {
+  TrainedSetup setup = MakeTrainedSetup(0.2);
+  const JointCounts plain =
+      EstimateJointCounts(setup.model.get(), setup.holdout);
+  const JointCounts confident =
+      EstimateConfidentJoint(setup.model.get(), setup.holdout);
+  double plain_total = 0.0, confident_total = 0.0;
+  for (size_t i = 0; i < plain.size(); ++i) {
+    for (size_t j = 0; j < plain.size(); ++j) {
+      plain_total += plain[i][j];
+      confident_total += confident[i][j];
+    }
+  }
+  // Thresholding can only drop samples.
+  EXPECT_LE(confident_total, plain_total);
+  EXPECT_GT(confident_total, 0.0);
+}
+
+TEST(ConditionalTest, RowsAreDistributions) {
+  TrainedSetup setup = MakeTrainedSetup(0.2);
+  const auto joint = EstimateJointCounts(setup.model.get(), setup.holdout);
+  const auto conditional = ConditionalFromJoint(joint);
+  for (const auto& row : conditional) {
+    double sum = 0.0;
+    for (double v : row) {
+      EXPECT_GE(v, 0.0);
+      EXPECT_LE(v, 1.0);
+      sum += v;
+    }
+    EXPECT_NEAR(sum, 1.0, 1e-9);
+  }
+}
+
+TEST(ConditionalTest, ZeroRowFallsBackToIdentity) {
+  JointCounts joint = {{0.0, 0.0}, {3.0, 1.0}};
+  const auto conditional = ConditionalFromJoint(joint);
+  EXPECT_DOUBLE_EQ(conditional[0][0], 1.0);
+  EXPECT_DOUBLE_EQ(conditional[0][1], 0.0);
+  EXPECT_DOUBLE_EQ(conditional[1][0], 0.75);
+  EXPECT_DOUBLE_EQ(conditional[1][1], 0.25);
+}
+
+TEST(ConditionalTest, EstimateTracksTrueNoiseRate) {
+  // P̃(y* = i | ỹ = i) must decrease with the injected noise rate and stay
+  // far above chance (the estimate is biased by model error, so we assert
+  // the ordering rather than the absolute value).
+  auto mean_diag = [](double eta) {
+    TrainedSetup setup = MakeTrainedSetup(eta);
+    const auto joint =
+        EstimateJointCounts(setup.model.get(), setup.holdout);
+    const auto conditional = ConditionalFromJoint(joint);
+    double diag = 0.0;
+    for (size_t i = 0; i < conditional.size(); ++i) {
+      diag += conditional[i][i];
+    }
+    return diag / conditional.size();
+  };
+  const double low = mean_diag(0.1);
+  const double high = mean_diag(0.4);
+  EXPECT_GT(low, high);
+  EXPECT_GT(low, 0.55);
+  EXPECT_GT(high, 1.0 / 6.0);  // Far above the 6-class chance level.
+}
+
+}  // namespace
+}  // namespace enld

@@ -1,0 +1,105 @@
+#include "nn/loss.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace enld {
+namespace {
+
+TEST(OneHotTest, EncodesLabels) {
+  const Matrix m = OneHot({2, 0}, 3);
+  ASSERT_EQ(m.rows(), 2u);
+  ASSERT_EQ(m.cols(), 3u);
+  EXPECT_EQ(m(0, 2), 1.0f);
+  EXPECT_EQ(m(0, 0), 0.0f);
+  EXPECT_EQ(m(1, 0), 1.0f);
+}
+
+TEST(SoftmaxCrossEntropyTest, UniformLogitsGiveLogC) {
+  Matrix logits(2, 4, 0.0f);
+  const double loss =
+      SoftmaxCrossEntropy(logits, {1, 3}, 4, nullptr);
+  EXPECT_NEAR(loss, std::log(4.0), 1e-5);
+}
+
+TEST(SoftmaxCrossEntropyTest, ConfidentCorrectPredictionLowLoss) {
+  Matrix logits(1, 3, 0.0f);
+  logits(0, 1) = 20.0f;
+  const double loss = SoftmaxCrossEntropy(logits, {1}, 3, nullptr);
+  EXPECT_LT(loss, 1e-6);
+}
+
+TEST(SoftmaxCrossEntropyTest, ConfidentWrongPredictionHighLoss) {
+  Matrix logits(1, 3, 0.0f);
+  logits(0, 0) = 20.0f;
+  const double loss = SoftmaxCrossEntropy(logits, {1}, 3, nullptr);
+  EXPECT_GT(loss, 10.0);
+}
+
+TEST(SoftmaxCrossEntropyTest, GradientIsSoftmaxMinusTarget) {
+  Matrix logits(1, 3);
+  logits(0, 0) = 1.0f;
+  logits(0, 1) = 2.0f;
+  logits(0, 2) = 0.5f;
+  Matrix grad;
+  SoftmaxCrossEntropy(logits, {1}, 3, &grad);
+  Matrix probs;
+  SoftmaxRows(logits, &probs);
+  EXPECT_NEAR(grad(0, 0), probs(0, 0), 1e-6);
+  EXPECT_NEAR(grad(0, 1), probs(0, 1) - 1.0f, 1e-6);
+  EXPECT_NEAR(grad(0, 2), probs(0, 2), 1e-6);
+}
+
+TEST(SoftmaxCrossEntropyTest, GradientScaledByBatch) {
+  Matrix logits(4, 2, 0.0f);
+  Matrix grad;
+  SoftmaxCrossEntropy(logits, {0, 0, 0, 0}, 2, &grad);
+  // Per sample grad entry for class 1 is softmax=0.5; mean-scaled by 1/4.
+  EXPECT_NEAR(grad(0, 1), 0.5f / 4.0f, 1e-6);
+}
+
+TEST(SoftmaxCrossEntropyTest, GradientRowsSumToZero) {
+  Rng rng(1);
+  Matrix logits(5, 6);
+  for (size_t i = 0; i < logits.size(); ++i) {
+    logits.data()[i] = static_cast<float>(rng.Gaussian());
+  }
+  Matrix grad;
+  SoftmaxCrossEntropy(logits, {0, 1, 2, 3, 4}, 6, &grad);
+  for (size_t r = 0; r < grad.rows(); ++r) {
+    float sum = 0.0f;
+    for (size_t c = 0; c < grad.cols(); ++c) sum += grad(r, c);
+    EXPECT_NEAR(sum, 0.0f, 1e-5f);
+  }
+}
+
+TEST(SoftmaxCrossEntropyTest, SoftTargetsMixupStyle) {
+  // Loss against a 50/50 soft target equals the average of the two
+  // hard-label losses (cross-entropy is linear in the target).
+  Matrix logits(1, 2);
+  logits(0, 0) = 1.0f;
+  logits(0, 1) = -1.0f;
+  Matrix soft(1, 2);
+  soft(0, 0) = 0.5f;
+  soft(0, 1) = 0.5f;
+  const double mixed = SoftmaxCrossEntropy(logits, soft, nullptr);
+  const double l0 = SoftmaxCrossEntropy(logits, {0}, 2, nullptr);
+  const double l1 = SoftmaxCrossEntropy(logits, {1}, 2, nullptr);
+  EXPECT_NEAR(mixed, 0.5 * (l0 + l1), 1e-6);
+}
+
+TEST(SoftmaxCrossEntropyTest, NumericallyStableExtremeLogits) {
+  Matrix logits(1, 2);
+  logits(0, 0) = 10000.0f;
+  logits(0, 1) = -10000.0f;
+  const double loss = SoftmaxCrossEntropy(logits, {1}, 2, nullptr);
+  EXPECT_FALSE(std::isnan(loss));
+  EXPECT_FALSE(std::isinf(loss));
+  EXPECT_GT(loss, 1.0);
+}
+
+}  // namespace
+}  // namespace enld

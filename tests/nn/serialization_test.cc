@@ -1,0 +1,84 @@
+#include "nn/serialization.h"
+
+#include <cstdio>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace enld {
+namespace {
+
+std::string TempPath(const char* name) {
+  return std::string(::testing::TempDir()) + "/" + name;
+}
+
+TEST(ModelSerializationTest, RoundTripPreservesOutputs) {
+  Rng rng(1);
+  MlpModel original({8, 16, 8, 5}, rng);
+  const std::string path = TempPath("model_roundtrip.enld");
+  ASSERT_TRUE(SaveModel(original, path).ok());
+
+  auto loaded = LoadModel(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ((*loaded)->layer_dims(), original.layer_dims());
+
+  Matrix inputs(5, 8);
+  Rng data_rng(2);
+  for (size_t i = 0; i < inputs.size(); ++i) {
+    inputs.data()[i] = static_cast<float>(data_rng.Gaussian());
+  }
+  const Matrix a = original.Probabilities(inputs);
+  const Matrix b = (*loaded)->Probabilities(inputs);
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a.data()[i], b.data()[i]);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(ModelSerializationTest, MissingFileIsNotFound) {
+  const auto loaded = LoadModel(TempPath("does_not_exist.enld"));
+  EXPECT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kNotFound);
+}
+
+TEST(ModelSerializationTest, RejectsWrongMagic) {
+  const std::string path = TempPath("bad_magic.enld");
+  FILE* f = std::fopen(path.c_str(), "wb");
+  ASSERT_NE(f, nullptr);
+  std::fwrite("NOTMODEL", 1, 8, f);
+  std::fclose(f);
+  const auto loaded = LoadModel(path);
+  EXPECT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kInvalidArgument);
+  std::remove(path.c_str());
+}
+
+TEST(ModelSerializationTest, RejectsTruncatedFile) {
+  Rng rng(3);
+  MlpModel model({4, 8, 3}, rng);
+  const std::string path = TempPath("truncated.enld");
+  ASSERT_TRUE(SaveModel(model, path).ok());
+  // Truncate the weight section.
+  FILE* f = std::fopen(path.c_str(), "rb+");
+  ASSERT_NE(f, nullptr);
+  std::fseek(f, 0, SEEK_END);
+  const long size = std::ftell(f);
+  std::fclose(f);
+  ASSERT_EQ(truncate(path.c_str(), size - 40), 0);
+  const auto loaded = LoadModel(path);
+  EXPECT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kInvalidArgument);
+  std::remove(path.c_str());
+}
+
+TEST(ModelSerializationTest, UnwritablePathFails) {
+  Rng rng(4);
+  MlpModel model({2, 4, 2}, rng);
+  EXPECT_EQ(SaveModel(model, "/nonexistent_dir/model.enld").code(),
+            StatusCode::kNotFound);
+}
+
+}  // namespace
+}  // namespace enld

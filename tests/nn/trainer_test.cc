@@ -1,0 +1,190 @@
+#include "nn/trainer.h"
+
+#include <gtest/gtest.h>
+
+#include "data/noise.h"
+#include "data/synthetic.h"
+
+namespace enld {
+namespace {
+
+SyntheticConfig EasyConfig() {
+  SyntheticConfig config;
+  config.num_classes = 5;
+  config.samples_per_class = 60;
+  config.feature_dim = 8;
+  config.class_separation = 8.0;
+  config.seed = 21;
+  return config;
+}
+
+std::unique_ptr<MlpModel> FreshModel(const Dataset& data, uint64_t seed) {
+  Rng rng(seed);
+  return std::make_unique<MlpModel>(
+      std::vector<size_t>{data.dim(), 16, 8,
+                          static_cast<size_t>(data.num_classes)},
+      rng);
+}
+
+TEST(TrainerTest, LearnsSeparableTask) {
+  const Dataset data = GenerateSynthetic(EasyConfig());
+  auto model = FreshModel(data, 1);
+  TrainConfig config;
+  config.epochs = 15;
+  config.seed = 2;
+  const TrainResult result = TrainModel(model.get(), data, nullptr, config);
+  EXPECT_EQ(result.epochs_run, 15u);
+  EXPECT_GT(AccuracyAgainstTrue(model.get(), data), 0.95);
+}
+
+TEST(TrainerTest, LossDecreases) {
+  const Dataset data = GenerateSynthetic(EasyConfig());
+  auto model = FreshModel(data, 3);
+  TrainConfig one_epoch;
+  one_epoch.epochs = 1;
+  one_epoch.seed = 4;
+  const double first =
+      TrainModel(model.get(), data, nullptr, one_epoch).final_train_loss;
+  TrainConfig more;
+  more.epochs = 10;
+  more.seed = 5;
+  const double later =
+      TrainModel(model.get(), data, nullptr, more).final_train_loss;
+  EXPECT_LT(later, first);
+}
+
+TEST(TrainerTest, ZeroEpochsIsNoOp) {
+  const Dataset data = GenerateSynthetic(EasyConfig());
+  auto model = FreshModel(data, 6);
+  const auto before = model->GetWeights();
+  TrainConfig config;
+  config.epochs = 0;
+  const TrainResult result = TrainModel(model.get(), data, nullptr, config);
+  EXPECT_EQ(result.epochs_run, 0u);
+  EXPECT_EQ(model->GetWeights(), before);
+}
+
+TEST(TrainerTest, SkipsMissingLabels) {
+  Dataset data = GenerateSynthetic(EasyConfig());
+  // Mask every sample: nothing trainable -> weights unchanged.
+  Rng rng(7);
+  MaskMissingLabels(&data, 1.0, rng);
+  auto model = FreshModel(data, 8);
+  const auto before = model->GetWeights();
+  TrainConfig config;
+  config.epochs = 3;
+  TrainModel(model.get(), data, nullptr, config);
+  EXPECT_EQ(model->GetWeights(), before);
+}
+
+TEST(TrainerTest, PartialMissingLabelsStillTrains) {
+  Dataset data = GenerateSynthetic(EasyConfig());
+  Rng rng(9);
+  MaskMissingLabels(&data, 0.5, rng);
+  auto model = FreshModel(data, 10);
+  TrainConfig config;
+  config.epochs = 12;
+  config.seed = 11;
+  TrainModel(model.get(), data, nullptr, config);
+  EXPECT_GT(AccuracyAgainstTrue(model.get(), data), 0.9);
+}
+
+TEST(TrainerTest, MixupTrainingStillLearns) {
+  const Dataset data = GenerateSynthetic(EasyConfig());
+  auto model = FreshModel(data, 12);
+  TrainConfig config;
+  config.epochs = 15;
+  config.mixup_alpha = 0.2;
+  config.seed = 13;
+  TrainModel(model.get(), data, nullptr, config);
+  EXPECT_GT(AccuracyAgainstTrue(model.get(), data), 0.9);
+}
+
+TEST(TrainerTest, DeterministicGivenSeed) {
+  const Dataset data = GenerateSynthetic(EasyConfig());
+  auto run = [&](uint64_t seed) {
+    auto model = FreshModel(data, 14);
+    TrainConfig config;
+    config.epochs = 3;
+    config.mixup_alpha = 0.2;
+    config.seed = seed;
+    TrainModel(model.get(), data, nullptr, config);
+    return model->GetWeights();
+  };
+  EXPECT_EQ(run(5), run(5));
+  EXPECT_NE(run(5), run(6));
+}
+
+TEST(TrainerTest, ValidationAccuracyReported) {
+  const Dataset data = GenerateSynthetic(EasyConfig());
+  auto model = FreshModel(data, 15);
+  TrainConfig config;
+  config.epochs = 10;
+  config.seed = 16;
+  const TrainResult result = TrainModel(model.get(), data, &data, config);
+  EXPECT_GT(result.best_validation_accuracy, 0.9);
+}
+
+TEST(TrainerTest, SelectBestRestoresBestWeights) {
+  const Dataset data = GenerateSynthetic(EasyConfig());
+  auto model = FreshModel(data, 17);
+  TrainConfig config;
+  config.epochs = 10;
+  config.seed = 18;
+  config.select_best_on_validation = true;
+  const TrainResult result = TrainModel(model.get(), data, &data, config);
+  // The restored weights must reproduce the best validation accuracy.
+  EXPECT_NEAR(AccuracyAgainstObserved(model.get(), data),
+              result.best_validation_accuracy, 1e-9);
+}
+
+TEST(TrainerTest, LrDecayApplied) {
+  // With lr decay ~0, later epochs barely move the weights: the final loss
+  // with heavy decay should be higher than with no decay.
+  const Dataset data = GenerateSynthetic(EasyConfig());
+  auto decayed = FreshModel(data, 19);
+  TrainConfig heavy;
+  heavy.epochs = 10;
+  heavy.lr_decay_per_epoch = 0.1;
+  heavy.seed = 20;
+  const double heavy_loss =
+      TrainModel(decayed.get(), data, nullptr, heavy).final_train_loss;
+
+  auto constant = FreshModel(data, 19);
+  TrainConfig none;
+  none.epochs = 10;
+  none.lr_decay_per_epoch = 1.0;
+  none.seed = 20;
+  const double none_loss =
+      TrainModel(constant.get(), data, nullptr, none).final_train_loss;
+  EXPECT_GT(heavy_loss, none_loss);
+}
+
+TEST(AccuracyTest, AgainstObservedVsTrue) {
+  Matrix features(2, 1);
+  features(0, 0) = 0.0f;
+  features(1, 0) = 1.0f;
+  Dataset data = MakeDataset(std::move(features), {1, 0}, {0, 0}, 2);
+  Rng rng(21);
+  MlpModel model({1, 4, 2}, rng);
+  const auto predicted = model.Predict(data.features);
+  double expected_obs = 0.0;
+  double expected_true = 0.0;
+  for (size_t i = 0; i < 2; ++i) {
+    if (predicted[i] == data.observed_labels[i]) expected_obs += 0.5;
+    if (predicted[i] == data.true_labels[i]) expected_true += 0.5;
+  }
+  EXPECT_DOUBLE_EQ(AccuracyAgainstObserved(&model, data), expected_obs);
+  EXPECT_DOUBLE_EQ(AccuracyAgainstTrue(&model, data), expected_true);
+}
+
+TEST(AccuracyTest, EmptyDatasetIsZero) {
+  Rng rng(22);
+  MlpModel model({1, 2, 2}, rng);
+  Dataset empty;
+  EXPECT_EQ(AccuracyAgainstObserved(&model, empty), 0.0);
+  EXPECT_EQ(AccuracyAgainstTrue(&model, empty), 0.0);
+}
+
+}  // namespace
+}  // namespace enld

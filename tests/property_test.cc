@@ -1,0 +1,205 @@
+// Cross-module property tests: statistical claims from the paper's
+// corollaries and invariants that must hold for arbitrary seeds, swept
+// with parameterized gtest.
+
+#include <cmath>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "data/workload.h"
+#include "enld/contrastive.h"
+#include "enld/framework.h"
+#include "eval/metrics.h"
+#include "knn/kdtree.h"
+#include "test_util.h"
+
+namespace enld {
+namespace {
+
+// --- Corollary 1: P(class m not in label(D)) = (1 - P(ỹ=m|y*=m))^|D^m|.
+
+TEST(Corollary1Test, MissingClassProbabilityMatchesFormula) {
+  // Direct Monte-Carlo check of the corollary's model: |D^m| samples of
+  // true class m, each kept with probability 1 - eta; the class is missing
+  // from label(D) iff every one flips away.
+  const double eta = 0.3;
+  const size_t dm = 5;
+  const auto transition = TransitionMatrix::PairAsymmetric(4, eta);
+  Rng rng(1);
+  const int trials = 40000;
+  int missing = 0;
+  for (int t = 0; t < trials; ++t) {
+    bool any_kept = false;
+    for (size_t i = 0; i < dm; ++i) {
+      if (transition.SampleObserved(1, rng) == 1) any_kept = true;
+    }
+    if (!any_kept) ++missing;
+  }
+  const double expected = std::pow(eta, static_cast<double>(dm));
+  EXPECT_NEAR(static_cast<double>(missing) / trials, expected,
+              3.0 * std::sqrt(expected / trials) + 1e-4);
+}
+
+// --- Corollary 2: E[L(C)] equals the P̃-mixture of L(A).
+
+TEST(Corollary2Test, ContrastiveLabelDistributionIsConditionalMixture) {
+  // Candidate set: dense 1-D classes so every class is always available.
+  const int classes = 3;
+  const size_t per_class = 50;
+  Matrix features(classes * per_class, 1);
+  std::vector<int> labels(classes * per_class);
+  for (int c = 0; c < classes; ++c) {
+    for (size_t i = 0; i < per_class; ++i) {
+      features(c * per_class + i, 0) =
+          static_cast<float>(100 * c + static_cast<int>(i));
+      labels[c * per_class + i] = c;
+    }
+  }
+  Dataset candidate = MakeDataset(features, labels, {}, classes);
+  std::vector<size_t> all(candidate.size());
+  for (size_t i = 0; i < all.size(); ++i) all[i] = i;
+  ClassKnnIndex index(candidate.features, candidate.observed_labels, all,
+                      classes);
+
+  // Ambiguous set: n samples all observed as class 0.
+  const size_t n = 3000;
+  Matrix d_features(n, 1, 50.0f);
+  Dataset incremental =
+      MakeDataset(d_features, std::vector<int>(n, 0), {}, classes);
+  std::vector<size_t> ambiguous(n);
+  for (size_t i = 0; i < n; ++i) ambiguous[i] = i;
+
+  const std::vector<std::vector<double>> conditional = {
+      {0.5, 0.2, 0.3}, {0, 1, 0}, {0, 0, 1}};
+  Rng rng(2);
+  const auto picks =
+      ContrastiveSampling(incremental, ambiguous, incremental.features,
+                          index, conditional, /*k=*/1, true, rng);
+  ASSERT_EQ(picks.size(), n);
+  std::vector<double> fraction(classes, 0.0);
+  for (size_t p : picks) {
+    fraction[candidate.observed_labels[p]] += 1.0 / n;
+  }
+  EXPECT_NEAR(fraction[0], 0.5, 0.03);
+  EXPECT_NEAR(fraction[1], 0.2, 0.03);
+  EXPECT_NEAR(fraction[2], 0.3, 0.03);
+}
+
+// --- End-to-end invariants over random seeds and noise rates.
+
+struct EndToEndParam {
+  uint64_t seed;
+  double noise;
+};
+
+class EndToEndInvariants : public ::testing::TestWithParam<EndToEndParam> {};
+
+TEST_P(EndToEndInvariants, DetectionIsAlwaysAValidPartition) {
+  const EndToEndParam p = GetParam();
+  Workload workload =
+      BuildWorkload(testing_util::TinyWorkloadConfig(p.noise, p.seed));
+  EnldConfig config;
+  config.general = testing_util::TinyGeneralConfig();
+  config.iterations = 2;
+  config.steps_per_iteration = 3;
+  EnldFramework enld(config);
+  enld.Setup(workload.inventory);
+  for (const Dataset& d : workload.incremental) {
+    const DetectionResult r = enld.Detect(d);
+    std::set<size_t> seen;
+    for (size_t i : r.clean_indices) {
+      EXPECT_LT(i, d.size());
+      EXPECT_TRUE(seen.insert(i).second);
+    }
+    for (size_t i : r.noisy_indices) {
+      EXPECT_LT(i, d.size());
+      EXPECT_TRUE(seen.insert(i).second);
+    }
+    EXPECT_EQ(seen.size(), d.size());
+    // Trajectories are consistent: the final snapshot is the clean set.
+    ASSERT_FALSE(r.per_iteration_clean.empty());
+    EXPECT_EQ(r.per_iteration_clean.back().size(), r.clean_indices.size());
+    // At low/moderate noise, detection clearly beats the trivial
+    // flag-everything baseline (at 0.4 flag-all's F1 is already ~0.57 and
+    // the truncated 2-iteration test config need not clear it).
+    if (p.noise <= 0.3) {
+      const DetectionMetrics m = EvaluateDetection(d, r.noisy_indices);
+      std::vector<size_t> everything;
+      for (size_t i = 0; i < d.size(); ++i) everything.push_back(i);
+      const DetectionMetrics flag_all = EvaluateDetection(d, everything);
+      EXPECT_GE(m.f1 + 1e-9, flag_all.f1 * 0.8)
+          << "seed=" << p.seed << " noise=" << p.noise;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, EndToEndInvariants,
+    ::testing::Values(EndToEndParam{11, 0.1}, EndToEndParam{12, 0.2},
+                      EndToEndParam{13, 0.3}, EndToEndParam{14, 0.4},
+                      EndToEndParam{15, 0.2}, EndToEndParam{16, 0.3}));
+
+// --- KD-tree equivalence on adversarial geometries.
+
+TEST(KdTreeAdversarialTest, CollinearPoints) {
+  Matrix points(64, 4);
+  for (size_t i = 0; i < 64; ++i) {
+    for (size_t c = 0; c < 4; ++c) {
+      points(i, c) = static_cast<float>(i);  // All on a diagonal line.
+    }
+  }
+  std::vector<size_t> rows(64);
+  for (size_t i = 0; i < 64; ++i) rows[i] = i;
+  KdTree tree(points, rows);
+  const float query[4] = {31.4f, 31.4f, 31.4f, 31.4f};
+  const auto fast = tree.Nearest(query, 5);
+  const auto slow = BruteForceNearest(points, rows, query, 5);
+  ASSERT_EQ(fast.size(), slow.size());
+  for (size_t i = 0; i < fast.size(); ++i) {
+    EXPECT_FLOAT_EQ(fast[i].distance_squared, slow[i].distance_squared);
+  }
+}
+
+TEST(KdTreeAdversarialTest, ManyDuplicatesPlusOutliers) {
+  Matrix points(100, 2, 1.0f);
+  points(99, 0) = 50.0f;
+  points(98, 1) = -50.0f;
+  std::vector<size_t> rows(100);
+  for (size_t i = 0; i < 100; ++i) rows[i] = i;
+  KdTree tree(points, rows);
+  const float query[2] = {45.0f, 1.0f};
+  const auto fast = tree.Nearest(query, 3);
+  const auto slow = BruteForceNearest(points, rows, query, 3);
+  for (size_t i = 0; i < fast.size(); ++i) {
+    EXPECT_FLOAT_EQ(fast[i].distance_squared, slow[i].distance_squared);
+  }
+  EXPECT_EQ(fast[0].index, 99u);
+}
+
+// --- Noise-model statistical property across rates and class counts.
+
+class NoiseSweep
+    : public ::testing::TestWithParam<std::tuple<double, int, uint64_t>> {};
+
+TEST_P(NoiseSweep, ObservedMarginalMatchesTransitionRow) {
+  const double eta = std::get<0>(GetParam());
+  const int classes = std::get<1>(GetParam());
+  const uint64_t seed = std::get<2>(GetParam());
+  const auto t = TransitionMatrix::PairAsymmetric(classes, eta);
+  Rng rng(seed);
+  const int n = 30000;
+  std::vector<int> counts(classes, 0);
+  for (int i = 0; i < n; ++i) ++counts[t.SampleObserved(0, rng)];
+  EXPECT_NEAR(static_cast<double>(counts[0]) / n, 1.0 - eta, 0.02);
+  EXPECT_NEAR(static_cast<double>(counts[1]) / n, eta, 0.02);
+  for (int c = 2; c < classes; ++c) EXPECT_EQ(counts[c], 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Rates, NoiseSweep,
+    ::testing::Combine(::testing::Values(0.1, 0.25, 0.4),
+                       ::testing::Values(3, 20), ::testing::Values(1, 99)));
+
+}  // namespace
+}  // namespace enld

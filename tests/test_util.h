@@ -1,0 +1,45 @@
+#ifndef ENLD_TESTS_TEST_UTIL_H_
+#define ENLD_TESTS_TEST_UTIL_H_
+
+#include <cstdint>
+
+#include "data/workload.h"
+#include "nn/general_model.h"
+
+namespace enld {
+namespace testing_util {
+
+/// A small, fast workload for integration-style tests: 12 classes,
+/// a few hundred samples, 3 incremental datasets.
+inline WorkloadConfig TinyWorkloadConfig(double noise_rate,
+                                         uint64_t seed = 9999) {
+  WorkloadConfig config;
+  config.profile.name = "test-sim";
+  config.profile.num_classes = 12;
+  config.profile.samples_per_class = 60;
+  config.profile.feature_dim = 16;
+  config.profile.class_separation = 7.0;
+  config.profile.adjacent_correlation = 0.35;
+  config.profile.subclusters_per_class = 2;
+  config.profile.subcluster_spread = 1.2;
+  config.profile.incremental_domain_shift = 1.0;
+  config.profile.seed = seed;
+  config.noise_rate = noise_rate;
+  config.stream.num_datasets = 3;
+  config.stream.min_classes_per_dataset = 4;
+  config.stream.max_classes_per_dataset = 5;
+  config.seed = seed + 1;
+  return config;
+}
+
+/// A fast general-model schedule for tests.
+inline GeneralModelConfig TinyGeneralConfig() {
+  GeneralModelConfig config;
+  config.train.epochs = 6;
+  return config;
+}
+
+}  // namespace testing_util
+}  // namespace enld
+
+#endif  // ENLD_TESTS_TEST_UTIL_H_
