@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_extended_baselines.dir/bench_extended_baselines.cpp.o"
+  "CMakeFiles/bench_extended_baselines.dir/bench_extended_baselines.cpp.o.d"
+  "bench_extended_baselines"
+  "bench_extended_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_extended_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig03_strategy_loss.dir/bench_fig03_strategy_loss.cpp.o"
+  "CMakeFiles/bench_fig03_strategy_loss.dir/bench_fig03_strategy_loss.cpp.o.d"
+  "bench_fig03_strategy_loss"
+  "bench_fig03_strategy_loss.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig03_strategy_loss.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

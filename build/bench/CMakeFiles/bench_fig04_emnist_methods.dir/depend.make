@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_fig04_emnist_methods.
+# This may be replaced when dependencies are built.

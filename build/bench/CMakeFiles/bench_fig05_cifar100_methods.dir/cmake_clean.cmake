@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig05_cifar100_methods.dir/bench_fig05_cifar100_methods.cpp.o"
+  "CMakeFiles/bench_fig05_cifar100_methods.dir/bench_fig05_cifar100_methods.cpp.o.d"
+  "bench_fig05_cifar100_methods"
+  "bench_fig05_cifar100_methods.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig05_cifar100_methods.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_fig06_networks.cpp" "bench/CMakeFiles/bench_fig06_networks.dir/bench_fig06_networks.cpp.o" "gcc" "bench/CMakeFiles/bench_fig06_networks.dir/bench_fig06_networks.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/eval/CMakeFiles/enld_eval.dir/DependInfo.cmake"
+  "/root/repo/build/src/enld/CMakeFiles/enld_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/enld_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/enld_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/knn/CMakeFiles/enld_knn.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/enld_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/enld_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/enld_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig06_networks.dir/bench_fig06_networks.cpp.o"
+  "CMakeFiles/bench_fig06_networks.dir/bench_fig06_networks.cpp.o.d"
+  "bench_fig06_networks"
+  "bench_fig06_networks.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig06_networks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

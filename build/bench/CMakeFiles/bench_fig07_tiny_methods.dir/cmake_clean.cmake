@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig07_tiny_methods.dir/bench_fig07_tiny_methods.cpp.o"
+  "CMakeFiles/bench_fig07_tiny_methods.dir/bench_fig07_tiny_methods.cpp.o.d"
+  "bench_fig07_tiny_methods"
+  "bench_fig07_tiny_methods.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig07_tiny_methods.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

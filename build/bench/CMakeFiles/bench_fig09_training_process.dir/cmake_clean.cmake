@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig09_training_process.dir/bench_fig09_training_process.cpp.o"
+  "CMakeFiles/bench_fig09_training_process.dir/bench_fig09_training_process.cpp.o.d"
+  "bench_fig09_training_process"
+  "bench_fig09_training_process.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig09_training_process.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig10_policies.dir/bench_fig10_policies.cpp.o"
+  "CMakeFiles/bench_fig10_policies.dir/bench_fig10_policies.cpp.o.d"
+  "bench_fig10_policies"
+  "bench_fig10_policies.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_policies.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig11_k_f1.dir/bench_fig11_k_f1.cpp.o"
+  "CMakeFiles/bench_fig11_k_f1.dir/bench_fig11_k_f1.cpp.o.d"
+  "bench_fig11_k_f1"
+  "bench_fig11_k_f1.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11_k_f1.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

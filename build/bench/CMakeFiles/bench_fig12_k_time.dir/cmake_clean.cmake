@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig12_k_time.dir/bench_fig12_k_time.cpp.o"
+  "CMakeFiles/bench_fig12_k_time.dir/bench_fig12_k_time.cpp.o.d"
+  "bench_fig12_k_time"
+  "bench_fig12_k_time.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig12_k_time.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig13a_missing.dir/bench_fig13a_missing.cpp.o"
+  "CMakeFiles/bench_fig13a_missing.dir/bench_fig13a_missing.cpp.o.d"
+  "bench_fig13a_missing"
+  "bench_fig13a_missing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig13a_missing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig13b_ambiguous.dir/bench_fig13b_ambiguous.cpp.o"
+  "CMakeFiles/bench_fig13b_ambiguous.dir/bench_fig13b_ambiguous.cpp.o.d"
+  "bench_fig13b_ambiguous"
+  "bench_fig13b_ambiguous.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig13b_ambiguous.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

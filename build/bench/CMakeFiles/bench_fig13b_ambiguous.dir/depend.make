@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_fig13b_ambiguous.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig14_ablation.dir/bench_fig14_ablation.cpp.o"
+  "CMakeFiles/bench_fig14_ablation.dir/bench_fig14_ablation.cpp.o.d"
+  "bench_fig14_ablation"
+  "bench_fig14_ablation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig14_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_model_update.dir/bench_table2_model_update.cpp.o"
+  "CMakeFiles/bench_table2_model_update.dir/bench_table2_model_update.cpp.o.d"
+  "bench_table2_model_update"
+  "bench_table2_model_update.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_model_update.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

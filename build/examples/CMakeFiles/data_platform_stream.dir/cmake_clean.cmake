@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/data_platform_stream.dir/data_platform_stream.cpp.o"
+  "CMakeFiles/data_platform_stream.dir/data_platform_stream.cpp.o.d"
+  "data_platform_stream"
+  "data_platform_stream.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/data_platform_stream.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

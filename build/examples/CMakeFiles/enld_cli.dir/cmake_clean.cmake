@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/enld_cli.dir/enld_cli.cpp.o"
+  "CMakeFiles/enld_cli.dir/enld_cli.cpp.o.d"
+  "enld_cli"
+  "enld_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/enld_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/missing_label_recovery.dir/missing_label_recovery.cpp.o"
+  "CMakeFiles/missing_label_recovery.dir/missing_label_recovery.cpp.o.d"
+  "missing_label_recovery"
+  "missing_label_recovery.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/missing_label_recovery.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

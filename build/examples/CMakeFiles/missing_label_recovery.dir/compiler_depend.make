@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for missing_label_recovery.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baselines/co_teaching.cc" "src/baselines/CMakeFiles/enld_baselines.dir/co_teaching.cc.o" "gcc" "src/baselines/CMakeFiles/enld_baselines.dir/co_teaching.cc.o.d"
+  "/root/repo/src/baselines/confident_learning.cc" "src/baselines/CMakeFiles/enld_baselines.dir/confident_learning.cc.o" "gcc" "src/baselines/CMakeFiles/enld_baselines.dir/confident_learning.cc.o.d"
+  "/root/repo/src/baselines/default_detector.cc" "src/baselines/CMakeFiles/enld_baselines.dir/default_detector.cc.o" "gcc" "src/baselines/CMakeFiles/enld_baselines.dir/default_detector.cc.o.d"
+  "/root/repo/src/baselines/incv.cc" "src/baselines/CMakeFiles/enld_baselines.dir/incv.cc.o" "gcc" "src/baselines/CMakeFiles/enld_baselines.dir/incv.cc.o.d"
+  "/root/repo/src/baselines/o2u.cc" "src/baselines/CMakeFiles/enld_baselines.dir/o2u.cc.o" "gcc" "src/baselines/CMakeFiles/enld_baselines.dir/o2u.cc.o.d"
+  "/root/repo/src/baselines/related.cc" "src/baselines/CMakeFiles/enld_baselines.dir/related.cc.o" "gcc" "src/baselines/CMakeFiles/enld_baselines.dir/related.cc.o.d"
+  "/root/repo/src/baselines/topofilter.cc" "src/baselines/CMakeFiles/enld_baselines.dir/topofilter.cc.o" "gcc" "src/baselines/CMakeFiles/enld_baselines.dir/topofilter.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/enld_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/enld_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/enld_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/enld_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/knn/CMakeFiles/enld_knn.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/enld_baselines.dir/co_teaching.cc.o"
+  "CMakeFiles/enld_baselines.dir/co_teaching.cc.o.d"
+  "CMakeFiles/enld_baselines.dir/confident_learning.cc.o"
+  "CMakeFiles/enld_baselines.dir/confident_learning.cc.o.d"
+  "CMakeFiles/enld_baselines.dir/default_detector.cc.o"
+  "CMakeFiles/enld_baselines.dir/default_detector.cc.o.d"
+  "CMakeFiles/enld_baselines.dir/incv.cc.o"
+  "CMakeFiles/enld_baselines.dir/incv.cc.o.d"
+  "CMakeFiles/enld_baselines.dir/o2u.cc.o"
+  "CMakeFiles/enld_baselines.dir/o2u.cc.o.d"
+  "CMakeFiles/enld_baselines.dir/related.cc.o"
+  "CMakeFiles/enld_baselines.dir/related.cc.o.d"
+  "CMakeFiles/enld_baselines.dir/topofilter.cc.o"
+  "CMakeFiles/enld_baselines.dir/topofilter.cc.o.d"
+  "libenld_baselines.a"
+  "libenld_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/enld_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/enld_common.dir/logging.cc.o"
+  "CMakeFiles/enld_common.dir/logging.cc.o.d"
+  "CMakeFiles/enld_common.dir/matrix.cc.o"
+  "CMakeFiles/enld_common.dir/matrix.cc.o.d"
+  "CMakeFiles/enld_common.dir/rng.cc.o"
+  "CMakeFiles/enld_common.dir/rng.cc.o.d"
+  "CMakeFiles/enld_common.dir/stats.cc.o"
+  "CMakeFiles/enld_common.dir/stats.cc.o.d"
+  "CMakeFiles/enld_common.dir/status.cc.o"
+  "CMakeFiles/enld_common.dir/status.cc.o.d"
+  "CMakeFiles/enld_common.dir/table.cc.o"
+  "CMakeFiles/enld_common.dir/table.cc.o.d"
+  "libenld_common.a"
+  "libenld_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/enld_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

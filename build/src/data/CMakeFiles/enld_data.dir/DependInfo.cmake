@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/data/dataset.cc" "src/data/CMakeFiles/enld_data.dir/dataset.cc.o" "gcc" "src/data/CMakeFiles/enld_data.dir/dataset.cc.o.d"
+  "/root/repo/src/data/noise.cc" "src/data/CMakeFiles/enld_data.dir/noise.cc.o" "gcc" "src/data/CMakeFiles/enld_data.dir/noise.cc.o.d"
+  "/root/repo/src/data/serialization.cc" "src/data/CMakeFiles/enld_data.dir/serialization.cc.o" "gcc" "src/data/CMakeFiles/enld_data.dir/serialization.cc.o.d"
+  "/root/repo/src/data/split.cc" "src/data/CMakeFiles/enld_data.dir/split.cc.o" "gcc" "src/data/CMakeFiles/enld_data.dir/split.cc.o.d"
+  "/root/repo/src/data/synthetic.cc" "src/data/CMakeFiles/enld_data.dir/synthetic.cc.o" "gcc" "src/data/CMakeFiles/enld_data.dir/synthetic.cc.o.d"
+  "/root/repo/src/data/workload.cc" "src/data/CMakeFiles/enld_data.dir/workload.cc.o" "gcc" "src/data/CMakeFiles/enld_data.dir/workload.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/enld_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/enld_data.dir/dataset.cc.o"
+  "CMakeFiles/enld_data.dir/dataset.cc.o.d"
+  "CMakeFiles/enld_data.dir/noise.cc.o"
+  "CMakeFiles/enld_data.dir/noise.cc.o.d"
+  "CMakeFiles/enld_data.dir/serialization.cc.o"
+  "CMakeFiles/enld_data.dir/serialization.cc.o.d"
+  "CMakeFiles/enld_data.dir/split.cc.o"
+  "CMakeFiles/enld_data.dir/split.cc.o.d"
+  "CMakeFiles/enld_data.dir/synthetic.cc.o"
+  "CMakeFiles/enld_data.dir/synthetic.cc.o.d"
+  "CMakeFiles/enld_data.dir/workload.cc.o"
+  "CMakeFiles/enld_data.dir/workload.cc.o.d"
+  "libenld_data.a"
+  "libenld_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/enld_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/enld/contrastive.cc" "src/enld/CMakeFiles/enld_core.dir/contrastive.cc.o" "gcc" "src/enld/CMakeFiles/enld_core.dir/contrastive.cc.o.d"
+  "/root/repo/src/enld/fine_grained.cc" "src/enld/CMakeFiles/enld_core.dir/fine_grained.cc.o" "gcc" "src/enld/CMakeFiles/enld_core.dir/fine_grained.cc.o.d"
+  "/root/repo/src/enld/framework.cc" "src/enld/CMakeFiles/enld_core.dir/framework.cc.o" "gcc" "src/enld/CMakeFiles/enld_core.dir/framework.cc.o.d"
+  "/root/repo/src/enld/platform.cc" "src/enld/CMakeFiles/enld_core.dir/platform.cc.o" "gcc" "src/enld/CMakeFiles/enld_core.dir/platform.cc.o.d"
+  "/root/repo/src/enld/sample_sets.cc" "src/enld/CMakeFiles/enld_core.dir/sample_sets.cc.o" "gcc" "src/enld/CMakeFiles/enld_core.dir/sample_sets.cc.o.d"
+  "/root/repo/src/enld/strategies.cc" "src/enld/CMakeFiles/enld_core.dir/strategies.cc.o" "gcc" "src/enld/CMakeFiles/enld_core.dir/strategies.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/enld_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/enld_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/enld_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/knn/CMakeFiles/enld_knn.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/enld_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/enld_graph.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/enld_core.dir/contrastive.cc.o"
+  "CMakeFiles/enld_core.dir/contrastive.cc.o.d"
+  "CMakeFiles/enld_core.dir/fine_grained.cc.o"
+  "CMakeFiles/enld_core.dir/fine_grained.cc.o.d"
+  "CMakeFiles/enld_core.dir/framework.cc.o"
+  "CMakeFiles/enld_core.dir/framework.cc.o.d"
+  "CMakeFiles/enld_core.dir/platform.cc.o"
+  "CMakeFiles/enld_core.dir/platform.cc.o.d"
+  "CMakeFiles/enld_core.dir/sample_sets.cc.o"
+  "CMakeFiles/enld_core.dir/sample_sets.cc.o.d"
+  "CMakeFiles/enld_core.dir/strategies.cc.o"
+  "CMakeFiles/enld_core.dir/strategies.cc.o.d"
+  "libenld_core.a"
+  "libenld_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/enld_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

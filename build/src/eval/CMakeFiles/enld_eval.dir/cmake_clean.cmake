@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/enld_eval.dir/experiment.cc.o"
+  "CMakeFiles/enld_eval.dir/experiment.cc.o.d"
+  "CMakeFiles/enld_eval.dir/metrics.cc.o"
+  "CMakeFiles/enld_eval.dir/metrics.cc.o.d"
+  "CMakeFiles/enld_eval.dir/paper_setup.cc.o"
+  "CMakeFiles/enld_eval.dir/paper_setup.cc.o.d"
+  "CMakeFiles/enld_eval.dir/reporting.cc.o"
+  "CMakeFiles/enld_eval.dir/reporting.cc.o.d"
+  "libenld_eval.a"
+  "libenld_eval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/enld_eval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libenld_eval.a"
+)

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/graph/knn_graph.cc" "src/graph/CMakeFiles/enld_graph.dir/knn_graph.cc.o" "gcc" "src/graph/CMakeFiles/enld_graph.dir/knn_graph.cc.o.d"
+  "/root/repo/src/graph/union_find.cc" "src/graph/CMakeFiles/enld_graph.dir/union_find.cc.o" "gcc" "src/graph/CMakeFiles/enld_graph.dir/union_find.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/enld_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/knn/CMakeFiles/enld_knn.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

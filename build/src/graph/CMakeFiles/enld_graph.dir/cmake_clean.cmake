@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/enld_graph.dir/knn_graph.cc.o"
+  "CMakeFiles/enld_graph.dir/knn_graph.cc.o.d"
+  "CMakeFiles/enld_graph.dir/union_find.cc.o"
+  "CMakeFiles/enld_graph.dir/union_find.cc.o.d"
+  "libenld_graph.a"
+  "libenld_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/enld_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

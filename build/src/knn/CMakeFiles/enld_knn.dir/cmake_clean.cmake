@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/enld_knn.dir/class_index.cc.o"
+  "CMakeFiles/enld_knn.dir/class_index.cc.o.d"
+  "CMakeFiles/enld_knn.dir/kdtree.cc.o"
+  "CMakeFiles/enld_knn.dir/kdtree.cc.o.d"
+  "libenld_knn.a"
+  "libenld_knn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/enld_knn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/nn/confident_joint.cc" "src/nn/CMakeFiles/enld_nn.dir/confident_joint.cc.o" "gcc" "src/nn/CMakeFiles/enld_nn.dir/confident_joint.cc.o.d"
+  "/root/repo/src/nn/general_model.cc" "src/nn/CMakeFiles/enld_nn.dir/general_model.cc.o" "gcc" "src/nn/CMakeFiles/enld_nn.dir/general_model.cc.o.d"
+  "/root/repo/src/nn/layer.cc" "src/nn/CMakeFiles/enld_nn.dir/layer.cc.o" "gcc" "src/nn/CMakeFiles/enld_nn.dir/layer.cc.o.d"
+  "/root/repo/src/nn/loss.cc" "src/nn/CMakeFiles/enld_nn.dir/loss.cc.o" "gcc" "src/nn/CMakeFiles/enld_nn.dir/loss.cc.o.d"
+  "/root/repo/src/nn/mlp.cc" "src/nn/CMakeFiles/enld_nn.dir/mlp.cc.o" "gcc" "src/nn/CMakeFiles/enld_nn.dir/mlp.cc.o.d"
+  "/root/repo/src/nn/model_zoo.cc" "src/nn/CMakeFiles/enld_nn.dir/model_zoo.cc.o" "gcc" "src/nn/CMakeFiles/enld_nn.dir/model_zoo.cc.o.d"
+  "/root/repo/src/nn/optimizer.cc" "src/nn/CMakeFiles/enld_nn.dir/optimizer.cc.o" "gcc" "src/nn/CMakeFiles/enld_nn.dir/optimizer.cc.o.d"
+  "/root/repo/src/nn/serialization.cc" "src/nn/CMakeFiles/enld_nn.dir/serialization.cc.o" "gcc" "src/nn/CMakeFiles/enld_nn.dir/serialization.cc.o.d"
+  "/root/repo/src/nn/trainer.cc" "src/nn/CMakeFiles/enld_nn.dir/trainer.cc.o" "gcc" "src/nn/CMakeFiles/enld_nn.dir/trainer.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/enld_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/enld_data.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

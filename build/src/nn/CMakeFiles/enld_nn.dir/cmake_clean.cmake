@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/enld_nn.dir/confident_joint.cc.o"
+  "CMakeFiles/enld_nn.dir/confident_joint.cc.o.d"
+  "CMakeFiles/enld_nn.dir/general_model.cc.o"
+  "CMakeFiles/enld_nn.dir/general_model.cc.o.d"
+  "CMakeFiles/enld_nn.dir/layer.cc.o"
+  "CMakeFiles/enld_nn.dir/layer.cc.o.d"
+  "CMakeFiles/enld_nn.dir/loss.cc.o"
+  "CMakeFiles/enld_nn.dir/loss.cc.o.d"
+  "CMakeFiles/enld_nn.dir/mlp.cc.o"
+  "CMakeFiles/enld_nn.dir/mlp.cc.o.d"
+  "CMakeFiles/enld_nn.dir/model_zoo.cc.o"
+  "CMakeFiles/enld_nn.dir/model_zoo.cc.o.d"
+  "CMakeFiles/enld_nn.dir/optimizer.cc.o"
+  "CMakeFiles/enld_nn.dir/optimizer.cc.o.d"
+  "CMakeFiles/enld_nn.dir/serialization.cc.o"
+  "CMakeFiles/enld_nn.dir/serialization.cc.o.d"
+  "CMakeFiles/enld_nn.dir/trainer.cc.o"
+  "CMakeFiles/enld_nn.dir/trainer.cc.o.d"
+  "libenld_nn.a"
+  "libenld_nn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/enld_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/confident_joint_test.dir/nn/confident_joint_test.cc.o"
+  "CMakeFiles/confident_joint_test.dir/nn/confident_joint_test.cc.o.d"
+  "confident_joint_test"
+  "confident_joint_test.pdb"
+  "confident_joint_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/confident_joint_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/contrastive_test.dir/enld/contrastive_test.cc.o"
+  "CMakeFiles/contrastive_test.dir/enld/contrastive_test.cc.o.d"
+  "contrastive_test"
+  "contrastive_test.pdb"
+  "contrastive_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/contrastive_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/data_serialization_test.dir/data/serialization_test.cc.o"
+  "CMakeFiles/data_serialization_test.dir/data/serialization_test.cc.o.d"
+  "data_serialization_test"
+  "data_serialization_test.pdb"
+  "data_serialization_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/data_serialization_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

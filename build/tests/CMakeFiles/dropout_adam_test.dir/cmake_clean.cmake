@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dropout_adam_test.dir/nn/dropout_adam_test.cc.o"
+  "CMakeFiles/dropout_adam_test.dir/nn/dropout_adam_test.cc.o.d"
+  "dropout_adam_test"
+  "dropout_adam_test.pdb"
+  "dropout_adam_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dropout_adam_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

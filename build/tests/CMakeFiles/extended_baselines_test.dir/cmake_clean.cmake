@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/extended_baselines_test.dir/baselines/extended_baselines_test.cc.o"
+  "CMakeFiles/extended_baselines_test.dir/baselines/extended_baselines_test.cc.o.d"
+  "extended_baselines_test"
+  "extended_baselines_test.pdb"
+  "extended_baselines_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/extended_baselines_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fine_grained_test.dir/enld/fine_grained_test.cc.o"
+  "CMakeFiles/fine_grained_test.dir/enld/fine_grained_test.cc.o.d"
+  "fine_grained_test"
+  "fine_grained_test.pdb"
+  "fine_grained_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fine_grained_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

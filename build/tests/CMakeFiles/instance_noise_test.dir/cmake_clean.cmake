@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/instance_noise_test.dir/data/instance_noise_test.cc.o"
+  "CMakeFiles/instance_noise_test.dir/data/instance_noise_test.cc.o.d"
+  "instance_noise_test"
+  "instance_noise_test.pdb"
+  "instance_noise_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/instance_noise_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

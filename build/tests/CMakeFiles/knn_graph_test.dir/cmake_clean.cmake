@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/knn_graph_test.dir/graph/knn_graph_test.cc.o"
+  "CMakeFiles/knn_graph_test.dir/graph/knn_graph_test.cc.o.d"
+  "knn_graph_test"
+  "knn_graph_test.pdb"
+  "knn_graph_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/knn_graph_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

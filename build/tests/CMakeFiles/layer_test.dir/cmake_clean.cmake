@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/layer_test.dir/nn/layer_test.cc.o"
+  "CMakeFiles/layer_test.dir/nn/layer_test.cc.o.d"
+  "layer_test"
+  "layer_test.pdb"
+  "layer_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/layer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

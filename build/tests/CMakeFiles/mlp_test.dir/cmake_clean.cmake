@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mlp_test.dir/nn/mlp_test.cc.o"
+  "CMakeFiles/mlp_test.dir/nn/mlp_test.cc.o.d"
+  "mlp_test"
+  "mlp_test.pdb"
+  "mlp_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mlp_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nn_serialization_test.dir/nn/serialization_test.cc.o"
+  "CMakeFiles/nn_serialization_test.dir/nn/serialization_test.cc.o.d"
+  "nn_serialization_test"
+  "nn_serialization_test.pdb"
+  "nn_serialization_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nn_serialization_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

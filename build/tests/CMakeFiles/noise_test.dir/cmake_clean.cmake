@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/noise_test.dir/data/noise_test.cc.o"
+  "CMakeFiles/noise_test.dir/data/noise_test.cc.o.d"
+  "noise_test"
+  "noise_test.pdb"
+  "noise_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/noise_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/reporting_test.dir/eval/reporting_test.cc.o"
+  "CMakeFiles/reporting_test.dir/eval/reporting_test.cc.o.d"
+  "reporting_test"
+  "reporting_test.pdb"
+  "reporting_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/reporting_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sample_sets_test.dir/enld/sample_sets_test.cc.o"
+  "CMakeFiles/sample_sets_test.dir/enld/sample_sets_test.cc.o.d"
+  "sample_sets_test"
+  "sample_sets_test.pdb"
+  "sample_sets_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sample_sets_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/strategies_test.dir/enld/strategies_test.cc.o"
+  "CMakeFiles/strategies_test.dir/enld/strategies_test.cc.o.d"
+  "strategies_test"
+  "strategies_test.pdb"
+  "strategies_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/strategies_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
