@@ -1,19 +1,26 @@
 // Reproduces Fig. 8: setup time and per-dataset process time of every
 // method on the EMNIST / CIFAR100 / Tiny-ImageNet incremental streams with
 // noise rates 0.1–0.4. Also prints the ENLD-vs-Topofilter process-time
-// speedup the paper headlines (4.09x / 3.65x / 4.97x at full scale).
+// speedup the paper headlines (4.09x / 3.65x / 4.97x at full scale), and a
+// per-phase wall-clock breakdown of ENLD (setup/* vs detect/*) so the
+// effect of ENLD_THREADS on each phase is visible directly.
 
 #include <cstdio>
 
 #include "bench_util.h"
+#include "common/parallel.h"
 
 int main() {
   using namespace enld;
   using namespace enld::bench;
 
+  std::printf("threads: %zu (set ENLD_THREADS to change)\n\n",
+              ParallelThreadCount());
+
   TablePrinter table({"dataset", "noise", "method", "setup_s",
                       "avg_process_s"});
   TablePrinter speedups({"dataset", "noise", "topofilter/enld_speedup"});
+  TablePrinter phases({"dataset", "noise", "phase", "seconds"});
 
   for (PaperDataset dataset :
        {PaperDataset::kEmnist, PaperDataset::kCifar100,
@@ -32,6 +39,11 @@ int main() {
           topofilter_time = run.average_process_seconds();
         } else if (run.method == "ENLD") {
           enld_time = run.average_process_seconds();
+          for (const auto& [phase, seconds] : run.phase_seconds) {
+            phases.AddRow({PaperDatasetName(dataset),
+                           TablePrinter::Num(noise, 1), phase,
+                           TablePrinter::Num(seconds, 3)});
+          }
         }
       }
       if (enld_time > 0.0) {
@@ -43,5 +55,6 @@ int main() {
   }
   table.Print("Fig. 8 — setup and process time per incremental dataset");
   speedups.Print("Fig. 8 headline — ENLD process-time speedup vs Topofilter");
+  phases.Print("ENLD per-phase wall clock (whole stream, current threads)");
   return 0;
 }

@@ -1,0 +1,169 @@
+// Thread-scaling benchmark for the parallel substrate (src/common/parallel):
+// times each hot path at 1/2/4/8 threads and reports speedup vs the
+// sequential path. Also asserts the determinism contract end-to-end: the
+// ENLD detector must produce bit-identical clean/noisy partitions at every
+// thread count.
+//
+// Hot paths measured:
+//   matmul        — dense MatMul (trainer forward/backward kernels)
+//   knn_build     — per-class KD-tree construction (ClassKnnIndex)
+//   knn_query     — batched class-constrained nearest-neighbour queries
+//   conf_joint    — confident-joint estimation over the candidate set
+//   detect_e2e    — one full fine-grained detection request (Alg. 3)
+//
+// Speedups depend on the host: on a single-core container every row is
+// ~1.0x. ENLD_THREADS is ignored here (thread counts are swept in-process).
+
+#include <cstdio>
+#include <thread>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/matrix.h"
+#include "common/parallel.h"
+#include "common/rng.h"
+#include "common/stopwatch.h"
+#include "data/synthetic.h"
+#include "knn/class_index.h"
+#include "nn/confident_joint.h"
+#include "nn/mlp.h"
+
+namespace {
+
+using namespace enld;
+
+constexpr size_t kThreadCounts[] = {1, 2, 4, 8};
+
+double TimeMatMul() {
+  Rng rng(11);
+  Matrix a(384, 256), b(256, 384), out;
+  for (size_t i = 0; i < a.size(); ++i) {
+    a.data()[i] = static_cast<float>(rng.Uniform(-1.0, 1.0));
+  }
+  for (size_t i = 0; i < b.size(); ++i) {
+    b.data()[i] = static_cast<float>(rng.Uniform(-1.0, 1.0));
+  }
+  Stopwatch watch;
+  for (int rep = 0; rep < 20; ++rep) MatMul(a, b, &out);
+  return watch.ElapsedSeconds();
+}
+
+Dataset MakeFeatureSet() {
+  SyntheticConfig config = Cifar100SimConfig();
+  config.samples_per_class = 40;
+  return GenerateSynthetic(config);
+}
+
+double TimeKnnBuild(const Dataset& data) {
+  std::vector<size_t> rows(data.size());
+  for (size_t i = 0; i < rows.size(); ++i) rows[i] = i;
+  Stopwatch watch;
+  for (int rep = 0; rep < 5; ++rep) {
+    ClassKnnIndex index(data.features, data.observed_labels, rows,
+                        data.num_classes);
+  }
+  return watch.ElapsedSeconds();
+}
+
+double TimeKnnQuery(const Dataset& data) {
+  std::vector<size_t> rows(data.size());
+  for (size_t i = 0; i < rows.size(); ++i) rows[i] = i;
+  ClassKnnIndex index(data.features, data.observed_labels, rows,
+                      data.num_classes);
+  // Every sample queries the *next* class — forces cross-tree traffic.
+  std::vector<int> labels(data.size());
+  for (size_t i = 0; i < labels.size(); ++i) {
+    labels[i] = (data.observed_labels[i] + 1) % data.num_classes;
+  }
+  Stopwatch watch;
+  for (int rep = 0; rep < 5; ++rep) {
+    index.NearestBatch(labels, data.features, rows, 10);
+  }
+  return watch.ElapsedSeconds();
+}
+
+double TimeConfidentJoint(const Dataset& data) {
+  Rng rng(29);
+  MlpModel model({data.dim(), 64, static_cast<size_t>(data.num_classes)},
+                 rng);
+  Stopwatch watch;
+  for (int rep = 0; rep < 5; ++rep) {
+    EstimateConfidentJoint(&model, data);
+  }
+  return watch.ElapsedSeconds();
+}
+
+struct DetectRun {
+  double seconds = 0.0;
+  std::vector<size_t> clean;
+  std::vector<size_t> noisy;
+};
+
+DetectRun TimeDetect() {
+  WorkloadConfig config =
+      PaperWorkloadConfig(PaperDataset::kEmnist, /*noise_rate=*/0.2);
+  config.stream.num_datasets = 1;
+  const Workload workload = BuildWorkload(config);
+
+  EnldFramework enld(PaperEnldConfig(PaperDataset::kEmnist));
+  enld.Setup(workload.inventory);
+
+  DetectRun run;
+  Stopwatch watch;
+  DetectionResult result = enld.Detect(workload.incremental.front());
+  run.seconds = watch.ElapsedSeconds();
+  run.clean = std::move(result.clean_indices);
+  run.noisy = std::move(result.noisy_indices);
+  return run;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("hardware threads available: %u\n\n",
+              std::thread::hardware_concurrency());
+
+  const Dataset features = MakeFeatureSet();
+
+  TablePrinter table({"hot_path", "threads", "seconds", "speedup_vs_1"});
+  std::vector<DetectRun> detect_runs;
+
+  struct PathResult {
+    const char* name;
+    double baseline = 0.0;
+  };
+  PathResult paths[] = {{"matmul"}, {"knn_build"}, {"knn_query"},
+                        {"conf_joint"}, {"detect_e2e"}};
+
+  for (size_t threads : kThreadCounts) {
+    SetParallelThreads(threads);
+    double seconds[5];
+    seconds[0] = TimeMatMul();
+    seconds[1] = TimeKnnBuild(features);
+    seconds[2] = TimeKnnQuery(features);
+    seconds[3] = TimeConfidentJoint(features);
+    DetectRun run = TimeDetect();
+    seconds[4] = run.seconds;
+    detect_runs.push_back(std::move(run));
+
+    for (int p = 0; p < 5; ++p) {
+      if (threads == 1) paths[p].baseline = seconds[p];
+      table.AddRow({paths[p].name, TablePrinter::Num(threads, 0),
+                    TablePrinter::Num(seconds[p], 4),
+                    TablePrinter::Num(paths[p].baseline / seconds[p], 2)});
+    }
+  }
+  table.Print("parallel scaling — wall clock per hot path");
+
+  // Determinism: the detector partition must be bit-identical at every
+  // thread count.
+  bool identical = true;
+  for (size_t i = 1; i < detect_runs.size(); ++i) {
+    identical = identical && detect_runs[i].clean == detect_runs[0].clean &&
+                detect_runs[i].noisy == detect_runs[0].noisy;
+  }
+  std::printf("\ndeterminism across thread counts: %s (clean=%zu noisy=%zu)\n",
+              identical ? "PASS" : "FAIL", detect_runs[0].clean.size(),
+              detect_runs[0].noisy.size());
+  return identical ? 0 : 1;
+}

@@ -3,7 +3,29 @@
 #include <algorithm>
 #include <cmath>
 
+#include "common/parallel.h"
+
 namespace enld {
+
+namespace {
+
+/// Kernels below this many scalar ops run sequentially: the loop is cheaper
+/// than waking the pool. Thresholds only pick the execution path — every
+/// parallel kernel here computes each output element with the same
+/// floating-point operation order as the sequential loop, so results are
+/// bit-identical at any thread count.
+constexpr size_t kMinParallelWork = size_t{1} << 15;
+
+/// Target scalar ops per chunk when splitting a row range.
+constexpr size_t kChunkWork = size_t{1} << 14;
+
+size_t RowGrain(size_t row_cost) {
+  if (row_cost == 0) row_cost = 1;
+  const size_t grain = kChunkWork / row_cost;
+  return grain == 0 ? 1 : grain;
+}
+
+}  // namespace
 
 std::vector<float> Matrix::RowVector(size_t r) const {
   ENLD_CHECK_LT(r, rows_);
@@ -33,15 +55,27 @@ void Matrix::Reset(size_t rows, size_t cols) {
 void Matrix::Add(const Matrix& other) {
   ENLD_CHECK_EQ(rows_, other.rows_);
   ENLD_CHECK_EQ(cols_, other.cols_);
-  for (size_t i = 0; i < data_.size(); ++i) data_[i] += other.data_[i];
+  if (data_.size() < kMinParallelWork) {
+    for (size_t i = 0; i < data_.size(); ++i) data_[i] += other.data_[i];
+    return;
+  }
+  ParallelFor(0, data_.size(), kChunkWork, [&](size_t lo, size_t hi) {
+    for (size_t i = lo; i < hi; ++i) data_[i] += other.data_[i];
+  });
 }
 
 void Matrix::AddScaled(const Matrix& other, float scale) {
   ENLD_CHECK_EQ(rows_, other.rows_);
   ENLD_CHECK_EQ(cols_, other.cols_);
-  for (size_t i = 0; i < data_.size(); ++i) {
-    data_[i] += scale * other.data_[i];
+  if (data_.size() < kMinParallelWork) {
+    for (size_t i = 0; i < data_.size(); ++i) {
+      data_[i] += scale * other.data_[i];
+    }
+    return;
   }
+  ParallelFor(0, data_.size(), kChunkWork, [&](size_t lo, size_t hi) {
+    for (size_t i = lo; i < hi; ++i) data_[i] += scale * other.data_[i];
+  });
 }
 
 void Matrix::Scale(float scale) {
@@ -79,15 +113,24 @@ void MatMul(const Matrix& a, const Matrix& b, Matrix* out) {
   const size_t m = a.rows(), k = a.cols(), n = b.cols();
   // i-k-j loop order: streams through b and out rows sequentially, which the
   // compiler auto-vectorizes well; adequate for the matrix sizes used here.
-  for (size_t i = 0; i < m; ++i) {
-    const float* arow = a.Row(i);
-    float* orow = out->Row(i);
-    for (size_t kk = 0; kk < k; ++kk) {
-      const float av = arow[kk];
-      if (av == 0.0f) continue;
-      const float* brow = b.Row(kk);
-      for (size_t j = 0; j < n; ++j) orow[j] += av * brow[j];
+  // Output rows are independent, so the row range splits across threads
+  // without changing any per-element accumulation order.
+  auto rows = [&](size_t lo, size_t hi) {
+    for (size_t i = lo; i < hi; ++i) {
+      const float* arow = a.Row(i);
+      float* orow = out->Row(i);
+      for (size_t kk = 0; kk < k; ++kk) {
+        const float av = arow[kk];
+        if (av == 0.0f) continue;
+        const float* brow = b.Row(kk);
+        for (size_t j = 0; j < n; ++j) orow[j] += av * brow[j];
+      }
     }
+  };
+  if (m * k * n < kMinParallelWork) {
+    rows(0, m);
+  } else {
+    ParallelFor(0, m, RowGrain(k * n), rows);
   }
 }
 
@@ -95,15 +138,22 @@ void MatMulBt(const Matrix& a, const Matrix& b, Matrix* out) {
   ENLD_CHECK_EQ(a.cols(), b.cols());
   out->Reset(a.rows(), b.rows());
   const size_t m = a.rows(), k = a.cols(), n = b.rows();
-  for (size_t i = 0; i < m; ++i) {
-    const float* arow = a.Row(i);
-    float* orow = out->Row(i);
-    for (size_t j = 0; j < n; ++j) {
-      const float* brow = b.Row(j);
-      float sum = 0.0f;
-      for (size_t kk = 0; kk < k; ++kk) sum += arow[kk] * brow[kk];
-      orow[j] = sum;
+  auto rows = [&](size_t lo, size_t hi) {
+    for (size_t i = lo; i < hi; ++i) {
+      const float* arow = a.Row(i);
+      float* orow = out->Row(i);
+      for (size_t j = 0; j < n; ++j) {
+        const float* brow = b.Row(j);
+        float sum = 0.0f;
+        for (size_t kk = 0; kk < k; ++kk) sum += arow[kk] * brow[kk];
+        orow[j] = sum;
+      }
     }
+  };
+  if (m * k * n < kMinParallelWork) {
+    rows(0, m);
+  } else {
+    ParallelFor(0, m, RowGrain(k * n), rows);
   }
 }
 
@@ -111,16 +161,34 @@ void MatMulAt(const Matrix& a, const Matrix& b, Matrix* out) {
   ENLD_CHECK_EQ(a.rows(), b.rows());
   out->Reset(a.cols(), b.cols());
   const size_t k = a.rows(), m = a.cols(), n = b.cols();
-  for (size_t kk = 0; kk < k; ++kk) {
-    const float* arow = a.Row(kk);
-    const float* brow = b.Row(kk);
-    for (size_t i = 0; i < m; ++i) {
-      const float av = arow[i];
-      if (av == 0.0f) continue;
-      float* orow = out->Row(i);
-      for (size_t j = 0; j < n; ++j) orow[j] += av * brow[j];
+  if (k * m * n < kMinParallelWork) {
+    // kk-outer order streams a and b; best cache behaviour sequentially.
+    for (size_t kk = 0; kk < k; ++kk) {
+      const float* arow = a.Row(kk);
+      const float* brow = b.Row(kk);
+      for (size_t i = 0; i < m; ++i) {
+        const float av = arow[i];
+        if (av == 0.0f) continue;
+        float* orow = out->Row(i);
+        for (size_t j = 0; j < n; ++j) orow[j] += av * brow[j];
+      }
     }
+    return;
   }
+  // Parallel variant: output rows (columns of a) are independent when i is
+  // the outer loop. For each (i, j) the kk accumulation order is unchanged,
+  // so this is bit-identical to the sequential kk-outer order above.
+  ParallelFor(0, m, RowGrain(k * n), [&](size_t lo, size_t hi) {
+    for (size_t i = lo; i < hi; ++i) {
+      float* orow = out->Row(i);
+      for (size_t kk = 0; kk < k; ++kk) {
+        const float av = a(kk, i);
+        if (av == 0.0f) continue;
+        const float* brow = b.Row(kk);
+        for (size_t j = 0; j < n; ++j) orow[j] += av * brow[j];
+      }
+    }
+  });
 }
 
 void AddRowBroadcast(Matrix* m, const std::vector<float>& bias) {
@@ -142,18 +210,25 @@ std::vector<float> ColumnSums(const Matrix& m) {
 
 void SoftmaxRows(const Matrix& logits, Matrix* out) {
   out->Reset(logits.rows(), logits.cols());
-  for (size_t r = 0; r < logits.rows(); ++r) {
-    const float* in = logits.Row(r);
-    float* o = out->Row(r);
-    float maxv = in[0];
-    for (size_t c = 1; c < logits.cols(); ++c) maxv = std::max(maxv, in[c]);
-    float sum = 0.0f;
-    for (size_t c = 0; c < logits.cols(); ++c) {
-      o[c] = std::exp(in[c] - maxv);
-      sum += o[c];
+  auto rows = [&](size_t lo, size_t hi) {
+    for (size_t r = lo; r < hi; ++r) {
+      const float* in = logits.Row(r);
+      float* o = out->Row(r);
+      float maxv = in[0];
+      for (size_t c = 1; c < logits.cols(); ++c) maxv = std::max(maxv, in[c]);
+      float sum = 0.0f;
+      for (size_t c = 0; c < logits.cols(); ++c) {
+        o[c] = std::exp(in[c] - maxv);
+        sum += o[c];
+      }
+      const float inv = 1.0f / sum;
+      for (size_t c = 0; c < logits.cols(); ++c) o[c] *= inv;
     }
-    const float inv = 1.0f / sum;
-    for (size_t c = 0; c < logits.cols(); ++c) o[c] *= inv;
+  };
+  if (logits.size() < kMinParallelWork) {
+    rows(0, logits.rows());
+  } else {
+    ParallelFor(0, logits.rows(), RowGrain(logits.cols() * 4), rows);
   }
 }
 

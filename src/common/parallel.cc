@@ -1,0 +1,209 @@
+#include "common/parallel.h"
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdlib>
+#include <deque>
+#include <exception>
+#include <memory>
+#include <mutex>
+#include <thread>
+
+namespace enld {
+
+namespace {
+
+/// Set inside pool workers so nested parallel loops degrade to inline
+/// execution instead of deadlocking on a saturated pool.
+thread_local bool tls_in_pool_worker = false;
+
+class ThreadPool {
+ public:
+  explicit ThreadPool(size_t threads) {
+    workers_.reserve(threads);
+    for (size_t i = 0; i < threads; ++i) {
+      workers_.emplace_back([this] { WorkerLoop(); });
+    }
+  }
+
+  ~ThreadPool() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      stop_ = true;
+    }
+    cv_.notify_all();
+    for (std::thread& t : workers_) t.join();
+  }
+
+  size_t size() const { return workers_.size(); }
+
+  void Submit(std::function<void()> task) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      queue_.push_back(std::move(task));
+    }
+    cv_.notify_one();
+  }
+
+ private:
+  void WorkerLoop() {
+    tls_in_pool_worker = true;
+    while (true) {
+      std::function<void()> task;
+      {
+        std::unique_lock<std::mutex> lock(mu_);
+        cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+        if (stop_ && queue_.empty()) return;
+        task = std::move(queue_.front());
+        queue_.pop_front();
+      }
+      task();
+    }
+  }
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<std::function<void()>> queue_;
+  bool stop_ = false;
+  std::vector<std::thread> workers_;
+};
+
+size_t DefaultThreadCount() {
+  const char* env = std::getenv("ENLD_THREADS");
+  if (env != nullptr) {
+    const long parsed = std::strtol(env, nullptr, 10);
+    if (parsed > 0) return static_cast<size_t>(parsed);
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<size_t>(hw);
+}
+
+struct PoolState {
+  std::mutex mu;
+  std::unique_ptr<ThreadPool> pool;
+  size_t requested = 0;  // 0 = resolve from ENLD_THREADS / hardware.
+  bool initialized = false;
+  size_t active_threads = 1;
+};
+
+PoolState& State() {
+  static PoolState* state = new PoolState();  // Leaked: outlives exit races.
+  return *state;
+}
+
+/// Returns the pool, creating it on first use. nullptr means "run inline"
+/// (configured thread count <= 1).
+ThreadPool* GetPool() {
+  PoolState& state = State();
+  std::lock_guard<std::mutex> lock(state.mu);
+  if (!state.initialized) {
+    const size_t threads =
+        state.requested > 0 ? state.requested : DefaultThreadCount();
+    state.active_threads = threads < 1 ? 1 : threads;
+    if (state.active_threads > 1) {
+      state.pool = std::make_unique<ThreadPool>(state.active_threads);
+    }
+    state.initialized = true;
+  }
+  return state.pool.get();
+}
+
+/// Shared state of one ParallelFor call. Owns a copy of the loop body so a
+/// straggler helper task dequeued after the loop already finished only
+/// touches this (shared_ptr-kept) struct, never the caller's stack. Every
+/// claimed chunk executes exactly once, even after an exception; the first
+/// exception is stored and rethrown by the caller once all chunks finished.
+struct LoopState {
+  LoopState(size_t begin_in, size_t end_in, size_t grain_in, size_t chunks_in,
+            std::function<void(size_t, size_t)> fn_in)
+      : begin(begin_in),
+        end(end_in),
+        grain(grain_in),
+        chunks(chunks_in),
+        fn(std::move(fn_in)) {}
+
+  const size_t begin;
+  const size_t end;
+  const size_t grain;
+  const size_t chunks;
+  const std::function<void(size_t, size_t)> fn;
+
+  std::atomic<size_t> next{0};
+  std::mutex mu;
+  std::condition_variable done_cv;
+  size_t completed = 0;
+  std::exception_ptr error;
+
+  /// Claims and runs chunks until none remain. Called by the submitting
+  /// thread and by pool workers alike.
+  void Drain() {
+    while (true) {
+      const size_t c = next.fetch_add(1, std::memory_order_relaxed);
+      if (c >= chunks) return;
+      const size_t lo = begin + c * grain;
+      const size_t hi = std::min(end, lo + grain);
+      try {
+        fn(lo, hi);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(mu);
+        if (error == nullptr) error = std::current_exception();
+      }
+      std::lock_guard<std::mutex> lock(mu);
+      if (++completed == chunks) done_cv.notify_all();
+    }
+  }
+};
+
+}  // namespace
+
+size_t ParallelThreadCount() {
+  GetPool();  // Force initialization.
+  PoolState& state = State();
+  std::lock_guard<std::mutex> lock(state.mu);
+  return state.active_threads;
+}
+
+void SetParallelThreads(size_t threads) {
+  PoolState& state = State();
+  std::unique_ptr<ThreadPool> old;
+  {
+    std::lock_guard<std::mutex> lock(state.mu);
+    old = std::move(state.pool);  // Destroyed below, outside the lock.
+    state.requested = threads;
+    state.initialized = false;
+    state.active_threads = 1;
+  }
+  old.reset();  // Joins the previous workers.
+}
+
+void ParallelFor(size_t begin, size_t end, size_t grain,
+                 const std::function<void(size_t, size_t)>& fn) {
+  if (end <= begin) return;
+  const size_t g = grain == 0 ? 1 : grain;
+  const size_t chunks = (end - begin + g - 1) / g;
+
+  ThreadPool* pool = GetPool();
+  if (pool == nullptr || chunks <= 1 || tls_in_pool_worker) {
+    // Sequential path: same chunk decomposition, caller's thread only.
+    for (size_t c = 0; c < chunks; ++c) {
+      const size_t lo = begin + c * g;
+      const size_t hi = std::min(end, lo + g);
+      fn(lo, hi);
+    }
+    return;
+  }
+
+  auto loop = std::make_shared<LoopState>(begin, end, g, chunks, fn);
+  // The caller is one executor; enlist at most chunks-1 helpers.
+  const size_t helpers = std::min(pool->size(), chunks - 1);
+  for (size_t i = 0; i < helpers; ++i) {
+    pool->Submit([loop] { loop->Drain(); });
+  }
+  loop->Drain();
+
+  std::unique_lock<std::mutex> lock(loop->mu);
+  loop->done_cv.wait(lock, [&] { return loop->completed == loop->chunks; });
+  if (loop->error != nullptr) std::rethrow_exception(loop->error);
+}
+
+}  // namespace enld

@@ -1,0 +1,31 @@
+#include "common/phase_timing.h"
+
+namespace enld {
+
+PhaseTimings& PhaseTimings::Global() {
+  static PhaseTimings* instance = new PhaseTimings();
+  return *instance;
+}
+
+void PhaseTimings::Add(const std::string& phase, double seconds) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& entry : entries_) {
+    if (entry.first == phase) {
+      entry.second += seconds;
+      return;
+    }
+  }
+  entries_.emplace_back(phase, seconds);
+}
+
+void PhaseTimings::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  entries_.clear();
+}
+
+std::vector<std::pair<std::string, double>> PhaseTimings::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return entries_;
+}
+
+}  // namespace enld

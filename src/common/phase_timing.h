@@ -1,0 +1,56 @@
+#ifndef ENLD_COMMON_PHASE_TIMING_H_
+#define ENLD_COMMON_PHASE_TIMING_H_
+
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/stopwatch.h"
+
+namespace enld {
+
+/// Process-wide accumulator of per-phase wall-clock time, keyed by phase
+/// name. Detection code records into it via ScopedPhaseTimer; the
+/// experiment runner snapshots it per detector run so benches (Fig. 8) can
+/// print where the time goes — setup vs fine-tune vs sampling vs voting —
+/// and how the split reacts to ENLD_THREADS.
+///
+/// Recording is mutex-guarded (phases are coarse: a handful of entries,
+/// recorded from sequential regions, never from inside parallel loops).
+class PhaseTimings {
+ public:
+  static PhaseTimings& Global();
+
+  /// Adds `seconds` to `phase`, creating the entry on first use.
+  void Add(const std::string& phase, double seconds);
+
+  /// Drops all entries.
+  void Reset();
+
+  /// Entries in first-recorded order.
+  std::vector<std::pair<std::string, double>> Snapshot() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<std::pair<std::string, double>> entries_;
+};
+
+/// Adds the elapsed lifetime of this object to a phase on destruction.
+class ScopedPhaseTimer {
+ public:
+  explicit ScopedPhaseTimer(std::string phase) : phase_(std::move(phase)) {}
+  ~ScopedPhaseTimer() {
+    PhaseTimings::Global().Add(phase_, watch_.ElapsedSeconds());
+  }
+  ScopedPhaseTimer(const ScopedPhaseTimer&) = delete;
+  ScopedPhaseTimer& operator=(const ScopedPhaseTimer&) = delete;
+
+ private:
+  std::string phase_;
+  Stopwatch watch_;
+};
+
+}  // namespace enld
+
+#endif  // ENLD_COMMON_PHASE_TIMING_H_

@@ -45,8 +45,14 @@ std::vector<size_t> ContrastiveSampling(
     available[c] = index.HasClass(c);
   }
 
-  std::vector<size_t> selected;
-  selected.reserve(k * ambiguous.size());
+  // Phase 1 (sequential): draw the estimated-true-label per ambiguous
+  // sample. The rng is consumed in ambiguous order — the exact draw
+  // sequence of the original one-pass loop — so the chosen labels do not
+  // depend on the thread count.
+  std::vector<int> query_labels;
+  std::vector<size_t> query_rows;
+  query_labels.reserve(ambiguous.size());
+  query_rows.reserve(ambiguous.size());
   for (size_t pos : ambiguous) {
     const int observed = incremental.observed_labels[pos];
     ENLD_CHECK_NE(observed, kMissingLabel);
@@ -60,8 +66,18 @@ std::vector<size_t> ContrastiveSampling(
               : RandomLabel(observed, conditional, available, rng);
     }
     if (j < 0) continue;  // No high-quality sample available at all.
-    const auto neighbors =
-        index.Nearest(j, ambiguous_features.Row(pos), k);
+    query_labels.push_back(j);
+    query_rows.push_back(pos);
+  }
+
+  // Phase 2 (parallel): the class-constrained k-nearest queries — the
+  // dominant cost of Algorithm 2 — fan out across the pool.
+  const std::vector<std::vector<Neighbor>> batched =
+      index.NearestBatch(query_labels, ambiguous_features, query_rows, k);
+
+  std::vector<size_t> selected;
+  selected.reserve(k * ambiguous.size());
+  for (const auto& neighbors : batched) {
     for (const Neighbor& n : neighbors) selected.push_back(n.index);
   }
   return selected;

@@ -3,6 +3,8 @@
 #include <algorithm>
 
 #include "common/check.h"
+#include "common/parallel.h"
+#include "common/phase_timing.h"
 #include "enld/contrastive.h"
 #include "enld/sample_sets.h"
 #include "enld/strategies.h"
@@ -28,9 +30,11 @@ CandidateView ComputeView(MlpModel* model, const Dataset& dataset) {
   model->Forward(dataset.features, &logits, &view.features);
   SoftmaxRows(logits, &view.probs);
   view.predicted.resize(dataset.size());
-  for (size_t r = 0; r < dataset.size(); ++r) {
-    view.predicted[r] = static_cast<int>(ArgMaxRow(logits, r));
-  }
+  ParallelFor(0, dataset.size(), 512, [&](size_t lo, size_t hi) {
+    for (size_t r = lo; r < hi; ++r) {
+      view.predicted[r] = static_cast<int>(ArgMaxRow(logits, r));
+    }
+  });
   return view;
 }
 
@@ -168,7 +172,10 @@ FineGrainedOutputs FineGrainedDetect(const FineGrainedInputs& inputs,
 
   std::vector<size_t> contrastive;
   std::vector<int> contrastive_labels;
-  resample(view, ambiguous, d_features, &contrastive, &contrastive_labels);
+  {
+    ScopedPhaseTimer timer("detect/sampling");
+    resample(view, ambiguous, d_features, &contrastive, &contrastive_labels);
+  }
 
   std::vector<size_t> clean_positions;  // S as sorted positions of D.
   std::vector<bool> in_clean(incremental.size(), false);
@@ -179,6 +186,7 @@ FineGrainedOutputs FineGrainedDetect(const FineGrainedInputs& inputs,
   // Warm-up (Algorithm 3, line 4): short training on C, keeping the
   // weights with the best validation accuracy on D.
   if (config.warmup_epochs > 0 && !train_set.empty()) {
+    ScopedPhaseTimer timer("detect/warmup");
     TrainConfig warm = config.finetune;
     warm.epochs = config.warmup_epochs;
     warm.select_best_on_validation = true;
@@ -211,18 +219,23 @@ FineGrainedOutputs FineGrainedDetect(const FineGrainedInputs& inputs,
     std::vector<uint32_t> count(incremental.size(), 0);
     for (size_t step = 0; step < config.steps_per_iteration; ++step) {
       if (!train_set.empty()) {
+        ScopedPhaseTimer timer("detect/finetune");
         step_config.seed = rng.NextUInt64();
         TrainModel(model, train_set, /*validation=*/nullptr, step_config);
       }
+      ScopedPhaseTimer timer("detect/voting");
       const std::vector<int> predicted = model->Predict(incremental.features);
-      for (size_t i = 0; i < incremental.size(); ++i) {
-        const int observed = incremental.observed_labels[i];
-        if (observed == kMissingLabel) {
-          ++missing_votes[i][predicted[i]];
-        } else if (predicted[i] == observed) {
-          ++count[i];
+      // Each sample owns its vote slots, so the scan chunks freely.
+      ParallelFor(0, incremental.size(), 1024, [&](size_t lo, size_t hi) {
+        for (size_t i = lo; i < hi; ++i) {
+          const int observed = incremental.observed_labels[i];
+          if (observed == kMissingLabel) {
+            ++missing_votes[i][predicted[i]];
+          } else if (predicted[i] == observed) {
+            ++count[i];
+          }
         }
-      }
+      });
     }
 
     // Majority voting (line 11): a sample joins S when it agreed in a
@@ -236,11 +249,14 @@ FineGrainedOutputs FineGrainedDetect(const FineGrainedInputs& inputs,
     out.result.per_iteration_clean.push_back(clean_positions);
 
     // Sample update & re-sampling (lines 15–21).
-    view = ComputeView(model, iprime);
-    if (!incremental.empty()) {
-      d_features = model->Features(incremental.features);
+    {
+      ScopedPhaseTimer timer("detect/inference");
+      view = ComputeView(model, iprime);
+      if (!incremental.empty()) {
+        d_features = model->Features(incremental.features);
+      }
+      ambiguous = AmbiguousPositions(model, incremental);
     }
-    ambiguous = AmbiguousPositions(model, incremental);
     out.result.per_iteration_ambiguous.push_back(ambiguous.size());
 
     // Inventory data selection: count candidates the current model agrees
@@ -256,6 +272,7 @@ FineGrainedOutputs FineGrainedDetect(const FineGrainedInputs& inputs,
 
     const bool last_iteration = iter + 1 == config.iterations;
     if (!last_iteration) {
+      ScopedPhaseTimer timer("detect/sampling");
       resample(view, ambiguous, d_features, &contrastive,
                &contrastive_labels);
       train_set = BuildTrainingSet(

@@ -1,6 +1,7 @@
 #include "enld/framework.h"
 
 #include "common/check.h"
+#include "common/phase_timing.h"
 #include "enld/fine_grained.h"
 #include "nn/trainer.h"
 
@@ -10,10 +11,16 @@ EnldFramework::EnldFramework(const EnldConfig& config)
     : config_(config), rng_(config.seed) {}
 
 void EnldFramework::Setup(const Dataset& inventory) {
-  general_ = InitGeneralModel(inventory, config_.general);
-  const JointCounts joint =
-      EstimateJointCounts(general_.model.get(), general_.candidate_set);
-  conditional_ = ConditionalFromJoint(joint);
+  {
+    ScopedPhaseTimer timer("setup/general_model");
+    general_ = InitGeneralModel(inventory, config_.general);
+  }
+  {
+    ScopedPhaseTimer timer("setup/joint_estimation");
+    const JointCounts joint =
+        EstimateJointCounts(general_.model.get(), general_.candidate_set);
+    conditional_ = ConditionalFromJoint(joint);
+  }
   selected_clean_.assign(general_.candidate_set.size(), false);
 }
 

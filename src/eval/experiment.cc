@@ -1,6 +1,7 @@
 #include "eval/experiment.h"
 
 #include "common/check.h"
+#include "common/phase_timing.h"
 #include "common/stopwatch.h"
 
 namespace enld {
@@ -19,6 +20,7 @@ MethodRunResult RunDetector(NoisyLabelDetector* detector,
   out.method = detector->name();
   out.noise_rate = workload.config.noise_rate;
 
+  PhaseTimings::Global().Reset();
   Stopwatch setup_timer;
   detector->Setup(workload.inventory);
   out.setup_seconds = setup_timer.ElapsedSeconds();
@@ -33,6 +35,7 @@ MethodRunResult RunDetector(NoisyLabelDetector* detector,
         EvaluateDetection(incremental, result.noisy_indices));
     if (keep_raw) out.raw_results.push_back(std::move(result));
   }
+  out.phase_seconds = PhaseTimings::Global().Snapshot();
   return out;
 }
 

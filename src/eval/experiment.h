@@ -2,6 +2,7 @@
 #define ENLD_EVAL_EXPERIMENT_H_
 
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "baselines/detector.h"
@@ -20,6 +21,10 @@ struct MethodRunResult {
   std::vector<double> process_seconds;     // Per incremental dataset.
   std::vector<DetectionMetrics> per_dataset;
   std::vector<DetectionResult> raw_results;  // Parallel to per_dataset.
+  /// Wall-clock per internal phase (setup/* and detect/*), accumulated
+  /// over the whole run via PhaseTimings. Empty for detectors that do not
+  /// instrument phases.
+  std::vector<std::pair<std::string, double>> phase_seconds;
 
   /// Macro average over incremental datasets.
   DetectionMetrics average() const { return AverageMetrics(per_dataset); }

@@ -27,19 +27,47 @@ std::string MethodRunsToCsv(const std::vector<MethodRunResult>& runs) {
   return out.str();
 }
 
-Status WriteMethodRunsCsv(const std::vector<MethodRunResult>& runs,
-                          const std::string& path) {
+namespace {
+
+Status WriteStringToFile(const std::string& content,
+                         const std::string& path) {
   FILE* file = std::fopen(path.c_str(), "w");
   if (file == nullptr) {
     return Status::NotFound("cannot open for writing: " + path);
   }
-  const std::string csv = MethodRunsToCsv(runs);
-  const size_t written = std::fwrite(csv.data(), 1, csv.size(), file);
+  const size_t written = std::fwrite(content.data(), 1, content.size(), file);
   std::fclose(file);
-  if (written != csv.size()) {
+  if (written != content.size()) {
     return Status::Internal("short write: " + path);
   }
   return Status::OK();
+}
+
+}  // namespace
+
+Status WriteMethodRunsCsv(const std::vector<MethodRunResult>& runs,
+                          const std::string& path) {
+  return WriteStringToFile(MethodRunsToCsv(runs), path);
+}
+
+std::string PhaseTimingsToCsv(const std::vector<MethodRunResult>& runs) {
+  std::ostringstream out;
+  out << "method,noise,phase,seconds\n";
+  char buffer[192];
+  for (const MethodRunResult& run : runs) {
+    for (const auto& [phase, seconds] : run.phase_seconds) {
+      std::snprintf(buffer, sizeof(buffer), "%s,%.3f,%s,%.6f\n",
+                    run.method.c_str(), run.noise_rate, phase.c_str(),
+                    seconds);
+      out << buffer;
+    }
+  }
+  return out.str();
+}
+
+Status WritePhaseTimingsCsv(const std::vector<MethodRunResult>& runs,
+                            const std::string& path) {
+  return WriteStringToFile(PhaseTimingsToCsv(runs), path);
 }
 
 }  // namespace enld

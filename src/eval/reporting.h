@@ -18,6 +18,16 @@ std::string MethodRunsToCsv(const std::vector<MethodRunResult>& runs);
 Status WriteMethodRunsCsv(const std::vector<MethodRunResult>& runs,
                           const std::string& path);
 
+/// Renders the per-phase wall-clock breakdown captured by RunDetector as
+/// `method,noise,phase,seconds` rows (one per recorded phase, in recording
+/// order). Methods without phase instrumentation contribute no rows. Feeds
+/// the Fig. 8 before/after timing comparison across ENLD_THREADS settings.
+std::string PhaseTimingsToCsv(const std::vector<MethodRunResult>& runs);
+
+/// Writes PhaseTimingsToCsv(runs) to a file.
+Status WritePhaseTimingsCsv(const std::vector<MethodRunResult>& runs,
+                            const std::string& path);
+
 }  // namespace enld
 
 #endif  // ENLD_EVAL_REPORTING_H_

@@ -30,11 +30,13 @@ std::vector<std::vector<size_t>> KnnGraphComponents(
   };
 
   // Per-position kNN lists (k+1 because the query point is its own nearest
-  // neighbour).
+  // neighbour). The queries are independent, so they run batched on the
+  // global pool.
+  const std::vector<std::vector<Neighbor>> found_lists =
+      tree.NearestBatch(features, rows, k + 1);
   std::vector<std::vector<size_t>> neighbors(rows.size());
   for (size_t pos = 0; pos < rows.size(); ++pos) {
-    const auto found = tree.Nearest(features.Row(rows[pos]), k + 1);
-    for (const Neighbor& n : found) {
+    for (const Neighbor& n : found_lists[pos]) {
       const size_t other = pos_of(n.index);
       if (other != pos) neighbors[pos].push_back(other);
     }

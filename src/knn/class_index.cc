@@ -1,6 +1,7 @@
 #include "knn/class_index.h"
 
 #include "common/check.h"
+#include "common/parallel.h"
 
 namespace enld {
 
@@ -20,12 +21,18 @@ ClassKnnIndex::ClassKnnIndex(const Matrix& features,
   }
   trees_.resize(num_classes);
   class_sizes_.resize(num_classes, 0);
-  for (int c = 0; c < num_classes; ++c) {
-    class_sizes_[c] = by_class[c].size();
-    if (!by_class[c].empty()) {
-      trees_[c] = std::make_unique<KdTree>(features, by_class[c]);
-    }
-  }
+  // Per-class trees are independent, so they build in parallel; each build
+  // depends only on its own point set, making the result thread-count
+  // invariant.
+  ParallelFor(0, static_cast<size_t>(num_classes), 1,
+              [&](size_t lo, size_t hi) {
+                for (size_t c = lo; c < hi; ++c) {
+                  class_sizes_[c] = by_class[c].size();
+                  if (!by_class[c].empty()) {
+                    trees_[c] = std::make_unique<KdTree>(features, by_class[c]);
+                  }
+                }
+              });
 }
 
 size_t ClassKnnIndex::ClassSize(int label) const {
@@ -40,6 +47,19 @@ std::vector<Neighbor> ClassKnnIndex::Nearest(int label, const float* query,
   ENLD_CHECK_LT(label, num_classes());
   if (trees_[label] == nullptr) return {};
   return trees_[label]->Nearest(query, k);
+}
+
+std::vector<std::vector<Neighbor>> ClassKnnIndex::NearestBatch(
+    const std::vector<int>& query_labels, const Matrix& queries,
+    const std::vector<size_t>& query_rows, size_t k) const {
+  ENLD_CHECK_EQ(query_labels.size(), query_rows.size());
+  std::vector<std::vector<Neighbor>> results(query_rows.size());
+  ParallelFor(0, query_rows.size(), kBatchGrain, [&](size_t lo, size_t hi) {
+    for (size_t i = lo; i < hi; ++i) {
+      results[i] = Nearest(query_labels[i], queries.Row(query_rows[i]), k);
+    }
+  });
+  return results;
 }
 
 }  // namespace enld

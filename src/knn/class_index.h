@@ -33,11 +33,22 @@ class ClassKnnIndex {
   std::vector<Neighbor> Nearest(int label, const float* query,
                                 size_t k) const;
 
+  /// Batched class-constrained queries, run in parallel on the global pool:
+  /// result[i] == Nearest(query_labels[i], queries.Row(query_rows[i]), k).
+  /// This is the batched form of the paper's per-ambiguous-sample k-nearest
+  /// lookups (Algorithm 2); each query is independent, so results are
+  /// identical at any thread count.
+  std::vector<std::vector<Neighbor>> NearestBatch(
+      const std::vector<int>& query_labels, const Matrix& queries,
+      const std::vector<size_t>& query_rows, size_t k) const;
+
   int num_classes() const { return static_cast<int>(trees_.size()); }
 
  private:
   std::vector<std::unique_ptr<KdTree>> trees_;
   std::vector<size_t> class_sizes_;
+  /// Queries per parallel chunk in NearestBatch.
+  static constexpr size_t kBatchGrain = 16;
 };
 
 }  // namespace enld

@@ -5,6 +5,7 @@
 #include <limits>
 
 #include "common/check.h"
+#include "common/parallel.h"
 
 namespace enld {
 
@@ -147,6 +148,26 @@ std::vector<Neighbor> KdTree::Nearest(const std::vector<float>& query,
                                       size_t k) const {
   ENLD_CHECK_EQ(query.size(), dim_);
   return Nearest(query.data(), k);
+}
+
+std::vector<std::vector<Neighbor>> KdTree::NearestBatch(
+    const Matrix& queries, const std::vector<size_t>& query_rows,
+    size_t k) const {
+  ENLD_CHECK_EQ(queries.cols(), dim_);
+  std::vector<std::vector<Neighbor>> results(query_rows.size());
+  ParallelFor(0, query_rows.size(), kQueryGrain, [&](size_t lo, size_t hi) {
+    for (size_t i = lo; i < hi; ++i) {
+      results[i] = Nearest(queries.Row(query_rows[i]), k);
+    }
+  });
+  return results;
+}
+
+std::vector<std::vector<Neighbor>> KdTree::NearestBatch(const Matrix& queries,
+                                                        size_t k) const {
+  std::vector<size_t> rows(queries.rows());
+  for (size_t i = 0; i < rows.size(); ++i) rows[i] = i;
+  return NearestBatch(queries, rows, k);
 }
 
 std::vector<Neighbor> BruteForceNearest(const Matrix& points,

@@ -41,6 +41,17 @@ class KdTree {
   std::vector<Neighbor> Nearest(const std::vector<float>& query,
                                 size_t k) const;
 
+  /// Batched queries: result[i] == Nearest(queries.Row(query_rows[i]), k).
+  /// Queries run in parallel on the global pool; each query is independent,
+  /// so results are identical at any thread count.
+  std::vector<std::vector<Neighbor>> NearestBatch(
+      const Matrix& queries, const std::vector<size_t>& query_rows,
+      size_t k) const;
+
+  /// Batched queries over every row of `queries`.
+  std::vector<std::vector<Neighbor>> NearestBatch(const Matrix& queries,
+                                                  size_t k) const;
+
  private:
   struct Node {
     int left = -1;
@@ -64,6 +75,8 @@ class KdTree {
   std::vector<size_t> order_;        // permutation of local points.
   std::vector<Node> nodes_;
   static constexpr size_t kLeafSize = 16;
+  /// Queries per parallel chunk in NearestBatch.
+  static constexpr size_t kQueryGrain = 16;
 };
 
 /// Brute-force k-nearest reference (exact), used to validate the KD-tree

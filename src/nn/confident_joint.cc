@@ -1,8 +1,26 @@
 #include "nn/confident_joint.h"
 
 #include "common/check.h"
+#include "common/parallel.h"
 
 namespace enld {
+
+namespace {
+
+/// Samples per chunk for the parallel joint-count reductions. The partials
+/// hold integer counts stored in doubles, so chunked accumulation is exact
+/// and the totals are identical at any thread count (and to the sequential
+/// one-pass loop).
+constexpr size_t kCountGrain = 1024;
+
+JointCounts AddJoint(JointCounts acc, JointCounts partial) {
+  for (size_t i = 0; i < acc.size(); ++i) {
+    for (size_t j = 0; j < acc[i].size(); ++j) acc[i][j] += partial[i][j];
+  }
+  return acc;
+}
+
+}  // namespace
 
 JointCounts EstimateJointCounts(MlpModel* model, const Dataset& holdout) {
   ENLD_CHECK(model != nullptr);
@@ -12,12 +30,18 @@ JointCounts EstimateJointCounts(MlpModel* model, const Dataset& holdout) {
   if (holdout.empty()) return joint;
 
   const std::vector<int> predicted = model->Predict(holdout.features);
-  for (size_t i = 0; i < holdout.size(); ++i) {
-    const int observed = holdout.observed_labels[i];
-    if (observed == kMissingLabel) continue;
-    joint[observed][predicted[i]] += 1.0;
-  }
-  return joint;
+  return ParallelReduce(
+      0, holdout.size(), kCountGrain, std::move(joint),
+      [&](size_t lo, size_t hi) {
+        JointCounts local(classes, std::vector<double>(classes, 0.0));
+        for (size_t i = lo; i < hi; ++i) {
+          const int observed = holdout.observed_labels[i];
+          if (observed == kMissingLabel) continue;
+          local[observed][predicted[i]] += 1.0;
+        }
+        return local;
+      },
+      AddJoint);
 }
 
 JointCounts EstimateConfidentJoint(MlpModel* model, const Dataset& holdout) {
@@ -44,22 +68,30 @@ JointCounts EstimateConfidentJoint(MlpModel* model, const Dataset& holdout) {
   }
 
   // Count a sample toward (observed, j*) where j* maximizes probability
-  // among classes whose threshold the sample clears.
-  for (size_t i = 0; i < holdout.size(); ++i) {
-    const int observed = holdout.observed_labels[i];
-    if (observed == kMissingLabel) continue;
-    int best = -1;
-    float best_prob = 0.0f;
-    for (int j = 0; j < classes; ++j) {
-      const float p = probs(i, j);
-      if (p >= threshold[j] && p > best_prob) {
-        best = j;
-        best_prob = p;
-      }
-    }
-    if (best >= 0) joint[observed][best] += 1.0;
-  }
-  return joint;
+  // among classes whose threshold the sample clears. Samples are scanned in
+  // parallel chunks; the per-sample argmax touches only row i, so the
+  // counts are exact regardless of thread count.
+  return ParallelReduce(
+      0, holdout.size(), kCountGrain, std::move(joint),
+      [&](size_t lo, size_t hi) {
+        JointCounts local(classes, std::vector<double>(classes, 0.0));
+        for (size_t i = lo; i < hi; ++i) {
+          const int observed = holdout.observed_labels[i];
+          if (observed == kMissingLabel) continue;
+          int best = -1;
+          float best_prob = 0.0f;
+          for (int j = 0; j < classes; ++j) {
+            const float p = probs(i, j);
+            if (p >= threshold[j] && p > best_prob) {
+              best = j;
+              best_prob = p;
+            }
+          }
+          if (best >= 0) local[observed][best] += 1.0;
+        }
+        return local;
+      },
+      AddJoint);
 }
 
 std::vector<std::vector<double>> ConditionalFromJoint(const JointCounts& j) {

@@ -1,6 +1,7 @@
 #include "nn/mlp.h"
 
 #include "common/check.h"
+#include "common/parallel.h"
 #include "nn/loss.h"
 #include "nn/optimizer.h"
 
@@ -67,9 +68,11 @@ std::vector<int> MlpModel::Predict(const Matrix& inputs) {
   Matrix logits;
   Forward(inputs, &logits);
   std::vector<int> out(inputs.rows());
-  for (size_t r = 0; r < inputs.rows(); ++r) {
-    out[r] = static_cast<int>(ArgMaxRow(logits, r));
-  }
+  ParallelFor(0, inputs.rows(), 512, [&](size_t lo, size_t hi) {
+    for (size_t r = lo; r < hi; ++r) {
+      out[r] = static_cast<int>(ArgMaxRow(logits, r));
+    }
+  });
   return out;
 }
 

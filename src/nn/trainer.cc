@@ -2,14 +2,19 @@
 
 #include <algorithm>
 #include <memory>
+#include <utility>
 
 #include "common/check.h"
+#include "common/parallel.h"
 #include "common/rng.h"
 #include "nn/loss.h"
 
 namespace enld {
 
 namespace {
+
+/// Samples per chunk when assembling batches or counting agreement.
+constexpr size_t kSampleGrain = 256;
 
 /// Positions of trainable samples (observed label present).
 std::vector<size_t> TrainablePositions(const Dataset& data) {
@@ -60,13 +65,15 @@ TrainResult TrainModel(MlpModel* model, const Dataset& train,
           std::min(config.batch_size, positions.size() - start);
       batch_x.Reset(count, dim);
       batch_y.Reset(count, classes);
-      for (size_t b = 0; b < count; ++b) {
-        const size_t i = positions[start + b];
-        const float* src = train.features.Row(i);
-        float* dst = batch_x.Row(b);
-        std::copy(src, src + dim, dst);
-        if (config.mixup_alpha > 0.0) {
-          // Mixup (Eq. 1 / Eq. 2): blend with a random trainable partner.
+      if (config.mixup_alpha > 0.0) {
+        // Mixup (Eq. 1 / Eq. 2): blend with a random trainable partner.
+        // Stays sequential: each sample consumes two rng draws, and the
+        // draw order is part of the reproducibility contract.
+        for (size_t b = 0; b < count; ++b) {
+          const size_t i = positions[start + b];
+          const float* src = train.features.Row(i);
+          float* dst = batch_x.Row(b);
+          std::copy(src, src + dim, dst);
           const size_t j = positions[rng.UniformInt(positions.size())];
           const double lambda = rng.BetaSymmetric(config.mixup_alpha);
           const float lf = static_cast<float>(lambda);
@@ -76,9 +83,17 @@ TrainResult TrainModel(MlpModel* model, const Dataset& train,
           }
           batch_y(b, train.observed_labels[i]) += lf;
           batch_y(b, train.observed_labels[j]) += 1.0f - lf;
-        } else {
-          batch_y(b, train.observed_labels[i]) = 1.0f;
         }
+      } else {
+        // Plain batch assembly is rng-free row gathering — parallel.
+        ParallelFor(0, count, kSampleGrain, [&](size_t lo, size_t hi) {
+          for (size_t b = lo; b < hi; ++b) {
+            const size_t i = positions[start + b];
+            const float* src = train.features.Row(i);
+            std::copy(src, src + dim, batch_x.Row(b));
+            batch_y(b, train.observed_labels[i]) = 1.0f;
+          }
+        });
       }
       epoch_loss += model->TrainStep(batch_x, batch_y, optimizer.get());
       ++batches;
@@ -112,26 +127,44 @@ double AccuracyAgainstObserved(MlpModel* model, const Dataset& dataset) {
   ENLD_CHECK(model != nullptr);
   if (dataset.empty()) return 0.0;
   const std::vector<int> predicted = model->Predict(dataset.features);
-  size_t correct = 0;
-  size_t counted = 0;
-  for (size_t i = 0; i < dataset.size(); ++i) {
-    if (dataset.observed_labels[i] == kMissingLabel) continue;
-    ++counted;
-    if (predicted[i] == dataset.observed_labels[i]) ++correct;
-  }
-  return counted == 0 ? 0.0
-                      : static_cast<double>(correct) /
-                            static_cast<double>(counted);
+  // Integer agreement counts: chunked accumulation is exact, so the result
+  // is identical at any thread count.
+  using Counts = std::pair<size_t, size_t>;  // (correct, counted)
+  const Counts totals = ParallelReduce(
+      0, dataset.size(), kSampleGrain, Counts{0, 0},
+      [&](size_t lo, size_t hi) {
+        Counts local{0, 0};
+        for (size_t i = lo; i < hi; ++i) {
+          if (dataset.observed_labels[i] == kMissingLabel) continue;
+          ++local.second;
+          if (predicted[i] == dataset.observed_labels[i]) ++local.first;
+        }
+        return local;
+      },
+      [](Counts acc, Counts partial) {
+        acc.first += partial.first;
+        acc.second += partial.second;
+        return acc;
+      });
+  return totals.second == 0 ? 0.0
+                            : static_cast<double>(totals.first) /
+                                  static_cast<double>(totals.second);
 }
 
 double AccuracyAgainstTrue(MlpModel* model, const Dataset& dataset) {
   ENLD_CHECK(model != nullptr);
   if (dataset.empty()) return 0.0;
   const std::vector<int> predicted = model->Predict(dataset.features);
-  size_t correct = 0;
-  for (size_t i = 0; i < dataset.size(); ++i) {
-    if (predicted[i] == dataset.true_labels[i]) ++correct;
-  }
+  const size_t correct = ParallelReduce(
+      0, dataset.size(), kSampleGrain, size_t{0},
+      [&](size_t lo, size_t hi) {
+        size_t local = 0;
+        for (size_t i = lo; i < hi; ++i) {
+          if (predicted[i] == dataset.true_labels[i]) ++local;
+        }
+        return local;
+      },
+      [](size_t acc, size_t partial) { return acc + partial; });
   return static_cast<double>(correct) / static_cast<double>(dataset.size());
 }
 

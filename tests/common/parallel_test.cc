@@ -1,0 +1,185 @@
+#include "common/parallel.h"
+
+#include <atomic>
+#include <mutex>
+#include <stdexcept>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace enld {
+namespace {
+
+class ParallelTest : public ::testing::Test {
+ protected:
+  // Tests in this file reconfigure the global pool; restore the default
+  // (ENLD_THREADS / hardware) afterwards so other suites are unaffected.
+  void TearDown() override { SetParallelThreads(0); }
+};
+
+TEST_F(ParallelTest, CoversRangeExactlyOnce) {
+  SetParallelThreads(4);
+  std::vector<std::atomic<int>> hits(1000);
+  ParallelFor(0, hits.size(), 7, [&](size_t lo, size_t hi) {
+    for (size_t i = lo; i < hi; ++i) hits[i].fetch_add(1);
+  });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST_F(ParallelTest, ChunkBoundsRespectGrain) {
+  SetParallelThreads(4);
+  std::mutex mu;
+  std::vector<std::pair<size_t, size_t>> chunks;
+  ParallelFor(10, 35, 10, [&](size_t lo, size_t hi) {
+    EXPECT_LE(hi - lo, 10u);
+    std::lock_guard<std::mutex> lock(mu);
+    chunks.emplace_back(lo, hi);
+  });
+  // Boundaries depend only on (begin, end, grain): 10-20, 20-30, 30-35.
+  ASSERT_EQ(chunks.size(), 3u);
+  size_t covered = 0;
+  for (const auto& [lo, hi] : chunks) covered += hi - lo;
+  EXPECT_EQ(covered, 25u);
+}
+
+TEST_F(ParallelTest, EmptyRangeAndReversedRangeAreNoOps) {
+  SetParallelThreads(2);
+  int calls = 0;
+  ParallelFor(5, 5, 1, [&](size_t, size_t) { ++calls; });
+  ParallelFor(9, 3, 1, [&](size_t, size_t) { ++calls; });
+  EXPECT_EQ(calls, 0);
+}
+
+TEST_F(ParallelTest, GrainZeroIsTreatedAsOne) {
+  SetParallelThreads(2);
+  std::atomic<int> total{0};
+  ParallelFor(0, 10, 0, [&](size_t lo, size_t hi) {
+    EXPECT_EQ(hi - lo, 1u);
+    total.fetch_add(1);
+  });
+  EXPECT_EQ(total.load(), 10);
+}
+
+TEST_F(ParallelTest, GrainLargerThanRangeRunsOneChunk) {
+  SetParallelThreads(4);
+  int calls = 0;  // Single chunk runs inline on the caller: no race.
+  ParallelFor(3, 8, 100, [&](size_t lo, size_t hi) {
+    EXPECT_EQ(lo, 3u);
+    EXPECT_EQ(hi, 8u);
+    ++calls;
+  });
+  EXPECT_EQ(calls, 1);
+}
+
+TEST_F(ParallelTest, ExceptionPropagatesToCaller) {
+  SetParallelThreads(4);
+  EXPECT_THROW(
+      ParallelFor(0, 100, 1,
+                  [&](size_t lo, size_t) {
+                    if (lo == 37) throw std::runtime_error("boom");
+                  }),
+      std::runtime_error);
+}
+
+TEST_F(ParallelTest, ExceptionOnSequentialPathPropagates) {
+  SetParallelThreads(1);
+  EXPECT_THROW(ParallelFor(0, 10, 1,
+                           [&](size_t lo, size_t) {
+                             if (lo == 5) throw std::runtime_error("boom");
+                           }),
+               std::runtime_error);
+}
+
+TEST_F(ParallelTest, PoolIsReusedAcrossManyLoops) {
+  SetParallelThreads(3);
+  EXPECT_EQ(ParallelThreadCount(), 3u);
+  std::atomic<size_t> total{0};
+  for (int rep = 0; rep < 200; ++rep) {
+    ParallelFor(0, 64, 4, [&](size_t lo, size_t hi) {
+      total.fetch_add(hi - lo);
+    });
+  }
+  EXPECT_EQ(total.load(), 200u * 64u);
+  EXPECT_EQ(ParallelThreadCount(), 3u);
+}
+
+TEST_F(ParallelTest, SetParallelThreadsReconfigures) {
+  SetParallelThreads(2);
+  EXPECT_EQ(ParallelThreadCount(), 2u);
+  SetParallelThreads(5);
+  EXPECT_EQ(ParallelThreadCount(), 5u);
+  SetParallelThreads(1);
+  EXPECT_EQ(ParallelThreadCount(), 1u);
+}
+
+TEST_F(ParallelTest, NestedParallelForRunsInline) {
+  SetParallelThreads(4);
+  std::vector<std::atomic<int>> hits(256);
+  ParallelFor(0, 16, 1, [&](size_t lo, size_t hi) {
+    for (size_t outer = lo; outer < hi; ++outer) {
+      ParallelFor(0, 16, 1, [&](size_t ilo, size_t ihi) {
+        for (size_t inner = ilo; inner < ihi; ++inner) {
+          hits[outer * 16 + inner].fetch_add(1);
+        }
+      });
+    }
+  });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST_F(ParallelTest, ReduceMatchesSequentialSum) {
+  for (size_t threads : {size_t{1}, size_t{2}, size_t{4}}) {
+    SetParallelThreads(threads);
+    const size_t result = ParallelReduce(
+        0, 10001, 64, size_t{0},
+        [](size_t lo, size_t hi) {
+          size_t s = 0;
+          for (size_t i = lo; i < hi; ++i) s += i;
+          return s;
+        },
+        [](size_t acc, size_t partial) { return acc + partial; });
+    EXPECT_EQ(result, 10000u * 10001u / 2) << "threads=" << threads;
+  }
+}
+
+TEST_F(ParallelTest, ReduceCombinesPartialsInChunkOrder) {
+  SetParallelThreads(4);
+  // Concatenation is order-sensitive: equality with the sequential result
+  // proves the ordered-combine guarantee.
+  const std::vector<size_t> result = ParallelReduce(
+      0, 100, 9, std::vector<size_t>{},
+      [](size_t lo, size_t hi) {
+        std::vector<size_t> chunk;
+        for (size_t i = lo; i < hi; ++i) chunk.push_back(i);
+        return chunk;
+      },
+      [](std::vector<size_t> acc, std::vector<size_t> partial) {
+        acc.insert(acc.end(), partial.begin(), partial.end());
+        return acc;
+      });
+  ASSERT_EQ(result.size(), 100u);
+  for (size_t i = 0; i < result.size(); ++i) EXPECT_EQ(result[i], i);
+}
+
+TEST_F(ParallelTest, ReduceIdenticalAcrossThreadCounts) {
+  auto run = [] {
+    return ParallelReduce(
+        0, 5000, 128, 0.0,
+        [](size_t lo, size_t hi) {
+          double s = 0.0;
+          for (size_t i = lo; i < hi; ++i) s += 1.0 / (1.0 + i);
+          return s;
+        },
+        [](double acc, double partial) { return acc + partial; });
+  };
+  SetParallelThreads(1);
+  const double sequential = run();
+  for (size_t threads : {size_t{2}, size_t{4}, size_t{8}}) {
+    SetParallelThreads(threads);
+    EXPECT_EQ(run(), sequential) << "threads=" << threads;
+  }
+}
+
+}  // namespace
+}  // namespace enld

@@ -1,0 +1,149 @@
+// Determinism contract of the parallel substrate: every detector output
+// and every parallelized kernel must be bit-identical at any thread count,
+// including the ENLD_THREADS=1 sequential path.
+
+#include <gtest/gtest.h>
+
+#include "common/matrix.h"
+#include "common/parallel.h"
+#include "common/rng.h"
+#include "enld/framework.h"
+#include "knn/class_index.h"
+#include "nn/confident_joint.h"
+#include "nn/mlp.h"
+#include "test_util.h"
+
+namespace enld {
+namespace {
+
+using testing_util::TinyGeneralConfig;
+using testing_util::TinyWorkloadConfig;
+
+class DeterminismTest : public ::testing::Test {
+ protected:
+  void TearDown() override { SetParallelThreads(0); }
+};
+
+Matrix RandomMatrix(size_t rows, size_t cols, uint64_t seed) {
+  Matrix m(rows, cols);
+  Rng rng(seed);
+  for (size_t i = 0; i < m.size(); ++i) {
+    m.data()[i] = static_cast<float>(rng.Uniform(-1.0, 1.0));
+  }
+  return m;
+}
+
+bool BitIdentical(const Matrix& a, const Matrix& b) {
+  if (a.rows() != b.rows() || a.cols() != b.cols()) return false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (a.data()[i] != b.data()[i]) return false;
+  }
+  return true;
+}
+
+TEST_F(DeterminismTest, MatMulKernelsBitIdenticalAcrossThreadCounts) {
+  // Large enough to cross the parallel thresholds in matrix.cc.
+  const Matrix a = RandomMatrix(96, 80, 1);   // m x k
+  const Matrix b = RandomMatrix(80, 96, 2);   // k x n
+  const Matrix bt = RandomMatrix(96, 80, 3);  // n x k (for MatMulBt)
+  const Matrix c = RandomMatrix(96, 64, 4);   // same rows as a (for MatMulAt)
+
+  SetParallelThreads(1);
+  Matrix mm1, bt1, at1, sm1;
+  MatMul(a, b, &mm1);
+  MatMulBt(a, bt, &bt1);
+  MatMulAt(a, c, &at1);
+  SoftmaxRows(mm1, &sm1);
+
+  for (size_t threads : {size_t{2}, size_t{4}}) {
+    SetParallelThreads(threads);
+    Matrix mm, btm, atm, sm;
+    MatMul(a, b, &mm);
+    MatMulBt(a, bt, &btm);
+    MatMulAt(a, c, &atm);
+    SoftmaxRows(mm, &sm);
+    EXPECT_TRUE(BitIdentical(mm, mm1)) << "MatMul, threads=" << threads;
+    EXPECT_TRUE(BitIdentical(btm, bt1)) << "MatMulBt, threads=" << threads;
+    EXPECT_TRUE(BitIdentical(atm, at1)) << "MatMulAt, threads=" << threads;
+    EXPECT_TRUE(BitIdentical(sm, sm1)) << "Softmax, threads=" << threads;
+  }
+}
+
+TEST_F(DeterminismTest, BatchedKnnQueriesMatchSequentialQueries) {
+  const Matrix points = RandomMatrix(400, 8, 7);
+  std::vector<int> labels(points.rows());
+  std::vector<size_t> rows(points.rows());
+  for (size_t i = 0; i < rows.size(); ++i) {
+    rows[i] = i;
+    labels[i] = static_cast<int>(i % 5);
+  }
+
+  SetParallelThreads(1);
+  const ClassKnnIndex sequential_index(points, labels, rows, 5);
+  std::vector<std::vector<Neighbor>> expected(rows.size());
+  for (size_t i = 0; i < rows.size(); ++i) {
+    expected[i] = sequential_index.Nearest(labels[i], points.Row(i), 4);
+  }
+
+  SetParallelThreads(4);
+  const ClassKnnIndex parallel_index(points, labels, rows, 5);
+  const auto batched = parallel_index.NearestBatch(labels, points, rows, 4);
+  ASSERT_EQ(batched.size(), expected.size());
+  for (size_t i = 0; i < expected.size(); ++i) {
+    ASSERT_EQ(batched[i].size(), expected[i].size()) << "query " << i;
+    for (size_t j = 0; j < expected[i].size(); ++j) {
+      EXPECT_EQ(batched[i][j].index, expected[i][j].index);
+      EXPECT_EQ(batched[i][j].distance_squared,
+                expected[i][j].distance_squared);
+    }
+  }
+}
+
+EnldConfig FastEnldConfig() {
+  EnldConfig config;
+  config.general = TinyGeneralConfig();
+  config.iterations = 3;
+  config.steps_per_iteration = 3;
+  return config;
+}
+
+/// Full detector run (Setup + every incremental dataset) at a given thread
+/// count; returns all partitions and the confident-joint conditional.
+struct DetectorOutputs {
+  std::vector<std::vector<size_t>> clean;
+  std::vector<std::vector<size_t>> noisy;
+  std::vector<std::vector<double>> conditional;
+};
+
+DetectorOutputs RunDetectorAt(size_t threads, const Workload& workload) {
+  SetParallelThreads(threads);
+  EnldFramework enld(FastEnldConfig());
+  enld.Setup(workload.inventory);
+  DetectorOutputs out;
+  out.conditional = enld.conditional();
+  for (const Dataset& incremental : workload.incremental) {
+    DetectionResult result = enld.Detect(incremental);
+    out.clean.push_back(std::move(result.clean_indices));
+    out.noisy.push_back(std::move(result.noisy_indices));
+  }
+  return out;
+}
+
+TEST_F(DeterminismTest, DetectorOutputsBitIdenticalAcrossThreadCounts) {
+  const Workload workload = BuildWorkload(TinyWorkloadConfig(0.2));
+  const DetectorOutputs sequential = RunDetectorAt(1, workload);
+  ASSERT_FALSE(sequential.clean.empty());
+
+  for (size_t threads : {size_t{2}, size_t{4}}) {
+    const DetectorOutputs parallel = RunDetectorAt(threads, workload);
+    // The conditional P̃ is double-precision output of the parallelized
+    // confident-joint estimation: exact equality required.
+    EXPECT_EQ(parallel.conditional, sequential.conditional)
+        << "threads=" << threads;
+    EXPECT_EQ(parallel.clean, sequential.clean) << "threads=" << threads;
+    EXPECT_EQ(parallel.noisy, sequential.noisy) << "threads=" << threads;
+  }
+}
+
+}  // namespace
+}  // namespace enld
