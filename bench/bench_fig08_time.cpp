@@ -1,16 +1,44 @@
 // Reproduces Fig. 8: setup time and per-dataset process time of every
 // method on the EMNIST / CIFAR100 / Tiny-ImageNet incremental streams with
 // noise rates 0.1–0.4. Also prints the ENLD-vs-Topofilter process-time
-// speedup the paper headlines (4.09x / 3.65x / 4.97x at full scale), and a
-// per-phase wall-clock breakdown of ENLD (setup/* vs detect/*) so the
-// effect of ENLD_THREADS on each phase is visible directly.
+// speedup the paper headlines (4.09x / 3.65x / 4.97x at full scale), and
+// ENLD's hierarchical span-tree breakdown (setup/detect with per-iteration
+// nesting) so the effect of ENLD_THREADS on each phase is visible directly.
+//
+// Pass --telemetry_out=report.json (or set ENLD_TELEMETRY=report.json) to
+// dump the full machine-readable run report — span tree, metrics registry,
+// per-iteration series, and detection quality — of the last ENLD run.
+// Scope the sweep with ENLD_BENCH_TASKS / ENLD_BENCH_NOISES /
+// ENLD_BENCH_DATASETS for quick or CI passes.
 
 #include <cstdio>
+#include <string>
 
 #include "bench_util.h"
 #include "common/parallel.h"
+#include "common/telemetry/report.h"
 
-int main() {
+namespace {
+
+using namespace enld;
+
+/// Indented pre-order rows of the span tree: the Fig. 8 breakdown with its
+/// hierarchy (detect > iteration > finetune/voting/...) preserved.
+void AddSpanRows(const telemetry::SpanSnapshot& span, int depth,
+                 const std::string& dataset, const std::string& noise,
+                 TablePrinter* table) {
+  table->AddRow({dataset, noise,
+                 std::string(2 * depth, ' ') + span.name,
+                 std::to_string(span.count),
+                 TablePrinter::Num(span.total_seconds, 3)});
+  for (const telemetry::SpanSnapshot& child : span.children) {
+    AddSpanRows(child, depth + 1, dataset, noise, table);
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
   using namespace enld;
   using namespace enld::bench;
 
@@ -20,11 +48,10 @@ int main() {
   TablePrinter table({"dataset", "noise", "method", "setup_s",
                       "avg_process_s"});
   TablePrinter speedups({"dataset", "noise", "topofilter/enld_speedup"});
-  TablePrinter phases({"dataset", "noise", "phase", "seconds"});
+  TablePrinter phases({"dataset", "noise", "span", "count", "seconds"});
 
-  for (PaperDataset dataset :
-       {PaperDataset::kEmnist, PaperDataset::kCifar100,
-        PaperDataset::kTinyImagenet}) {
+  telemetry::RunReport last_enld_report;
+  for (PaperDataset dataset : PaperTasks()) {
     for (double noise : NoiseRates()) {
       const Workload workload = MakeWorkload(dataset, noise);
       double topofilter_time = 0.0;
@@ -39,11 +66,15 @@ int main() {
           topofilter_time = run.average_process_seconds();
         } else if (run.method == "ENLD") {
           enld_time = run.average_process_seconds();
-          for (const auto& [phase, seconds] : run.phase_seconds) {
-            phases.AddRow({PaperDatasetName(dataset),
-                           TablePrinter::Num(noise, 1), phase,
-                           TablePrinter::Num(seconds, 3)});
+          // The span tree replaces the old flat phase registry: every
+          // top-level child of the root is one pipeline stage, with the
+          // per-iteration loop nested underneath.
+          for (const telemetry::SpanSnapshot& top :
+               run.telemetry.spans.children) {
+            AddSpanRows(top, 0, PaperDatasetName(dataset),
+                        TablePrinter::Num(noise, 1), &phases);
           }
+          last_enld_report = run.telemetry;
         }
       }
       if (enld_time > 0.0) {
@@ -55,6 +86,15 @@ int main() {
   }
   table.Print("Fig. 8 — setup and process time per incremental dataset");
   speedups.Print("Fig. 8 headline — ENLD process-time speedup vs Topofilter");
-  phases.Print("ENLD per-phase wall clock (whole stream, current threads)");
+  phases.Print("ENLD span tree (per workload, current threads)");
+
+  const std::string out_path = telemetry::TelemetryOutPath(argc, argv);
+  if (!out_path.empty()) {
+    const Status written =
+        telemetry::WriteRunReport(last_enld_report, out_path);
+    std::printf("telemetry report (last ENLD run) -> %s: %s\n",
+                out_path.c_str(), written.ToString().c_str());
+    if (!written.ok()) return 1;
+  }
   return 0;
 }

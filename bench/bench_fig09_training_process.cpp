@@ -1,23 +1,33 @@
 // Reproduces Fig. 9: precision / recall / f1 of the detected noisy set
 // across fine-grained iterations on CIFAR100-sim, per noise rate, with the
-// standard deviation over the incremental datasets.
+// standard deviation over the incremental datasets. The clean-set size per
+// iteration point comes from the telemetry series the detector records
+// (`detect/clean_size`), the same data the JSON run report carries.
+//
+// Pass --telemetry_out=report.json (or ENLD_TELEMETRY=report.json) to dump
+// the last run's full report.
 
 #include <cmath>
 #include <cstdio>
+#include <string>
 
 #include "bench_util.h"
+#include "common/telemetry/report.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace enld;
   using namespace enld::bench;
 
   TablePrinter table({"noise", "iteration", "precision", "recall", "f1",
                       "f1_std"});
+  TablePrinter clean_table({"noise", "point", "clean_size"});
+  telemetry::RunReport last_report;
   for (double noise : NoiseRates()) {
     const Workload workload = MakeWorkload(PaperDataset::kCifar100, noise);
     EnldFramework enld(PaperEnldConfig(PaperDataset::kCifar100));
     const MethodRunResult run =
         RunDetector(&enld, workload, /*keep_raw=*/true);
+    last_report = run.telemetry;
 
     const size_t iterations =
         PaperEnldConfig(PaperDataset::kCifar100).iterations;
@@ -49,9 +59,29 @@ int main() {
                     TablePrinter::Num(avg.recall), TablePrinter::Num(avg.f1),
                     TablePrinter::Num(stddev)});
     }
+
+    // Companion view from telemetry: the clean-set trajectory the detector
+    // recorded (one point per iteration per incremental dataset).
+    const auto series = run.telemetry.metrics.series.find("detect/clean_size");
+    if (series != run.telemetry.metrics.series.end()) {
+      for (size_t p = 0; p < series->second.size(); ++p) {
+        clean_table.AddRow({TablePrinter::Num(noise, 1), std::to_string(p),
+                            TablePrinter::Num(series->second[p], 0)});
+      }
+    }
   }
   table.Print(
       "Fig. 9 — detection trajectory across fine-grained iterations "
       "(CIFAR100)");
+  clean_table.Print(
+      "Clean-set size per iteration point (telemetry detect/clean_size)");
+
+  const std::string out_path = telemetry::TelemetryOutPath(argc, argv);
+  if (!out_path.empty()) {
+    const Status written = telemetry::WriteRunReport(last_report, out_path);
+    std::printf("telemetry report -> %s: %s\n", out_path.c_str(),
+                written.ToString().c_str());
+    if (!written.ok()) return 1;
+  }
   return 0;
 }

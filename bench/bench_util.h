@@ -4,6 +4,7 @@
 #include <cstdlib>
 #include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "baselines/confident_learning.h"
@@ -17,8 +18,54 @@
 namespace enld {
 namespace bench {
 
-/// The paper's four noise settings (Section V-A2).
-inline std::vector<double> NoiseRates() { return {0.1, 0.2, 0.3, 0.4}; }
+/// The paper's four noise settings (Section V-A2). The
+/// ENLD_BENCH_NOISES environment variable (comma-separated rates, e.g.
+/// "0.2" or "0.1,0.3") overrides them for quick or CI runs.
+inline std::vector<double> NoiseRates() {
+  const char* env = std::getenv("ENLD_BENCH_NOISES");
+  if (env != nullptr && *env != '\0') {
+    std::vector<double> rates;
+    const char* cursor = env;
+    while (*cursor != '\0') {
+      char* next = nullptr;
+      const double rate = std::strtod(cursor, &next);
+      if (next == cursor) break;
+      if (rate > 0.0 && rate < 1.0) rates.push_back(rate);
+      cursor = *next == ',' ? next + 1 : next;
+    }
+    if (!rates.empty()) return rates;
+  }
+  return {0.1, 0.2, 0.3, 0.4};
+}
+
+/// The paper's three tasks. ENLD_BENCH_TASKS (comma-separated subset of
+/// "emnist,cifar100,tiny") restricts them, e.g. for the CI telemetry run.
+inline std::vector<PaperDataset> PaperTasks() {
+  const std::vector<std::pair<std::string, PaperDataset>> known = {
+      {"emnist", PaperDataset::kEmnist},
+      {"cifar100", PaperDataset::kCifar100},
+      {"tiny", PaperDataset::kTinyImagenet}};
+  const char* env = std::getenv("ENLD_BENCH_TASKS");
+  if (env != nullptr && *env != '\0') {
+    std::vector<PaperDataset> tasks;
+    std::string spec(env);
+    size_t start = 0;
+    while (start <= spec.size()) {
+      const size_t comma = spec.find(',', start);
+      const std::string name =
+          spec.substr(start, comma == std::string::npos ? std::string::npos
+                                                        : comma - start);
+      for (const auto& [known_name, task] : known) {
+        if (name == known_name) tasks.push_back(task);
+      }
+      if (comma == std::string::npos) break;
+      start = comma + 1;
+    }
+    if (!tasks.empty()) return tasks;
+  }
+  return {PaperDataset::kEmnist, PaperDataset::kCifar100,
+          PaperDataset::kTinyImagenet};
+}
 
 /// Number of incremental datasets to process. Defaults to the paper's
 /// stream length for the profile; the ENLD_BENCH_DATASETS environment

@@ -6,21 +6,35 @@
 // (Algorithm 4). The refreshed model is finally saved to disk.
 //
 //   ./build/examples/data_platform_stream [noise_rate]
+//
+// Pass --telemetry_out=report.json (or set ENLD_TELEMETRY) to dump the
+// whole serving window — setup, every request's detect spans, automatic
+// model updates — as one machine-readable telemetry report.
 
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
+#include <string>
 
 #include "common/stopwatch.h"
+#include "common/telemetry/report.h"
 #include "data/workload.h"
 #include "enld/platform.h"
 #include "eval/metrics.h"
 #include "eval/paper_setup.h"
+#include "eval/reporting.h"
 #include "nn/serialization.h"
 #include "nn/trainer.h"
 
 int main(int argc, char** argv) {
   using namespace enld;
-  const double noise_rate = argc > 1 ? std::atof(argv[1]) : 0.2;
+  const double noise_rate =
+      argc > 1 && std::strncmp(argv[1], "--", 2) != 0 ? std::atof(argv[1])
+                                                      : 0.2;
+
+  // Unlike the eval harness, the platform serves requests directly, so the
+  // example owns the telemetry scope: reset here, capture after the stream.
+  telemetry::ResetTelemetry();
 
   WorkloadConfig workload_config = Cifar100WorkloadConfig(noise_rate);
   workload_config.stream.num_datasets = 12;
@@ -97,5 +111,23 @@ int main(int argc, char** argv) {
       SaveModel(*platform.framework().general_model(), model_path);
   std::printf("saved general model to %s: %s\n", model_path.c_str(),
               saved.ToString().c_str());
+
+  telemetry::RunReport report = telemetry::CaptureRunReport();
+  report.method = "ENLD-platform";
+  report.noise_rate = noise_rate;
+  report.quality["f1_avg"] = f1_sum / workload.incremental.size();
+  report.quality["requests"] = static_cast<double>(stats.requests);
+  report.quality["model_updates"] =
+      static_cast<double>(stats.model_updates);
+  std::printf("\n%s", TelemetrySummary(report).c_str());
+  const std::string telemetry_path =
+      telemetry::TelemetryOutPath(argc, argv);
+  if (!telemetry_path.empty()) {
+    const Status written =
+        telemetry::WriteRunReport(report, telemetry_path);
+    std::printf("telemetry report -> %s: %s\n", telemetry_path.c_str(),
+                written.ToString().c_str());
+    if (!written.ok()) return 1;
+  }
   return 0;
 }

@@ -10,6 +10,9 @@
 //   --method=enld|default|cl1|cl2|topofilter|o2u|coteaching|incv
 //   --datasets=<n>                       stream length (default: paper's)
 //   --export=<path.csv>                  also write the inventory as CSV
+//   --telemetry_out=<path>               dump the run's telemetry report
+//                                        (JSON, or CSV when path ends in
+//                                        .csv); ENLD_TELEMETRY also works
 
 #include <cstdio>
 #include <cstdlib>
@@ -24,10 +27,12 @@
 #include "baselines/o2u.h"
 #include "baselines/topofilter.h"
 #include "common/table.h"
+#include "common/telemetry/report.h"
 #include "data/serialization.h"
 #include "enld/framework.h"
 #include "eval/experiment.h"
 #include "eval/paper_setup.h"
+#include "eval/reporting.h"
 
 namespace {
 
@@ -141,5 +146,15 @@ int main(int argc, char** argv) {
       "\naverage: P=%.4f R=%.4f F1=%.4f | setup %.2fs, avg process %.3fs\n",
       avg.precision, avg.recall, avg.f1, run.setup_seconds,
       run.average_process_seconds());
+
+  std::printf("\n%s", TelemetrySummary(run.telemetry).c_str());
+  const std::string telemetry_path =
+      telemetry::TelemetryOutPath(argc, argv);
+  if (!telemetry_path.empty()) {
+    const Status written = WriteRunTelemetry(run, telemetry_path);
+    std::printf("telemetry report -> %s: %s\n", telemetry_path.c_str(),
+                written.ToString().c_str());
+    if (!written.ok()) return 1;
+  }
   return 0;
 }

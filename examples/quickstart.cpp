@@ -4,15 +4,21 @@
 // Build & run:
 //   cmake -B build -G Ninja && cmake --build build
 //   ./build/examples/quickstart
+//
+// Pass --telemetry_out=report.json (or set ENLD_TELEMETRY) to also dump
+// the machine-readable telemetry report of the run.
 
 #include <cstdio>
+#include <string>
 
 #include "common/stopwatch.h"
+#include "common/telemetry/report.h"
 #include "data/workload.h"
 #include "enld/framework.h"
 #include "eval/metrics.h"
+#include "eval/reporting.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace enld;
 
   // A small CIFAR100-like task: 40 classes, pair-asymmetric noise at 20%.
@@ -60,5 +66,16 @@ int main() {
               enld.selected_clean_count());
   const Status update = enld.UpdateModel();
   std::printf("model update: %s\n", update.ToString().c_str());
+
+  // What the run looked like from the inside: the telemetry subsystem has
+  // been recording spans, counters and series throughout.
+  const telemetry::RunReport report = telemetry::CaptureRunReport();
+  std::printf("\n%s", TelemetrySummary(report).c_str());
+  const std::string out_path = telemetry::TelemetryOutPath(argc, argv);
+  if (!out_path.empty()) {
+    const Status written = telemetry::WriteRunReport(report, out_path);
+    std::printf("telemetry report -> %s: %s\n", out_path.c_str(),
+                written.ToString().c_str());
+  }
   return 0;
 }

@@ -1,11 +1,28 @@
 #include "common/logging.h"
 
+#include <atomic>
 #include <cstring>
+#include <mutex>
 
 namespace enld {
 
 namespace {
-LogLevel g_log_level = LogLevel::kInfo;
+std::atomic<LogLevel> g_log_level{LogLevel::kInfo};
+
+/// Serializes stderr emission so lines from concurrent threads never
+/// interleave mid-line.
+std::mutex& EmitMutex() {
+  static std::mutex* mu = new std::mutex();  // Leaked: outlives exit races.
+  return *mu;
+}
+
+/// Small dense per-thread id for the [tid] log field (thread::id values
+/// are opaque and unwieldy in logs).
+int ThisThreadLogId() {
+  static std::atomic<int> next{0};
+  thread_local int id = next.fetch_add(1, std::memory_order_relaxed);
+  return id;
+}
 
 const char* LevelTag(LogLevel level) {
   switch (level) {
@@ -27,21 +44,30 @@ const char* Basename(const char* path) {
 }
 }  // namespace
 
-void SetLogLevel(LogLevel level) { g_log_level = level; }
-LogLevel GetLogLevel() { return g_log_level; }
+void SetLogLevel(LogLevel level) {
+  g_log_level.store(level, std::memory_order_relaxed);
+}
+LogLevel GetLogLevel() {
+  return g_log_level.load(std::memory_order_relaxed);
+}
 
 namespace internal {
 
 LogMessage::LogMessage(LogLevel level, const char* file, int line)
-    : enabled_(level >= g_log_level), level_(level) {
+    : enabled_(level >= GetLogLevel()), level_(level) {
   if (enabled_) {
-    stream_ << "[" << LevelTag(level_) << " " << Basename(file) << ":" << line
-            << "] ";
+    stream_ << "[" << LevelTag(level_) << " t" << ThisThreadLogId() << " "
+            << Basename(file) << ":" << line << "] ";
   }
 }
 
 LogMessage::~LogMessage() {
-  if (enabled_) std::cerr << stream_.str() << std::endl;
+  if (enabled_) {
+    stream_ << "\n";
+    const std::string line = stream_.str();
+    std::lock_guard<std::mutex> lock(EmitMutex());
+    std::cerr << line << std::flush;
+  }
 }
 
 }  // namespace internal

@@ -11,14 +11,17 @@ namespace enld {
 enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
 
 /// Process-wide minimum severity; messages below it are dropped.
-/// Defaults to kInfo. Not thread-safe by design (the library is
-/// single-threaded; experiments set this once at startup).
+/// Defaults to kInfo. Both accessors are atomic, so the level can be
+/// changed while pool workers are logging.
 void SetLogLevel(LogLevel level);
 LogLevel GetLogLevel();
 
 namespace internal {
 
-/// Accumulates one log line and emits it to stderr on destruction.
+/// Accumulates one log line and emits it to stderr on destruction. Each
+/// line carries a [tid] field (small per-thread id), and the emit itself
+/// is serialized so concurrent ENLD_LOG lines from pool workers never
+/// interleave mid-line.
 class LogMessage {
  public:
   LogMessage(LogLevel level, const char* file, int line);

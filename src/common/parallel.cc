@@ -1,6 +1,7 @@
 #include "common/parallel.h"
 
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstdlib>
 #include <deque>
@@ -9,6 +10,8 @@
 #include <mutex>
 #include <thread>
 
+#include "common/telemetry/metrics.h"
+
 namespace enld {
 
 namespace {
@@ -16,6 +19,25 @@ namespace {
 /// Set inside pool workers so nested parallel loops degrade to inline
 /// execution instead of deadlocking on a saturated pool.
 thread_local bool tls_in_pool_worker = false;
+
+/// Pool attribution metrics ("pool/*" is cost-only: task counts and times
+/// depend on the thread count by nature and are exempt from the
+/// determinism contract). Pointers cached once; recording is lock-free.
+struct PoolMetrics {
+  telemetry::Counter* tasks;
+  telemetry::Counter* queue_wait_us;
+  telemetry::Counter* execute_us;
+
+  static const PoolMetrics& Get() {
+    static const PoolMetrics m = [] {
+      auto& registry = telemetry::MetricsRegistry::Global();
+      return PoolMetrics{registry.GetCounter("pool/tasks"),
+                         registry.GetCounter("pool/queue_wait_us"),
+                         registry.GetCounter("pool/execute_us")};
+    }();
+    return m;
+  }
+};
 
 class ThreadPool {
  public:
@@ -40,16 +62,31 @@ class ThreadPool {
   void Submit(std::function<void()> task) {
     {
       std::lock_guard<std::mutex> lock(mu_);
-      queue_.push_back(std::move(task));
+      queue_.push_back({std::move(task), Clock::now()});
     }
     cv_.notify_one();
   }
 
  private:
+  using Clock = std::chrono::steady_clock;
+
+  struct QueuedTask {
+    std::function<void()> fn;
+    Clock::time_point enqueued;
+  };
+
+  static uint64_t ElapsedMicros(Clock::time_point since,
+                                Clock::time_point until) {
+    return static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(until - since)
+            .count());
+  }
+
   void WorkerLoop() {
     tls_in_pool_worker = true;
+    const PoolMetrics& metrics = PoolMetrics::Get();
     while (true) {
-      std::function<void()> task;
+      QueuedTask task;
       {
         std::unique_lock<std::mutex> lock(mu_);
         cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
@@ -57,13 +94,17 @@ class ThreadPool {
         task = std::move(queue_.front());
         queue_.pop_front();
       }
-      task();
+      const Clock::time_point started = Clock::now();
+      metrics.tasks->Increment();
+      metrics.queue_wait_us->Add(ElapsedMicros(task.enqueued, started));
+      task.fn();
+      metrics.execute_us->Add(ElapsedMicros(started, Clock::now()));
     }
   }
 
   std::mutex mu_;
   std::condition_variable cv_;
-  std::deque<std::function<void()>> queue_;
+  std::deque<QueuedTask> queue_;
   bool stop_ = false;
   std::vector<std::thread> workers_;
 };
@@ -181,6 +222,16 @@ void ParallelFor(size_t begin, size_t end, size_t grain,
   if (end <= begin) return;
   const size_t g = grain == 0 ? 1 : grain;
   const size_t chunks = (end - begin + g - 1) / g;
+
+  // Loop/chunk counts depend only on (begin, end, grain) and on how often
+  // call sites run — both thread-count invariant — so these counters are
+  // part of the deterministic metric set, unlike pool/*.
+  static telemetry::Counter* loops =
+      telemetry::MetricsRegistry::Global().GetCounter("parallel/loops");
+  static telemetry::Counter* chunk_counter =
+      telemetry::MetricsRegistry::Global().GetCounter("parallel/chunks");
+  loops->Increment();
+  chunk_counter->Add(chunks);
 
   ThreadPool* pool = GetPool();
   if (pool == nullptr || chunks <= 1 || tls_in_pool_worker) {

@@ -8,24 +8,13 @@ PhaseTimings& PhaseTimings::Global() {
 }
 
 void PhaseTimings::Add(const std::string& phase, double seconds) {
-  std::lock_guard<std::mutex> lock(mu_);
-  for (auto& entry : entries_) {
-    if (entry.first == phase) {
-      entry.second += seconds;
-      return;
-    }
-  }
-  entries_.emplace_back(phase, seconds);
+  telemetry::TraceTree::Global().AddFlat(phase, seconds);
 }
 
-void PhaseTimings::Reset() {
-  std::lock_guard<std::mutex> lock(mu_);
-  entries_.clear();
-}
+void PhaseTimings::Reset() { telemetry::TraceTree::Global().Reset(); }
 
 std::vector<std::pair<std::string, double>> PhaseTimings::Snapshot() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return entries_;
+  return telemetry::TraceTree::Global().FlattenByName();
 }
 
 }  // namespace enld

@@ -1,54 +1,49 @@
 #ifndef ENLD_COMMON_PHASE_TIMING_H_
 #define ENLD_COMMON_PHASE_TIMING_H_
 
-#include <mutex>
 #include <string>
 #include <utility>
 #include <vector>
 
-#include "common/stopwatch.h"
+#include "common/telemetry/trace.h"
 
 namespace enld {
 
-/// Process-wide accumulator of per-phase wall-clock time, keyed by phase
-/// name. Detection code records into it via ScopedPhaseTimer; the
-/// experiment runner snapshots it per detector run so benches (Fig. 8) can
-/// print where the time goes — setup vs fine-tune vs sampling vs voting —
-/// and how the split reacts to ENLD_THREADS.
-///
-/// Recording is mutex-guarded (phases are coarse: a handful of entries,
-/// recorded from sequential regions, never from inside parallel loops).
+/// Compatibility shim over the telemetry span tree
+/// (common/telemetry/trace.h), which superseded the old flat mutex-guarded
+/// map. Existing call sites keep working: Add/ScopedPhaseTimer record into
+/// the global TraceTree, and Snapshot() returns the flat by-name view
+/// (span totals summed by name across the tree, first-seen pre-order).
+/// New code should use ENLD_TRACE_SPAN / telemetry::TraceTree directly —
+/// spans nest, carry per-span stats, and serialize into run reports.
 class PhaseTimings {
  public:
   static PhaseTimings& Global();
 
-  /// Adds `seconds` to `phase`, creating the entry on first use.
+  /// Adds `seconds` to the root-level span `phase`. Find-or-create happens
+  /// under the tree lock, keyed by name, so concurrent first use of one
+  /// phase name yields exactly one entry.
   void Add(const std::string& phase, double seconds);
 
-  /// Drops all entries.
+  /// Resets the whole span tree.
   void Reset();
 
-  /// Entries in first-recorded order.
+  /// Flat (name, seconds) view of the span tree. Parent spans include the
+  /// time of their children, like the wall-clock scopes they are.
   std::vector<std::pair<std::string, double>> Snapshot() const;
-
- private:
-  mutable std::mutex mu_;
-  std::vector<std::pair<std::string, double>> entries_;
 };
 
 /// Adds the elapsed lifetime of this object to a phase on destruction.
+/// Now a trace span: nests under any enclosing span and shows up in run
+/// reports with its full hierarchy.
 class ScopedPhaseTimer {
  public:
-  explicit ScopedPhaseTimer(std::string phase) : phase_(std::move(phase)) {}
-  ~ScopedPhaseTimer() {
-    PhaseTimings::Global().Add(phase_, watch_.ElapsedSeconds());
-  }
+  explicit ScopedPhaseTimer(std::string phase) : span_(std::move(phase)) {}
   ScopedPhaseTimer(const ScopedPhaseTimer&) = delete;
   ScopedPhaseTimer& operator=(const ScopedPhaseTimer&) = delete;
 
  private:
-  std::string phase_;
-  Stopwatch watch_;
+  telemetry::ScopedSpan span_;
 };
 
 }  // namespace enld

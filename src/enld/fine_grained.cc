@@ -4,7 +4,8 @@
 
 #include "common/check.h"
 #include "common/parallel.h"
-#include "common/phase_timing.h"
+#include "common/telemetry/metrics.h"
+#include "common/telemetry/trace.h"
 #include "enld/contrastive.h"
 #include "enld/sample_sets.h"
 #include "enld/strategies.h"
@@ -94,6 +95,29 @@ FineGrainedOutputs FineGrainedDetect(const FineGrainedInputs& inputs,
   const Dataset& candidate = *inputs.candidate;
   FineGrainedOutputs out;
 
+  // Detector internals exported per run (docs/OBSERVABILITY.md): series
+  // get one value per fine-grained iteration, the vote-margin histogram
+  // one observation per labeled sample per iteration. All appends happen
+  // in sequential regions, so every value is thread-count invariant.
+  ENLD_TRACE_SPAN("detect");
+  auto& registry = telemetry::MetricsRegistry::Global();
+  telemetry::Series* clean_series = registry.GetSeries("detect/clean_size");
+  telemetry::Series* ambiguous_series =
+      registry.GetSeries("detect/ambiguous_size");
+  telemetry::Series* high_quality_series =
+      registry.GetSeries("detect/high_quality_size");
+  telemetry::Series* train_set_series =
+      registry.GetSeries("detect/train_set_size");
+  telemetry::Histogram* vote_margin = registry.GetHistogram(
+      "detect/vote_margin", {0.0, 0.2, 0.4, 0.6, 0.8, 1.0});
+  telemetry::Counter* votes_cast = registry.GetCounter("detect/votes_cast");
+  telemetry::Counter* clean_admitted =
+      registry.GetCounter("detect/clean_admitted");
+  telemetry::Counter* contrastive_picks =
+      registry.GetCounter("detect/contrastive_picks");
+  telemetry::Counter* resample_rounds =
+      registry.GetCounter("detect/resample_rounds");
+
   // I' — the candidate rows whose observed label is in label(D) (line 3 of
   // Algorithm 3). All sampling pools below live inside I'.
   const std::vector<bool> label_mask =
@@ -130,6 +154,7 @@ FineGrainedOutputs FineGrainedDetect(const FineGrainedInputs& inputs,
       high_quality = FilterHighQualityByConfidence(
           view.probs, view.predicted, high_quality,
           config.high_quality_strictness);
+      high_quality_series->Append(static_cast<double>(high_quality.size()));
       if (high_quality.empty() || ambiguous.empty()) return;
       if (config.ablation.use_contrastive) {
         ClassKnnIndex index(view.features, iprime.observed_labels,
@@ -165,7 +190,10 @@ FineGrainedOutputs FineGrainedDetect(const FineGrainedInputs& inputs,
   };
 
   // Initial sets (Algorithm 1, lines 5–7).
-  CandidateView view = ComputeView(model, iprime);
+  CandidateView view = [&] {
+    ENLD_TRACE_SPAN("detect/inference");
+    return ComputeView(model, iprime);
+  }();
   Matrix d_features = incremental.empty() ? Matrix()
                                           : model->Features(incremental.features);
   std::vector<size_t> ambiguous = AmbiguousPositions(model, incremental);
@@ -173,20 +201,23 @@ FineGrainedOutputs FineGrainedDetect(const FineGrainedInputs& inputs,
   std::vector<size_t> contrastive;
   std::vector<int> contrastive_labels;
   {
-    ScopedPhaseTimer timer("detect/sampling");
+    ENLD_TRACE_SPAN("detect/sampling");
     resample(view, ambiguous, d_features, &contrastive, &contrastive_labels);
   }
+  contrastive_picks->Add(contrastive.size());
+  resample_rounds->Increment();
 
   std::vector<size_t> clean_positions;  // S as sorted positions of D.
   std::vector<bool> in_clean(incremental.size(), false);
   Dataset train_set = BuildTrainingSet(iprime, contrastive,
                                        contrastive_labels, incremental,
                                        clean_positions);
+  train_set_series->Append(static_cast<double>(train_set.size()));
 
   // Warm-up (Algorithm 3, line 4): short training on C, keeping the
   // weights with the best validation accuracy on D.
   if (config.warmup_epochs > 0 && !train_set.empty()) {
-    ScopedPhaseTimer timer("detect/warmup");
+    ENLD_TRACE_SPAN("detect/warmup");
     TrainConfig warm = config.finetune;
     warm.epochs = config.warmup_epochs;
     warm.select_best_on_validation = true;
@@ -216,14 +247,16 @@ FineGrainedOutputs FineGrainedDetect(const FineGrainedInputs& inputs,
   step_config.select_best_on_validation = false;
 
   for (size_t iter = 0; iter < config.iterations; ++iter) {
+    telemetry::ScopedSpan iteration_span("detect/iteration");
     std::vector<uint32_t> count(incremental.size(), 0);
     for (size_t step = 0; step < config.steps_per_iteration; ++step) {
       if (!train_set.empty()) {
-        ScopedPhaseTimer timer("detect/finetune");
+        ENLD_TRACE_SPAN("detect/finetune");
         step_config.seed = rng.NextUInt64();
         TrainModel(model, train_set, /*validation=*/nullptr, step_config);
       }
-      ScopedPhaseTimer timer("detect/voting");
+      ENLD_TRACE_SPAN("detect/voting");
+      votes_cast->Add(incremental.size());
       const std::vector<int> predicted = model->Predict(incremental.features);
       // Each sample owns its vote slots, so the scan chunks freely.
       ParallelFor(0, incremental.size(), 1024, [&](size_t lo, size_t hi) {
@@ -240,23 +273,35 @@ FineGrainedOutputs FineGrainedDetect(const FineGrainedInputs& inputs,
 
     // Majority voting (line 11): a sample joins S when it agreed in a
     // strict majority of this iteration's steps.
+    size_t admitted_this_iteration = 0;
+    const double steps =
+        static_cast<double>(config.steps_per_iteration);
     for (size_t i = 0; i < incremental.size(); ++i) {
+      if (incremental.observed_labels[i] != kMissingLabel) {
+        vote_margin->Observe(static_cast<double>(count[i]) / steps);
+      }
       if (!in_clean[i] && count[i] >= majority_threshold) {
         in_clean[i] = true;
         clean_positions.push_back(i);
+        ++admitted_this_iteration;
       }
     }
+    clean_admitted->Add(admitted_this_iteration);
+    iteration_span.AddStat("clean_admitted",
+                           static_cast<double>(admitted_this_iteration));
+    clean_series->Append(static_cast<double>(clean_positions.size()));
     out.result.per_iteration_clean.push_back(clean_positions);
 
     // Sample update & re-sampling (lines 15–21).
     {
-      ScopedPhaseTimer timer("detect/inference");
+      ENLD_TRACE_SPAN("detect/inference");
       view = ComputeView(model, iprime);
       if (!incremental.empty()) {
         d_features = model->Features(incremental.features);
       }
       ambiguous = AmbiguousPositions(model, incremental);
     }
+    ambiguous_series->Append(static_cast<double>(ambiguous.size()));
     out.result.per_iteration_ambiguous.push_back(ambiguous.size());
 
     // Inventory data selection: count candidates the current model agrees
@@ -272,13 +317,18 @@ FineGrainedOutputs FineGrainedDetect(const FineGrainedInputs& inputs,
 
     const bool last_iteration = iter + 1 == config.iterations;
     if (!last_iteration) {
-      ScopedPhaseTimer timer("detect/sampling");
-      resample(view, ambiguous, d_features, &contrastive,
-               &contrastive_labels);
-      train_set = BuildTrainingSet(
-          iprime, contrastive, contrastive_labels, incremental,
-          config.ablation.merge_clean_into_c ? clean_positions
-                                             : std::vector<size_t>());
+      {
+        ENLD_TRACE_SPAN("detect/sampling");
+        resample(view, ambiguous, d_features, &contrastive,
+                 &contrastive_labels);
+        train_set = BuildTrainingSet(
+            iprime, contrastive, contrastive_labels, incremental,
+            config.ablation.merge_clean_into_c ? clean_positions
+                                               : std::vector<size_t>());
+      }
+      contrastive_picks->Add(contrastive.size());
+      resample_rounds->Increment();
+      train_set_series->Append(static_cast<double>(train_set.size()));
     }
   }
 

@@ -1,26 +1,48 @@
 #include "enld/framework.h"
 
+#include <cmath>
+
 #include "common/check.h"
-#include "common/phase_timing.h"
+#include "common/telemetry/metrics.h"
+#include "common/telemetry/trace.h"
 #include "enld/fine_grained.h"
 #include "nn/trainer.h"
 
 namespace enld {
 
+namespace {
+
+/// Appends the diagonal of P̃ (the per-class "observed label is right"
+/// probability) to `series_name`, one value per class, so reports capture
+/// the estimated confusion structure and its drift across model updates.
+void RecordConditionalDiagonal(
+    const std::vector<std::vector<double>>& conditional,
+    const std::string& series_name) {
+  telemetry::Series* series =
+      telemetry::MetricsRegistry::Global().GetSeries(series_name);
+  for (size_t c = 0; c < conditional.size(); ++c) {
+    series->Append(conditional[c][c]);
+  }
+}
+
+}  // namespace
+
 EnldFramework::EnldFramework(const EnldConfig& config)
     : config_(config), rng_(config.seed) {}
 
 void EnldFramework::Setup(const Dataset& inventory) {
+  ENLD_TRACE_SPAN("setup");
   {
-    ScopedPhaseTimer timer("setup/general_model");
+    ENLD_TRACE_SPAN("setup/general_model");
     general_ = InitGeneralModel(inventory, config_.general);
   }
   {
-    ScopedPhaseTimer timer("setup/joint_estimation");
+    ENLD_TRACE_SPAN("setup/joint_estimation");
     const JointCounts joint =
         EstimateJointCounts(general_.model.get(), general_.candidate_set);
     conditional_ = ConditionalFromJoint(joint);
   }
+  RecordConditionalDiagonal(conditional_, "setup/ptilde_diag");
   selected_clean_.assign(general_.candidate_set.size(), false);
 }
 
@@ -70,6 +92,10 @@ Status EnldFramework::UpdateModel() {
     return Status::FailedPrecondition(
         "no clean inventory samples selected yet; run Detect first");
   }
+  ENLD_TRACE_SPAN("update");
+  telemetry::MetricsRegistry::Global()
+      .GetCounter("update/clean_samples")
+      ->Add(positions.size());
 
   // θ^u = train(S_c): the updated model is warm-started from the current
   // general model so classes under-represented in S_c keep their learned
@@ -86,9 +112,26 @@ Status EnldFramework::UpdateModel() {
 
   // Swap I_t and I_c, then re-estimate P̃ on the new candidate set.
   std::swap(general_.train_set, general_.candidate_set);
+  const std::vector<std::vector<double>> previous = conditional_;
   const JointCounts joint =
       EstimateJointCounts(general_.model.get(), general_.candidate_set);
   conditional_ = ConditionalFromJoint(joint);
+
+  // Per-class P̃ drift: L1 distance between the old and new conditional
+  // rows, one series value per class per update.
+  telemetry::Series* drift =
+      telemetry::MetricsRegistry::Global().GetSeries("update/ptilde_drift");
+  for (size_t c = 0; c < conditional_.size(); ++c) {
+    double l1 = 0.0;
+    if (c < previous.size()) {
+      for (size_t j = 0; j < conditional_[c].size(); ++j) {
+        l1 += std::abs(conditional_[c][j] - previous[c][j]);
+      }
+    }
+    drift->Append(l1);
+  }
+  RecordConditionalDiagonal(conditional_, "update/ptilde_diag");
+
   selected_clean_.assign(general_.candidate_set.size(), false);
   return Status::OK();
 }

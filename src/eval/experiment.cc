@@ -3,6 +3,8 @@
 #include "common/check.h"
 #include "common/phase_timing.h"
 #include "common/stopwatch.h"
+#include "common/telemetry/metrics.h"
+#include "common/telemetry/trace.h"
 
 namespace enld {
 
@@ -20,11 +22,18 @@ MethodRunResult RunDetector(NoisyLabelDetector* detector,
   out.method = detector->name();
   out.noise_rate = workload.config.noise_rate;
 
-  PhaseTimings::Global().Reset();
+  // One telemetry scope per detector run: spans, counters and series
+  // accumulated below describe exactly this run, and the capture at the
+  // end becomes the machine-readable run report.
+  telemetry::ResetTelemetry();
+  auto& registry = telemetry::MetricsRegistry::Global();
   Stopwatch setup_timer;
   detector->Setup(workload.inventory);
   out.setup_seconds = setup_timer.ElapsedSeconds();
 
+  telemetry::Series* f1_series = registry.GetSeries("eval/f1");
+  telemetry::Series* precision_series = registry.GetSeries("eval/precision");
+  telemetry::Series* recall_series = registry.GetSeries("eval/recall");
   out.process_seconds.reserve(workload.incremental.size());
   out.per_dataset.reserve(workload.incremental.size());
   for (const Dataset& incremental : workload.incremental) {
@@ -33,9 +42,26 @@ MethodRunResult RunDetector(NoisyLabelDetector* detector,
     out.process_seconds.push_back(process_timer.ElapsedSeconds());
     out.per_dataset.push_back(
         EvaluateDetection(incremental, result.noisy_indices));
+    const DetectionMetrics& m = out.per_dataset.back();
+    f1_series->Append(m.f1);
+    precision_series->Append(m.precision);
+    recall_series->Append(m.recall);
     if (keep_raw) out.raw_results.push_back(std::move(result));
   }
   out.phase_seconds = PhaseTimings::Global().Snapshot();
+
+  out.telemetry = telemetry::CaptureRunReport();
+  out.telemetry.method = out.method;
+  out.telemetry.noise_rate = out.noise_rate;
+  const DetectionMetrics avg = out.average();
+  out.telemetry.quality["precision_avg"] = avg.precision;
+  out.telemetry.quality["recall_avg"] = avg.recall;
+  out.telemetry.quality["f1_avg"] = avg.f1;
+  out.telemetry.quality["datasets"] =
+      static_cast<double>(workload.incremental.size());
+  out.telemetry.quality["setup_seconds"] = out.setup_seconds;
+  out.telemetry.quality["avg_process_seconds"] =
+      out.average_process_seconds();
   return out;
 }
 

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "baselines/detector.h"
+#include "common/telemetry/report.h"
 #include "data/workload.h"
 #include "eval/metrics.h"
 
@@ -21,10 +22,14 @@ struct MethodRunResult {
   std::vector<double> process_seconds;     // Per incremental dataset.
   std::vector<DetectionMetrics> per_dataset;
   std::vector<DetectionResult> raw_results;  // Parallel to per_dataset.
-  /// Wall-clock per internal phase (setup/* and detect/*), accumulated
-  /// over the whole run via PhaseTimings. Empty for detectors that do not
-  /// instrument phases.
+  /// Flat wall-clock view per span name (setup/*, detect/* ...), derived
+  /// from the telemetry span tree. Kept for callers that predate
+  /// `telemetry`; parent spans include their children's time.
   std::vector<std::pair<std::string, double>> phase_seconds;
+  /// Full telemetry capture of this run: hierarchical span tree, metrics
+  /// registry, and quality section (detection P/R/F1 and the timing
+  /// headline), serializable via telemetry::WriteRunReport.
+  telemetry::RunReport telemetry;
 
   /// Macro average over incremental datasets.
   DetectionMetrics average() const { return AverageMetrics(per_dataset); }

@@ -28,6 +28,17 @@ std::string PhaseTimingsToCsv(const std::vector<MethodRunResult>& runs);
 Status WritePhaseTimingsCsv(const std::vector<MethodRunResult>& runs,
                             const std::string& path);
 
+/// Writes `run.telemetry` — the machine-readable run report with span
+/// tree, metrics and quality — to `path` (CSV when the path ends in
+/// ".csv", JSON otherwise).
+Status WriteRunTelemetry(const MethodRunResult& run, const std::string& path);
+
+/// Three-line human summary of a telemetry report: registry size and span
+/// depth, the wall-clock split across top-level spans, and the detector's
+/// clean-set trajectory with work counters. Used by examples so the
+/// instrumentation is visible without opening the JSON.
+std::string TelemetrySummary(const telemetry::RunReport& report);
+
 }  // namespace enld
 
 #endif  // ENLD_EVAL_REPORTING_H_

@@ -2,6 +2,8 @@
 
 #include "common/check.h"
 #include "common/parallel.h"
+#include "common/telemetry/metrics.h"
+#include "common/telemetry/trace.h"
 
 namespace enld {
 
@@ -11,6 +13,10 @@ ClassKnnIndex::ClassKnnIndex(const Matrix& features,
                              int num_classes) {
   ENLD_CHECK_GT(num_classes, 0);
   ENLD_CHECK_EQ(features.rows(), labels.size());
+  ENLD_TRACE_SPAN("knn/build_class_index");
+  telemetry::MetricsRegistry::Global()
+      .GetCounter("knn/points_indexed")
+      ->Add(rows.size());
   std::vector<std::vector<size_t>> by_class(num_classes);
   for (size_t r : rows) {
     ENLD_CHECK_LT(r, features.rows());
@@ -53,6 +59,9 @@ std::vector<std::vector<Neighbor>> ClassKnnIndex::NearestBatch(
     const std::vector<int>& query_labels, const Matrix& queries,
     const std::vector<size_t>& query_rows, size_t k) const {
   ENLD_CHECK_EQ(query_labels.size(), query_rows.size());
+  telemetry::MetricsRegistry::Global()
+      .GetCounter("knn/batch_queries")
+      ->Add(query_rows.size());
   std::vector<std::vector<Neighbor>> results(query_rows.size());
   ParallelFor(0, query_rows.size(), kBatchGrain, [&](size_t lo, size_t hi) {
     for (size_t i = lo; i < hi; ++i) {

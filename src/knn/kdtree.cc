@@ -6,6 +6,7 @@
 
 #include "common/check.h"
 #include "common/parallel.h"
+#include "common/telemetry/metrics.h"
 
 namespace enld {
 
@@ -44,6 +45,12 @@ KdTree::KdTree(const Matrix& points, const std::vector<size_t>& row_indices)
     nodes_.reserve(2 * count_ / kLeafSize + 2);
     Build(0, count_);
   }
+  // Build cost counters; exact integers, so identical at any thread count
+  // (per-class builds run in parallel but index the same point sets).
+  auto& registry = telemetry::MetricsRegistry::Global();
+  registry.GetCounter("knn/trees_built")->Increment();
+  registry.GetCounter("knn/tree_points")->Add(count_);
+  registry.GetCounter("knn/tree_nodes")->Add(nodes_.size());
 }
 
 KdTree::KdTree(const Matrix& points)
@@ -136,6 +143,10 @@ void KdTree::Search(int node_id, const float* query,
 
 std::vector<Neighbor> KdTree::Nearest(const float* query, size_t k) const {
   ENLD_CHECK_GT(k, 0u);
+  // Sharded atomic add: safe and exact from inside NearestBatch workers.
+  static telemetry::Counter* queries =
+      telemetry::MetricsRegistry::Global().GetCounter("knn/queries");
+  queries->Increment();
   std::vector<Neighbor> heap;
   if (count_ == 0) return heap;
   heap.reserve(std::min(k, count_));

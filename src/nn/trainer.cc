@@ -7,6 +7,9 @@
 #include "common/check.h"
 #include "common/parallel.h"
 #include "common/rng.h"
+#include "common/stopwatch.h"
+#include "common/telemetry/metrics.h"
+#include "common/telemetry/trace.h"
 #include "nn/loss.h"
 
 namespace enld {
@@ -40,6 +43,20 @@ TrainResult TrainModel(MlpModel* model, const Dataset& train,
   std::vector<size_t> positions = TrainablePositions(train);
   if (positions.empty() || config.epochs == 0) return result;
 
+  // One "train" span per call (nests under detect/finetune etc.); step and
+  // sample counters are exact integers, the loss histogram observes the
+  // deterministic per-epoch mean, and batch-assembly time accumulates into
+  // a cost counter ("_us" suffix = exempt from the determinism contract).
+  telemetry::ScopedSpan train_span("train");
+  auto& registry = telemetry::MetricsRegistry::Global();
+  telemetry::Counter* steps_counter = registry.GetCounter("train/steps");
+  telemetry::Counter* samples_counter = registry.GetCounter("train/samples");
+  telemetry::Counter* epochs_counter = registry.GetCounter("train/epochs");
+  telemetry::Counter* assembly_us =
+      registry.GetCounter("train/batch_assembly_us");
+  telemetry::Histogram* epoch_loss_hist = registry.GetHistogram(
+      "train/epoch_loss", {0.01, 0.03, 0.1, 0.3, 1.0, 3.0, 10.0, 30.0});
+
   Rng rng(config.seed);
   std::unique_ptr<Optimizer> optimizer;
   if (config.optimizer == OptimizerKind::kAdam) {
@@ -63,6 +80,7 @@ TrainResult TrainModel(MlpModel* model, const Dataset& train,
          start += config.batch_size) {
       const size_t count =
           std::min(config.batch_size, positions.size() - start);
+      Stopwatch assembly_watch;
       batch_x.Reset(count, dim);
       batch_y.Reset(count, classes);
       if (config.mixup_alpha > 0.0) {
@@ -95,10 +113,16 @@ TrainResult TrainModel(MlpModel* model, const Dataset& train,
           }
         });
       }
+      assembly_us->Add(
+          static_cast<uint64_t>(assembly_watch.ElapsedSeconds() * 1e6));
       epoch_loss += model->TrainStep(batch_x, batch_y, optimizer.get());
+      steps_counter->Increment();
+      samples_counter->Add(count);
       ++batches;
     }
     result.final_train_loss = batches > 0 ? epoch_loss / batches : 0.0;
+    epoch_loss_hist->Observe(result.final_train_loss);
+    epochs_counter->Increment();
     ++result.epochs_run;
 
     if (validation != nullptr) {

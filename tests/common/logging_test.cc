@@ -1,5 +1,11 @@
 #include "common/logging.h"
 
+#include <cctype>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
 #include <gtest/gtest.h>
 
 namespace enld {
@@ -51,6 +57,50 @@ TEST_F(LoggingTest, LevelAccessors) {
   EXPECT_EQ(GetLogLevel(), LogLevel::kDebug);
   SetLogLevel(LogLevel::kWarning);
   EXPECT_EQ(GetLogLevel(), LogLevel::kWarning);
+}
+
+TEST_F(LoggingTest, HeaderCarriesThreadId) {
+  SetLogLevel(LogLevel::kInfo);
+  StderrCapture capture;
+  ENLD_LOG(Info) << "tid check";
+  const std::string out = capture.Release();
+  // The header tags the emitting thread as " t<N> " between the level and
+  // the file name, e.g. "[INFO t0 logging_test.cc:42]".
+  const size_t tag = out.find(" t");
+  ASSERT_NE(tag, std::string::npos);
+  EXPECT_TRUE(std::isdigit(static_cast<unsigned char>(out[tag + 2])));
+}
+
+TEST_F(LoggingTest, ConcurrentEmitsDoNotInterleave) {
+  SetLogLevel(LogLevel::kInfo);
+  constexpr int kThreads = 8;
+  constexpr int kLinesPerThread = 50;
+  StderrCapture capture;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([t] {
+      for (int i = 0; i < kLinesPerThread; ++i) {
+        ENLD_LOG(Info) << "worker=" << t << " line=" << i << " end";
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  const std::string out = capture.Release();
+
+  // Every emitted line must be whole: header, both fields, terminator —
+  // no characters from another thread spliced in.
+  std::istringstream lines(out);
+  std::string line;
+  int complete = 0;
+  while (std::getline(lines, line)) {
+    if (line.empty()) continue;
+    EXPECT_NE(line.find("INFO"), std::string::npos) << line;
+    EXPECT_NE(line.find("worker="), std::string::npos) << line;
+    EXPECT_NE(line.find(" end"), std::string::npos) << line;
+    ++complete;
+  }
+  EXPECT_EQ(complete, kThreads * kLinesPerThread);
 }
 
 TEST_F(LoggingTest, SuppressedMessagesDoNotEvaluateExpensiveFormatting) {

@@ -1,0 +1,383 @@
+#include <algorithm>
+#include <cstdlib>
+#include <functional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/parallel.h"
+#include "common/phase_timing.h"
+#include "common/telemetry/metrics.h"
+#include "common/telemetry/report.h"
+#include "common/telemetry/trace.h"
+
+namespace enld {
+namespace telemetry {
+namespace {
+
+/// Every test starts and ends with clean global telemetry state so tests
+/// are order-independent.
+class TelemetryTest : public ::testing::Test {
+ protected:
+  void SetUp() override { ResetTelemetry(); }
+  void TearDown() override {
+    ResetTelemetry();
+    SetParallelThreads(0);
+  }
+};
+
+// ---------------------------------------------------------------------------
+// Metrics registry.
+
+TEST_F(TelemetryTest, CounterAddAndReset) {
+  Counter counter;
+  EXPECT_EQ(counter.Value(), 0u);
+  counter.Add(5);
+  counter.Increment();
+  EXPECT_EQ(counter.Value(), 6u);
+  counter.Reset();
+  EXPECT_EQ(counter.Value(), 0u);
+}
+
+TEST_F(TelemetryTest, RegistryReturnsStablePointers) {
+  auto& registry = MetricsRegistry::Global();
+  Counter* a = registry.GetCounter("test/stable");
+  Counter* b = registry.GetCounter("test/stable");
+  EXPECT_EQ(a, b);
+  a->Add(3);
+  // Reset zeroes values but keeps the registration and the pointer valid.
+  registry.Reset();
+  EXPECT_EQ(registry.GetCounter("test/stable"), a);
+  EXPECT_EQ(a->Value(), 0u);
+}
+
+TEST_F(TelemetryTest, HistogramBucketSemantics) {
+  auto& registry = MetricsRegistry::Global();
+  Histogram* hist =
+      registry.GetHistogram("test/hist", {1.0, 2.0, 3.0});
+  hist->Observe(0.5);   // First bucket (<= 1.0).
+  hist->Observe(1.0);   // Boundary lands in its own bucket (le-semantics).
+  hist->Observe(2.5);   // Third bucket (<= 3.0).
+  hist->Observe(99.0);  // Overflow bucket.
+  EXPECT_EQ(hist->BucketCount(0), 2u);
+  EXPECT_EQ(hist->BucketCount(1), 0u);
+  EXPECT_EQ(hist->BucketCount(2), 1u);
+  EXPECT_EQ(hist->BucketCount(3), 1u);
+  EXPECT_EQ(hist->TotalCount(), 4u);
+  EXPECT_DOUBLE_EQ(hist->Sum(), 0.5 + 1.0 + 2.5 + 99.0);
+}
+
+TEST_F(TelemetryTest, SeriesPreservesAppendOrder) {
+  Series* series = MetricsRegistry::Global().GetSeries("test/series");
+  series->Append(3.0);
+  series->Append(1.0);
+  series->Append(2.0);
+  EXPECT_EQ(series->Values(), (std::vector<double>{3.0, 1.0, 2.0}));
+}
+
+TEST_F(TelemetryTest, SnapshotCoversAllMetricKinds) {
+  auto& registry = MetricsRegistry::Global();
+  registry.GetCounter("test/c")->Add(7);
+  registry.GetGauge("test/g")->Set(2.5);
+  registry.GetHistogram("test/h", {10.0})->Observe(4.0);
+  registry.GetSeries("test/s")->Append(1.0);
+  const MetricsSnapshot snap = registry.Snapshot();
+  EXPECT_EQ(snap.counters.at("test/c"), 7u);
+  EXPECT_DOUBLE_EQ(snap.gauges.at("test/g"), 2.5);
+  EXPECT_EQ(snap.histograms.at("test/h").count, 1u);
+  EXPECT_EQ(snap.series.at("test/s").size(), 1u);
+}
+
+// Hammer one counter from every worker of a real ParallelFor: the sharded
+// atomics must lose no increments regardless of interleaving.
+TEST_F(TelemetryTest, CounterIsExactUnderParallelFor) {
+  SetParallelThreads(8);
+  Counter* counter = MetricsRegistry::Global().GetCounter("test/parallel");
+  Histogram* hist =
+      MetricsRegistry::Global().GetHistogram("test/parallel_hist", {0.5});
+  constexpr size_t kItems = 100000;
+  ParallelFor(0, kItems, 64, [&](size_t begin, size_t end) {
+    for (size_t i = begin; i < end; ++i) {
+      counter->Increment();
+      hist->Observe(i % 2 == 0 ? 0.0 : 1.0);
+    }
+  });
+  EXPECT_EQ(counter->Value(), kItems);
+  EXPECT_EQ(hist->TotalCount(), kItems);
+  EXPECT_EQ(hist->BucketCount(0), kItems / 2);
+  EXPECT_EQ(hist->BucketCount(1), kItems / 2);
+}
+
+// ---------------------------------------------------------------------------
+// Trace spans.
+
+TEST_F(TelemetryTest, SpansNestAndMergeByName) {
+  for (int i = 0; i < 3; ++i) {
+    ENLD_TRACE_SPAN("outer");
+    {
+      ENLD_TRACE_SPAN("inner");
+    }
+    {
+      ENLD_TRACE_SPAN("inner");
+    }
+  }
+  const SpanSnapshot root = TraceTree::Global().Snapshot();
+  EXPECT_EQ(root.name, "run");
+  ASSERT_EQ(root.children.size(), 1u);
+  const SpanSnapshot& outer = root.children[0];
+  EXPECT_EQ(outer.name, "outer");
+  EXPECT_EQ(outer.count, 3u);
+  // Both "inner" entries per outer iteration merged into one child node.
+  ASSERT_EQ(outer.children.size(), 1u);
+  EXPECT_EQ(outer.children[0].name, "inner");
+  EXPECT_EQ(outer.children[0].count, 6u);
+  EXPECT_GE(outer.total_seconds, outer.children[0].total_seconds);
+  EXPECT_EQ(root.Depth(), 2u);
+  EXPECT_NE(root.Child("outer"), nullptr);
+  EXPECT_EQ(root.Child("missing"), nullptr);
+}
+
+TEST_F(TelemetryTest, SpanStatsAccumulate) {
+  {
+    ScopedSpan span("stats");
+    span.AddStat("items", 4.0);
+    span.AddStat("items", 2.0);
+    CurrentSpanStat("ambient", 1.0);
+  }
+  // No active span: the stat is dropped, not attached anywhere.
+  CurrentSpanStat("ambient", 100.0);
+  const SpanSnapshot root = TraceTree::Global().Snapshot();
+  const SpanSnapshot* span = root.Child("stats");
+  ASSERT_NE(span, nullptr);
+  EXPECT_DOUBLE_EQ(span->stats.at("items"), 6.0);
+  EXPECT_DOUBLE_EQ(span->stats.at("ambient"), 1.0);
+}
+
+TEST_F(TelemetryTest, SpanOnThreadWithoutParentAttachesToRoot) {
+  {
+    ENLD_TRACE_SPAN("parent");
+    std::thread other([] {
+      ENLD_TRACE_SPAN("orphan");
+    });
+    other.join();
+  }
+  const SpanSnapshot root = TraceTree::Global().Snapshot();
+  // "orphan" ran on a thread with no active span: root-level, not nested.
+  EXPECT_NE(root.Child("orphan"), nullptr);
+  ASSERT_NE(root.Child("parent"), nullptr);
+  EXPECT_EQ(root.Child("parent")->Child("orphan"), nullptr);
+}
+
+// ---------------------------------------------------------------------------
+// PhaseTimings compatibility shim.
+
+TEST_F(TelemetryTest, PhaseTimingsFlattensByNameAcrossPaths) {
+  {
+    ENLD_TRACE_SPAN("detect");
+    {
+      ENLD_TRACE_SPAN("shared");
+    }
+    {
+      ENLD_TRACE_SPAN("detect/iteration");
+      ENLD_TRACE_SPAN("shared");
+    }
+  }
+  PhaseTimings::Global().Add("flat_phase", 0.25);
+  const auto snapshot = PhaseTimings::Global().Snapshot();
+  size_t shared_entries = 0;
+  bool saw_flat = false;
+  for (const auto& [name, seconds] : snapshot) {
+    if (name == "shared") ++shared_entries;
+    if (name == "flat_phase") {
+      saw_flat = true;
+      EXPECT_DOUBLE_EQ(seconds, 0.25);
+    }
+  }
+  // One entry per *name*, even though "shared" occurs at two tree paths.
+  EXPECT_EQ(shared_entries, 1u);
+  EXPECT_TRUE(saw_flat);
+}
+
+// Regression test: concurrent first use of one phase name used to create
+// duplicate entries in the flat registry. The tree shim find-or-creates
+// under the lock, so exactly one entry must survive with the full sum.
+TEST_F(TelemetryTest, PhaseTimingsConcurrentFirstUseDoesNotDuplicate) {
+  constexpr int kThreads = 8;
+  constexpr int kAddsPerThread = 250;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([] {
+      for (int i = 0; i < kAddsPerThread; ++i) {
+        PhaseTimings::Global().Add("racy_phase", 0.001);
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  const auto snapshot = PhaseTimings::Global().Snapshot();
+  size_t entries = 0;
+  double total = 0.0;
+  for (const auto& [name, seconds] : snapshot) {
+    if (name == "racy_phase") {
+      ++entries;
+      total = seconds;
+    }
+  }
+  EXPECT_EQ(entries, 1u);
+  EXPECT_NEAR(total, kThreads * kAddsPerThread * 0.001, 1e-9);
+}
+
+// ---------------------------------------------------------------------------
+// Run reports.
+
+TEST_F(TelemetryTest, JsonReportContainsAllSections) {
+  {
+    ENLD_TRACE_SPAN("phase");
+    ENLD_TRACE_SPAN("phase/sub");
+  }
+  auto& registry = MetricsRegistry::Global();
+  registry.GetCounter("area/count")->Add(42);
+  registry.GetGauge("area/gauge")->Set(1.5);
+  registry.GetHistogram("area/hist", {1.0, 2.0})->Observe(1.5);
+  registry.GetSeries("area/series")->Append(7.0);
+
+  RunReport report = CaptureRunReport();
+  report.method = "TestMethod";
+  report.noise_rate = 0.2;
+  report.quality["f1_avg"] = 0.93;
+
+  const std::string json = RunReportToJson(report);
+  EXPECT_NE(json.find("\"schema\":\"enld-telemetry-v1\""), std::string::npos);
+  EXPECT_NE(json.find("\"method\":\"TestMethod\""), std::string::npos);
+  EXPECT_NE(json.find("\"phase/sub\""), std::string::npos);
+  EXPECT_NE(json.find("\"area/count\":42"), std::string::npos);
+  EXPECT_NE(json.find("\"area/gauge\""), std::string::npos);
+  EXPECT_NE(json.find("\"area/hist\""), std::string::npos);
+  EXPECT_NE(json.find("\"area/series\""), std::string::npos);
+  EXPECT_NE(json.find("\"f1_avg\""), std::string::npos);
+}
+
+TEST_F(TelemetryTest, JsonSerializationIsDeterministic) {
+  auto build = [] {
+    ResetTelemetry();
+    {
+      ENLD_TRACE_SPAN("alpha");
+      ENLD_TRACE_SPAN("beta");
+    }
+    auto& registry = MetricsRegistry::Global();
+    registry.GetCounter("z/last")->Add(1);
+    registry.GetCounter("a/first")->Add(2);
+    RunReport report = CaptureRunReport();
+    report.method = "Det";
+    // Zero out wall-clock so the two captures compare equal.
+    std::function<void(SpanSnapshot&)> strip = [&](SpanSnapshot& span) {
+      span.total_seconds = 0.0;
+      for (SpanSnapshot& child : span.children) strip(child);
+    };
+    strip(report.spans);
+    return RunReportToJson(report);
+  };
+  EXPECT_EQ(build(), build());
+}
+
+TEST_F(TelemetryTest, CsvReportSelectedByExtension) {
+  MetricsRegistry::Global().GetCounter("area/count")->Add(3);
+  {
+    ENLD_TRACE_SPAN("phase");
+  }
+  const RunReport report = CaptureRunReport();
+  const std::string csv = RunReportToCsv(report);
+  EXPECT_NE(csv.find("counter,area/count,3"), std::string::npos);
+  EXPECT_NE(csv.find("phase"), std::string::npos);
+
+  const std::string json_path = ::testing::TempDir() + "/telemetry.json";
+  const std::string csv_path = ::testing::TempDir() + "/telemetry.csv";
+  ASSERT_TRUE(WriteRunReport(report, json_path).ok());
+  ASSERT_TRUE(WriteRunReport(report, csv_path).ok());
+}
+
+TEST_F(TelemetryTest, TelemetryOutPathResolvesFlagThenEnv) {
+  const char* argv_with_flag[] = {"prog", "--telemetry_out=/tmp/x.json"};
+  EXPECT_EQ(TelemetryOutPath(2, const_cast<char**>(argv_with_flag)),
+            "/tmp/x.json");
+  const char* argv_plain[] = {"prog"};
+  unsetenv("ENLD_TELEMETRY");
+  EXPECT_EQ(TelemetryOutPath(1, const_cast<char**>(argv_plain)), "");
+  setenv("ENLD_TELEMETRY", "/tmp/env.json", 1);
+  EXPECT_EQ(TelemetryOutPath(1, const_cast<char**>(argv_plain)),
+            "/tmp/env.json");
+  // The explicit flag wins over the environment.
+  EXPECT_EQ(TelemetryOutPath(2, const_cast<char**>(argv_with_flag)),
+            "/tmp/x.json");
+  unsetenv("ENLD_TELEMETRY");
+}
+
+// ---------------------------------------------------------------------------
+// Determinism across thread counts.
+
+TEST_F(TelemetryTest, CostMetricClassification) {
+  EXPECT_TRUE(IsCostMetric("pool/tasks"));
+  EXPECT_TRUE(IsCostMetric("pool/queue_wait_us"));
+  EXPECT_TRUE(IsCostMetric("train/batch_assembly_us"));
+  EXPECT_TRUE(IsCostMetric("quality/setup_seconds"));
+  EXPECT_FALSE(IsCostMetric("detect/votes_cast"));
+  EXPECT_FALSE(IsCostMetric("knn/queries"));
+}
+
+TEST_F(TelemetryTest, DeterministicViewStripsCostMetrics) {
+  auto& registry = MetricsRegistry::Global();
+  registry.GetCounter("pool/tasks")->Add(10);
+  registry.GetCounter("detect/votes_cast")->Add(20);
+  registry.GetCounter("train/batch_assembly_us")->Add(30);
+  const MetricsSnapshot view = DeterministicView(registry.Snapshot());
+  EXPECT_EQ(view.counters.count("pool/tasks"), 0u);
+  EXPECT_EQ(view.counters.count("train/batch_assembly_us"), 0u);
+  EXPECT_EQ(view.counters.at("detect/votes_cast"), 20u);
+}
+
+// The acceptance criterion in miniature: running the same instrumented
+// workload at 1 thread and at 8 threads must produce identical
+// deterministic-view metric values (cost metrics excepted).
+TEST_F(TelemetryTest, MetricValuesIdenticalAcrossThreadCounts) {
+  auto run_workload = [](size_t threads) {
+    SetParallelThreads(threads);
+    ResetTelemetry();
+    auto& registry = MetricsRegistry::Global();
+    Counter* processed = registry.GetCounter("test/processed");
+    Histogram* hist = registry.GetHistogram("test/values", {10.0, 100.0});
+    ParallelFor(0, 5000, 32, [&](size_t begin, size_t end) {
+      for (size_t i = begin; i < end; ++i) {
+        processed->Increment();
+        hist->Observe(static_cast<double>(i % 150));
+      }
+    });
+    // Sequential-region series, as the detector records per iteration.
+    Series* series = registry.GetSeries("test/series");
+    for (int i = 0; i < 4; ++i) series->Append(i * 1.5);
+    return DeterministicView(registry.Snapshot());
+  };
+
+  const MetricsSnapshot sequential = run_workload(1);
+  const MetricsSnapshot parallel = run_workload(8);
+  EXPECT_EQ(sequential.counters, parallel.counters);
+  EXPECT_EQ(sequential.series, parallel.series);
+  ASSERT_EQ(sequential.histograms.size(), parallel.histograms.size());
+  for (const auto& [name, hist] : sequential.histograms) {
+    const HistogramSnapshot& other = parallel.histograms.at(name);
+    EXPECT_EQ(hist.bucket_counts, other.bucket_counts) << name;
+    EXPECT_EQ(hist.count, other.count) << name;
+    EXPECT_DOUBLE_EQ(hist.sum, other.sum) << name;
+  }
+  // The built-in loop counters recorded by ParallelFor itself are part of
+  // the deterministic contract too: chunking is thread-count independent.
+  EXPECT_EQ(sequential.counters.at("parallel/loops"),
+            parallel.counters.at("parallel/loops"));
+  EXPECT_EQ(sequential.counters.at("parallel/chunks"),
+            parallel.counters.at("parallel/chunks"));
+}
+
+}  // namespace
+}  // namespace telemetry
+}  // namespace enld

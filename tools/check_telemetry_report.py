@@ -1,0 +1,108 @@
+#!/usr/bin/env python3
+"""Validates an enld-telemetry-v1 JSON run report.
+
+Usage: check_telemetry_report.py report.json
+
+Checks the acceptance shape of the telemetry subsystem (docs/OBSERVABILITY.md):
+schema and top-level keys, a nested span tree with setup/detect phases at
+least two child levels deep, a reasonably populated metrics registry, and
+the per-iteration detection series. Exits non-zero with a message per
+violation.
+"""
+
+import json
+import sys
+
+REQUIRED_TOP_KEYS = ("schema", "method", "noise_rate", "threads", "spans",
+                     "metrics", "quality")
+REQUIRED_SERIES = ("detect/clean_size", "detect/ambiguous_size", "eval/f1")
+REQUIRED_COUNTERS = ("detect/votes_cast", "knn/queries", "train/steps")
+REQUIRED_HISTOGRAMS = ("detect/vote_margin",)
+MIN_DISTINCT_METRICS = 10  # counters + histograms
+
+
+def span_depth(span):
+    children = span.get("children", [])
+    if not children:
+        return 0
+    return 1 + max(span_depth(c) for c in children)
+
+
+def find_span(span, name):
+    if span.get("name") == name:
+        return span
+    for child in span.get("children", []):
+        found = find_span(child, name)
+        if found is not None:
+            return found
+    return None
+
+
+def main():
+    if len(sys.argv) != 2:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    with open(sys.argv[1]) as f:
+        report = json.load(f)
+
+    errors = []
+
+    for key in REQUIRED_TOP_KEYS:
+        if key not in report:
+            errors.append(f"missing top-level key: {key}")
+    if report.get("schema") != "enld-telemetry-v1":
+        errors.append(f"unexpected schema: {report.get('schema')!r}")
+
+    spans = report.get("spans", {})
+    for phase in ("setup", "detect"):
+        node = find_span(spans, phase)
+        if node is None:
+            errors.append(f"span tree has no '{phase}' node")
+        elif span_depth(node) < 1:
+            errors.append(f"span '{phase}' has no children")
+    # Nesting requirement: >= 2 child levels below the root, e.g.
+    # detect > detect/iteration > detect/finetune.
+    if span_depth(spans) < 3:
+        errors.append(
+            f"span tree depth {span_depth(spans)} < 3 (root > phase > "
+            "child > grandchild expected)")
+
+    metrics = report.get("metrics", {})
+    counters = metrics.get("counters", {})
+    histograms = metrics.get("histograms", {})
+    series = metrics.get("series", {})
+
+    distinct = len(counters) + len(histograms)
+    if distinct < MIN_DISTINCT_METRICS:
+        errors.append(
+            f"only {distinct} distinct counters+histograms, "
+            f"expected >= {MIN_DISTINCT_METRICS}")
+    for name in REQUIRED_COUNTERS:
+        if name not in counters:
+            errors.append(f"missing counter: {name}")
+    for name in REQUIRED_HISTOGRAMS:
+        if name not in histograms:
+            errors.append(f"missing histogram: {name}")
+        elif histograms[name].get("count", 0) <= 0:
+            errors.append(f"histogram {name} has no observations")
+    for name in REQUIRED_SERIES:
+        if name not in series:
+            errors.append(f"missing series: {name}")
+        elif not series[name]:
+            errors.append(f"series {name} is empty")
+
+    if errors:
+        for e in errors:
+            print(f"check_telemetry_report: {e}", file=sys.stderr)
+        return 1
+
+    print(
+        f"ok: {sys.argv[1]} — method={report['method']} "
+        f"threads={report['threads']} span_depth={span_depth(spans)} "
+        f"counters={len(counters)} histograms={len(histograms)} "
+        f"series={len(series)}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
