@@ -7,6 +7,20 @@
 //
 //   ./build/examples/data_platform_stream [noise_rate]
 //
+// Durable-store flags (see docs/PERSISTENCE.md):
+//   --snapshot_dir=<dir>  snapshot the platform after every request and,
+//                         when the directory already holds a snapshot,
+//                         resume the stream from it instead of re-running
+//                         setup
+//   --kill_after=<n>      simulate a crash: exit with code 3 after serving
+//                         n requests in this run (snapshots written so
+//                         far stay behind for the next run to resume from)
+//   --datasets=<n>        stream length (default 12)
+//
+// A killed run resumed with the same flags produces byte-identical
+// detections for the remaining requests — the snapshot carries the full
+// model, P-tilde, clean-bank and RNG stream state.
+//
 // Pass --telemetry_out=report.json (or set ENLD_TELEMETRY) to dump the
 // whole serving window — setup, every request's detect spans, automatic
 // model updates — as one machine-readable telemetry report.
@@ -25,19 +39,41 @@
 #include "eval/reporting.h"
 #include "nn/serialization.h"
 #include "nn/trainer.h"
+#include "store/snapshot.h"
+
+namespace {
+
+std::string FlagValue(int argc, char** argv, const std::string& name,
+                      const std::string& fallback) {
+  const std::string prefix = "--" + name + "=";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], prefix.c_str(), prefix.size()) == 0) {
+      return std::string(argv[i] + prefix.size());
+    }
+  }
+  return fallback;
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   using namespace enld;
   const double noise_rate =
       argc > 1 && std::strncmp(argv[1], "--", 2) != 0 ? std::atof(argv[1])
                                                       : 0.2;
+  const std::string snapshot_dir =
+      FlagValue(argc, argv, "snapshot_dir", "");
+  const size_t kill_after = static_cast<size_t>(
+      std::atoi(FlagValue(argc, argv, "kill_after", "0").c_str()));
+  const size_t num_datasets = static_cast<size_t>(
+      std::atoi(FlagValue(argc, argv, "datasets", "12").c_str()));
 
   // Unlike the eval harness, the platform serves requests directly, so the
   // example owns the telemetry scope: reset here, capture after the stream.
   telemetry::ResetTelemetry();
 
   WorkloadConfig workload_config = Cifar100WorkloadConfig(noise_rate);
-  workload_config.stream.num_datasets = 12;
+  workload_config.stream.num_datasets = num_datasets == 0 ? 12 : num_datasets;
   const Workload workload = BuildWorkload(workload_config);
   std::printf("data lake: %zu inventory samples, %d classes, noise %.2f\n",
               workload.inventory.size(), workload.inventory.num_classes,
@@ -51,18 +87,40 @@ int main(int argc, char** argv) {
   config.min_update_samples = 1500;
   DataPlatform platform(config);
 
-  Stopwatch setup;
-  const Status init = platform.Initialize(workload.inventory);
-  if (!init.ok()) {
-    std::fprintf(stderr, "initialization failed: %s\n",
-                 init.ToString().c_str());
-    return 1;
+  // With a snapshot directory, an existing snapshot wins over a fresh
+  // setup: the stream continues exactly where the previous run stopped.
+  size_t start_request = 0;
+  bool resumed = false;
+  if (!snapshot_dir.empty()) {
+    const Status restored = platform.RestoreFromSnapshot(snapshot_dir);
+    if (restored.ok()) {
+      resumed = true;
+      start_request = static_cast<size_t>(platform.stats().requests);
+      std::printf("resumed from snapshot in %s at request %zu\n",
+                  snapshot_dir.c_str(), start_request);
+    } else if (restored.code() != StatusCode::kNotFound) {
+      std::fprintf(stderr, "snapshot restore failed: %s\n",
+                   restored.ToString().c_str());
+      return 1;
+    }
   }
-  std::printf("setup done in %.2fs (general model + P-tilde estimation)\n\n",
-              setup.ElapsedSeconds());
+
+  if (!resumed) {
+    Stopwatch setup;
+    const Status init = platform.Initialize(workload.inventory);
+    if (!init.ok()) {
+      std::fprintf(stderr, "initialization failed: %s\n",
+                   init.ToString().c_str());
+      return 1;
+    }
+    std::printf(
+        "setup done in %.2fs (general model + P-tilde estimation)\n\n",
+        setup.ElapsedSeconds());
+  }
 
   double f1_sum = 0.0;
-  for (size_t i = 0; i < workload.incremental.size(); ++i) {
+  size_t served_this_run = 0;
+  for (size_t i = start_request; i < workload.incremental.size(); ++i) {
     const Dataset& arriving = workload.incremental[i];
     const uint64_t updates_before = platform.stats().model_updates;
     const StatusOr<DetectionResult> result = platform.Process(arriving);
@@ -74,6 +132,7 @@ int main(int argc, char** argv) {
     const DetectionMetrics m =
         EvaluateDetection(arriving, result->noisy_indices);
     f1_sum += m.f1;
+    ++served_this_run;
     std::printf(
         "request %2zu: %3zu samples / %zu classes -> %2zu flagged noisy "
         "(F1 %.3f); clean bank %zu\n",
@@ -82,6 +141,22 @@ int main(int argc, char** argv) {
         platform.framework().selected_clean_count());
     if (platform.stats().model_updates > updates_before) {
       std::printf("  -> automatic model update performed\n");
+    }
+    if (!snapshot_dir.empty()) {
+      const Status saved = platform.SaveSnapshot(snapshot_dir);
+      if (!saved.ok()) {
+        std::fprintf(stderr, "snapshot failed: %s\n",
+                     saved.ToString().c_str());
+        return 1;
+      }
+    }
+    if (kill_after > 0 && served_this_run == kill_after &&
+        i + 1 < workload.incremental.size()) {
+      std::printf(
+          "\nsimulated crash after %zu request(s); snapshot left in %s — "
+          "rerun to resume\n",
+          served_this_run, snapshot_dir.c_str());
+      return 3;
     }
   }
 
@@ -94,8 +169,10 @@ int main(int argc, char** argv) {
       static_cast<unsigned long>(stats.samples_flagged_noisy),
       stats.total_process_seconds,
       static_cast<unsigned long>(stats.model_updates));
-  std::printf("average detection F1 over the stream: %.4f\n",
-              f1_sum / workload.incremental.size());
+  if (served_this_run > 0) {
+    std::printf("average detection F1 over this run: %.4f\n",
+                f1_sum / served_this_run);
+  }
 
   double accuracy = 0.0;
   for (const Dataset& d : workload.incremental) {
@@ -115,7 +192,9 @@ int main(int argc, char** argv) {
   telemetry::RunReport report = telemetry::CaptureRunReport();
   report.method = "ENLD-platform";
   report.noise_rate = noise_rate;
-  report.quality["f1_avg"] = f1_sum / workload.incremental.size();
+  if (served_this_run > 0) {
+    report.quality["f1_avg"] = f1_sum / served_this_run;
+  }
   report.quality["requests"] = static_cast<double>(stats.requests);
   report.quality["model_updates"] =
       static_cast<double>(stats.model_updates);

@@ -13,6 +13,21 @@
 //   --telemetry_out=<path>               dump the run's telemetry report
 //                                        (JSON, or CSV when path ends in
 //                                        .csv); ENLD_TELEMETRY also works
+//
+// Durable-store subcommands (see docs/PERSISTENCE.md):
+//   enld_cli ingest --out=<dir> [--dataset=...] [--noise=...]
+//       [--rows_per_shard=<n>]
+//     Materializes the task's inventory into <dir> as a sharded binary
+//     dataset (manifest.json + shard-*.bin) and verifies it by loading
+//     it back.
+//   enld_cli snapshot --inventory=<dir> --snapshot_dir=<dir>
+//       [--dataset=...]
+//     Loads a sharded inventory, initializes a DataPlatform on it and
+//     writes snapshot #1 into --snapshot_dir.
+//   enld_cli resume --snapshot_dir=<dir> [--dataset=...] [--noise=...]
+//       [--datasets=<n>]
+//     Restores the platform from the latest snapshot and serves the
+//     remaining requests of the task's stream, snapshotting after each.
 
 #include <cstdio>
 #include <cstdlib>
@@ -30,9 +45,13 @@
 #include "common/telemetry/report.h"
 #include "data/serialization.h"
 #include "enld/framework.h"
+#include "enld/platform.h"
 #include "eval/experiment.h"
+#include "eval/metrics.h"
 #include "eval/paper_setup.h"
 #include "eval/reporting.h"
+#include "store/manifest.h"
+#include "store/snapshot.h"
 
 namespace {
 
@@ -79,9 +98,208 @@ std::unique_ptr<NoisyLabelDetector> MakeDetector(const std::string& method,
   return nullptr;
 }
 
+bool ParseDataset(const std::string& name, PaperDataset* out) {
+  if (name == "emnist") {
+    *out = PaperDataset::kEmnist;
+  } else if (name == "cifar100") {
+    *out = PaperDataset::kCifar100;
+  } else if (name == "tiny") {
+    *out = PaperDataset::kTinyImagenet;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+/// The platform configuration the `snapshot` and `resume` subcommands
+/// share. Both must build it identically — a snapshot only restores into a
+/// platform whose config fingerprint matches the one that wrote it.
+DataPlatformConfig MakePlatformConfig(PaperDataset dataset) {
+  DataPlatformConfig config;
+  config.enld = PaperEnldConfig(dataset);
+  return config;
+}
+
+/// `enld_cli ingest`: materialize the inventory as a sharded binary
+/// dataset and prove the round trip by loading it back.
+int RunIngest(int argc, char** argv) {
+  const std::string out_dir = FlagValue(argc, argv, "out", "");
+  if (out_dir.empty()) {
+    std::fprintf(stderr, "ingest requires --out=<dir>\n");
+    return 1;
+  }
+  PaperDataset dataset = PaperDataset::kCifar100;
+  if (!ParseDataset(FlagValue(argc, argv, "dataset", "cifar100"), &dataset)) {
+    std::fprintf(stderr, "unknown --dataset\n");
+    return 1;
+  }
+  const double noise =
+      std::atof(FlagValue(argc, argv, "noise", "0.2").c_str());
+  const size_t rows_per_shard = static_cast<size_t>(std::atoi(
+      FlagValue(argc, argv, "rows_per_shard",
+                std::to_string(store::kDefaultRowsPerShard))
+          .c_str()));
+
+  const Workload workload =
+      BuildWorkload(PaperWorkloadConfig(dataset, noise));
+  const Status saved = store::SaveDatasetSharded(
+      workload.inventory, out_dir, "inventory", rows_per_shard);
+  if (!saved.ok()) {
+    std::fprintf(stderr, "ingest failed: %s\n", saved.ToString().c_str());
+    return 1;
+  }
+
+  const StatusOr<store::DatasetManifest> manifest =
+      store::ReadDatasetManifest(out_dir);
+  if (!manifest.ok()) {
+    std::fprintf(stderr, "manifest read-back failed: %s\n",
+                 manifest.status().ToString().c_str());
+    return 1;
+  }
+  const StatusOr<Dataset> loaded = store::LoadDatasetSharded(out_dir);
+  if (!loaded.ok()) {
+    std::fprintf(stderr, "load-back failed: %s\n",
+                 loaded.status().ToString().c_str());
+    return 1;
+  }
+  uint64_t total_bytes = 0;
+  for (const store::ShardEntry& shard : manifest->shards) {
+    total_bytes += shard.bytes;
+  }
+  std::printf(
+      "ingested %s inventory -> %s: %llu rows x %llu features, %d classes, "
+      "%zu shard(s), %llu bytes; load-back OK\n",
+      PaperDatasetName(dataset), out_dir.c_str(),
+      static_cast<unsigned long long>(manifest->num_rows),
+      static_cast<unsigned long long>(manifest->dim), manifest->num_classes,
+      manifest->shards.size(),
+      static_cast<unsigned long long>(total_bytes));
+  return 0;
+}
+
+/// `enld_cli snapshot`: stand a platform up on a previously ingested
+/// inventory and write the first snapshot.
+int RunSnapshot(int argc, char** argv) {
+  const std::string inventory_dir = FlagValue(argc, argv, "inventory", "");
+  const std::string snapshot_dir = FlagValue(argc, argv, "snapshot_dir", "");
+  if (inventory_dir.empty() || snapshot_dir.empty()) {
+    std::fprintf(stderr,
+                 "snapshot requires --inventory=<dir> --snapshot_dir=<dir>\n");
+    return 1;
+  }
+  PaperDataset dataset = PaperDataset::kCifar100;
+  if (!ParseDataset(FlagValue(argc, argv, "dataset", "cifar100"), &dataset)) {
+    std::fprintf(stderr, "unknown --dataset\n");
+    return 1;
+  }
+
+  const StatusOr<Dataset> inventory =
+      store::LoadDatasetSharded(inventory_dir);
+  if (!inventory.ok()) {
+    std::fprintf(stderr, "cannot load inventory: %s\n",
+                 inventory.status().ToString().c_str());
+    return 1;
+  }
+
+  DataPlatform platform(MakePlatformConfig(dataset));
+  const Status init = platform.Initialize(inventory.value());
+  if (!init.ok()) {
+    std::fprintf(stderr, "initialization failed: %s\n",
+                 init.ToString().c_str());
+    return 1;
+  }
+  const Status saved = platform.SaveSnapshot(snapshot_dir);
+  if (!saved.ok()) {
+    std::fprintf(stderr, "snapshot failed: %s\n", saved.ToString().c_str());
+    return 1;
+  }
+  const store::SnapshotStore snapshots(snapshot_dir);
+  const StatusOr<uint64_t> seq = snapshots.LatestSeq();
+  std::printf("platform initialized on %zu samples; snapshot %llu -> %s\n",
+              inventory.value().size(),
+              static_cast<unsigned long long>(seq.ok() ? seq.value() : 0),
+              snapshot_dir.c_str());
+  return 0;
+}
+
+/// `enld_cli resume`: restore from the latest snapshot and serve the
+/// remaining requests of the task's stream.
+int RunResume(int argc, char** argv) {
+  const std::string snapshot_dir = FlagValue(argc, argv, "snapshot_dir", "");
+  if (snapshot_dir.empty()) {
+    std::fprintf(stderr, "resume requires --snapshot_dir=<dir>\n");
+    return 1;
+  }
+  PaperDataset dataset = PaperDataset::kCifar100;
+  if (!ParseDataset(FlagValue(argc, argv, "dataset", "cifar100"), &dataset)) {
+    std::fprintf(stderr, "unknown --dataset\n");
+    return 1;
+  }
+  const double noise =
+      std::atof(FlagValue(argc, argv, "noise", "0.2").c_str());
+
+  WorkloadConfig workload_config = PaperWorkloadConfig(dataset, noise);
+  const std::string datasets_flag = FlagValue(argc, argv, "datasets", "");
+  if (!datasets_flag.empty()) {
+    workload_config.stream.num_datasets =
+        static_cast<size_t>(std::atoi(datasets_flag.c_str()));
+  }
+  const Workload workload = BuildWorkload(workload_config);
+
+  DataPlatform platform(MakePlatformConfig(dataset));
+  const Status restored = platform.RestoreFromSnapshot(snapshot_dir);
+  if (!restored.ok()) {
+    std::fprintf(stderr, "restore failed: %s\n",
+                 restored.ToString().c_str());
+    return 1;
+  }
+  const size_t start = static_cast<size_t>(platform.stats().requests);
+  std::printf("restored platform from %s at request %zu of %zu\n",
+              snapshot_dir.c_str(), start, workload.incremental.size());
+
+  for (size_t i = start; i < workload.incremental.size(); ++i) {
+    const Dataset& arriving = workload.incremental[i];
+    const StatusOr<DetectionResult> result = platform.Process(arriving);
+    if (!result.ok()) {
+      std::fprintf(stderr, "request failed: %s\n",
+                   result.status().ToString().c_str());
+      return 1;
+    }
+    const DetectionMetrics m =
+        EvaluateDetection(arriving, result->noisy_indices);
+    std::printf("request %2zu: %3zu samples -> %2zu flagged noisy (F1 %.3f)\n",
+                i + 1, arriving.size(), result->noisy_indices.size(), m.f1);
+    const Status saved = platform.SaveSnapshot(snapshot_dir);
+    if (!saved.ok()) {
+      std::fprintf(stderr, "snapshot failed: %s\n",
+                   saved.ToString().c_str());
+      return 1;
+    }
+  }
+  const PlatformStats& stats = platform.stats();
+  std::printf("stream complete: %lu requests served, %lu samples flagged\n",
+              static_cast<unsigned long>(stats.requests),
+              static_cast<unsigned long>(stats.samples_flagged_noisy));
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
+  // Subcommand dispatch: a bare first argument selects a durable-store
+  // workflow; flag-style arguments fall through to the eval driver.
+  if (argc > 1 && argv[1][0] != '-') {
+    const std::string subcommand = argv[1];
+    if (subcommand == "ingest") return RunIngest(argc, argv);
+    if (subcommand == "snapshot") return RunSnapshot(argc, argv);
+    if (subcommand == "resume") return RunResume(argc, argv);
+    std::fprintf(stderr,
+                 "unknown subcommand '%s' (expected ingest, snapshot or "
+                 "resume)\n",
+                 subcommand.c_str());
+    return 1;
+  }
+
   const std::string dataset_name =
       FlagValue(argc, argv, "dataset", "cifar100");
   const double noise =

@@ -148,4 +148,20 @@ std::vector<size_t> Rng::SampleWithoutReplacement(size_t n, size_t count) {
 
 Rng Rng::Fork() { return Rng(NextUInt64() ^ 0xa5a5a5a55a5a5a5aULL); }
 
+RngState Rng::GetState() const {
+  RngState out;
+  for (size_t i = 0; i < 4; ++i) out.state[i] = state_[i];
+  out.cached_gaussian = cached_gaussian_;
+  out.has_cached_gaussian = has_cached_gaussian_;
+  return out;
+}
+
+void Rng::SetState(const RngState& state) {
+  ENLD_CHECK((state.state[0] | state.state[1] | state.state[2] |
+              state.state[3]) != 0);
+  for (size_t i = 0; i < 4; ++i) state_[i] = state.state[i];
+  cached_gaussian_ = state.cached_gaussian;
+  has_cached_gaussian_ = state.has_cached_gaussian;
+}
+
 }  // namespace enld

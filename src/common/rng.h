@@ -9,6 +9,16 @@
 
 namespace enld {
 
+/// The complete serializable state of an Rng stream. Capturing and later
+/// restoring it resumes the stream at exactly the same point — the durable
+/// store persists this so a restored service replays the identical random
+/// sequence it would have drawn had it never stopped.
+struct RngState {
+  uint64_t state[4] = {0, 0, 0, 0};
+  double cached_gaussian = 0.0;
+  bool has_cached_gaussian = false;
+};
+
 /// Deterministic pseudo-random number generator (xoshiro256** seeded via
 /// splitmix64). Every stochastic component in the library draws from an
 /// explicitly passed `Rng` so that experiments are reproducible bit-for-bit
@@ -66,6 +76,13 @@ class Rng {
 
   /// Derives an independent generator (distinct stream) from this one.
   Rng Fork();
+
+  /// Copies out the full stream state (xoshiro words + Box–Muller cache).
+  RngState GetState() const;
+
+  /// Restores a state captured with GetState. Requires a state with at
+  /// least one non-zero xoshiro word (the all-zero state is degenerate).
+  void SetState(const RngState& state);
 
  private:
   uint64_t state_[4];

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <set>
+#include <string>
 
 #include "common/check.h"
 
@@ -92,6 +93,30 @@ void Dataset::CheckConsistent() const {
                (observed_labels[i] >= 0 && observed_labels[i] < num_classes));
     ENLD_CHECK(true_labels[i] >= 0 && true_labels[i] < num_classes);
   }
+}
+
+Status ValidateDataset(const Dataset& dataset) {
+  const size_t rows = dataset.observed_labels.size();
+  if (dataset.true_labels.size() != rows || dataset.ids.size() != rows ||
+      dataset.features.rows() != rows) {
+    return Status::InvalidArgument("dataset column lengths disagree");
+  }
+  if (dataset.num_classes <= 0) {
+    return Status::InvalidArgument("dataset num_classes must be positive");
+  }
+  for (size_t i = 0; i < rows; ++i) {
+    const int obs = dataset.observed_labels[i];
+    const int tru = dataset.true_labels[i];
+    if (obs != kMissingLabel && (obs < 0 || obs >= dataset.num_classes)) {
+      return Status::InvalidArgument("observed label out of range at row " +
+                                     std::to_string(i));
+    }
+    if (tru < 0 || tru >= dataset.num_classes) {
+      return Status::InvalidArgument("true label out of range at row " +
+                                     std::to_string(i));
+    }
+  }
+  return Status::OK();
 }
 
 Dataset MakeDataset(Matrix features, std::vector<int> observed_labels,

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "common/matrix.h"
+#include "common/status.h"
 
 namespace enld {
 
@@ -61,6 +62,12 @@ struct Dataset {
   /// Programming-error checks; aborts on violation.
   void CheckConsistent() const;
 };
+
+/// Non-aborting counterpart of Dataset::CheckConsistent for data read
+/// from external sources (shard files, snapshots): matching column
+/// lengths, positive class count, labels in range. Returns
+/// InvalidArgument describing the first violation instead of aborting.
+Status ValidateDataset(const Dataset& dataset);
 
 /// Builds a dataset from parallel arrays. `true_labels` may be empty, in
 /// which case observed labels are copied as truth. Ids are assigned

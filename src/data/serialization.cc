@@ -43,14 +43,21 @@ std::vector<std::string> SplitCsv(const std::string& line) {
   return fields;
 }
 
+/// Reads one line, tolerating CRLF endings (the trailing '\r' of a file
+/// written or transferred on Windows is stripped).
 bool ReadLine(FILE* file, std::string* out) {
   out->clear();
   int c;
+  bool got_newline = false;
   while ((c = std::fgetc(file)) != EOF) {
-    if (c == '\n') return true;
+    if (c == '\n') {
+      got_newline = true;
+      break;
+    }
     out->push_back(static_cast<char>(c));
   }
-  return !out->empty();
+  if (!out->empty() && out->back() == '\r') out->pop_back();
+  return got_newline || !out->empty();
 }
 
 }  // namespace

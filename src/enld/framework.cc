@@ -83,6 +83,91 @@ std::vector<size_t> EnldFramework::selected_clean_positions() const {
   return out;
 }
 
+EnldFrameworkState EnldFramework::CaptureState() const {
+  ENLD_CHECK(general_.model != nullptr);  // Setup must run first.
+  EnldFrameworkState state;
+  state.model_dims = general_.model->layer_dims();
+  state.model_weights = general_.model->GetWeights();
+  state.train_set = general_.train_set;
+  state.candidate_set = general_.candidate_set;
+  state.conditional = conditional_;
+  state.selected_clean.reserve(selected_clean_.size());
+  for (bool b : selected_clean_) {
+    state.selected_clean.push_back(b ? 1 : 0);
+  }
+  state.rng = rng_.GetState();
+  return state;
+}
+
+Status EnldFramework::RestoreState(EnldFrameworkState state) {
+  // Validate everything before touching any member so a bad state leaves
+  // the framework exactly as it was.
+  ENLD_RETURN_IF_ERROR(ValidateDataset(state.train_set));
+  ENLD_RETURN_IF_ERROR(ValidateDataset(state.candidate_set));
+  if (state.train_set.num_classes != state.candidate_set.num_classes) {
+    return Status::InvalidArgument(
+        "train and candidate sets disagree on num_classes");
+  }
+  if (!state.train_set.empty() && !state.candidate_set.empty() &&
+      state.train_set.dim() != state.candidate_set.dim()) {
+    return Status::InvalidArgument(
+        "train and candidate sets disagree on feature dim");
+  }
+  if (state.model_dims.size() < 3) {
+    return Status::InvalidArgument("model needs at least one hidden layer");
+  }
+  size_t expected_weights = 0;
+  for (size_t i = 0; i + 1 < state.model_dims.size(); ++i) {
+    if (state.model_dims[i] == 0 || state.model_dims[i + 1] == 0) {
+      return Status::InvalidArgument("model layer dims must be positive");
+    }
+    expected_weights +=
+        state.model_dims[i] * state.model_dims[i + 1] + state.model_dims[i + 1];
+  }
+  if (state.model_weights.size() != expected_weights) {
+    return Status::InvalidArgument(
+        "model weight count does not match the architecture");
+  }
+  if (state.model_dims.back() !=
+      static_cast<size_t>(state.candidate_set.num_classes)) {
+    return Status::InvalidArgument(
+        "model output dim does not match num_classes");
+  }
+  const size_t classes = state.conditional.size();
+  if (classes != static_cast<size_t>(state.candidate_set.num_classes)) {
+    return Status::InvalidArgument("P~ row count does not match num_classes");
+  }
+  for (const auto& row : state.conditional) {
+    if (row.size() != classes) {
+      return Status::InvalidArgument("P~ must be square");
+    }
+  }
+  if (state.selected_clean.size() != state.candidate_set.size()) {
+    return Status::InvalidArgument(
+        "S_c bitmap length does not match the candidate set");
+  }
+  if (state.rng.state[0] == 0 && state.rng.state[1] == 0 &&
+      state.rng.state[2] == 0 && state.rng.state[3] == 0) {
+    return Status::InvalidArgument("degenerate (all-zero) RNG state");
+  }
+
+  // Commit. The Rng used for construction is throwaway: SetWeights
+  // replaces the He initialization entirely.
+  Rng init_rng(1);
+  auto model = std::make_unique<MlpModel>(state.model_dims, init_rng);
+  model->SetWeights(state.model_weights);
+  general_.model = std::move(model);
+  general_.train_set = std::move(state.train_set);
+  general_.candidate_set = std::move(state.candidate_set);
+  conditional_ = std::move(state.conditional);
+  selected_clean_.assign(state.selected_clean.size(), false);
+  for (size_t i = 0; i < state.selected_clean.size(); ++i) {
+    selected_clean_[i] = state.selected_clean[i] != 0;
+  }
+  rng_.SetState(state.rng);
+  return Status::OK();
+}
+
 Status EnldFramework::UpdateModel() {
   if (general_.model == nullptr) {
     return Status::FailedPrecondition("Setup has not been run");

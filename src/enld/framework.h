@@ -13,6 +13,24 @@
 
 namespace enld {
 
+/// The complete restorable state of an EnldFramework, as captured by
+/// CaptureState and persisted by the durable store (src/store/): the
+/// general model θ (architecture + weights), the I_t / I_c split, P̃, the
+/// accumulated S_c membership and the RNG stream position. Restoring this
+/// state into a framework built from the same EnldConfig reproduces the
+/// byte-exact behaviour of the original instance for all future calls.
+struct EnldFrameworkState {
+  std::vector<size_t> model_dims;
+  std::vector<float> model_weights;
+  Dataset train_set;      // I_t.
+  Dataset candidate_set;  // I_c.
+  /// P̃(y* = j | ỹ = i), square over all classes.
+  std::vector<std::vector<double>> conditional;
+  /// S_c membership (0/1), parallel to candidate_set.
+  std::vector<uint8_t> selected_clean;
+  RngState rng;
+};
+
 /// The ENLD framework (Algorithm 1): one-time model initialization and
 /// probability estimation on the inventory, then per-arriving-dataset
 /// fine-grained detection with contrastive sampling, plus the optional
@@ -64,6 +82,17 @@ class EnldFramework : public NoisyLabelDetector {
   std::vector<size_t> selected_clean_positions() const;
 
   const EnldConfig& config() const { return config_; }
+
+  /// Copies out the complete framework state for snapshotting. Requires
+  /// Setup (or RestoreState) to have run.
+  EnldFrameworkState CaptureState() const;
+
+  /// Replaces the framework's state with a previously captured one,
+  /// skipping Setup entirely. Validates the state first and fails with
+  /// InvalidArgument — leaving the framework untouched — on any
+  /// inconsistency (mismatched column lengths, weight counts, a
+  /// non-square P̃, a degenerate RNG state).
+  Status RestoreState(EnldFrameworkState state);
 
  private:
   EnldConfig config_;

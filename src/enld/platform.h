@@ -2,6 +2,7 @@
 #define ENLD_ENLD_PLATFORM_H_
 
 #include <cstdint>
+#include <string>
 
 #include "common/status.h"
 #include "enld/framework.h"
@@ -57,7 +58,23 @@ class DataPlatform {
   /// Direct access to the underlying framework (valid after Initialize).
   EnldFramework& framework() { return framework_; }
 
+  /// Writes a crash-safe snapshot of the complete platform state (model,
+  /// I_t / I_c, P̃, S_c, stats, RNG position) into `dir` and advances the
+  /// store's CURRENT pointer. Requires Initialize. Defined in
+  /// src/store/snapshot.cc; link the `enld_store` (or umbrella `enld`)
+  /// target to use it.
+  Status SaveSnapshot(const std::string& dir) const;
+
+  /// Replaces this platform's state with the latest snapshot in `dir`.
+  /// The platform must have been built from the same DataPlatformConfig
+  /// that wrote the snapshot (checked via a config fingerprint;
+  /// FailedPrecondition on mismatch). Validates the snapshot completely
+  /// before mutating anything — a failed restore leaves the platform
+  /// untouched and usable. Defined in src/store/snapshot.cc.
+  Status RestoreFromSnapshot(const std::string& dir);
+
  private:
+
   DataPlatformConfig config_;
   EnldFramework framework_;
   PlatformStats stats_;

@@ -1,22 +1,45 @@
 #ifndef ENLD_NN_SERIALIZATION_H_
 #define ENLD_NN_SERIALIZATION_H_
 
+#include <cstddef>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "common/status.h"
 #include "nn/mlp.h"
 
 namespace enld {
 
-/// Writes the model architecture and weights to a binary file
-/// ("ENLDMDL1" magic, layer dims, float32 weights, little-endian as on the
-/// writing machine). Overwrites an existing file.
-Status SaveModel(const MlpModel& model, const std::string& path);
+/// Architecture + flattened weights of one model file — the weight-level
+/// view used by the snapshot store, which reconstructs the MlpModel
+/// itself.
+struct ModelFile {
+  std::vector<size_t> dims;
+  std::vector<float> weights;
+};
 
-/// Reads a model written by SaveModel. Fails with InvalidArgument on
-/// format problems and NotFound when the file cannot be opened.
+/// Writes the model architecture and weights to a binary file. The
+/// current format ("ENLDMDL2" magic) carries an explicit byte-order tag:
+/// payloads are written in host order and the tag records what that was,
+/// so a file from a foreign-endian machine is rejected with
+/// InvalidArgument instead of being silently misread. Overwrites an
+/// existing file.
+Status SaveModel(const MlpModel& model, const std::string& path);
+Status SaveModelFile(const ModelFile& file, const std::string& path);
+
+/// Reads a model written by SaveModel / SaveModelFile. Both the current
+/// "ENLDMDL2" format and the legacy tag-less "ENLDMDL1" format (assumed
+/// little-endian, as documented when it was introduced) are accepted.
+/// Fails with InvalidArgument on format problems — including a byte-order
+/// tag that does not match this machine — and NotFound when the file
+/// cannot be opened.
 StatusOr<std::unique_ptr<MlpModel>> LoadModel(const std::string& path);
+StatusOr<ModelFile> LoadModelFile(const std::string& path);
+
+/// Builds an MlpModel from a validated ModelFile (dims/weight-count
+/// consistency is re-checked; InvalidArgument on mismatch).
+StatusOr<std::unique_ptr<MlpModel>> ModelFromFile(const ModelFile& file);
 
 }  // namespace enld
 

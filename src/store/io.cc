@@ -1,0 +1,288 @@
+#include "store/io.h"
+
+#include <cstdio>
+#include <cstring>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <fcntl.h>
+#include <unistd.h>
+#define ENLD_STORE_HAS_FSYNC 1
+#endif
+
+#include "common/telemetry/metrics.h"
+
+namespace enld {
+namespace store {
+
+namespace {
+
+telemetry::Counter* BytesReadCounter() {
+  static telemetry::Counter* counter =
+      telemetry::MetricsRegistry::Global().GetCounter("store/bytes_read");
+  return counter;
+}
+
+telemetry::Counter* BytesWrittenCounter() {
+  static telemetry::Counter* counter =
+      telemetry::MetricsRegistry::Global().GetCounter("store/bytes_written");
+  return counter;
+}
+
+/// The standard reflected CRC-32 table, built on first use.
+const uint32_t* Crc32Table() {
+  static uint32_t table[256];
+  static const bool initialized = [] {
+    for (uint32_t i = 0; i < 256; ++i) {
+      uint32_t crc = i;
+      for (int bit = 0; bit < 8; ++bit) {
+        crc = (crc >> 1) ^ (0xEDB88320u & (0u - (crc & 1u)));
+      }
+      table[i] = crc;
+    }
+    return true;
+  }();
+  (void)initialized;
+  return table;
+}
+
+class File {
+ public:
+  File(const std::string& path, const char* mode)
+      : handle_(std::fopen(path.c_str(), mode)) {}
+  ~File() { Close(); }
+  File(const File&) = delete;
+  File& operator=(const File&) = delete;
+
+  FILE* get() const { return handle_; }
+  bool ok() const { return handle_ != nullptr; }
+  void Close() {
+    if (handle_ != nullptr) std::fclose(handle_);
+    handle_ = nullptr;
+  }
+
+ private:
+  FILE* handle_;
+};
+
+}  // namespace
+
+uint32_t Crc32(const void* data, size_t size) {
+  const uint32_t* table = Crc32Table();
+  const unsigned char* bytes = static_cast<const unsigned char*>(data);
+  uint32_t crc = 0xFFFFFFFFu;
+  for (size_t i = 0; i < size; ++i) {
+    crc = (crc >> 8) ^ table[(crc ^ bytes[i]) & 0xFFu];
+  }
+  return crc ^ 0xFFFFFFFFu;
+}
+
+uint32_t Crc32(const std::string& data) {
+  return Crc32(data.data(), data.size());
+}
+
+void PutU8(std::string* out, uint8_t v) {
+  out->push_back(static_cast<char>(v));
+}
+
+void PutU32(std::string* out, uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    out->push_back(static_cast<char>((v >> (8 * i)) & 0xFFu));
+  }
+}
+
+void PutU64(std::string* out, uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    out->push_back(static_cast<char>((v >> (8 * i)) & 0xFFu));
+  }
+}
+
+void PutI32(std::string* out, int32_t v) {
+  PutU32(out, static_cast<uint32_t>(v));
+}
+
+void PutF32(std::string* out, float v) {
+  uint32_t bits;
+  std::memcpy(&bits, &v, sizeof(bits));
+  PutU32(out, bits);
+}
+
+void PutF64(std::string* out, double v) {
+  uint64_t bits;
+  std::memcpy(&bits, &v, sizeof(bits));
+  PutU64(out, bits);
+}
+
+void PutBytes(std::string* out, const void* data, size_t size) {
+  out->append(static_cast<const char*>(data), size);
+}
+
+bool BinaryReader::ReadU8(uint8_t* v) {
+  if (remaining() < 1) return false;
+  *v = static_cast<uint8_t>(data_[offset_++]);
+  return true;
+}
+
+bool BinaryReader::ReadU32(uint32_t* v) {
+  if (remaining() < 4) return false;
+  uint32_t out = 0;
+  for (int i = 0; i < 4; ++i) {
+    out |= static_cast<uint32_t>(
+               static_cast<unsigned char>(data_[offset_ + i]))
+           << (8 * i);
+  }
+  offset_ += 4;
+  *v = out;
+  return true;
+}
+
+bool BinaryReader::ReadU64(uint64_t* v) {
+  if (remaining() < 8) return false;
+  uint64_t out = 0;
+  for (int i = 0; i < 8; ++i) {
+    out |= static_cast<uint64_t>(
+               static_cast<unsigned char>(data_[offset_ + i]))
+           << (8 * i);
+  }
+  offset_ += 8;
+  *v = out;
+  return true;
+}
+
+bool BinaryReader::ReadI32(int32_t* v) {
+  uint32_t bits = 0;
+  if (!ReadU32(&bits)) return false;
+  *v = static_cast<int32_t>(bits);
+  return true;
+}
+
+bool BinaryReader::ReadF32(float* v) {
+  uint32_t bits = 0;
+  if (!ReadU32(&bits)) return false;
+  std::memcpy(v, &bits, sizeof(*v));
+  return true;
+}
+
+bool BinaryReader::ReadF64(double* v) {
+  uint64_t bits = 0;
+  if (!ReadU64(&bits)) return false;
+  std::memcpy(v, &bits, sizeof(*v));
+  return true;
+}
+
+bool BinaryReader::ReadBytes(size_t size, std::string* out) {
+  if (remaining() < size) return false;
+  out->assign(data_, offset_, size);
+  offset_ += size;
+  return true;
+}
+
+bool BinaryReader::Skip(size_t size) {
+  if (remaining() < size) return false;
+  offset_ += size;
+  return true;
+}
+
+void PutSection(std::string* out, uint32_t id, const std::string& payload) {
+  PutU32(out, id);
+  PutU64(out, payload.size());
+  PutU32(out, Crc32(payload));
+  out->append(payload);
+}
+
+Status ReadSection(BinaryReader* reader, uint32_t expected_id,
+                   std::string* payload) {
+  uint32_t id = 0;
+  uint64_t bytes = 0;
+  uint32_t crc = 0;
+  if (!reader->ReadU32(&id) || !reader->ReadU64(&bytes) ||
+      !reader->ReadU32(&crc)) {
+    return Status::InvalidArgument("truncated section header");
+  }
+  if (id != expected_id) {
+    return Status::InvalidArgument("unexpected section id " +
+                                   std::to_string(id) + " (want " +
+                                   std::to_string(expected_id) + ")");
+  }
+  if (!reader->ReadBytes(static_cast<size_t>(bytes), payload)) {
+    return Status::InvalidArgument("truncated section " + std::to_string(id) +
+                                   " payload");
+  }
+  if (Crc32(*payload) != crc) {
+    static telemetry::Counter* failures =
+        telemetry::MetricsRegistry::Global().GetCounter("store/crc_failures");
+    failures->Increment();
+    return Status::InvalidArgument("CRC mismatch in section " +
+                                   std::to_string(id));
+  }
+  return Status::OK();
+}
+
+StatusOr<std::string> ReadFile(const std::string& path) {
+  File file(path, "rb");
+  if (!file.ok()) {
+    return Status::NotFound("cannot open for reading: " + path);
+  }
+  std::string data;
+  char buffer[1 << 16];
+  size_t got;
+  while ((got = std::fread(buffer, 1, sizeof(buffer), file.get())) > 0) {
+    data.append(buffer, got);
+  }
+  if (std::ferror(file.get())) {
+    return Status::Internal("read error: " + path);
+  }
+  BytesReadCounter()->Add(data.size());
+  return data;
+}
+
+Status WriteFileDurable(const std::string& path, const std::string& data) {
+  const std::string tmp = path + ".tmp";
+  {
+    File file(tmp, "wb");
+    if (!file.ok()) {
+      return Status::NotFound("cannot open for writing: " + tmp);
+    }
+    if (!data.empty() &&
+        std::fwrite(data.data(), 1, data.size(), file.get()) !=
+            data.size()) {
+      return Status::Internal("short write: " + tmp);
+    }
+    if (std::fflush(file.get()) != 0) {
+      return Status::Internal("flush failed: " + tmp);
+    }
+#ifdef ENLD_STORE_HAS_FSYNC
+    if (::fsync(::fileno(file.get())) != 0) {
+      return Status::Internal("fsync failed: " + tmp);
+    }
+#endif
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return Status::Internal("rename failed: " + tmp + " -> " + path);
+  }
+  // Parent directory must persist the new entry too.
+  const size_t slash = path.find_last_of('/');
+  const Status dir_sync =
+      SyncDir(slash == std::string::npos ? "." : path.substr(0, slash));
+  if (!dir_sync.ok()) return dir_sync;
+  BytesWrittenCounter()->Add(data.size());
+  return Status::OK();
+}
+
+Status SyncDir(const std::string& path) {
+#ifdef ENLD_STORE_HAS_FSYNC
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) {
+    return Status::NotFound("cannot open directory: " + path);
+  }
+  // Some filesystems refuse fsync on directories; treat that as done.
+  ::fsync(fd);
+  ::close(fd);
+#else
+  (void)path;
+#endif
+  return Status::OK();
+}
+
+}  // namespace store
+}  // namespace enld

@@ -1,0 +1,61 @@
+#ifndef ENLD_STORE_SHARD_H_
+#define ENLD_STORE_SHARD_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "data/dataset.h"
+
+namespace enld {
+namespace store {
+
+/// Binary columnar shard format for Dataset — the fast, byte-exact
+/// replacement for the CSV round trip (see docs/PERSISTENCE.md for the
+/// layout diagram).
+///
+/// A shard is one self-describing file:
+///
+///   header:  magic "ENLDSHD1", little-endian tag 0x01020304, version,
+///            num_rows, dim, num_classes, section count
+///   section: id, payload byte length, CRC32(payload), payload
+///
+/// with one section per column: float32 features, int32 observed labels,
+/// int32 true labels, uint64 ids, and a missing-label bitmap (bit i set
+/// iff observed[i] == kMissingLabel; redundant with the observed column
+/// and cross-checked on load, so either a flipped label byte or a flipped
+/// bitmap bit is caught).
+///
+/// Error contract (shared by the whole store, asserted by the corruption
+/// tests): NotFound = the file cannot be opened; InvalidArgument = any
+/// structural corruption — bad magic, foreign byte order, unknown
+/// version, truncation, CRC mismatch, out-of-range labels, inconsistent
+/// columns. CRC mismatches additionally increment "store/crc_failures".
+
+/// Section ids, also used by tools/check_snapshot.py.
+inline constexpr uint32_t kShardSectionFeatures = 1;
+inline constexpr uint32_t kShardSectionObserved = 2;
+inline constexpr uint32_t kShardSectionTrue = 3;
+inline constexpr uint32_t kShardSectionIds = 4;
+inline constexpr uint32_t kShardSectionMissingBitmap = 5;
+
+/// Serializes the dataset into the shard byte format (no I/O).
+std::string EncodeDatasetShard(const Dataset& dataset);
+
+/// Parses a shard buffer back into a Dataset, verifying every section CRC
+/// and the column invariants. The inverse of EncodeDatasetShard:
+/// DecodeDatasetShard(EncodeDatasetShard(d)) == d, byte-exact.
+StatusOr<Dataset> DecodeDatasetShard(const std::string& data);
+
+/// Writes the dataset as one shard file (crash-safe: temp + fsync +
+/// rename).
+Status SaveDatasetShard(const Dataset& dataset, const std::string& path);
+
+/// Reads a shard file written by SaveDatasetShard. Column invariants are
+/// re-checked with enld::ValidateDataset, so a decoded shard is always
+/// internally consistent.
+StatusOr<Dataset> LoadDatasetShard(const std::string& path);
+
+}  // namespace store
+}  // namespace enld
+
+#endif  // ENLD_STORE_SHARD_H_

@@ -1,0 +1,605 @@
+#include "store/snapshot.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <utility>
+
+#include "common/check.h"
+#include "common/telemetry/metrics.h"
+#include "common/telemetry/trace.h"
+#include "nn/serialization.h"
+#include "store/io.h"
+#include "store/json.h"
+#include "store/manifest.h"
+
+namespace enld {
+namespace store {
+
+namespace {
+
+constexpr char kSnapshotMagic[8] = {'E', 'N', 'L', 'D', 'S', 'N', 'P', '1'};
+constexpr uint32_t kEndianTag = 0x01020304u;
+constexpr uint32_t kSnapshotVersion = 1;
+constexpr uint32_t kSectionCount = 5;
+constexpr char kSnapshotSchema[] = "enld-snapshot-manifest-v1";
+constexpr char kCurrentFile[] = "CURRENT";
+constexpr char kManifestFile[] = "MANIFEST.json";
+constexpr char kStateFile[] = "state.bin";
+constexpr char kModelFile[] = "model.bin";
+constexpr char kTrainDir[] = "train";
+constexpr char kCandidateDir[] = "candidate";
+
+constexpr uint64_t kFnvOffset = 14695981039346656037ULL;
+constexpr uint64_t kFnvPrime = 1099511628211ULL;
+
+uint64_t Fnv1a(const std::string& bytes) {
+  uint64_t hash = kFnvOffset;
+  for (unsigned char c : bytes) {
+    hash ^= c;
+    hash *= kFnvPrime;
+  }
+  return hash;
+}
+
+/// Canonical byte encodings for fingerprinting. Field order is part of the
+/// fingerprint: appending new config fields keeps old fingerprints stable
+/// only if they are appended at the end with their default values.
+void AppendTrainConfig(std::string* out, const TrainConfig& config) {
+  PutU64(out, config.epochs);
+  PutU64(out, config.batch_size);
+  PutU32(out, static_cast<uint32_t>(config.optimizer));
+  PutF64(out, config.sgd.learning_rate);
+  PutF64(out, config.sgd.momentum);
+  PutF64(out, config.sgd.weight_decay);
+  PutF64(out, config.adam.learning_rate);
+  PutF64(out, config.adam.beta1);
+  PutF64(out, config.adam.beta2);
+  PutF64(out, config.adam.epsilon);
+  PutF64(out, config.mixup_alpha);
+  PutF64(out, config.lr_decay_per_epoch);
+  PutU8(out, config.select_best_on_validation ? 1 : 0);
+  PutU64(out, config.seed);
+}
+
+std::string FingerprintHex(uint64_t fingerprint) {
+  char buffer[32];
+  std::snprintf(buffer, sizeof(buffer), "%016llx",
+                static_cast<unsigned long long>(fingerprint));
+  return buffer;
+}
+
+telemetry::Counter* CrcFailures() {
+  static telemetry::Counter* counter =
+      telemetry::MetricsRegistry::Global().GetCounter("store/crc_failures");
+  return counter;
+}
+
+std::string EncodeState(const SnapshotContents& contents) {
+  std::string out;
+  out.append(kSnapshotMagic, sizeof(kSnapshotMagic));
+  PutU32(&out, kEndianTag);
+  PutU32(&out, kSnapshotVersion);
+  PutU32(&out, kSectionCount);
+
+  std::string payload;
+  PutU64(&payload, contents.seq);
+  PutU64(&payload, contents.config_fingerprint);
+  PutU64(&payload, contents.inventory_dim);
+  PutU32(&payload, static_cast<uint32_t>(contents.inventory_classes));
+  PutSection(&out, kSnapshotSectionMeta, payload);
+
+  payload.clear();
+  PutU64(&payload, contents.stats.requests);
+  PutU64(&payload, contents.stats.samples_processed);
+  PutU64(&payload, contents.stats.samples_flagged_noisy);
+  PutU64(&payload, contents.stats.model_updates);
+  PutF64(&payload, contents.stats.total_process_seconds);
+  PutSection(&out, kSnapshotSectionStats, payload);
+
+  payload.clear();
+  for (uint64_t word : contents.framework.rng.state) PutU64(&payload, word);
+  PutF64(&payload, contents.framework.rng.cached_gaussian);
+  PutU8(&payload, contents.framework.rng.has_cached_gaussian ? 1 : 0);
+  PutSection(&out, kSnapshotSectionRng, payload);
+
+  payload.clear();
+  const size_t classes = contents.framework.conditional.size();
+  PutU32(&payload, static_cast<uint32_t>(classes));
+  for (const auto& row : contents.framework.conditional) {
+    ENLD_CHECK_EQ(row.size(), classes);  // P~ is square by construction.
+    for (double v : row) PutF64(&payload, v);
+  }
+  PutSection(&out, kSnapshotSectionConditional, payload);
+
+  payload.clear();
+  const auto& selected = contents.framework.selected_clean;
+  PutU64(&payload, selected.size());
+  std::string bitmap((selected.size() + 7) / 8, '\0');
+  for (size_t i = 0; i < selected.size(); ++i) {
+    if (selected[i] != 0) {
+      bitmap[i / 8] |= static_cast<char>(1u << (i % 8));
+    }
+  }
+  payload.append(bitmap);
+  PutSection(&out, kSnapshotSectionSelected, payload);
+  return out;
+}
+
+/// Decodes state.bin into `contents` (datasets and model arrive from their
+/// own files and are stitched in by Load).
+Status DecodeState(const std::string& data, SnapshotContents* contents) {
+  BinaryReader reader(data);
+  std::string magic;
+  if (!reader.ReadBytes(sizeof(kSnapshotMagic), &magic) ||
+      std::memcmp(magic.data(), kSnapshotMagic, sizeof(kSnapshotMagic)) !=
+          0) {
+    return Status::InvalidArgument("not an ENLD snapshot state file");
+  }
+  uint32_t endian = 0, version = 0, sections = 0;
+  if (!reader.ReadU32(&endian) || !reader.ReadU32(&version) ||
+      !reader.ReadU32(&sections)) {
+    return Status::InvalidArgument("truncated snapshot state header");
+  }
+  if (endian != kEndianTag) {
+    return Status::InvalidArgument(
+        "snapshot byte-order tag mismatch (foreign-endian or corrupt file)");
+  }
+  if (version != kSnapshotVersion) {
+    return Status::InvalidArgument("unsupported snapshot version " +
+                                   std::to_string(version));
+  }
+  if (sections != kSectionCount) {
+    return Status::InvalidArgument("unexpected snapshot section count");
+  }
+
+  std::string payload;
+  ENLD_RETURN_IF_ERROR(ReadSection(&reader, kSnapshotSectionMeta, &payload));
+  {
+    BinaryReader meta(payload);
+    uint32_t classes = 0;
+    if (!meta.ReadU64(&contents->seq) ||
+        !meta.ReadU64(&contents->config_fingerprint) ||
+        !meta.ReadU64(&contents->inventory_dim) || !meta.ReadU32(&classes) ||
+        meta.remaining() != 0) {
+      return Status::InvalidArgument("malformed snapshot meta section");
+    }
+    contents->inventory_classes = static_cast<int>(classes);
+  }
+
+  ENLD_RETURN_IF_ERROR(ReadSection(&reader, kSnapshotSectionStats, &payload));
+  {
+    BinaryReader stats(payload);
+    if (!stats.ReadU64(&contents->stats.requests) ||
+        !stats.ReadU64(&contents->stats.samples_processed) ||
+        !stats.ReadU64(&contents->stats.samples_flagged_noisy) ||
+        !stats.ReadU64(&contents->stats.model_updates) ||
+        !stats.ReadF64(&contents->stats.total_process_seconds) ||
+        stats.remaining() != 0) {
+      return Status::InvalidArgument("malformed snapshot stats section");
+    }
+  }
+
+  ENLD_RETURN_IF_ERROR(ReadSection(&reader, kSnapshotSectionRng, &payload));
+  {
+    BinaryReader rng(payload);
+    uint8_t has_cached = 0;
+    if (!rng.ReadU64(&contents->framework.rng.state[0]) ||
+        !rng.ReadU64(&contents->framework.rng.state[1]) ||
+        !rng.ReadU64(&contents->framework.rng.state[2]) ||
+        !rng.ReadU64(&contents->framework.rng.state[3]) ||
+        !rng.ReadF64(&contents->framework.rng.cached_gaussian) ||
+        !rng.ReadU8(&has_cached) || has_cached > 1 ||
+        rng.remaining() != 0) {
+      return Status::InvalidArgument("malformed snapshot RNG section");
+    }
+    contents->framework.rng.has_cached_gaussian = has_cached == 1;
+  }
+
+  ENLD_RETURN_IF_ERROR(
+      ReadSection(&reader, kSnapshotSectionConditional, &payload));
+  {
+    BinaryReader cond(payload);
+    uint32_t classes = 0;
+    if (!cond.ReadU32(&classes) ||
+        cond.remaining() !=
+            static_cast<size_t>(classes) * classes * sizeof(double)) {
+      return Status::InvalidArgument(
+          "malformed snapshot conditional-probability section");
+    }
+    contents->framework.conditional.assign(classes,
+                                           std::vector<double>(classes, 0.0));
+    for (auto& row : contents->framework.conditional) {
+      for (double& v : row) cond.ReadF64(&v);
+    }
+  }
+
+  ENLD_RETURN_IF_ERROR(
+      ReadSection(&reader, kSnapshotSectionSelected, &payload));
+  {
+    BinaryReader sel(payload);
+    uint64_t count = 0;
+    if (!sel.ReadU64(&count) ||
+        sel.remaining() != (static_cast<size_t>(count) + 7) / 8) {
+      return Status::InvalidArgument(
+          "malformed snapshot clean-selection section");
+    }
+    std::string bitmap;
+    sel.ReadBytes(sel.remaining(), &bitmap);
+    contents->framework.selected_clean.resize(static_cast<size_t>(count));
+    for (size_t i = 0; i < contents->framework.selected_clean.size(); ++i) {
+      contents->framework.selected_clean[i] =
+          (static_cast<unsigned char>(bitmap[i / 8]) >> (i % 8)) & 1u;
+    }
+  }
+
+  if (reader.remaining() != 0) {
+    return Status::InvalidArgument(
+        "trailing bytes after last snapshot section");
+  }
+  return Status::OK();
+}
+
+/// Verifies one manifest-listed file's size and CRC and returns nothing
+/// but the Status; Load re-reads the file via its typed loader afterwards.
+Status VerifyListedFile(const std::string& dir, const std::string& name,
+                        uint64_t bytes, uint32_t crc) {
+  StatusOr<std::string> data = ReadFile(dir + "/" + name);
+  if (!data.ok()) return data.status();
+  if (data.value().size() != bytes) {
+    return Status::InvalidArgument(
+        name + " is " + std::to_string(data.value().size()) +
+        " bytes, snapshot manifest says " + std::to_string(bytes) +
+        " (truncated?)");
+  }
+  if (Crc32(data.value()) != crc) {
+    CrcFailures()->Increment();
+    return Status::InvalidArgument(
+        name + " CRC32 does not match the snapshot manifest");
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+uint64_t FingerprintConfig(const DataPlatformConfig& config) {
+  std::string bytes;
+  PutU64(&bytes, config.update_every);
+  PutU64(&bytes, config.min_update_samples);
+
+  const EnldConfig& enld = config.enld;
+  PutU32(&bytes, static_cast<uint32_t>(enld.general.backbone));
+  AppendTrainConfig(&bytes, enld.general.train);
+  PutU64(&bytes, enld.general.seed);
+
+  PutU64(&bytes, enld.contrastive_k);
+  PutU64(&bytes, enld.iterations);
+  PutU64(&bytes, enld.steps_per_iteration);
+  PutU64(&bytes, enld.warmup_epochs);
+  PutF64(&bytes, enld.high_quality_strictness);
+  AppendTrainConfig(&bytes, enld.finetune);
+  PutU32(&bytes, static_cast<uint32_t>(enld.policy));
+  PutU8(&bytes, enld.ablation.use_contrastive ? 1 : 0);
+  PutU8(&bytes, enld.ablation.use_majority_voting ? 1 : 0);
+  PutU8(&bytes, enld.ablation.merge_clean_into_c ? 1 : 0);
+  PutU8(&bytes, enld.ablation.use_probability_label ? 1 : 0);
+  PutU8(&bytes, enld.recover_missing_labels ? 1 : 0);
+  PutU64(&bytes, enld.seed);
+  return Fnv1a(bytes);
+}
+
+std::string SnapshotStore::DirName(uint64_t seq) {
+  char buffer[32];
+  std::snprintf(buffer, sizeof(buffer), "snap-%06llu",
+                static_cast<unsigned long long>(seq));
+  return buffer;
+}
+
+StatusOr<uint64_t> SnapshotStore::LatestSeq() const {
+  StatusOr<std::string> current = ReadFile(root_ + "/" + kCurrentFile);
+  if (!current.ok()) return current.status();
+  std::string name = current.value();
+  while (!name.empty() && (name.back() == '\n' || name.back() == '\r')) {
+    name.pop_back();
+  }
+  if (name.size() != 11 || name.compare(0, 5, "snap-") != 0) {
+    return Status::InvalidArgument("malformed CURRENT pointer: '" + name +
+                                   "'");
+  }
+  uint64_t seq = 0;
+  for (size_t i = 5; i < name.size(); ++i) {
+    if (name[i] < '0' || name[i] > '9') {
+      return Status::InvalidArgument("malformed CURRENT pointer: '" + name +
+                                     "'");
+    }
+    seq = seq * 10 + static_cast<uint64_t>(name[i] - '0');
+  }
+  if (seq == 0) {
+    return Status::InvalidArgument("CURRENT points at sequence 0");
+  }
+  return seq;
+}
+
+std::vector<uint64_t> SnapshotStore::ListSeqs() const {
+  std::vector<uint64_t> seqs;
+  std::error_code ec;
+  for (const auto& entry : std::filesystem::directory_iterator(root_, ec)) {
+    if (!entry.is_directory(ec)) continue;
+    const std::string name = entry.path().filename().string();
+    if (name.size() != 11 || name.compare(0, 5, "snap-") != 0) continue;
+    uint64_t seq = 0;
+    bool numeric = true;
+    for (size_t i = 5; i < name.size(); ++i) {
+      if (name[i] < '0' || name[i] > '9') {
+        numeric = false;
+        break;
+      }
+      seq = seq * 10 + static_cast<uint64_t>(name[i] - '0');
+    }
+    if (numeric && seq > 0) seqs.push_back(seq);
+  }
+  std::sort(seqs.begin(), seqs.end());
+  return seqs;
+}
+
+StatusOr<uint64_t> SnapshotStore::Save(const SnapshotContents& contents) {
+  ENLD_TRACE_SPAN("store/save_snapshot");
+  std::error_code ec;
+  std::filesystem::create_directories(root_, ec);
+  if (ec) {
+    return Status::Internal("cannot create snapshot root " + root_ + ": " +
+                            ec.message());
+  }
+
+  const StatusOr<uint64_t> latest = LatestSeq();
+  const uint64_t seq = latest.ok() ? latest.value() + 1 : 1;
+  const std::string name = DirName(seq);
+  const std::string final_dir = root_ + "/" + name;
+  const std::string staging = final_dir + ".tmp";
+
+  // A stale staging dir (or an unpublished final dir from a crash between
+  // the directory rename and the CURRENT update) was never visible to
+  // readers and is safe to discard.
+  std::filesystem::remove_all(staging, ec);
+  std::filesystem::remove_all(final_dir, ec);
+  std::filesystem::create_directories(staging, ec);
+  if (ec) {
+    return Status::Internal("cannot create staging directory " + staging +
+                            ": " + ec.message());
+  }
+
+  SnapshotContents stamped_meta = contents;
+  stamped_meta.seq = seq;
+  const std::string state = EncodeState(stamped_meta);
+  ENLD_RETURN_IF_ERROR(
+      WriteFileDurable(staging + "/" + kStateFile, state));
+
+  // The model rides in the nn/serialization format. SaveModelFile writes
+  // plainly, so the bytes are read back once for the manifest CRC and
+  // re-written durably.
+  ModelFile model;
+  model.dims = contents.framework.model_dims;
+  model.weights = contents.framework.model_weights;
+  const std::string model_path = staging + "/" + kModelFile;
+  ENLD_RETURN_IF_ERROR(SaveModelFile(model, model_path));
+  StatusOr<std::string> model_bytes = ReadFile(model_path);
+  if (!model_bytes.ok()) return model_bytes.status();
+  ENLD_RETURN_IF_ERROR(WriteFileDurable(model_path, model_bytes.value()));
+
+  ENLD_RETURN_IF_ERROR(SaveDatasetSharded(
+      contents.framework.train_set, staging + "/" + kTrainDir, kTrainDir));
+  ENLD_RETURN_IF_ERROR(SaveDatasetSharded(contents.framework.candidate_set,
+                                          staging + "/" + kCandidateDir,
+                                          kCandidateDir));
+
+  JsonValue manifest = JsonValue::Object();
+  manifest.Set("schema", JsonValue::String(kSnapshotSchema));
+  manifest.Set("seq", JsonValue::Number(static_cast<double>(seq)));
+  manifest.Set("config_fingerprint",
+               JsonValue::String(FingerprintHex(contents.config_fingerprint)));
+  JsonValue files = JsonValue::Array();
+  const std::pair<const char*, const std::string*> listed[] = {
+      {kStateFile, &state}, {kModelFile, &model_bytes.value()}};
+  for (const auto& [file_name, bytes] : listed) {
+    JsonValue entry = JsonValue::Object();
+    entry.Set("file", JsonValue::String(file_name));
+    entry.Set("bytes", JsonValue::Number(static_cast<double>(bytes->size())));
+    entry.Set("crc32", JsonValue::Number(static_cast<double>(Crc32(*bytes))));
+    files.items().push_back(std::move(entry));
+  }
+  manifest.Set("files", std::move(files));
+  JsonValue datasets = JsonValue::Array();
+  datasets.items().push_back(JsonValue::String(kTrainDir));
+  datasets.items().push_back(JsonValue::String(kCandidateDir));
+  manifest.Set("datasets", std::move(datasets));
+  ENLD_RETURN_IF_ERROR(WriteFileDurable(staging + "/" + kManifestFile,
+                                        manifest.ToString()));
+
+  // Publish: rename the complete staging dir into place, persist the
+  // parent, then (and only then) move CURRENT forward.
+  std::filesystem::rename(staging, final_dir, ec);
+  if (ec) {
+    return Status::Internal("cannot publish snapshot " + final_dir + ": " +
+                            ec.message());
+  }
+  ENLD_RETURN_IF_ERROR(SyncDir(root_));
+  ENLD_RETURN_IF_ERROR(
+      WriteFileDurable(root_ + "/" + kCurrentFile, name + "\n"));
+
+  static telemetry::Counter* saved =
+      telemetry::MetricsRegistry::Global().GetCounter(
+          "store/snapshots_written");
+  saved->Increment();
+  return seq;
+}
+
+StatusOr<SnapshotContents> SnapshotStore::Load(uint64_t seq) const {
+  ENLD_TRACE_SPAN("store/load_snapshot");
+  const std::string dir = root_ + "/" + DirName(seq);
+
+  StatusOr<std::string> manifest_text = ReadFile(dir + "/" + kManifestFile);
+  if (!manifest_text.ok()) return manifest_text.status();
+  StatusOr<JsonValue> parsed = JsonValue::Parse(manifest_text.value());
+  if (!parsed.ok()) return parsed.status();
+  const JsonValue& root = parsed.value();
+  if (!root.is_object()) {
+    return Status::InvalidArgument("snapshot manifest is not a JSON object");
+  }
+  const JsonValue* schema = root.Find("schema");
+  if (schema == nullptr || !schema->is_string() ||
+      schema->AsString() != kSnapshotSchema) {
+    return Status::InvalidArgument("unsupported snapshot manifest schema");
+  }
+  const JsonValue* seq_field = root.Find("seq");
+  if (seq_field == nullptr || !seq_field->is_number() ||
+      static_cast<uint64_t>(seq_field->AsNumber()) != seq) {
+    return Status::InvalidArgument(
+        "snapshot manifest seq does not match its directory");
+  }
+  const JsonValue* fingerprint_field = root.Find("config_fingerprint");
+  if (fingerprint_field == nullptr || !fingerprint_field->is_string()) {
+    return Status::InvalidArgument(
+        "snapshot manifest is missing config_fingerprint");
+  }
+  char* end = nullptr;
+  const std::string& hex = fingerprint_field->AsString();
+  const uint64_t manifest_fingerprint =
+      std::strtoull(hex.c_str(), &end, 16);
+  if (hex.empty() || end == nullptr || *end != '\0') {
+    return Status::InvalidArgument("malformed config fingerprint: '" + hex +
+                                   "'");
+  }
+
+  const JsonValue* files = root.Find("files");
+  if (files == nullptr || !files->is_array() || files->items().empty()) {
+    return Status::InvalidArgument("snapshot manifest has no 'files' array");
+  }
+  bool state_listed = false, model_listed = false;
+  for (const JsonValue& item : files->items()) {
+    const JsonValue* file_field = item.Find("file");
+    const JsonValue* bytes_field = item.Find("bytes");
+    const JsonValue* crc_field = item.Find("crc32");
+    if (file_field == nullptr || !file_field->is_string() ||
+        bytes_field == nullptr || !bytes_field->is_number() ||
+        crc_field == nullptr || !crc_field->is_number()) {
+      return Status::InvalidArgument("malformed snapshot file entry");
+    }
+    const std::string& file_name = file_field->AsString();
+    if (file_name.empty() || file_name.find('/') != std::string::npos) {
+      return Status::InvalidArgument(
+          "snapshot file name must be a plain name");
+    }
+    ENLD_RETURN_IF_ERROR(VerifyListedFile(
+        dir, file_name, static_cast<uint64_t>(bytes_field->AsNumber()),
+        static_cast<uint32_t>(crc_field->AsNumber())));
+    state_listed = state_listed || file_name == kStateFile;
+    model_listed = model_listed || file_name == kModelFile;
+  }
+  if (!state_listed || !model_listed) {
+    return Status::InvalidArgument(
+        "snapshot manifest must list state.bin and model.bin");
+  }
+
+  SnapshotContents contents;
+  StatusOr<std::string> state = ReadFile(dir + "/" + kStateFile);
+  if (!state.ok()) return state.status();
+  ENLD_RETURN_IF_ERROR(DecodeState(state.value(), &contents));
+  if (contents.seq != seq) {
+    return Status::InvalidArgument(
+        "state.bin seq does not match the snapshot directory");
+  }
+  if (contents.config_fingerprint != manifest_fingerprint) {
+    return Status::InvalidArgument(
+        "state.bin config fingerprint disagrees with the manifest");
+  }
+
+  StatusOr<ModelFile> model = LoadModelFile(dir + "/" + kModelFile);
+  if (!model.ok()) return model.status();
+  contents.framework.model_dims = std::move(model.value().dims);
+  contents.framework.model_weights = std::move(model.value().weights);
+
+  StatusOr<Dataset> train = LoadDatasetSharded(dir + "/" + kTrainDir);
+  if (!train.ok()) return train.status();
+  contents.framework.train_set = std::move(train.value());
+  StatusOr<Dataset> candidate = LoadDatasetSharded(dir + "/" + kCandidateDir);
+  if (!candidate.ok()) return candidate.status();
+  contents.framework.candidate_set = std::move(candidate.value());
+
+  if (contents.framework.selected_clean.size() !=
+      contents.framework.candidate_set.size()) {
+    return Status::InvalidArgument(
+        "clean-selection bitmap length does not match the candidate set");
+  }
+  if (contents.framework.conditional.size() !=
+      static_cast<size_t>(contents.framework.candidate_set.num_classes)) {
+    return Status::InvalidArgument(
+        "conditional-probability size does not match num_classes");
+  }
+
+  static telemetry::Counter* loaded =
+      telemetry::MetricsRegistry::Global().GetCounter(
+          "store/snapshots_read");
+  loaded->Increment();
+  return contents;
+}
+
+StatusOr<SnapshotContents> SnapshotStore::LoadLatest() const {
+  StatusOr<uint64_t> seq = LatestSeq();
+  if (!seq.ok()) return seq.status();
+  return Load(seq.value());
+}
+
+}  // namespace store
+
+Status DataPlatform::SaveSnapshot(const std::string& dir) const {
+  if (!initialized_) {
+    return Status::FailedPrecondition(
+        "platform not initialized; nothing to snapshot");
+  }
+  store::SnapshotContents contents;
+  contents.config_fingerprint = store::FingerprintConfig(config_);
+  contents.framework = framework_.CaptureState();
+  contents.stats = stats_;
+  contents.inventory_dim = inventory_dim_;
+  contents.inventory_classes = inventory_classes_;
+  store::SnapshotStore snapshots(dir);
+  StatusOr<uint64_t> seq = snapshots.Save(contents);
+  return seq.ok() ? Status::OK() : seq.status();
+}
+
+Status DataPlatform::RestoreFromSnapshot(const std::string& dir) {
+  ENLD_TRACE_SPAN("store/restore_snapshot");
+  store::SnapshotStore snapshots(dir);
+  StatusOr<store::SnapshotContents> loaded = snapshots.LoadLatest();
+  if (!loaded.ok()) return loaded.status();
+  store::SnapshotContents& contents = loaded.value();
+
+  if (contents.config_fingerprint != store::FingerprintConfig(config_)) {
+    return Status::FailedPrecondition(
+        "snapshot was written under a different platform configuration "
+        "(fingerprint mismatch); restore refused");
+  }
+  const uint64_t dim = contents.inventory_dim;
+  const int classes = contents.inventory_classes;
+  if (!contents.framework.candidate_set.empty() &&
+      (contents.framework.candidate_set.dim() != dim ||
+       contents.framework.candidate_set.num_classes != classes)) {
+    return Status::InvalidArgument(
+        "snapshot inventory geometry disagrees with its candidate set");
+  }
+
+  // RestoreState validates everything before mutating; only after it
+  // commits are the platform-level fields replaced, so a failed restore
+  // leaves this platform exactly as it was.
+  ENLD_RETURN_IF_ERROR(
+      framework_.RestoreState(std::move(contents.framework)));
+  stats_ = contents.stats;
+  inventory_dim_ = static_cast<size_t>(dim);
+  inventory_classes_ = classes;
+  initialized_ = true;
+  return Status::OK();
+}
+
+}  // namespace enld

@@ -1,0 +1,99 @@
+#ifndef ENLD_STORE_SNAPSHOT_H_
+#define ENLD_STORE_SNAPSHOT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "enld/platform.h"
+
+namespace enld {
+namespace store {
+
+/// Crash-safe snapshots of a complete DataPlatform. A snapshot root
+/// directory holds numbered snapshots plus a CURRENT pointer file:
+///
+///   <root>/
+///     CURRENT            — one line: the directory name of the latest
+///                          snapshot ("snap-000003")
+///     snap-000003/
+///       MANIFEST.json    — schema, seq, config fingerprint, per-file
+///                          byte size + CRC32
+///       state.bin        — platform scalars, stats, RNG stream, P̃, S_c
+///       model.bin        — the general model θ (nn/serialization format)
+///       train/           — I_t as a sharded dataset (manifest + shards)
+///       candidate/       — I_c as a sharded dataset
+///
+/// Saves are atomic: everything is written into a staging directory
+/// ("snap-000003.tmp"), each file durably (temp + fsync + rename), then
+/// the staging directory is renamed into place and only afterwards is
+/// CURRENT updated. A crash at any point leaves either the previous
+/// snapshot or the complete new one as CURRENT — never a partial state.
+///
+/// Error contract on load (asserted by the corruption tests): NotFound =
+/// missing snapshot/CURRENT/listed file; InvalidArgument = structural
+/// corruption (bad magic, truncation, CRC mismatch, inconsistent
+/// sections). Config mismatches surface as FailedPrecondition from
+/// DataPlatform::RestoreFromSnapshot.
+
+/// Section ids inside state.bin (mirrored by tools/check_snapshot.py).
+inline constexpr uint32_t kSnapshotSectionMeta = 1;
+inline constexpr uint32_t kSnapshotSectionStats = 2;
+inline constexpr uint32_t kSnapshotSectionRng = 3;
+inline constexpr uint32_t kSnapshotSectionConditional = 4;
+inline constexpr uint32_t kSnapshotSectionSelected = 5;
+
+/// FNV-1a hash over every behaviour-affecting field of the platform
+/// configuration, in a fixed canonical byte encoding. Two configs with the
+/// same fingerprint drive the detection pipeline identically, so restoring
+/// a snapshot into a platform with a matching fingerprint is safe.
+uint64_t FingerprintConfig(const DataPlatformConfig& config);
+
+/// Everything a snapshot captures, decoded and structurally validated.
+struct SnapshotContents {
+  uint64_t seq = 0;
+  uint64_t config_fingerprint = 0;
+  EnldFrameworkState framework;
+  PlatformStats stats;
+  uint64_t inventory_dim = 0;
+  int inventory_classes = 0;
+};
+
+/// Manages the snapshot directory: sequential saves, CURRENT tracking,
+/// and fully validated loads.
+class SnapshotStore {
+ public:
+  explicit SnapshotStore(std::string root) : root_(std::move(root)) {}
+
+  const std::string& root() const { return root_; }
+
+  /// Writes `contents` as the next snapshot (seq := LatestSeq() + 1) and
+  /// advances CURRENT. Returns the sequence number written.
+  StatusOr<uint64_t> Save(const SnapshotContents& contents);
+
+  /// Loads one snapshot by sequence number, verifying the manifest, every
+  /// file CRC and all cross-section invariants.
+  StatusOr<SnapshotContents> Load(uint64_t seq) const;
+
+  /// Loads the snapshot CURRENT points at.
+  StatusOr<SnapshotContents> LoadLatest() const;
+
+  /// Sequence number CURRENT points at; NotFound when the store is empty.
+  StatusOr<uint64_t> LatestSeq() const;
+
+  /// All snapshot sequence numbers present on disk, ascending (including
+  /// any not pointed at by CURRENT).
+  std::vector<uint64_t> ListSeqs() const;
+
+  /// Directory name for a sequence number ("snap-000042").
+  static std::string DirName(uint64_t seq);
+
+ private:
+  std::string root_;
+};
+
+}  // namespace store
+}  // namespace enld
+
+#endif  // ENLD_STORE_SNAPSHOT_H_

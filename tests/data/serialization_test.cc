@@ -82,6 +82,45 @@ TEST(DatasetCsvTest, RejectsOutOfRangeLabel) {
   std::remove(path.c_str());
 }
 
+TEST(DatasetCsvTest, ToleratesCrlfLineEndings) {
+  // The same file a Windows editor (or a git checkout with CRLF
+  // translation) would produce: every line ends in \r\n.
+  const std::string path = TempPath("crlf.csv");
+  std::ofstream(path) << "# classes=2 dim=2\r\n"
+                      << "id,observed,true,f0,f1\r\n"
+                      << "7,0,1,0.5,-1.25\r\n"
+                      << "8,-1,0,2,0.125\r\n";
+  const auto loaded = LoadDatasetCsv(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded->size(), 2u);
+  EXPECT_EQ(loaded->dim(), 2u);
+  EXPECT_EQ(loaded->ids, (std::vector<uint64_t>{7, 8}));
+  EXPECT_EQ(loaded->observed_labels, (std::vector<int>{0, kMissingLabel}));
+  EXPECT_EQ(loaded->true_labels, (std::vector<int>{1, 0}));
+  EXPECT_EQ(loaded->features.data()[3], 0.125f);
+  std::remove(path.c_str());
+}
+
+TEST(DatasetCsvTest, ToleratesMissingAndExtraTrailingNewlines) {
+  // No final newline at all.
+  const std::string no_newline = TempPath("no_trailing.csv");
+  std::ofstream(no_newline) << "# classes=2 dim=1\nid,observed,true,f0\n"
+                            << "1,0,0,0.5";
+  auto loaded = LoadDatasetCsv(no_newline);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded->size(), 1u);
+  std::remove(no_newline.c_str());
+
+  // Blank lines after the data.
+  const std::string extra = TempPath("extra_trailing.csv");
+  std::ofstream(extra) << "# classes=2 dim=1\nid,observed,true,f0\n"
+                       << "1,0,0,0.5\n\n\n";
+  loaded = LoadDatasetCsv(extra);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded->size(), 1u);
+  std::remove(extra.c_str());
+}
+
 TEST(DatasetCsvTest, PreservesMissingLabels) {
   Dataset d = SampleData();
   const size_t missing_before = d.MissingLabelIndices().size();

@@ -80,5 +80,101 @@ TEST(ModelSerializationTest, UnwritablePathFails) {
             StatusCode::kNotFound);
 }
 
+TEST(ModelSerializationTest, CurrentFormatCarriesByteOrderTag) {
+  Rng rng(5);
+  MlpModel model({3, 6, 2}, rng);
+  const std::string path = TempPath("tagged.enld");
+  ASSERT_TRUE(SaveModel(model, path).ok());
+
+  FILE* f = std::fopen(path.c_str(), "rb");
+  ASSERT_NE(f, nullptr);
+  char magic[8];
+  uint32_t tag = 0;
+  ASSERT_EQ(std::fread(magic, 1, 8, f), 8u);
+  ASSERT_EQ(std::fread(&tag, sizeof(tag), 1, f), 1u);
+  std::fclose(f);
+  EXPECT_EQ(std::string(magic, 8), "ENLDMDL2");
+  EXPECT_EQ(tag, 0x01020304u);
+  std::remove(path.c_str());
+}
+
+TEST(ModelSerializationTest, RejectsForeignEndianFile) {
+  // Write a v2 file whose byte-order tag reads back byte-swapped — exactly
+  // what a file from a foreign-endian machine looks like here.
+  const std::string path = TempPath("foreign_endian.enld");
+  FILE* f = std::fopen(path.c_str(), "wb");
+  ASSERT_NE(f, nullptr);
+  std::fwrite("ENLDMDL2", 1, 8, f);
+  const uint32_t swapped_tag = 0x04030201u;
+  std::fwrite(&swapped_tag, sizeof(swapped_tag), 1, f);
+  const uint64_t num_dims = 3;
+  std::fwrite(&num_dims, sizeof(num_dims), 1, f);
+  std::fclose(f);
+
+  const auto loaded = LoadModel(path);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(loaded.status().message().find("byte order"), std::string::npos)
+      << loaded.status().ToString();
+  std::remove(path.c_str());
+}
+
+TEST(ModelSerializationTest, LegacyTaglessFormatStillLoads) {
+  // Hand-write a v1 file (no byte-order tag) and check the current reader
+  // accepts it: {2, 4, 3} needs 2*4+4 + 4*3+3 = 27 weights.
+  const std::string path = TempPath("legacy_v1.enld");
+  FILE* f = std::fopen(path.c_str(), "wb");
+  ASSERT_NE(f, nullptr);
+  std::fwrite("ENLDMDL1", 1, 8, f);
+  const uint64_t dims[] = {3, 2, 4, 3};  // count, then the dims.
+  std::fwrite(&dims[0], sizeof(uint64_t), 1, f);
+  ASSERT_EQ(dims[0] + 1, 4u);
+  std::fwrite(&dims[1], sizeof(uint64_t), 3, f);
+  const uint64_t count = 2 * 4 + 4 + 4 * 3 + 3;
+  std::fwrite(&count, sizeof(count), 1, f);
+  std::vector<float> weights(count);
+  for (size_t i = 0; i < weights.size(); ++i) {
+    weights[i] = static_cast<float>(i) * 0.25f;
+  }
+  std::fwrite(weights.data(), sizeof(float), weights.size(), f);
+  std::fclose(f);
+
+  const auto loaded = LoadModelFile(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded->dims, (std::vector<size_t>{2, 4, 3}));
+  EXPECT_EQ(loaded->weights, weights);
+  std::remove(path.c_str());
+}
+
+TEST(ModelSerializationTest, ModelFileRoundTripIsExact) {
+  ModelFile file;
+  file.dims = {4, 7, 3};
+  file.weights.resize(4 * 7 + 7 + 7 * 3 + 3);
+  Rng rng(6);
+  for (float& w : file.weights) {
+    w = static_cast<float>(rng.Gaussian());
+  }
+  const std::string path = TempPath("model_file.enld");
+  ASSERT_TRUE(SaveModelFile(file, path).ok());
+  const auto loaded = LoadModelFile(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded->dims, file.dims);
+  EXPECT_EQ(loaded->weights, file.weights);
+
+  const auto model = ModelFromFile(*loaded);
+  ASSERT_TRUE(model.ok());
+  EXPECT_EQ((*model)->GetWeights(), file.weights);
+  std::remove(path.c_str());
+}
+
+TEST(ModelSerializationTest, ModelFromFileRejectsWeightCountMismatch) {
+  ModelFile file;
+  file.dims = {4, 7, 3};
+  file.weights.assign(10, 0.0f);  // Far fewer than the dims require.
+  const auto model = ModelFromFile(file);
+  ASSERT_FALSE(model.ok());
+  EXPECT_EQ(model.status().code(), StatusCode::kInvalidArgument);
+}
+
 }  // namespace
 }  // namespace enld

@@ -1,0 +1,221 @@
+#!/usr/bin/env python3
+"""Offline integrity audit of an ENLD snapshot store.
+
+Usage: check_snapshot.py <snapshot_root> [--all]
+
+Walks the snapshot directory written by SnapshotStore (docs/PERSISTENCE.md)
+and re-verifies, with nothing but the Python standard library:
+
+  * the CURRENT pointer names an existing snapshot directory,
+  * MANIFEST.json parses, carries the expected schema/seq, and every
+    listed file matches its recorded byte size and CRC32 (zlib.crc32 —
+    the store writes the same IEEE polynomial),
+  * each dataset directory's manifest.json is consistent (shard row
+    totals, per-shard size + CRC32),
+  * every shard starts with the ENLDSHD1 magic and little-endian tag,
+  * state.bin parses structurally: ENLDSNP1 magic, endian tag, version,
+    and five sections whose payload CRCs match their envelopes.
+
+By default only the snapshot CURRENT points at is audited; --all checks
+every snap-* directory present. Exits non-zero with one message per
+violation, so CI can gate on it.
+"""
+
+import json
+import os
+import struct
+import sys
+import zlib
+
+SNAPSHOT_SCHEMA = "enld-snapshot-manifest-v1"
+DATASET_SCHEMA = "enld-dataset-manifest-v1"
+SNAPSHOT_MAGIC = b"ENLDSNP1"
+SHARD_MAGIC = b"ENLDSHD1"
+ENDIAN_TAG = 0x01020304
+STATE_SECTION_IDS = (1, 2, 3, 4, 5)  # meta, stats, rng, conditional, selected
+
+errors = []
+
+
+def fail(path, message):
+    errors.append(f"{path}: {message}")
+
+
+def check_file_crc(path, expect_bytes, expect_crc):
+    try:
+        with open(path, "rb") as f:
+            data = f.read()
+    except OSError as e:
+        fail(path, f"unreadable: {e}")
+        return None
+    if len(data) != expect_bytes:
+        fail(path, f"size {len(data)} != manifest bytes {expect_bytes}")
+    crc = zlib.crc32(data) & 0xFFFFFFFF
+    if crc != expect_crc:
+        fail(path, f"crc32 {crc:#010x} != manifest crc32 {expect_crc:#010x}")
+    return data
+
+
+def check_sections(path, data, offset, expected_ids):
+    """Verifies a run of (id u32, len u64, crc u32, payload) envelopes."""
+    for section_id in expected_ids:
+        if offset + 16 > len(data):
+            fail(path, f"truncated before section {section_id}")
+            return
+        sid, length, crc = struct.unpack_from("<IQI", data, offset)
+        offset += 16
+        if sid != section_id:
+            fail(path, f"section id {sid} where {section_id} expected")
+            return
+        if offset + length > len(data):
+            fail(path, f"section {sid} payload truncated")
+            return
+        payload = data[offset : offset + length]
+        offset += length
+        if (zlib.crc32(payload) & 0xFFFFFFFF) != crc:
+            fail(path, f"section {sid} payload fails its CRC")
+    if offset != len(data):
+        fail(path, f"{len(data) - offset} trailing bytes after last section")
+
+
+def check_state_bin(path, data):
+    if not data.startswith(SNAPSHOT_MAGIC):
+        fail(path, "bad magic (not an ENLD snapshot state file)")
+        return
+    if len(data) < 20:
+        fail(path, "truncated header")
+        return
+    endian, version = struct.unpack_from("<II", data, 8)
+    if endian != ENDIAN_TAG:
+        fail(path, f"byte-order tag {endian:#010x} != {ENDIAN_TAG:#010x}")
+        return
+    if version != 1:
+        fail(path, f"unsupported state version {version}")
+        return
+    (count,) = struct.unpack_from("<I", data, 16)
+    if count != len(STATE_SECTION_IDS):
+        fail(path, f"section count {count} != {len(STATE_SECTION_IDS)}")
+        return
+    check_sections(path, data, 20, STATE_SECTION_IDS)
+
+
+def check_shard_header(path, data):
+    if not data.startswith(SHARD_MAGIC):
+        fail(path, "bad magic (not an ENLD shard)")
+        return
+    endian, version = struct.unpack_from("<II", data, 8)
+    if endian != ENDIAN_TAG:
+        fail(path, f"byte-order tag {endian:#010x} != {ENDIAN_TAG:#010x}")
+    if version != 1:
+        fail(path, f"unsupported shard version {version}")
+
+
+def load_json(path, schema):
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, ValueError) as e:
+        fail(path, f"unreadable or malformed JSON: {e}")
+        return None
+    if doc.get("schema") != schema:
+        fail(path, f"schema {doc.get('schema')!r} != {schema!r}")
+        return None
+    return doc
+
+
+def check_dataset_dir(dataset_dir):
+    manifest = load_json(os.path.join(dataset_dir, "manifest.json"),
+                         DATASET_SCHEMA)
+    if manifest is None:
+        return
+    listed_rows = 0
+    for entry in manifest.get("shards", []):
+        shard_path = os.path.join(dataset_dir, entry["file"])
+        listed_rows += int(entry["rows"])
+        data = check_file_crc(shard_path, int(entry["bytes"]),
+                              int(entry["crc32"]))
+        if data is not None and len(data) >= 16:
+            check_shard_header(shard_path, data)
+    if listed_rows != int(manifest.get("num_rows", -1)):
+        fail(dataset_dir,
+             f"shard rows total {listed_rows} != num_rows "
+             f"{manifest.get('num_rows')}")
+
+
+def check_snapshot_dir(snap_dir, expect_seq):
+    manifest = load_json(os.path.join(snap_dir, "MANIFEST.json"),
+                         SNAPSHOT_SCHEMA)
+    if manifest is None:
+        return
+    if int(manifest.get("seq", -1)) != expect_seq:
+        fail(snap_dir,
+             f"manifest seq {manifest.get('seq')} != directory seq "
+             f"{expect_seq}")
+    listed = {e["file"] for e in manifest.get("files", [])}
+    for required in ("state.bin", "model.bin"):
+        if required not in listed:
+            fail(snap_dir, f"manifest does not list {required}")
+    for entry in manifest.get("files", []):
+        path = os.path.join(snap_dir, entry["file"])
+        data = check_file_crc(path, int(entry["bytes"]), int(entry["crc32"]))
+        if data is not None and entry["file"] == "state.bin":
+            check_state_bin(path, data)
+    for dataset in manifest.get("datasets", []):
+        dataset_dir = os.path.join(snap_dir, dataset)
+        if not os.path.isdir(dataset_dir):
+            fail(snap_dir, f"listed dataset directory missing: {dataset}")
+            continue
+        check_dataset_dir(dataset_dir)
+
+
+def main():
+    args = [a for a in sys.argv[1:] if not a.startswith("--")]
+    check_all = "--all" in sys.argv[1:]
+    if len(args) != 1:
+        print(__doc__)
+        return 2
+    root = args[0]
+
+    current_path = os.path.join(root, "CURRENT")
+    try:
+        with open(current_path, "r", encoding="utf-8") as f:
+            current = f.read().strip()
+    except OSError as e:
+        fail(current_path, f"unreadable: {e}")
+        current = None
+
+    current_seq = None
+    if current is not None:
+        if (len(current) == 11 and current.startswith("snap-")
+                and current[5:].isdigit() and int(current[5:]) > 0):
+            current_seq = int(current[5:])
+            if not os.path.isdir(os.path.join(root, current)):
+                fail(current_path, f"points at missing directory {current}")
+                current_seq = None
+        else:
+            fail(current_path, f"malformed pointer {current!r}")
+
+    if check_all:
+        targets = sorted(
+            int(name[5:]) for name in os.listdir(root)
+            if len(name) == 11 and name.startswith("snap-")
+            and name[5:].isdigit())
+    else:
+        targets = [current_seq] if current_seq is not None else []
+
+    for seq in targets:
+        check_snapshot_dir(os.path.join(root, f"snap-{seq:06d}"), seq)
+
+    if errors:
+        for message in errors:
+            print(f"FAIL {message}", file=sys.stderr)
+        print(f"{len(errors)} integrity violation(s) in {root}",
+              file=sys.stderr)
+        return 1
+    audited = ", ".join(f"snap-{seq:06d}" for seq in targets) or "(none)"
+    print(f"OK: snapshot store {root} verified ({audited})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
