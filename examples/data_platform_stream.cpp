@@ -24,12 +24,21 @@
 // Pass --telemetry_out=report.json (or set ENLD_TELEMETRY) to dump the
 // whole serving window — setup, every request's detect spans, automatic
 // model updates — as one machine-readable telemetry report.
+//
+// Robustness hooks (see docs/ROBUSTNESS.md):
+//   --quarantine_out=<path.json>  dump the platform's quarantine log (bad
+//                                 samples rejected at admission) as JSON
+//   ENLD_FAULTS=<spec>            arm deterministic fault injection; a
+//                                 per-site fire summary is printed to
+//                                 stderr after the stream so chaos drills
+//                                 can assert faults actually fired
 
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <string>
 
+#include "common/faults.h"
 #include "common/stopwatch.h"
 #include "common/telemetry/report.h"
 #include "data/workload.h"
@@ -39,6 +48,7 @@
 #include "eval/reporting.h"
 #include "nn/serialization.h"
 #include "nn/trainer.h"
+#include "store/quarantine.h"
 #include "store/snapshot.h"
 
 namespace {
@@ -67,6 +77,8 @@ int main(int argc, char** argv) {
       std::atoi(FlagValue(argc, argv, "kill_after", "0").c_str()));
   const size_t num_datasets = static_cast<size_t>(
       std::atoi(FlagValue(argc, argv, "datasets", "12").c_str()));
+  const std::string quarantine_out =
+      FlagValue(argc, argv, "quarantine_out", "");
 
   // Unlike the eval harness, the platform serves requests directly, so the
   // example owns the telemetry scope: reset here, capture after the stream.
@@ -169,6 +181,31 @@ int main(int argc, char** argv) {
       static_cast<unsigned long>(stats.samples_flagged_noisy),
       stats.total_process_seconds,
       static_cast<unsigned long>(stats.model_updates));
+  if (stats.samples_quarantined > 0 || stats.requests_rejected > 0) {
+    std::printf("admission: %lu sample(s) quarantined, %lu request(s) "
+                "rejected\n",
+                static_cast<unsigned long>(stats.samples_quarantined),
+                static_cast<unsigned long>(stats.requests_rejected));
+  }
+  if (!quarantine_out.empty()) {
+    const Status written =
+        store::WriteQuarantineJson(platform.quarantine(), quarantine_out);
+    std::printf("quarantine log -> %s: %s\n", quarantine_out.c_str(),
+                written.ToString().c_str());
+    if (!written.ok()) return 1;
+  }
+  // Chaos drills diff "^request" lines on stdout; the fire summary goes
+  // to stderr so faulted and fault-free runs stay comparable.
+  if (faults::Enabled()) {
+    std::fprintf(stderr, "fault injection: %llu total fire(s)\n",
+                 static_cast<unsigned long long>(faults::TotalFires()));
+    for (const faults::FaultSiteStats& site : faults::Stats()) {
+      std::fprintf(stderr, "  %s: %llu fired / %llu checked\n",
+                   site.site.c_str(),
+                   static_cast<unsigned long long>(site.fires),
+                   static_cast<unsigned long long>(site.checks));
+    }
+  }
   if (served_this_run > 0) {
     std::printf("average detection F1 over this run: %.4f\n",
                 f1_sum / served_this_run);

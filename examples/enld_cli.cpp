@@ -28,6 +28,17 @@
 //       [--datasets=<n>]
 //     Restores the platform from the latest snapshot and serves the
 //     remaining requests of the task's stream, snapshotting after each.
+//   enld_cli validate (--input=<path.csv> | --inventory=<dir>)
+//       [--quarantine_out=<path.json>]
+//     Runs per-sample admission checks (docs/ROBUSTNESS.md) on a dataset
+//     without detection. CSV inputs load permissively so every bad cell is
+//     reported instead of failing the load. Exit code 0 = all samples
+//     admitted, 2 = some quarantined, 1 = hard error.
+//
+// Robustness flags (ingest / snapshot / resume):
+//   --max_retries=<n>        cap store IO retry attempts (default 5)
+//   --strict_admission=1     reject whole requests containing any invalid
+//                            sample instead of quarantining per sample
 
 #include <cstdio>
 #include <cstdlib>
@@ -50,7 +61,10 @@
 #include "eval/metrics.h"
 #include "eval/paper_setup.h"
 #include "eval/reporting.h"
+#include "enld/admission.h"
+#include "store/io.h"
 #include "store/manifest.h"
+#include "store/quarantine.h"
 #include "store/snapshot.h"
 
 namespace {
@@ -114,10 +128,30 @@ bool ParseDataset(const std::string& name, PaperDataset* out) {
 /// The platform configuration the `snapshot` and `resume` subcommands
 /// share. Both must build it identically — a snapshot only restores into a
 /// platform whose config fingerprint matches the one that wrote it.
-DataPlatformConfig MakePlatformConfig(PaperDataset dataset) {
+/// Admission knobs are deliberately outside the fingerprint, so
+/// --strict_admission may differ between the writer and the resumer.
+DataPlatformConfig MakePlatformConfig(int argc, char** argv,
+                                      PaperDataset dataset) {
   DataPlatformConfig config;
   config.enld = PaperEnldConfig(dataset);
+  const std::string strict = FlagValue(argc, argv, "strict_admission", "0");
+  config.admission.strict = strict == "1" || strict == "true";
   return config;
+}
+
+/// Honors --max_retries by resizing the store-wide IO retry policy. Call
+/// before any store traffic.
+bool ApplyRetryFlag(int argc, char** argv) {
+  const std::string flag = FlagValue(argc, argv, "max_retries", "");
+  if (flag.empty()) return true;
+  const int attempts = std::atoi(flag.c_str());
+  if (attempts < 1) {
+    std::fprintf(stderr, "--max_retries must be >= 1\n");
+    return false;
+  }
+  store::DefaultIoRetryPolicy().max_attempts =
+      static_cast<size_t>(attempts);
+  return true;
 }
 
 /// `enld_cli ingest`: materialize the inventory as a sharded binary
@@ -128,6 +162,7 @@ int RunIngest(int argc, char** argv) {
     std::fprintf(stderr, "ingest requires --out=<dir>\n");
     return 1;
   }
+  if (!ApplyRetryFlag(argc, argv)) return 1;
   PaperDataset dataset = PaperDataset::kCifar100;
   if (!ParseDataset(FlagValue(argc, argv, "dataset", "cifar100"), &dataset)) {
     std::fprintf(stderr, "unknown --dataset\n");
@@ -192,6 +227,7 @@ int RunSnapshot(int argc, char** argv) {
     std::fprintf(stderr, "unknown --dataset\n");
     return 1;
   }
+  if (!ApplyRetryFlag(argc, argv)) return 1;
 
   const StatusOr<Dataset> inventory =
       store::LoadDatasetSharded(inventory_dir);
@@ -201,7 +237,7 @@ int RunSnapshot(int argc, char** argv) {
     return 1;
   }
 
-  DataPlatform platform(MakePlatformConfig(dataset));
+  DataPlatform platform(MakePlatformConfig(argc, argv, dataset));
   const Status init = platform.Initialize(inventory.value());
   if (!init.ok()) {
     std::fprintf(stderr, "initialization failed: %s\n",
@@ -237,6 +273,7 @@ int RunResume(int argc, char** argv) {
   }
   const double noise =
       std::atof(FlagValue(argc, argv, "noise", "0.2").c_str());
+  if (!ApplyRetryFlag(argc, argv)) return 1;
 
   WorkloadConfig workload_config = PaperWorkloadConfig(dataset, noise);
   const std::string datasets_flag = FlagValue(argc, argv, "datasets", "");
@@ -246,7 +283,7 @@ int RunResume(int argc, char** argv) {
   }
   const Workload workload = BuildWorkload(workload_config);
 
-  DataPlatform platform(MakePlatformConfig(dataset));
+  DataPlatform platform(MakePlatformConfig(argc, argv, dataset));
   const Status restored = platform.RestoreFromSnapshot(snapshot_dir);
   if (!restored.ok()) {
     std::fprintf(stderr, "restore failed: %s\n",
@@ -283,6 +320,82 @@ int RunResume(int argc, char** argv) {
   return 0;
 }
 
+/// `enld_cli validate`: admission checks without detection. Exit code 0
+/// when every sample is admitted, 2 when any is quarantined, 1 on a hard
+/// error (unreadable input, structural corruption).
+int RunValidate(int argc, char** argv) {
+  const std::string input = FlagValue(argc, argv, "input", "");
+  const std::string inventory_dir = FlagValue(argc, argv, "inventory", "");
+  const std::string quarantine_out =
+      FlagValue(argc, argv, "quarantine_out", "");
+  if (input.empty() == inventory_dir.empty()) {
+    std::fprintf(stderr,
+                 "validate requires exactly one of --input=<path.csv> or "
+                 "--inventory=<dir>\n");
+    return 1;
+  }
+  if (!ApplyRetryFlag(argc, argv)) return 1;
+
+  Dataset dataset;
+  std::string source;
+  if (!input.empty()) {
+    // Permissive load: bad cells arrive as NaN / out-of-range labels so
+    // the screen below can name every offending row.
+    CsvLoadOptions options;
+    options.permissive = true;
+    StatusOr<Dataset> loaded = LoadDatasetCsv(input, options);
+    if (!loaded.ok()) {
+      std::fprintf(stderr, "cannot load %s: %s\n", input.c_str(),
+                   loaded.status().ToString().c_str());
+      return 1;
+    }
+    dataset = std::move(loaded).value();
+    source = input;
+  } else {
+    StatusOr<Dataset> loaded = store::LoadDatasetSharded(inventory_dir);
+    if (!loaded.ok()) {
+      std::fprintf(stderr, "cannot load %s: %s\n", inventory_dir.c_str(),
+                   loaded.status().ToString().c_str());
+      return 1;
+    }
+    dataset = std::move(loaded).value();
+    source = inventory_dir;
+  }
+
+  AdmissionResult screen = ScreenDataset(dataset, 0);
+  uint64_t by_reason[kNumRejectionReasons] = {0, 0, 0};
+  QuarantineLog log(screen.rejected.size() + 1);
+  for (QuarantineRecord& record : screen.rejected) {
+    ++by_reason[static_cast<size_t>(record.reason)];
+    log.Add(std::move(record));
+  }
+
+  std::printf("validate %s: %zu sample(s), %zu admitted, %zu quarantined\n",
+              source.c_str(), dataset.size(), screen.admitted.size(),
+              log.records().size());
+  for (size_t r = 0; r < kNumRejectionReasons; ++r) {
+    if (by_reason[r] == 0) continue;
+    std::printf("  %s: %llu\n",
+                RejectionReasonName(static_cast<RejectionReason>(r)),
+                static_cast<unsigned long long>(by_reason[r]));
+  }
+  for (const QuarantineRecord& record : log.records()) {
+    std::printf("  row %zu (id %llu): %s\n", record.row,
+                static_cast<unsigned long long>(record.sample_id),
+                record.detail.c_str());
+  }
+  if (!quarantine_out.empty()) {
+    const Status written = store::WriteQuarantineJson(log, quarantine_out);
+    if (!written.ok()) {
+      std::fprintf(stderr, "cannot write %s: %s\n", quarantine_out.c_str(),
+                   written.ToString().c_str());
+      return 1;
+    }
+    std::printf("quarantine log -> %s\n", quarantine_out.c_str());
+  }
+  return log.records().empty() ? 0 : 2;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -293,9 +406,10 @@ int main(int argc, char** argv) {
     if (subcommand == "ingest") return RunIngest(argc, argv);
     if (subcommand == "snapshot") return RunSnapshot(argc, argv);
     if (subcommand == "resume") return RunResume(argc, argv);
+    if (subcommand == "validate") return RunValidate(argc, argv);
     std::fprintf(stderr,
-                 "unknown subcommand '%s' (expected ingest, snapshot or "
-                 "resume)\n",
+                 "unknown subcommand '%s' (expected ingest, snapshot, "
+                 "resume or validate)\n",
                  subcommand.c_str());
     return 1;
   }

@@ -1,0 +1,257 @@
+#include "common/faults.h"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <mutex>
+
+#include "common/rng.h"
+#include "common/telemetry/metrics.h"
+
+namespace enld {
+namespace faults {
+
+namespace {
+
+// FNV-1a over the site name; combined with the user seed so different
+// sites armed at the same probability draw independent fire sequences.
+uint64_t HashSite(const std::string& site) {
+  uint64_t h = 1469598103934665603ULL;
+  for (unsigned char c : site) {
+    h ^= c;
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+struct SiteState {
+  double probability = 0.0;
+  uint64_t max_fires = 0;
+  uint64_t burst_limit = 3;
+  uint64_t skip_checks = 0;
+  uint64_t checks = 0;
+  uint64_t fires = 0;
+  uint64_t consecutive_fires = 0;
+  Rng rng;
+
+  SiteState() : rng(0) {}
+};
+
+struct Registry {
+  std::mutex mu;
+  std::map<std::string, SiteState> sites;
+  uint64_t seed = 0;
+  uint64_t total_fires = 0;
+  bool env_loaded = false;
+};
+
+// `enabled` is the lock-free fast path consulted by every instrumented
+// call site; the mutex only guards the (rare) armed path.
+std::atomic<bool> g_enabled{false};
+std::atomic<bool> g_env_checked{false};
+
+Registry& GetRegistry() {
+  static Registry* registry = new Registry();
+  return *registry;
+}
+
+void ArmSiteLocked(Registry& reg, const std::string& site, double probability,
+                   uint64_t max_fires, uint64_t burst_limit,
+                   uint64_t skip_checks) {
+  SiteState state;
+  state.probability = probability;
+  state.max_fires = max_fires;
+  state.burst_limit = burst_limit;
+  state.skip_checks = skip_checks;
+  state.rng = Rng(HashSite(site) ^ reg.seed);
+  reg.sites[site] = state;
+}
+
+Status ConfigureLocked(Registry& reg, const std::string& spec, uint64_t seed) {
+  reg.sites.clear();
+  reg.seed = seed;
+  reg.total_fires = 0;
+
+  size_t pos = 0;
+  while (pos < spec.size()) {
+    size_t end = spec.find(',', pos);
+    if (end == std::string::npos) end = spec.size();
+    std::string entry = spec.substr(pos, end - pos);
+    pos = end + 1;
+    if (entry.empty()) continue;
+
+    // site:prob[:max_fires[:burst_limit[:skip_checks]]]
+    std::vector<std::string> fields;
+    size_t fpos = 0;
+    while (true) {
+      size_t fend = entry.find(':', fpos);
+      if (fend == std::string::npos) {
+        fields.push_back(entry.substr(fpos));
+        break;
+      }
+      fields.push_back(entry.substr(fpos, fend - fpos));
+      fpos = fend + 1;
+    }
+    if (fields.size() < 2 || fields.size() > 5 || fields[0].empty()) {
+      return Status::InvalidArgument("malformed ENLD_FAULTS entry '" + entry +
+                                     "' (want site:prob[:max_fires[:burst[:"
+                                     "skip]]])");
+    }
+    char* parse_end = nullptr;
+    double prob = std::strtod(fields[1].c_str(), &parse_end);
+    if (parse_end == fields[1].c_str() || *parse_end != '\0' || prob < 0.0 ||
+        prob > 1.0) {
+      return Status::InvalidArgument("bad probability '" + fields[1] +
+                                     "' in ENLD_FAULTS entry '" + entry +
+                                     "' (want a value in [0,1])");
+    }
+    uint64_t nums[3] = {0, 3, 0};  // max_fires, burst_limit, skip_checks
+    for (size_t i = 2; i < fields.size(); ++i) {
+      parse_end = nullptr;
+      unsigned long long v = std::strtoull(fields[i].c_str(), &parse_end, 10);
+      if (parse_end == fields[i].c_str() || *parse_end != '\0') {
+        return Status::InvalidArgument("bad integer '" + fields[i] +
+                                       "' in ENLD_FAULTS entry '" + entry +
+                                       "'");
+      }
+      nums[i - 2] = static_cast<uint64_t>(v);
+    }
+    ArmSiteLocked(reg, fields[0], prob, nums[0], nums[1], nums[2]);
+  }
+
+  g_enabled.store(!reg.sites.empty(), std::memory_order_release);
+  return Status::OK();
+}
+
+// Reads ENLD_FAULTS / ENLD_FAULTS_SEED once, the first time any fault API
+// is touched. A malformed env spec aborts loudly rather than silently
+// running without the faults the operator asked for.
+void MaybeLoadEnv() {
+  if (g_env_checked.load(std::memory_order_acquire)) return;
+  Registry& reg = GetRegistry();
+  std::lock_guard<std::mutex> lock(reg.mu);
+  if (reg.env_loaded) return;
+  reg.env_loaded = true;
+  const char* spec = std::getenv("ENLD_FAULTS");
+  if (spec != nullptr && spec[0] != '\0') {
+    uint64_t seed = 0;
+    if (const char* seed_env = std::getenv("ENLD_FAULTS_SEED")) {
+      seed = std::strtoull(seed_env, nullptr, 10);
+    }
+    Status status = ConfigureLocked(reg, spec, seed);
+    if (!status.ok()) {
+      std::fprintf(stderr, "ENLD_FAULTS: %s\n", status.ToString().c_str());
+      std::abort();
+    }
+  }
+  g_env_checked.store(true, std::memory_order_release);
+}
+
+void CountFire(const std::string& site) {
+  telemetry::MetricsRegistry::Global().GetCounter("faults/fired")->Increment();
+  telemetry::MetricsRegistry::Global().GetCounter("faults/" + site)
+      ->Increment();
+}
+
+}  // namespace
+
+Status Configure(const std::string& spec, uint64_t seed) {
+  Registry& reg = GetRegistry();
+  std::lock_guard<std::mutex> lock(reg.mu);
+  reg.env_loaded = true;  // programmatic config overrides the env
+  g_env_checked.store(true, std::memory_order_release);
+  return ConfigureLocked(reg, spec, seed);
+}
+
+void ArmSite(const std::string& site, double probability, uint64_t max_fires,
+             uint64_t burst_limit, uint64_t skip_checks) {
+  Registry& reg = GetRegistry();
+  std::lock_guard<std::mutex> lock(reg.mu);
+  reg.env_loaded = true;
+  g_env_checked.store(true, std::memory_order_release);
+  ArmSiteLocked(reg, site, probability, max_fires, burst_limit, skip_checks);
+  g_enabled.store(true, std::memory_order_release);
+}
+
+void Clear() {
+  Registry& reg = GetRegistry();
+  std::lock_guard<std::mutex> lock(reg.mu);
+  reg.env_loaded = true;
+  g_env_checked.store(true, std::memory_order_release);
+  reg.sites.clear();
+  reg.total_fires = 0;
+  g_enabled.store(false, std::memory_order_release);
+}
+
+bool Enabled() {
+  MaybeLoadEnv();
+  return g_enabled.load(std::memory_order_acquire);
+}
+
+bool ShouldFail(const std::string& site) {
+  MaybeLoadEnv();
+  if (!g_enabled.load(std::memory_order_acquire)) return false;
+  Registry& reg = GetRegistry();
+  std::lock_guard<std::mutex> lock(reg.mu);
+  auto it = reg.sites.find(site);
+  if (it == reg.sites.end()) return false;
+  SiteState& s = it->second;
+  s.checks++;
+  if (s.checks <= s.skip_checks) return false;
+  if (s.max_fires > 0 && s.fires >= s.max_fires) return false;
+  if (s.burst_limit > 0 && s.consecutive_fires >= s.burst_limit) {
+    // Forced success: guarantees a retry loop with more attempts than the
+    // burst limit always converges, which is what makes the chaos drill's
+    // output byte-identical to a fault-free run.
+    s.consecutive_fires = 0;
+    s.rng.Uniform();  // keep the draw sequence aligned with check order
+    return false;
+  }
+  if (s.rng.Uniform() >= s.probability) {
+    s.consecutive_fires = 0;
+    return false;
+  }
+  s.fires++;
+  s.consecutive_fires++;
+  reg.total_fires++;
+  CountFire(site);
+  return true;
+}
+
+Status Check(const std::string& site) {
+  if (ShouldFail(site)) {
+    return Status::Unavailable("injected fault at " + site);
+  }
+  return Status::OK();
+}
+
+std::vector<FaultSiteStats> Stats() {
+  MaybeLoadEnv();
+  Registry& reg = GetRegistry();
+  std::lock_guard<std::mutex> lock(reg.mu);
+  std::vector<FaultSiteStats> out;
+  out.reserve(reg.sites.size());
+  for (const auto& [site, s] : reg.sites) {
+    FaultSiteStats stats;
+    stats.site = site;
+    stats.probability = s.probability;
+    stats.checks = s.checks;
+    stats.fires = s.fires;
+    stats.max_fires = s.max_fires;
+    stats.burst_limit = s.burst_limit;
+    stats.skip_checks = s.skip_checks;
+    out.push_back(std::move(stats));
+  }
+  return out;
+}
+
+uint64_t TotalFires() {
+  MaybeLoadEnv();
+  Registry& reg = GetRegistry();
+  std::lock_guard<std::mutex> lock(reg.mu);
+  return reg.total_fires;
+}
+
+}  // namespace faults
+}  // namespace enld

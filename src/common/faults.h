@@ -1,0 +1,89 @@
+#ifndef ENLD_COMMON_FAULTS_H_
+#define ENLD_COMMON_FAULTS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace enld {
+namespace faults {
+
+/// Deterministic, site-keyed fault injection (docs/ROBUSTNESS.md).
+///
+/// Every IO or protocol step that can fail in production declares a named
+/// *fault site* and calls `Check("store/write_file")` before doing the real
+/// work. When the site is armed, Check consults a per-site deterministic Rng
+/// (seeded from the site name and the global fault seed, never from wall
+/// clock) and returns `Status::Unavailable` with the configured probability.
+/// Unarmed sites cost one relaxed atomic load.
+///
+/// Sites are armed programmatically with `ArmSite` or via the environment:
+///
+///   ENLD_FAULTS=site:prob[:max_fires[:burst_limit[:skip_checks]]],...
+///   ENLD_FAULTS_SEED=<uint64>        (optional, default 0)
+///
+/// e.g. `ENLD_FAULTS="store/read_file:0.05,store/rename:1.0:1:1:3"` fires
+/// read faults at p=0.05 forever, and exactly one rename fault on the 4th
+/// rename check. Fields:
+///
+///   prob         probability in [0,1] that an eligible check fires
+///   max_fires    stop firing after this many faults (0 = unlimited)
+///   burst_limit  max consecutive fires at one site before a forced success
+///                (default 3); keeps retried operations convergent as long
+///                as the retry policy allows more attempts than the burst
+///   skip_checks  number of initial checks that never fire (default 0);
+///                used to build crash-point matrices ("fail the k-th write")
+///
+/// Determinism: the per-site Rng sequence is fixed by (site, seed) and is
+/// consumed once per check in program order at that site. Sites must
+/// therefore only be checked from deterministic call sequences (e.g. inside
+/// serial IO paths, or per-shard loops whose per-iteration check count is
+/// fixed) for runs to be reproducible across thread counts.
+struct FaultSiteStats {
+  std::string site;
+  double probability = 0.0;
+  uint64_t checks = 0;      ///< times Check/ShouldFail consulted this site
+  uint64_t fires = 0;       ///< times the site returned a fault
+  uint64_t max_fires = 0;   ///< 0 = unlimited
+  uint64_t burst_limit = 0; ///< 0 = unlimited consecutive fires
+  uint64_t skip_checks = 0;
+};
+
+/// Parses an ENLD_FAULTS-grammar spec and arms every site in it, replacing
+/// the current configuration. An empty spec clears all sites. Returns
+/// InvalidArgument naming the bad entry on malformed input.
+Status Configure(const std::string& spec, uint64_t seed = 0);
+
+/// Arms (or re-arms) a single site programmatically.
+void ArmSite(const std::string& site, double probability,
+             uint64_t max_fires = 0, uint64_t burst_limit = 3,
+             uint64_t skip_checks = 0);
+
+/// Disarms all sites and resets their counters.
+void Clear();
+
+/// True if any site is armed. The fast path for instrumented code.
+bool Enabled();
+
+/// Consults the registry: returns true if an armed matching site decides
+/// this check fires. Always returns false when nothing is armed.
+bool ShouldFail(const std::string& site);
+
+/// Convenience wrapper: Status::Unavailable("injected fault at <site>") if
+/// ShouldFail(site), OK otherwise. Instrumented code does
+/// `ENLD_RETURN_IF_ERROR(faults::Check("store/read_file"));`.
+Status Check(const std::string& site);
+
+/// Snapshot of every armed site's configuration and counters, sorted by
+/// site name (deterministic for logging/tests).
+std::vector<FaultSiteStats> Stats();
+
+/// Total faults fired across all sites since the last Clear/Configure.
+uint64_t TotalFires();
+
+}  // namespace faults
+}  // namespace enld
+
+#endif  // ENLD_COMMON_FAULTS_H_

@@ -1,0 +1,72 @@
+#include "common/retry.h"
+
+#include <algorithm>
+#include <chrono>
+#include <thread>
+
+#include "common/rng.h"
+#include "common/telemetry/metrics.h"
+
+namespace enld {
+
+bool IsRetryableStatus(const Status& status) {
+  return status.code() == StatusCode::kUnavailable ||
+         status.code() == StatusCode::kInternal;
+}
+
+Status RetryWithBackoff(const RetryPolicy& policy, const std::string& what,
+                        const std::function<Status()>& op, Rng* rng) {
+  const size_t max_attempts = std::max<size_t>(1, policy.max_attempts);
+  const auto start = std::chrono::steady_clock::now();
+  double backoff = policy.initial_backoff_seconds;
+  Status last = Status::OK();
+
+  for (size_t attempt = 1; attempt <= max_attempts; ++attempt) {
+    last = op();
+    if (last.ok()) return last;
+    if (!IsRetryableStatus(last)) return last;
+
+    telemetry::MetricsRegistry::Global()
+        .GetCounter("retry/transient_failures")
+        ->Increment();
+    if (attempt == max_attempts) break;
+
+    if (policy.deadline_seconds > 0.0) {
+      double elapsed =
+          std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                        start)
+              .count();
+      if (elapsed + backoff > policy.deadline_seconds) {
+        return Status(last.code(),
+                      last.message() + " (retry deadline of " +
+                          std::to_string(policy.deadline_seconds) +
+                          "s exceeded after " + std::to_string(attempt) +
+                          " attempt(s) of " + what + ")");
+      }
+    }
+
+    double delay = std::min(backoff, policy.max_backoff_seconds);
+    if (rng != nullptr && policy.jitter_fraction > 0.0) {
+      // Deterministic jitter: one Uniform draw per sleep, so a retried run
+      // replays the identical schedule from the same Rng state.
+      double jitter = rng->Uniform(-policy.jitter_fraction,
+                                   policy.jitter_fraction);
+      delay = std::max(0.0, delay * (1.0 + jitter));
+    }
+    if (delay > 0.0) {
+      std::this_thread::sleep_for(std::chrono::duration<double>(delay));
+    }
+    backoff *= policy.backoff_multiplier;
+    telemetry::MetricsRegistry::Global().GetCounter("retry/backoffs")
+        ->Increment();
+  }
+
+  telemetry::MetricsRegistry::Global().GetCounter("retry/exhausted")
+      ->Increment();
+  return Status(last.code(),
+                last.message() + " (gave up after " +
+                    std::to_string(max_attempts) + " attempt(s) of " + what +
+                    ")");
+}
+
+}  // namespace enld

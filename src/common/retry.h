@@ -1,0 +1,78 @@
+#ifndef ENLD_COMMON_RETRY_H_
+#define ENLD_COMMON_RETRY_H_
+
+#include <cstddef>
+#include <functional>
+#include <optional>
+#include <string>
+#include <utility>
+
+#include "common/status.h"
+
+namespace enld {
+
+class Rng;
+
+/// Exponential backoff with deterministic jitter (docs/ROBUSTNESS.md).
+///
+/// Retries are only attempted on codes `IsRetryableStatus` accepts
+/// (kUnavailable, and kInternal for flaky low-level IO); typed logical
+/// errors — NotFound, InvalidArgument, FailedPrecondition — pass straight
+/// through so callers still see them after transient noise is absorbed.
+///
+/// Jitter is drawn from a caller-supplied `Rng` (never from wall clock or
+/// a global generator) so that a retried run is bit-for-bit reproducible.
+/// With no Rng the backoff is the plain exponential schedule.
+struct RetryPolicy {
+  size_t max_attempts = 5;               ///< total tries, not re-tries
+  double initial_backoff_seconds = 0.001;
+  double backoff_multiplier = 2.0;
+  double max_backoff_seconds = 0.050;
+  double jitter_fraction = 0.5;          ///< +/- fraction of the base delay
+  double deadline_seconds = 0.0;         ///< 0 = no deadline; total budget
+
+  /// Convenience: a policy that runs the operation exactly once.
+  static RetryPolicy NoRetry() {
+    RetryPolicy p;
+    p.max_attempts = 1;
+    return p;
+  }
+};
+
+/// True for transient codes worth retrying: kUnavailable (injected faults,
+/// flaky IO) and kInternal (short read/write errors from the OS).
+bool IsRetryableStatus(const Status& status);
+
+/// Runs `op` until it succeeds, returns a non-retryable status, or the
+/// policy is exhausted (attempts or deadline). The returned status is the
+/// last one `op` produced, with an attempt-count note appended when the
+/// policy gave up on a retryable error. `what` names the operation in that
+/// note. `rng` (optional) supplies deterministic jitter.
+Status RetryWithBackoff(const RetryPolicy& policy, const std::string& what,
+                        const std::function<Status()>& op,
+                        Rng* rng = nullptr);
+
+/// StatusOr-returning variant: stashes the value of the last successful
+/// attempt and otherwise behaves exactly like RetryWithBackoff.
+template <typename T>
+StatusOr<T> RetryWithBackoffOr(const RetryPolicy& policy,
+                               const std::string& what,
+                               const std::function<StatusOr<T>()>& op,
+                               Rng* rng = nullptr) {
+  std::optional<T> value;
+  Status status = RetryWithBackoff(
+      policy, what,
+      [&]() -> Status {
+        StatusOr<T> result = op();
+        if (!result.ok()) return result.status();
+        value = std::move(result).value();
+        return Status::OK();
+      },
+      rng);
+  if (!status.ok()) return status;
+  return std::move(*value);
+}
+
+}  // namespace enld
+
+#endif  // ENLD_COMMON_RETRY_H_

@@ -16,6 +16,10 @@ enum class StatusCode {
   kFailedPrecondition = 3,
   kOutOfRange = 4,
   kInternal = 5,
+  /// A transient failure (injected fault, flaky IO) that is expected to
+  /// succeed if retried; the only code RetryWithBackoff treats as
+  /// always-retryable.
+  kUnavailable = 6,
 };
 
 /// A lightweight success-or-error value. Functions that can fail for
@@ -44,6 +48,9 @@ class Status {
   }
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

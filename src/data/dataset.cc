@@ -1,6 +1,7 @@
 #include "data/dataset.h"
 
 #include <algorithm>
+#include <cmath>
 #include <set>
 #include <string>
 
@@ -114,6 +115,14 @@ Status ValidateDataset(const Dataset& dataset) {
     if (tru < 0 || tru >= dataset.num_classes) {
       return Status::InvalidArgument("true label out of range at row " +
                                      std::to_string(i));
+    }
+    const float* row = dataset.features.Row(i);
+    for (size_t c = 0; c < dataset.features.cols(); ++c) {
+      if (!std::isfinite(row[c])) {
+        return Status::InvalidArgument(
+            "non-finite feature value at row " + std::to_string(i) +
+            ", column " + std::to_string(c));
+      }
     }
   }
   return Status::OK();

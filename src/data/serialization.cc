@@ -1,8 +1,11 @@
 #include "data/serialization.h"
 
 #include <cinttypes>
+#include <cmath>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
+#include <limits>
 #include <string>
 #include <vector>
 
@@ -86,7 +89,8 @@ Status SaveDatasetCsv(const Dataset& dataset, const std::string& path) {
   return Status::OK();
 }
 
-StatusOr<Dataset> LoadDatasetCsv(const std::string& path) {
+StatusOr<Dataset> LoadDatasetCsv(const std::string& path,
+                                 const CsvLoadOptions& options) {
   File file(path, "r");
   if (!file.ok()) {
     return Status::NotFound("cannot open for reading: " + path);
@@ -118,6 +122,7 @@ StatusOr<Dataset> LoadDatasetCsv(const std::string& path) {
       return Status::InvalidArgument("wrong field count in row " +
                                      std::to_string(ids.size()));
     }
+    const size_t row = ids.size();
     char* end = nullptr;
     ids.push_back(std::strtoull(fields[0].c_str(), &end, 10));
     observed.push_back(static_cast<int>(std::strtol(fields[1].c_str(),
@@ -125,14 +130,34 @@ StatusOr<Dataset> LoadDatasetCsv(const std::string& path) {
     truth.push_back(static_cast<int>(std::strtol(fields[2].c_str(), &end,
                                                  10)));
     for (size_t d = 0; d < dim; ++d) {
-      values.push_back(std::strtof(fields[3 + d].c_str(), &end));
+      const std::string& cell = fields[3 + d];
+      end = nullptr;
+      float value = std::strtof(cell.c_str(), &end);
+      const bool syntactic = !cell.empty() && end == cell.c_str() + cell.size();
+      if (!syntactic || !std::isfinite(value)) {
+        if (!options.permissive) {
+          return Status::InvalidArgument(
+              std::string(syntactic ? "non-finite feature value '"
+                                    : "unparseable feature value '") +
+              cell + "' in row " + std::to_string(row) + ", column f" +
+              std::to_string(d));
+        }
+        // Permissive: surface the bad cell as NaN so admission screening
+        // quarantines this row with a typed reason.
+        value = std::numeric_limits<float>::quiet_NaN();
+      }
+      values.push_back(value);
     }
     const int obs = observed.back();
     const int tru = truth.back();
-    if ((obs != kMissingLabel && (obs < 0 || obs >= classes)) || tru < 0 ||
-        tru >= classes) {
-      return Status::InvalidArgument("label out of range in row " +
-                                     std::to_string(ids.size() - 1));
+    if (!options.permissive &&
+        ((obs != kMissingLabel && (obs < 0 || obs >= classes)) || tru < 0 ||
+         tru >= classes)) {
+      return Status::InvalidArgument(
+          "label out of range in row " + std::to_string(row) +
+          " (observed=" + std::to_string(obs) +
+          ", true=" + std::to_string(tru) + ", classes=" +
+          std::to_string(classes) + ")");
     }
   }
 
@@ -144,7 +169,9 @@ StatusOr<Dataset> LoadDatasetCsv(const std::string& path) {
   out.observed_labels = std::move(observed);
   out.true_labels = std::move(truth);
   out.ids = std::move(ids);
-  out.CheckConsistent();
+  // CheckConsistent aborts on bad labels; a permissive load deliberately
+  // carries them through for admission screening to report.
+  if (!options.permissive) out.CheckConsistent();
   return out;
 }
 

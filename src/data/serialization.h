@@ -13,9 +13,22 @@ namespace enld {
 /// `# classes=<n> dim=<d>`. Missing observed labels are written as -1.
 Status SaveDatasetCsv(const Dataset& dataset, const std::string& path);
 
+/// How LoadDatasetCsv treats invalid cell values.
+struct CsvLoadOptions {
+  /// Strict (default): a non-numeric or non-finite feature cell or an
+  /// out-of-range label fails the load with InvalidArgument naming the row
+  /// and column. Permissive: the file loads anyway — unparseable or
+  /// non-finite features come back as NaN and bad labels are kept verbatim,
+  /// so per-sample admission screening (enld/admission.h, `enld_cli
+  /// validate`) can quarantine the offending rows instead.
+  bool permissive = false;
+};
+
 /// Reads a dataset written by SaveDatasetCsv. Fails with NotFound when the
-/// file cannot be opened and InvalidArgument on malformed content.
-StatusOr<Dataset> LoadDatasetCsv(const std::string& path);
+/// file cannot be opened and InvalidArgument on malformed content
+/// (including, in strict mode, NaN/Inf features and labels outside [0,K)).
+StatusOr<Dataset> LoadDatasetCsv(const std::string& path,
+                                 const CsvLoadOptions& options = {});
 
 }  // namespace enld
 

@@ -1,0 +1,78 @@
+#include "enld/admission.h"
+
+#include <cmath>
+
+namespace enld {
+
+const char* RejectionReasonName(RejectionReason reason) {
+  switch (reason) {
+    case RejectionReason::kNonFiniteFeature:
+      return "non_finite_feature";
+    case RejectionReason::kObservedLabelOutOfRange:
+      return "observed_label_out_of_range";
+    case RejectionReason::kTrueLabelOutOfRange:
+      return "true_label_out_of_range";
+  }
+  return "unknown";
+}
+
+AdmissionResult ScreenDataset(const Dataset& dataset, uint64_t request) {
+  AdmissionResult result;
+  const size_t rows = dataset.size();
+  const size_t cols = dataset.dim();
+  result.admitted.reserve(rows);
+
+  for (size_t i = 0; i < rows; ++i) {
+    QuarantineRecord record;
+    record.request = request;
+    record.row = i;
+    record.sample_id = i < dataset.ids.size() ? dataset.ids[i] : 0;
+    bool rejected = false;
+
+    const float* row = dataset.features.Row(i);
+    for (size_t c = 0; c < cols; ++c) {
+      if (!std::isfinite(row[c])) {
+        record.reason = RejectionReason::kNonFiniteFeature;
+        record.column = c;
+        record.value = row[c];
+        record.detail = "non-finite feature at row " + std::to_string(i) +
+                        ", column " + std::to_string(c);
+        rejected = true;
+        break;
+      }
+    }
+
+    if (!rejected) {
+      const int obs = dataset.observed_labels[i];
+      if (obs != kMissingLabel && (obs < 0 || obs >= dataset.num_classes)) {
+        record.reason = RejectionReason::kObservedLabelOutOfRange;
+        record.value = obs;
+        record.detail = "observed label " + std::to_string(obs) +
+                        " out of [0," + std::to_string(dataset.num_classes) +
+                        ") at row " + std::to_string(i);
+        rejected = true;
+      }
+    }
+
+    if (!rejected) {
+      const int tru = dataset.true_labels[i];
+      if (tru < 0 || tru >= dataset.num_classes) {
+        record.reason = RejectionReason::kTrueLabelOutOfRange;
+        record.value = tru;
+        record.detail = "true label " + std::to_string(tru) + " out of [0," +
+                        std::to_string(dataset.num_classes) + ") at row " +
+                        std::to_string(i);
+        rejected = true;
+      }
+    }
+
+    if (rejected) {
+      result.rejected.push_back(std::move(record));
+    } else {
+      result.admitted.push_back(i);
+    }
+  }
+  return result;
+}
+
+}  // namespace enld

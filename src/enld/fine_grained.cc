@@ -1,6 +1,7 @@
 #include "enld/fine_grained.h"
 
 #include <algorithm>
+#include <exception>
 
 #include "common/check.h"
 #include "common/parallel.h"
@@ -117,6 +118,8 @@ FineGrainedOutputs FineGrainedDetect(const FineGrainedInputs& inputs,
       registry.GetCounter("detect/contrastive_picks");
   telemetry::Counter* resample_rounds =
       registry.GetCounter("detect/resample_rounds");
+  telemetry::Counter* sampling_fallbacks =
+      registry.GetCounter("detect/sampling_fallbacks");
 
   // I' — the candidate rows whose observed label is in label(D) (line 3 of
   // Algorithm 3). All sampling pools below live inside I'.
@@ -157,11 +160,28 @@ FineGrainedOutputs FineGrainedDetect(const FineGrainedInputs& inputs,
       high_quality_series->Append(static_cast<double>(high_quality.size()));
       if (high_quality.empty() || ambiguous.empty()) return;
       if (config.ablation.use_contrastive) {
-        ClassKnnIndex index(view.features, iprime.observed_labels,
-                            high_quality, iprime.num_classes);
-        *picks = ContrastiveSampling(
-            incremental, ambiguous, ambiguous_features, index, *inputs.conditional,
-            config.contrastive_k, config.ablation.use_probability_label, rng);
+        // Graceful degradation (docs/ROBUSTNESS.md): when the class KNN
+        // index cannot be built or produces no picks (every per-class pool
+        // empty), fall back to the Random strategy over the high-quality
+        // pool instead of training on an empty contrastive set. The
+        // condition is a deterministic function of the data, so a degraded
+        // run is still reproducible.
+        try {
+          ClassKnnIndex index(view.features, iprime.observed_labels,
+                              high_quality, iprime.num_classes);
+          *picks = ContrastiveSampling(
+              incremental, ambiguous, ambiguous_features, index,
+              *inputs.conditional, config.contrastive_k,
+              config.ablation.use_probability_label, rng);
+        } catch (const std::exception&) {
+          picks->clear();
+        }
+        if (picks->empty()) {
+          sampling_fallbacks->Increment();
+          const size_t budget = config.contrastive_k * ambiguous.size();
+          *picks = PolicySampling(SamplingPolicy::kRandom, view.probs,
+                                  high_quality, budget, rng);
+        }
       } else {
         // ENLD-1: same budget, but uniform picks from the high-quality
         // pool instead of feature-nearest ones.

@@ -1,11 +1,77 @@
 #include "enld/platform.h"
 
+#include <utility>
+
+#include "common/faults.h"
 #include "common/stopwatch.h"
+#include "common/telemetry/metrics.h"
 
 namespace enld {
 
+namespace {
+
+/// Rewrites a DetectionResult computed on the admitted subset so its
+/// indices refer to rows of the original request dataset. `admitted[i]` is
+/// the original position of subset row i; `original_rows` restores the
+/// recovered-labels vector to full length (kMissingLabel for quarantined
+/// rows — their labels are never recovered).
+DetectionResult RemapResult(DetectionResult result,
+                            const std::vector<size_t>& admitted,
+                            size_t original_rows) {
+  for (size_t& idx : result.noisy_indices) idx = admitted[idx];
+  for (size_t& idx : result.clean_indices) idx = admitted[idx];
+  for (auto& iteration : result.per_iteration_clean) {
+    for (size_t& idx : iteration) idx = admitted[idx];
+  }
+  if (!result.recovered_labels.empty()) {
+    std::vector<int> expanded(original_rows, kMissingLabel);
+    for (size_t i = 0; i < admitted.size(); ++i) {
+      expanded[admitted[i]] = result.recovered_labels[i];
+    }
+    result.recovered_labels = std::move(expanded);
+  }
+  return result;
+}
+
+}  // namespace
+
 DataPlatform::DataPlatform(const DataPlatformConfig& config)
-    : config_(config), framework_(config.enld) {}
+    : config_(config),
+      framework_(config.enld),
+      quarantine_(config.admission.quarantine_capacity) {}
+
+StatusOr<std::vector<size_t>> DataPlatform::AdmitSamples(
+    const Dataset& dataset, uint64_t request) {
+  AdmissionResult screen = ScreenDataset(dataset, request);
+  if (screen.all_admitted()) return std::move(screen.admitted);
+
+  if (config_.admission.strict) {
+    ++stats_.requests_rejected;
+    return Status::InvalidArgument(
+        "strict admission rejected the request: " +
+        screen.rejected.front().detail + " (" +
+        std::to_string(screen.rejected.size()) + " invalid sample(s) of " +
+        std::to_string(dataset.size()) + ")");
+  }
+
+  static telemetry::Counter* quarantined =
+      telemetry::MetricsRegistry::Global().GetCounter(
+          "platform/samples_quarantined");
+  for (QuarantineRecord& record : screen.rejected) {
+    ++stats_.samples_quarantined;
+    ++stats_.quarantined_by_reason[static_cast<size_t>(record.reason)];
+    quarantined->Increment();
+    quarantine_.Add(std::move(record));
+  }
+
+  if (screen.admitted.empty()) {
+    ++stats_.requests_rejected;
+    return Status::InvalidArgument(
+        "all " + std::to_string(dataset.size()) +
+        " sample(s) were quarantined; nothing to process");
+  }
+  return std::move(screen.admitted);
+}
 
 Status DataPlatform::Initialize(const Dataset& inventory) {
   if (initialized_) {
@@ -17,7 +83,20 @@ Status DataPlatform::Initialize(const Dataset& inventory) {
   if (inventory.num_classes <= 1) {
     return Status::InvalidArgument("inventory needs at least 2 classes");
   }
-  framework_.Setup(inventory);
+
+  StatusOr<std::vector<size_t>> admitted = AdmitSamples(inventory, 0);
+  if (!admitted.ok()) return admitted.status();
+  if (admitted->size() < 2) {
+    ++stats_.requests_rejected;
+    return Status::InvalidArgument(
+        "fewer than 2 inventory samples survived admission");
+  }
+
+  if (admitted->size() == inventory.size()) {
+    framework_.Setup(inventory);
+  } else {
+    framework_.Setup(inventory.Subset(*admitted));
+  }
   inventory_dim_ = inventory.dim();
   inventory_classes_ = inventory.num_classes;
   initialized_ = true;
@@ -28,6 +107,7 @@ StatusOr<DetectionResult> DataPlatform::Process(const Dataset& incremental) {
   if (!initialized_) {
     return Status::FailedPrecondition("platform not initialized");
   }
+  ENLD_RETURN_IF_ERROR(faults::Check("platform/process"));
   if (incremental.empty()) {
     return Status::InvalidArgument("incremental dataset is empty");
   }
@@ -40,21 +120,42 @@ StatusOr<DetectionResult> DataPlatform::Process(const Dataset& incremental) {
         "incremental class count does not match the inventory");
   }
 
+  StatusOr<std::vector<size_t>> admitted =
+      AdmitSamples(incremental, stats_.requests + 1);
+  if (!admitted.ok()) return admitted.status();
+  const bool screened = admitted->size() != incremental.size();
+
   Stopwatch timer;
-  DetectionResult result = framework_.Detect(incremental);
+  DetectionResult result =
+      screened ? RemapResult(framework_.Detect(incremental.Subset(*admitted)),
+                             *admitted, incremental.size())
+               : framework_.Detect(incremental);
   stats_.total_process_seconds += timer.ElapsedSeconds();
   ++stats_.requests;
-  stats_.samples_processed += incremental.size();
+  stats_.samples_processed += admitted->size();
   stats_.samples_flagged_noisy += result.noisy_indices.size();
 
-  if (config_.update_every > 0 &&
-      stats_.requests % config_.update_every == 0) {
-    // Best-effort policy update: skipped silently while S_c is too small.
-    if (framework_.selected_clean_count() >= config_.min_update_samples) {
-      if (framework_.UpdateModel().ok()) ++stats_.model_updates;
+  RunUpdatePolicy();
+  return result;
+}
+
+void DataPlatform::RunUpdatePolicy() {
+  const bool due = config_.update_every > 0 &&
+                   stats_.requests % config_.update_every == 0;
+  if (!due && !update_pending_) return;
+
+  // Skip-and-retry: an update that comes due while S_c is still too small
+  // (or whose attempt fails) stays pending and is retried after the next
+  // request instead of being dropped until the next update_every boundary.
+  if (framework_.selected_clean_count() >= config_.min_update_samples) {
+    if (framework_.UpdateModel().ok()) {
+      ++stats_.model_updates;
+      update_pending_ = false;
+      return;
     }
   }
-  return result;
+  ++stats_.update_retries;
+  update_pending_ = true;
 }
 
 Status DataPlatform::Update() {
@@ -67,6 +168,7 @@ Status DataPlatform::Update() {
   }
   ENLD_RETURN_IF_ERROR(framework_.UpdateModel());
   ++stats_.model_updates;
+  update_pending_ = false;
   return Status::OK();
 }
 

@@ -5,6 +5,7 @@
 #include <string>
 
 #include "common/status.h"
+#include "enld/admission.h"
 #include "enld/framework.h"
 
 namespace enld {
@@ -19,6 +20,10 @@ struct DataPlatformConfig {
   /// the accumulated clean-inventory selection reaches this size — updating
   /// from a tiny S_c degrades the model instead of improving it.
   size_t min_update_samples = 200;
+  /// Per-sample admission control (docs/ROBUSTNESS.md). Not part of the
+  /// snapshot config fingerprint: strictness may change across restarts
+  /// without orphaning existing snapshots.
+  AdmissionConfig admission;
 };
 
 /// Running counters of a platform instance.
@@ -27,6 +32,17 @@ struct PlatformStats {
   uint64_t samples_processed = 0;
   uint64_t samples_flagged_noisy = 0;
   uint64_t model_updates = 0;
+  /// Samples refused admission and routed to the quarantine log.
+  uint64_t samples_quarantined = 0;
+  /// Same count broken down by RejectionReason (indexed by its value).
+  uint64_t quarantined_by_reason[kNumRejectionReasons] = {0, 0, 0};
+  /// Requests rejected wholesale: strict-mode admission failures and
+  /// requests whose samples were all quarantined.
+  uint64_t requests_rejected = 0;
+  /// Auto-updates that came due but were deferred (S_c below
+  /// min_update_samples, or a failed update attempt) and will be retried
+  /// on a later request.
+  uint64_t update_retries = 0;
   double total_process_seconds = 0.0;
 };
 
@@ -45,8 +61,14 @@ class DataPlatform {
 
   /// Serves one detection request. Fails when the platform is not
   /// initialized or the dataset is incompatible with the inventory
-  /// (feature dimension / class-count mismatch, empty input). On success,
-  /// may trigger an automatic model update per the configured policy.
+  /// (feature dimension / class-count mismatch, empty input). Individual
+  /// invalid samples (non-finite features, out-of-range labels) are
+  /// quarantined and the clean remainder is processed; indices in the
+  /// returned DetectionResult always refer to rows of the dataset as
+  /// passed in. With `admission.strict`, any invalid sample fails the
+  /// whole request instead. On success, may trigger an automatic model
+  /// update per the configured policy; an update that comes due but cannot
+  /// run yet is retried on later requests rather than dropped.
   StatusOr<DetectionResult> Process(const Dataset& incremental);
 
   /// Manually triggers a model update (same preconditions as
@@ -55,6 +77,12 @@ class DataPlatform {
 
   bool initialized() const { return initialized_; }
   const PlatformStats& stats() const { return stats_; }
+  /// Inspectable log of quarantined samples (capped by
+  /// admission.quarantine_capacity; counters keep counting past the cap).
+  const QuarantineLog& quarantine() const { return quarantine_; }
+  /// True while a due auto-update is deferred awaiting enough clean
+  /// samples (or a successful retry).
+  bool update_pending() const { return update_pending_; }
   /// Direct access to the underlying framework (valid after Initialize).
   EnldFramework& framework() { return framework_; }
 
@@ -74,10 +102,18 @@ class DataPlatform {
   Status RestoreFromSnapshot(const std::string& dir);
 
  private:
+  /// Screens `dataset`, records rejections into the quarantine log and
+  /// stats, and returns the row positions admitted for processing.
+  /// InvalidArgument in strict mode or when nothing survives screening.
+  StatusOr<std::vector<size_t>> AdmitSamples(const Dataset& dataset,
+                                             uint64_t request);
+  void RunUpdatePolicy();
 
   DataPlatformConfig config_;
   EnldFramework framework_;
   PlatformStats stats_;
+  QuarantineLog quarantine_;
+  bool update_pending_ = false;
   bool initialized_ = false;
   size_t inventory_dim_ = 0;
   int inventory_classes_ = 0;

@@ -9,6 +9,8 @@
 #define ENLD_STORE_HAS_FSYNC 1
 #endif
 
+#include "common/faults.h"
+#include "common/retry.h"
 #include "common/telemetry/metrics.h"
 
 namespace enld {
@@ -217,7 +219,11 @@ Status ReadSection(BinaryReader* reader, uint32_t expected_id,
   return Status::OK();
 }
 
-StatusOr<std::string> ReadFile(const std::string& path) {
+namespace {
+
+// One read attempt; ReadFile wraps this in the retry policy.
+StatusOr<std::string> ReadFileOnce(const std::string& path) {
+  ENLD_RETURN_IF_ERROR(faults::Check("store/read_file"));
   File file(path, "rb");
   if (!file.ok()) {
     return Status::NotFound("cannot open for reading: " + path);
@@ -235,9 +241,13 @@ StatusOr<std::string> ReadFile(const std::string& path) {
   return data;
 }
 
-Status WriteFileDurable(const std::string& path, const std::string& data) {
+// One durable-write attempt. Every attempt restarts from the temp write,
+// so a fault at any step leaves only a stray `.tmp` behind, never a torn
+// file under the final name.
+Status WriteFileDurableOnce(const std::string& path, const std::string& data) {
   const std::string tmp = path + ".tmp";
   {
+    ENLD_RETURN_IF_ERROR(faults::Check("store/write_file"));
     File file(tmp, "wb");
     if (!file.ok()) {
       return Status::NotFound("cannot open for writing: " + tmp);
@@ -250,11 +260,16 @@ Status WriteFileDurable(const std::string& path, const std::string& data) {
     if (std::fflush(file.get()) != 0) {
       return Status::Internal("flush failed: " + tmp);
     }
+    ENLD_RETURN_IF_ERROR(faults::Check("store/fsync"));
 #ifdef ENLD_STORE_HAS_FSYNC
     if (::fsync(::fileno(file.get())) != 0) {
       return Status::Internal("fsync failed: " + tmp);
     }
 #endif
+  }
+  if (Status fault = faults::Check("store/rename"); !fault.ok()) {
+    std::remove(tmp.c_str());
+    return fault;
   }
   if (std::rename(tmp.c_str(), path.c_str()) != 0) {
     std::remove(tmp.c_str());
@@ -267,6 +282,24 @@ Status WriteFileDurable(const std::string& path, const std::string& data) {
   if (!dir_sync.ok()) return dir_sync;
   BytesWrittenCounter()->Add(data.size());
   return Status::OK();
+}
+
+}  // namespace
+
+RetryPolicy& DefaultIoRetryPolicy() {
+  static RetryPolicy* policy = new RetryPolicy();
+  return *policy;
+}
+
+StatusOr<std::string> ReadFile(const std::string& path) {
+  return RetryWithBackoffOr<std::string>(
+      DefaultIoRetryPolicy(), "read " + path,
+      [&]() { return ReadFileOnce(path); });
+}
+
+Status WriteFileDurable(const std::string& path, const std::string& data) {
+  return RetryWithBackoff(DefaultIoRetryPolicy(), "write " + path,
+                          [&]() { return WriteFileDurableOnce(path, data); });
 }
 
 Status SyncDir(const std::string& path) {

@@ -5,6 +5,7 @@
 #include <cstdint>
 #include <string>
 
+#include "common/retry.h"
 #include "common/status.h"
 
 namespace enld {
@@ -73,14 +74,27 @@ void PutSection(std::string* out, uint32_t id, const std::string& payload);
 Status ReadSection(BinaryReader* reader, uint32_t expected_id,
                    std::string* payload);
 
-/// Reads a whole file into memory. NotFound when the file cannot be
-/// opened, Internal on a read error. Counts store/bytes_read.
+/// The retry policy every store IO path applies around transient errors
+/// (fault sites firing, flaky reads/writes). Mutable so entry points can
+/// honor a --max_retries flag; set it once at startup, before any store
+/// traffic. Typed logical errors (NotFound, InvalidArgument) are never
+/// retried. The schedule is the plain exponential one — no jitter Rng here,
+/// so store retries never perturb the model's random streams.
+RetryPolicy& DefaultIoRetryPolicy();
+
+/// Reads a whole file into memory, retrying transient failures under
+/// DefaultIoRetryPolicy. NotFound when the file cannot be opened, Internal
+/// on a read error that survives the retries. Counts store/bytes_read.
+/// Fault site: "store/read_file".
 StatusOr<std::string> ReadFile(const std::string& path);
 
 /// Crash-safe write: writes `data` to `path + ".tmp"`, fsyncs it, renames
 /// over `path`, then fsyncs the parent directory. After a crash either the
 /// old file or the complete new file is visible — never a prefix. Counts
-/// store/bytes_written.
+/// store/bytes_written. Transient failures retry under
+/// DefaultIoRetryPolicy; each attempt restarts from the temp write, so a
+/// failed attempt never leaves a torn final file. Fault sites:
+/// "store/write_file", "store/fsync", "store/rename".
 Status WriteFileDurable(const std::string& path, const std::string& data);
 
 /// Fsyncs a directory so a just-created/renamed entry survives a crash.

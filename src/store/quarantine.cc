@@ -1,0 +1,41 @@
+#include "store/quarantine.h"
+
+#include "store/io.h"
+#include "store/json.h"
+
+namespace enld {
+namespace store {
+
+Status WriteQuarantineJson(const QuarantineLog& log, const std::string& path) {
+  JsonValue doc = JsonValue::Object();
+  doc.Set("schema", JsonValue::String("enld-quarantine-v1"));
+  doc.Set("total", JsonValue::Number(static_cast<double>(log.total())));
+  doc.Set("recorded",
+          JsonValue::Number(static_cast<double>(log.records().size())));
+  doc.Set("capacity",
+          JsonValue::Number(static_cast<double>(log.capacity())));
+
+  JsonValue records = JsonValue::Array();
+  for (const QuarantineRecord& record : log.records()) {
+    JsonValue entry = JsonValue::Object();
+    entry.Set("request",
+              JsonValue::Number(static_cast<double>(record.request)));
+    entry.Set("row", JsonValue::Number(static_cast<double>(record.row)));
+    entry.Set("sample_id",
+              JsonValue::Number(static_cast<double>(record.sample_id)));
+    entry.Set("reason",
+              JsonValue::String(RejectionReasonName(record.reason)));
+    entry.Set("column",
+              JsonValue::Number(static_cast<double>(record.column)));
+    // NaN is not representable in JSON; the non-finite offender values are
+    // exactly what lands here, so serialize the value as a string.
+    entry.Set("value", JsonValue::String(std::to_string(record.value)));
+    entry.Set("detail", JsonValue::String(record.detail));
+    records.items().push_back(std::move(entry));
+  }
+  doc.Set("records", std::move(records));
+  return WriteFileDurable(path, doc.ToString());
+}
+
+}  // namespace store
+}  // namespace enld

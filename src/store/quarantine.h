@@ -1,0 +1,32 @@
+#ifndef ENLD_STORE_QUARANTINE_H_
+#define ENLD_STORE_QUARANTINE_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "enld/admission.h"
+
+namespace enld {
+namespace store {
+
+/// Writes a quarantine log as a durable JSON file (schema
+/// "enld-quarantine-v1") for offline inspection and the
+/// tools/check_quarantine.py audit:
+///
+///   {"schema": "enld-quarantine-v1",
+///    "total": <all-time quarantined count>,
+///    "recorded": <records retained below the capacity cap>,
+///    "capacity": <cap>,
+///    "records": [{"request": .., "row": .., "sample_id": ..,
+///                 "reason": "non_finite_feature", "column": ..,
+///                 "value": .., "detail": "..."}, ...]}
+///
+/// Lives in the store layer (not enld_core) so the platform keeps zero
+/// dependencies on file IO. Uses WriteFileDurable, so the file is
+/// crash-safe and the write retries transient faults like any store write.
+Status WriteQuarantineJson(const QuarantineLog& log, const std::string& path);
+
+}  // namespace store
+}  // namespace enld
+
+#endif  // ENLD_STORE_QUARANTINE_H_

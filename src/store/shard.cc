@@ -2,6 +2,7 @@
 
 #include <cstring>
 
+#include "common/faults.h"
 #include "common/telemetry/metrics.h"
 #include "common/telemetry/trace.h"
 #include "store/io.h"
@@ -172,6 +173,7 @@ StatusOr<Dataset> DecodeDatasetShard(const std::string& data) {
 
 Status SaveDatasetShard(const Dataset& dataset, const std::string& path) {
   ENLD_TRACE_SPAN("store/save_shard");
+  ENLD_RETURN_IF_ERROR(faults::Check("store/save_shard"));
   static telemetry::Counter* shards =
       telemetry::MetricsRegistry::Global().GetCounter(
           "store/shards_written");
@@ -181,6 +183,7 @@ Status SaveDatasetShard(const Dataset& dataset, const std::string& path) {
 
 StatusOr<Dataset> LoadDatasetShard(const std::string& path) {
   ENLD_TRACE_SPAN("store/load_shard");
+  ENLD_RETURN_IF_ERROR(faults::Check("store/load_shard"));
   static telemetry::Counter* shards =
       telemetry::MetricsRegistry::Global().GetCounter("store/shards_read");
   StatusOr<std::string> data = ReadFile(path);

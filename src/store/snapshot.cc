@@ -8,6 +8,8 @@
 #include <utility>
 
 #include "common/check.h"
+#include "common/faults.h"
+#include "common/retry.h"
 #include "common/telemetry/metrics.h"
 #include "common/telemetry/trace.h"
 #include "nn/serialization.h"
@@ -22,8 +24,12 @@ namespace {
 
 constexpr char kSnapshotMagic[8] = {'E', 'N', 'L', 'D', 'S', 'N', 'P', '1'};
 constexpr uint32_t kEndianTag = 0x01020304u;
-constexpr uint32_t kSnapshotVersion = 1;
-constexpr uint32_t kSectionCount = 5;
+constexpr uint32_t kSnapshotVersion = 2;
+constexpr uint32_t kSectionCount = 6;
+// v1 files (sections 1-5, no admission data) still load; their admission
+// counters and update_pending default to zero/false.
+constexpr uint32_t kLegacyVersion1 = 1;
+constexpr uint32_t kLegacySectionCount1 = 5;
 constexpr char kSnapshotSchema[] = "enld-snapshot-manifest-v1";
 constexpr char kCurrentFile[] = "CURRENT";
 constexpr char kManifestFile[] = "MANIFEST.json";
@@ -125,6 +131,17 @@ std::string EncodeState(const SnapshotContents& contents) {
   }
   payload.append(bitmap);
   PutSection(&out, kSnapshotSectionSelected, payload);
+
+  payload.clear();
+  PutU64(&payload, contents.stats.samples_quarantined);
+  PutU64(&payload, contents.stats.requests_rejected);
+  PutU64(&payload, contents.stats.update_retries);
+  PutU32(&payload, static_cast<uint32_t>(kNumRejectionReasons));
+  for (size_t i = 0; i < kNumRejectionReasons; ++i) {
+    PutU64(&payload, contents.stats.quarantined_by_reason[i]);
+  }
+  PutU8(&payload, contents.update_pending ? 1 : 0);
+  PutSection(&out, kSnapshotSectionAdmission, payload);
   return out;
 }
 
@@ -147,11 +164,13 @@ Status DecodeState(const std::string& data, SnapshotContents* contents) {
     return Status::InvalidArgument(
         "snapshot byte-order tag mismatch (foreign-endian or corrupt file)");
   }
-  if (version != kSnapshotVersion) {
+  if (version != kSnapshotVersion && version != kLegacyVersion1) {
     return Status::InvalidArgument("unsupported snapshot version " +
                                    std::to_string(version));
   }
-  if (sections != kSectionCount) {
+  const uint32_t expected_sections =
+      version == kLegacyVersion1 ? kLegacySectionCount1 : kSectionCount;
+  if (sections != expected_sections) {
     return Status::InvalidArgument("unexpected snapshot section count");
   }
 
@@ -233,6 +252,32 @@ Status DecodeState(const std::string& data, SnapshotContents* contents) {
       contents->framework.selected_clean[i] =
           (static_cast<unsigned char>(bitmap[i / 8]) >> (i % 8)) & 1u;
     }
+  }
+
+  if (version != kLegacyVersion1) {
+    ENLD_RETURN_IF_ERROR(
+        ReadSection(&reader, kSnapshotSectionAdmission, &payload));
+    BinaryReader admission(payload);
+    uint32_t reasons = 0;
+    uint8_t pending = 0;
+    if (!admission.ReadU64(&contents->stats.samples_quarantined) ||
+        !admission.ReadU64(&contents->stats.requests_rejected) ||
+        !admission.ReadU64(&contents->stats.update_retries) ||
+        !admission.ReadU32(&reasons) ||
+        reasons != static_cast<uint32_t>(kNumRejectionReasons)) {
+      return Status::InvalidArgument("malformed snapshot admission section");
+    }
+    for (size_t i = 0; i < kNumRejectionReasons; ++i) {
+      if (!admission.ReadU64(&contents->stats.quarantined_by_reason[i])) {
+        return Status::InvalidArgument(
+            "malformed snapshot admission section");
+      }
+    }
+    if (!admission.ReadU8(&pending) || pending > 1 ||
+        admission.remaining() != 0) {
+      return Status::InvalidArgument("malformed snapshot admission section");
+    }
+    contents->update_pending = pending == 1;
   }
 
   if (reader.remaining() != 0) {
@@ -418,12 +463,20 @@ StatusOr<uint64_t> SnapshotStore::Save(const SnapshotContents& contents) {
                                         manifest.ToString()));
 
   // Publish: rename the complete staging dir into place, persist the
-  // parent, then (and only then) move CURRENT forward.
-  std::filesystem::rename(staging, final_dir, ec);
-  if (ec) {
-    return Status::Internal("cannot publish snapshot " + final_dir + ": " +
-                            ec.message());
-  }
+  // parent, then (and only then) move CURRENT forward. The staging dir
+  // survives a failed attempt untouched, so publishing retries under the
+  // same policy as the file IO.
+  ENLD_RETURN_IF_ERROR(RetryWithBackoff(
+      DefaultIoRetryPolicy(), "publish snapshot " + name, [&]() -> Status {
+        ENLD_RETURN_IF_ERROR(faults::Check("snapshot/publish"));
+        std::error_code rename_ec;
+        std::filesystem::rename(staging, final_dir, rename_ec);
+        if (rename_ec) {
+          return Status::Internal("cannot publish snapshot " + final_dir +
+                                  ": " + rename_ec.message());
+        }
+        return Status::OK();
+      }));
   ENLD_RETURN_IF_ERROR(SyncDir(root_));
   ENLD_RETURN_IF_ERROR(
       WriteFileDurable(root_ + "/" + kCurrentFile, name + "\n"));
@@ -564,6 +617,7 @@ Status DataPlatform::SaveSnapshot(const std::string& dir) const {
   contents.stats = stats_;
   contents.inventory_dim = inventory_dim_;
   contents.inventory_classes = inventory_classes_;
+  contents.update_pending = update_pending_;
   store::SnapshotStore snapshots(dir);
   StatusOr<uint64_t> seq = snapshots.Save(contents);
   return seq.ok() ? Status::OK() : seq.status();
@@ -598,6 +652,7 @@ Status DataPlatform::RestoreFromSnapshot(const std::string& dir) {
   stats_ = contents.stats;
   inventory_dim_ = static_cast<size_t>(dim);
   inventory_classes_ = classes;
+  update_pending_ = contents.update_pending;
   initialized_ = true;
   return Status::OK();
 }

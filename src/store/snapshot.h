@@ -38,11 +38,14 @@ namespace store {
 /// DataPlatform::RestoreFromSnapshot.
 
 /// Section ids inside state.bin (mirrored by tools/check_snapshot.py).
+/// Version history: v1 wrote sections 1–5; v2 (this build) appends the
+/// admission section. Loads accept both.
 inline constexpr uint32_t kSnapshotSectionMeta = 1;
 inline constexpr uint32_t kSnapshotSectionStats = 2;
 inline constexpr uint32_t kSnapshotSectionRng = 3;
 inline constexpr uint32_t kSnapshotSectionConditional = 4;
 inline constexpr uint32_t kSnapshotSectionSelected = 5;
+inline constexpr uint32_t kSnapshotSectionAdmission = 6;
 
 /// FNV-1a hash over every behaviour-affecting field of the platform
 /// configuration, in a fixed canonical byte encoding. Two configs with the
@@ -58,6 +61,9 @@ struct SnapshotContents {
   PlatformStats stats;
   uint64_t inventory_dim = 0;
   int inventory_classes = 0;
+  /// Whether a due auto-update was still deferred when the snapshot was
+  /// taken (snapshot v2; defaults to false when restoring a v1 snapshot).
+  bool update_pending = false;
 };
 
 /// Manages the snapshot directory: sequential saves, CURRENT tracking,

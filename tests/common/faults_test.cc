@@ -1,0 +1,189 @@
+#include "common/faults.h"
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "common/telemetry/metrics.h"
+#include "gtest/gtest.h"
+
+namespace enld {
+namespace {
+
+/// Every test arms and clears the process-wide registry, so they share a
+/// fixture that guarantees a clean slate on both sides.
+class FaultsTest : public ::testing::Test {
+ protected:
+  void SetUp() override { faults::Clear(); }
+  void TearDown() override { faults::Clear(); }
+};
+
+std::vector<bool> FireSequence(const std::string& site, size_t checks) {
+  std::vector<bool> fired;
+  fired.reserve(checks);
+  for (size_t i = 0; i < checks; ++i) {
+    fired.push_back(faults::ShouldFail(site));
+  }
+  return fired;
+}
+
+TEST_F(FaultsTest, DisabledByDefault) {
+  EXPECT_FALSE(faults::Enabled());
+  EXPECT_FALSE(faults::ShouldFail("store/read_file"));
+  EXPECT_TRUE(faults::Check("store/read_file").ok());
+  EXPECT_EQ(faults::TotalFires(), 0u);
+  EXPECT_TRUE(faults::Stats().empty());
+}
+
+TEST_F(FaultsTest, CertainFaultFiresAndReportsSite) {
+  faults::ArmSite("store/read_file", 1.0, /*max_fires=*/1);
+  ASSERT_TRUE(faults::Enabled());
+  const Status status = faults::Check("store/read_file");
+  EXPECT_EQ(status.code(), StatusCode::kUnavailable);
+  EXPECT_NE(status.message().find("store/read_file"), std::string::npos);
+}
+
+TEST_F(FaultsTest, UnarmedSiteNeverFiresWhileAnotherIsArmed) {
+  faults::ArmSite("store/write_file", 1.0);
+  EXPECT_FALSE(faults::ShouldFail("store/read_file"));
+  EXPECT_TRUE(faults::Check("store/read_file").ok());
+}
+
+TEST_F(FaultsTest, FireSequenceIsDeterministicForSiteAndSeed) {
+  ASSERT_TRUE(faults::Configure("store/read_file:0.3", /*seed=*/42).ok());
+  const std::vector<bool> first = FireSequence("store/read_file", 200);
+  ASSERT_TRUE(faults::Configure("store/read_file:0.3", /*seed=*/42).ok());
+  const std::vector<bool> second = FireSequence("store/read_file", 200);
+  EXPECT_EQ(first, second);
+
+  ASSERT_TRUE(faults::Configure("store/read_file:0.3", /*seed=*/43).ok());
+  const std::vector<bool> other_seed = FireSequence("store/read_file", 200);
+  EXPECT_NE(first, other_seed);
+}
+
+TEST_F(FaultsTest, DistinctSitesDrawIndependentSequences) {
+  ASSERT_TRUE(
+      faults::Configure("store/read_file:0.5,store/write_file:0.5", 7).ok());
+  const std::vector<bool> reads = FireSequence("store/read_file", 200);
+  const std::vector<bool> writes = FireSequence("store/write_file", 200);
+  EXPECT_NE(reads, writes);
+}
+
+TEST_F(FaultsTest, MaxFiresStopsInjection) {
+  faults::ArmSite("store/fsync", 1.0, /*max_fires=*/2, /*burst_limit=*/0);
+  EXPECT_TRUE(faults::ShouldFail("store/fsync"));
+  EXPECT_TRUE(faults::ShouldFail("store/fsync"));
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_FALSE(faults::ShouldFail("store/fsync"));
+  }
+  EXPECT_EQ(faults::TotalFires(), 2u);
+}
+
+TEST_F(FaultsTest, BurstLimitForcesASuccessAfterConsecutiveFires) {
+  faults::ArmSite("store/rename", 1.0, /*max_fires=*/0, /*burst_limit=*/3);
+  // p=1.0 would fire forever; the burst limit inserts a success after
+  // every 3 consecutive fires, which is what keeps retry loops convergent.
+  const std::vector<bool> fired = FireSequence("store/rename", 8);
+  const std::vector<bool> expected = {true, true, true, false,
+                                      true, true, true, false};
+  EXPECT_EQ(fired, expected);
+}
+
+TEST_F(FaultsTest, SkipChecksDelaysFirstEligibleCheck) {
+  faults::ArmSite("snapshot/publish", 1.0, /*max_fires=*/1,
+                  /*burst_limit=*/0, /*skip_checks=*/3);
+  EXPECT_FALSE(faults::ShouldFail("snapshot/publish"));
+  EXPECT_FALSE(faults::ShouldFail("snapshot/publish"));
+  EXPECT_FALSE(faults::ShouldFail("snapshot/publish"));
+  EXPECT_TRUE(faults::ShouldFail("snapshot/publish"));
+  EXPECT_FALSE(faults::ShouldFail("snapshot/publish"));
+}
+
+TEST_F(FaultsTest, StatsReportCountersSortedBySite) {
+  ASSERT_TRUE(
+      faults::Configure("b/site:1.0:1,a/site:0.0", /*seed=*/1).ok());
+  (void)faults::ShouldFail("b/site");
+  (void)faults::ShouldFail("b/site");
+  (void)faults::ShouldFail("a/site");
+  const std::vector<faults::FaultSiteStats> stats = faults::Stats();
+  ASSERT_EQ(stats.size(), 2u);
+  EXPECT_EQ(stats[0].site, "a/site");
+  EXPECT_EQ(stats[0].checks, 1u);
+  EXPECT_EQ(stats[0].fires, 0u);
+  EXPECT_EQ(stats[1].site, "b/site");
+  EXPECT_EQ(stats[1].checks, 2u);
+  EXPECT_EQ(stats[1].fires, 1u);
+  EXPECT_EQ(stats[1].max_fires, 1u);
+  EXPECT_EQ(faults::TotalFires(), 1u);
+}
+
+TEST_F(FaultsTest, ClearDisarmsEverything) {
+  faults::ArmSite("store/read_file", 1.0);
+  ASSERT_TRUE(faults::Enabled());
+  faults::Clear();
+  EXPECT_FALSE(faults::Enabled());
+  EXPECT_FALSE(faults::ShouldFail("store/read_file"));
+  EXPECT_EQ(faults::TotalFires(), 0u);
+}
+
+TEST_F(FaultsTest, ConfigureReplacesPreviousConfiguration) {
+  ASSERT_TRUE(faults::Configure("store/read_file:1.0", 0).ok());
+  ASSERT_TRUE(faults::Configure("store/write_file:1.0", 0).ok());
+  EXPECT_FALSE(faults::ShouldFail("store/read_file"));
+  EXPECT_TRUE(faults::ShouldFail("store/write_file"));
+}
+
+TEST_F(FaultsTest, EmptySpecClears) {
+  faults::ArmSite("store/read_file", 1.0);
+  ASSERT_TRUE(faults::Configure("", 0).ok());
+  EXPECT_FALSE(faults::Enabled());
+}
+
+TEST_F(FaultsTest, ConfigureParsesAllFields) {
+  ASSERT_TRUE(faults::Configure("store/rename:0.25:7:2:5", 0).ok());
+  const std::vector<faults::FaultSiteStats> stats = faults::Stats();
+  ASSERT_EQ(stats.size(), 1u);
+  EXPECT_EQ(stats[0].site, "store/rename");
+  EXPECT_DOUBLE_EQ(stats[0].probability, 0.25);
+  EXPECT_EQ(stats[0].max_fires, 7u);
+  EXPECT_EQ(stats[0].burst_limit, 2u);
+  EXPECT_EQ(stats[0].skip_checks, 5u);
+}
+
+TEST_F(FaultsTest, ConfigureRejectsMalformedSpecs) {
+  const char* bad[] = {
+      "no-probability",          // missing :prob
+      "site:",                   // empty probability
+      ":0.5",                    // empty site name
+      "site:1.5",                // probability out of [0,1]
+      "site:-0.1",               // negative probability
+      "site:abc",                // non-numeric probability
+      "site:0.5:x",              // non-numeric max_fires
+      "site:0.5:1:1:1:9",        // too many fields
+  };
+  for (const char* spec : bad) {
+    const Status status = faults::Configure(spec, 0);
+    EXPECT_EQ(status.code(), StatusCode::kInvalidArgument)
+        << "spec accepted: " << spec;
+    EXPECT_FALSE(faults::Enabled()) << "bad spec armed sites: " << spec;
+  }
+}
+
+TEST_F(FaultsTest, FiresAreCountedInTelemetry) {
+  telemetry::Counter* all =
+      telemetry::MetricsRegistry::Global().GetCounter("faults/fired");
+  telemetry::Counter* site = telemetry::MetricsRegistry::Global().GetCounter(
+      "faults/store/read_file");
+  const uint64_t all_before = all->Value();
+  const uint64_t site_before = site->Value();
+  faults::ArmSite("store/read_file", 1.0, /*max_fires=*/2,
+                  /*burst_limit=*/0);
+  (void)faults::ShouldFail("store/read_file");
+  (void)faults::ShouldFail("store/read_file");
+  (void)faults::ShouldFail("store/read_file");
+  EXPECT_EQ(all->Value() - all_before, 2u);
+  EXPECT_EQ(site->Value() - site_before, 2u);
+}
+
+}  // namespace
+}  // namespace enld

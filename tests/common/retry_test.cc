@@ -1,0 +1,166 @@
+#include "common/retry.h"
+
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "gtest/gtest.h"
+
+namespace enld {
+namespace {
+
+/// A retry policy with zero sleep, so tests exercise the attempt logic
+/// without wall-clock delays.
+RetryPolicy FastPolicy(size_t max_attempts) {
+  RetryPolicy policy;
+  policy.max_attempts = max_attempts;
+  policy.initial_backoff_seconds = 0.0;
+  policy.max_backoff_seconds = 0.0;
+  return policy;
+}
+
+TEST(RetryTest, IsRetryableStatusClassifiesCodes) {
+  EXPECT_TRUE(IsRetryableStatus(Status::Unavailable("flaky")));
+  EXPECT_TRUE(IsRetryableStatus(Status::Internal("short write")));
+  EXPECT_FALSE(IsRetryableStatus(Status::OK()));
+  EXPECT_FALSE(IsRetryableStatus(Status::NotFound("gone")));
+  EXPECT_FALSE(IsRetryableStatus(Status::InvalidArgument("bad")));
+  EXPECT_FALSE(IsRetryableStatus(Status::FailedPrecondition("early")));
+}
+
+TEST(RetryTest, SucceedsFirstTryWithoutRetrying) {
+  size_t calls = 0;
+  const Status status = RetryWithBackoff(FastPolicy(5), "op", [&]() {
+    ++calls;
+    return Status::OK();
+  });
+  EXPECT_TRUE(status.ok());
+  EXPECT_EQ(calls, 1u);
+}
+
+TEST(RetryTest, AbsorbsTransientFailures) {
+  size_t calls = 0;
+  const Status status = RetryWithBackoff(FastPolicy(5), "op", [&]() {
+    ++calls;
+    if (calls < 3) return Status::Unavailable("transient");
+    return Status::OK();
+  });
+  EXPECT_TRUE(status.ok());
+  EXPECT_EQ(calls, 3u);
+}
+
+TEST(RetryTest, NonRetryableStatusPassesStraightThrough) {
+  size_t calls = 0;
+  const Status status = RetryWithBackoff(FastPolicy(5), "op", [&]() {
+    ++calls;
+    return Status::NotFound("no such snapshot");
+  });
+  EXPECT_EQ(status.code(), StatusCode::kNotFound);
+  EXPECT_EQ(status.message(), "no such snapshot");
+  EXPECT_EQ(calls, 1u);
+}
+
+TEST(RetryTest, ExhaustionKeepsCodeAndNamesOperation) {
+  size_t calls = 0;
+  const Status status =
+      RetryWithBackoff(FastPolicy(3), "write MANIFEST.json", [&]() {
+        ++calls;
+        return Status::Unavailable("injected fault at store/write_file");
+      });
+  EXPECT_EQ(calls, 3u);
+  EXPECT_EQ(status.code(), StatusCode::kUnavailable);
+  EXPECT_NE(status.message().find("injected fault at store/write_file"),
+            std::string::npos);
+  EXPECT_NE(status.message().find("gave up after 3 attempt(s) of write "
+                                  "MANIFEST.json"),
+            std::string::npos);
+}
+
+TEST(RetryTest, NoRetryPolicyRunsExactlyOnce) {
+  size_t calls = 0;
+  const Status status = RetryWithBackoff(RetryPolicy::NoRetry(), "op", [&]() {
+    ++calls;
+    return Status::Unavailable("transient");
+  });
+  EXPECT_EQ(calls, 1u);
+  EXPECT_EQ(status.code(), StatusCode::kUnavailable);
+}
+
+TEST(RetryTest, ZeroAttemptsIsClampedToOne) {
+  RetryPolicy policy = FastPolicy(0);
+  size_t calls = 0;
+  const Status status = RetryWithBackoff(policy, "op", [&]() {
+    ++calls;
+    return Status::Unavailable("transient");
+  });
+  EXPECT_EQ(calls, 1u);
+  EXPECT_FALSE(status.ok());
+}
+
+TEST(RetryTest, DeadlineStopsRetrying) {
+  RetryPolicy policy;
+  policy.max_attempts = 100;
+  policy.initial_backoff_seconds = 10.0;  // would sleep far past deadline
+  policy.max_backoff_seconds = 10.0;
+  policy.deadline_seconds = 0.001;
+  size_t calls = 0;
+  const Status status = RetryWithBackoff(policy, "slow op", [&]() {
+    ++calls;
+    return Status::Unavailable("transient");
+  });
+  EXPECT_EQ(calls, 1u);  // deadline rejects the first 10s backoff
+  EXPECT_EQ(status.code(), StatusCode::kUnavailable);
+  EXPECT_NE(status.message().find("retry deadline"), std::string::npos);
+}
+
+TEST(RetryTest, JitterDrawsOncePerSleepFromSuppliedRng) {
+  RetryPolicy policy = FastPolicy(4);
+  policy.initial_backoff_seconds = 1e-9;
+  policy.max_backoff_seconds = 1e-9;
+  policy.jitter_fraction = 0.5;
+  Rng rng(123);
+  size_t calls = 0;
+  const Status status = RetryWithBackoff(
+      policy, "op",
+      [&]() {
+        ++calls;
+        if (calls < 4) return Status::Unavailable("transient");
+        return Status::OK();
+      },
+      &rng);
+  EXPECT_TRUE(status.ok());
+  // 3 sleeps happened, so exactly 3 draws were consumed: the Rng is now in
+  // the same state as a fresh one advanced by 3 draws.
+  Rng expected(123);
+  expected.Uniform(-0.5, 0.5);
+  expected.Uniform(-0.5, 0.5);
+  expected.Uniform(-0.5, 0.5);
+  EXPECT_DOUBLE_EQ(rng.Uniform(), expected.Uniform());
+}
+
+TEST(RetryTest, StatusOrVariantReturnsValueAfterTransients) {
+  size_t calls = 0;
+  const StatusOr<std::string> result = RetryWithBackoffOr<std::string>(
+      FastPolicy(5), "read file", [&]() -> StatusOr<std::string> {
+        ++calls;
+        if (calls < 2) return Status::Unavailable("transient");
+        return std::string("payload");
+      });
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value(), "payload");
+  EXPECT_EQ(calls, 2u);
+}
+
+TEST(RetryTest, StatusOrVariantPropagatesExhaustion) {
+  const StatusOr<int> result = RetryWithBackoffOr<int>(
+      FastPolicy(2), "read file",
+      []() -> StatusOr<int> { return Status::Unavailable("transient"); });
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kUnavailable);
+  EXPECT_NE(result.status().message().find("gave up after 2 attempt(s)"),
+            std::string::npos);
+}
+
+}  // namespace
+}  // namespace enld

@@ -30,6 +30,8 @@ TEST(StatusTest, ErrorFactoriesCarryCodeAndMessage) {
        StatusCode::kFailedPrecondition, "FailedPrecondition"},
       {Status::OutOfRange("idx"), StatusCode::kOutOfRange, "OutOfRange"},
       {Status::Internal("bug"), StatusCode::kInternal, "Internal"},
+      {Status::Unavailable("flaky disk"), StatusCode::kUnavailable,
+       "Unavailable"},
   };
   for (const Case& c : cases) {
     EXPECT_FALSE(c.status.ok());

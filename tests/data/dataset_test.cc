@@ -1,5 +1,7 @@
 #include "data/dataset.h"
 
+#include <limits>
+
 #include <gtest/gtest.h>
 
 namespace enld {
@@ -97,6 +99,33 @@ TEST(DatasetTest, GroundTruthNoisyIndices) {
 
 TEST(DatasetTest, CheckConsistentAcceptsValid) {
   SmallDataset().CheckConsistent();  // Must not abort.
+}
+
+TEST(DatasetTest, ValidateDatasetAcceptsValid) {
+  EXPECT_TRUE(ValidateDataset(SmallDataset()).ok());
+}
+
+TEST(DatasetTest, ValidateDatasetRejectsNonFiniteFeature) {
+  Dataset d = SmallDataset();
+  d.features(3, 1) = std::numeric_limits<float>::quiet_NaN();
+  const Status status = ValidateDataset(d);
+  ASSERT_EQ(status.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(status.message().find("row 3"), std::string::npos);
+  EXPECT_NE(status.message().find("column 1"), std::string::npos);
+
+  d = SmallDataset();
+  d.features(0, 0) = std::numeric_limits<float>::infinity();
+  EXPECT_EQ(ValidateDataset(d).code(), StatusCode::kInvalidArgument);
+}
+
+TEST(DatasetTest, ValidateDatasetRejectsOutOfRangeLabels) {
+  Dataset d = SmallDataset();
+  d.observed_labels[2] = d.num_classes;
+  EXPECT_EQ(ValidateDataset(d).code(), StatusCode::kInvalidArgument);
+
+  d = SmallDataset();
+  d.true_labels[4] = -1;
+  EXPECT_EQ(ValidateDataset(d).code(), StatusCode::kInvalidArgument);
 }
 
 }  // namespace

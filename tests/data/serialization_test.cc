@@ -1,5 +1,6 @@
 #include "data/serialization.h"
 
+#include <cmath>
 #include <cstdio>
 #include <fstream>
 #include <string>
@@ -119,6 +120,61 @@ TEST(DatasetCsvTest, ToleratesMissingAndExtraTrailingNewlines) {
   ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
   EXPECT_EQ(loaded->size(), 1u);
   std::remove(extra.c_str());
+}
+
+TEST(DatasetCsvTest, RejectsNonFiniteFeatureNamingRowAndColumn) {
+  const std::string path = TempPath("nan_feature.csv");
+  std::ofstream(path) << "# classes=2 dim=2\nid,observed,true,f0,f1\n"
+                      << "1,0,0,0.5,0.25\n"
+                      << "2,1,1,nan,0.75\n";
+  const auto loaded = LoadDatasetCsv(path);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(loaded.status().message().find("non-finite feature value"),
+            std::string::npos);
+  EXPECT_NE(loaded.status().message().find("row 1"), std::string::npos);
+  EXPECT_NE(loaded.status().message().find("column f0"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(DatasetCsvTest, RejectsInfiniteAndUnparseableFeatures) {
+  const std::string inf_path = TempPath("inf_feature.csv");
+  std::ofstream(inf_path) << "# classes=2 dim=1\nid,observed,true,f0\n"
+                          << "1,0,0,inf\n";
+  auto loaded = LoadDatasetCsv(inf_path);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_NE(loaded.status().message().find("non-finite feature value"),
+            std::string::npos);
+  std::remove(inf_path.c_str());
+
+  const std::string junk_path = TempPath("junk_feature.csv");
+  std::ofstream(junk_path) << "# classes=2 dim=1\nid,observed,true,f0\n"
+                           << "1,0,0,0.5abc\n";
+  loaded = LoadDatasetCsv(junk_path);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_NE(loaded.status().message().find("unparseable feature value"),
+            std::string::npos);
+  EXPECT_NE(loaded.status().message().find("column f0"), std::string::npos);
+  std::remove(junk_path.c_str());
+}
+
+TEST(DatasetCsvTest, PermissiveLoadCarriesBadCellsForScreening) {
+  // One bad cell and one bad label: the permissive load keeps both rows so
+  // admission screening (enld_cli validate) can report them, turning the
+  // unusable values into NaN.
+  const std::string path = TempPath("permissive.csv");
+  std::ofstream(path) << "# classes=2 dim=2\nid,observed,true,f0,f1\n"
+                      << "1,0,0,0.5,0.25\n"
+                      << "2,1,1,nan,0.75\n"
+                      << "3,9,0,0.5,0.5\n";
+  CsvLoadOptions options;
+  options.permissive = true;
+  const auto loaded = LoadDatasetCsv(path, options);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  ASSERT_EQ(loaded->size(), 3u);
+  EXPECT_TRUE(std::isnan(loaded->features(1, 0)));
+  EXPECT_EQ(loaded->observed_labels[2], 9);  // kept for screening
+  std::remove(path.c_str());
 }
 
 TEST(DatasetCsvTest, PreservesMissingLabels) {

@@ -1,0 +1,332 @@
+#include "enld/admission.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "data/dataset.h"
+#include "enld/platform.h"
+#include "test_util.h"
+
+namespace enld {
+namespace {
+
+using testing_util::TinyGeneralConfig;
+using testing_util::TinyWorkloadConfig;
+
+constexpr float kNaN = std::numeric_limits<float>::quiet_NaN();
+constexpr float kInf = std::numeric_limits<float>::infinity();
+
+Dataset SmallCleanDataset() {
+  Matrix features(6, 3);
+  for (size_t r = 0; r < 6; ++r) {
+    for (size_t c = 0; c < 3; ++c) {
+      features.Row(r)[c] = static_cast<float>(r + c) * 0.5f;
+    }
+  }
+  std::vector<int> observed = {0, 1, 2, 0, 1, 2};
+  std::vector<int> truth = {0, 1, 2, 0, 2, 1};
+  return MakeDataset(std::move(features), std::move(observed),
+                     std::move(truth), /*num_classes=*/3);
+}
+
+bool Contains(const std::vector<size_t>& indices, size_t value) {
+  return std::find(indices.begin(), indices.end(), value) != indices.end();
+}
+
+TEST(RejectionReasonTest, NamesAreStable) {
+  EXPECT_STREQ(RejectionReasonName(RejectionReason::kNonFiniteFeature),
+               "non_finite_feature");
+  EXPECT_STREQ(
+      RejectionReasonName(RejectionReason::kObservedLabelOutOfRange),
+      "observed_label_out_of_range");
+  EXPECT_STREQ(RejectionReasonName(RejectionReason::kTrueLabelOutOfRange),
+               "true_label_out_of_range");
+}
+
+TEST(ScreenDatasetTest, CleanDatasetFullyAdmitted) {
+  const Dataset dataset = SmallCleanDataset();
+  const AdmissionResult result = ScreenDataset(dataset, 1);
+  EXPECT_TRUE(result.all_admitted());
+  EXPECT_EQ(result.admitted.size(), dataset.size());
+  // Admitted rows come back in ascending order so Subset preserves order.
+  EXPECT_TRUE(
+      std::is_sorted(result.admitted.begin(), result.admitted.end()));
+}
+
+TEST(ScreenDatasetTest, NonFiniteFeatureRecordsColumnAndDetail) {
+  Dataset dataset = SmallCleanDataset();
+  dataset.features.Row(1)[2] = kNaN;
+  dataset.features.Row(4)[0] = kInf;
+  const AdmissionResult result = ScreenDataset(dataset, 7);
+  ASSERT_EQ(result.rejected.size(), 2u);
+  EXPECT_EQ(result.admitted.size(), 4u);
+  EXPECT_FALSE(Contains(result.admitted, 1));
+  EXPECT_FALSE(Contains(result.admitted, 4));
+
+  const QuarantineRecord& first = result.rejected[0];
+  EXPECT_EQ(first.request, 7u);
+  EXPECT_EQ(first.row, 1u);
+  EXPECT_EQ(first.reason, RejectionReason::kNonFiniteFeature);
+  EXPECT_EQ(first.column, 2u);
+  EXPECT_NE(first.detail.find("row 1"), std::string::npos);
+  EXPECT_NE(first.detail.find("column 2"), std::string::npos);
+
+  EXPECT_EQ(result.rejected[1].row, 4u);
+  EXPECT_EQ(result.rejected[1].column, 0u);
+}
+
+TEST(ScreenDatasetTest, ObservedLabelOutOfRangeQuarantined) {
+  Dataset dataset = SmallCleanDataset();
+  dataset.observed_labels[2] = dataset.num_classes;  // one past the end
+  dataset.observed_labels[5] = -7;
+  const AdmissionResult result = ScreenDataset(dataset, 1);
+  ASSERT_EQ(result.rejected.size(), 2u);
+  EXPECT_EQ(result.rejected[0].reason,
+            RejectionReason::kObservedLabelOutOfRange);
+  EXPECT_EQ(result.rejected[0].row, 2u);
+  EXPECT_EQ(result.rejected[1].row, 5u);
+}
+
+TEST(ScreenDatasetTest, MissingObservedLabelIsAdmitted) {
+  Dataset dataset = SmallCleanDataset();
+  dataset.observed_labels[3] = kMissingLabel;
+  const AdmissionResult result = ScreenDataset(dataset, 1);
+  EXPECT_TRUE(result.all_admitted());
+}
+
+TEST(ScreenDatasetTest, TrueLabelOutOfRangeQuarantined) {
+  Dataset dataset = SmallCleanDataset();
+  dataset.true_labels[0] = dataset.num_classes + 4;
+  const AdmissionResult result = ScreenDataset(dataset, 1);
+  ASSERT_EQ(result.rejected.size(), 1u);
+  EXPECT_EQ(result.rejected[0].reason,
+            RejectionReason::kTrueLabelOutOfRange);
+  EXPECT_EQ(result.rejected[0].row, 0u);
+}
+
+TEST(ScreenDatasetTest, FirstReasonWinsForMultiplyBrokenRow) {
+  Dataset dataset = SmallCleanDataset();
+  dataset.features.Row(2)[1] = kNaN;
+  dataset.observed_labels[2] = -9;  // also broken, but features come first
+  const AdmissionResult result = ScreenDataset(dataset, 1);
+  ASSERT_EQ(result.rejected.size(), 1u);
+  EXPECT_EQ(result.rejected[0].reason,
+            RejectionReason::kNonFiniteFeature);
+}
+
+TEST(QuarantineLogTest, CapacityCapsRecordsButNotTotal) {
+  QuarantineLog log(2);
+  for (size_t i = 0; i < 5; ++i) {
+    QuarantineRecord record;
+    record.row = i;
+    log.Add(std::move(record));
+  }
+  EXPECT_EQ(log.records().size(), 2u);
+  EXPECT_EQ(log.total(), 5u);
+  EXPECT_EQ(log.capacity(), 2u);
+  EXPECT_TRUE(log.truncated());
+  EXPECT_EQ(log.records()[0].row, 0u);
+  EXPECT_EQ(log.records()[1].row, 1u);
+  log.Clear();
+  EXPECT_EQ(log.total(), 0u);
+  EXPECT_TRUE(log.records().empty());
+}
+
+DataPlatformConfig FastPlatformConfig() {
+  DataPlatformConfig config;
+  config.enld.general = TinyGeneralConfig();
+  config.enld.iterations = 3;
+  config.enld.steps_per_iteration = 3;
+  return config;
+}
+
+class AdmissionPlatformTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    workload_ = new Workload(BuildWorkload(TinyWorkloadConfig(0.2)));
+  }
+  static void TearDownTestSuite() {
+    delete workload_;
+    workload_ = nullptr;
+  }
+  static Workload* workload_;
+};
+
+Workload* AdmissionPlatformTest::workload_ = nullptr;
+
+// The acceptance criterion: a request carrying invalid samples quarantines
+// them (visible in PlatformStats and the quarantine log) while the clean
+// samples in the same request are still processed.
+TEST_F(AdmissionPlatformTest, BadSamplesQuarantinedCleanOnesProcessed) {
+  DataPlatform platform(FastPlatformConfig());
+  ASSERT_TRUE(platform.Initialize(workload_->inventory).ok());
+
+  Dataset request = workload_->incremental[0];
+  ASSERT_GE(request.size(), 4u);
+  request.features.Row(0)[0] = kNaN;
+  request.observed_labels[2] = request.num_classes + 1;
+
+  const StatusOr<DetectionResult> result = platform.Process(request);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+
+  const PlatformStats& stats = platform.stats();
+  EXPECT_EQ(stats.requests, 1u);
+  EXPECT_EQ(stats.samples_quarantined, 2u);
+  EXPECT_EQ(stats.quarantined_by_reason[static_cast<size_t>(
+                RejectionReason::kNonFiniteFeature)],
+            1u);
+  EXPECT_EQ(stats.quarantined_by_reason[static_cast<size_t>(
+                RejectionReason::kObservedLabelOutOfRange)],
+            1u);
+  EXPECT_EQ(stats.requests_rejected, 0u);
+  EXPECT_EQ(stats.samples_processed, request.size() - 2);
+
+  ASSERT_EQ(platform.quarantine().records().size(), 2u);
+  EXPECT_EQ(platform.quarantine().records()[0].request, 1u);
+  EXPECT_EQ(platform.quarantine().records()[0].row, 0u);
+  EXPECT_EQ(platform.quarantine().records()[1].row, 2u);
+
+  // Result indices refer to the original request rows and never point at
+  // a quarantined row.
+  for (size_t idx : result->noisy_indices) {
+    EXPECT_LT(idx, request.size());
+    EXPECT_NE(idx, 0u);
+    EXPECT_NE(idx, 2u);
+  }
+  for (size_t idx : result->clean_indices) {
+    EXPECT_LT(idx, request.size());
+    EXPECT_NE(idx, 0u);
+    EXPECT_NE(idx, 2u);
+  }
+  // Every admitted row lands in exactly one of the two index sets.
+  EXPECT_EQ(result->noisy_indices.size() + result->clean_indices.size(),
+            request.size() - 2);
+}
+
+TEST_F(AdmissionPlatformTest, QuarantinedRowsExcludedFromRecovery) {
+  DataPlatformConfig config = FastPlatformConfig();
+  DataPlatform platform(config);
+  ASSERT_TRUE(platform.Initialize(workload_->inventory).ok());
+
+  Dataset request = workload_->incremental[0];
+  request.observed_labels[1] = kMissingLabel;  // recoverable
+  request.features.Row(0)[0] = kNaN;           // quarantined
+
+  const StatusOr<DetectionResult> result = platform.Process(request);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  if (!result->recovered_labels.empty()) {
+    // Remapped back to the original row count with quarantined rows left
+    // unrecovered.
+    ASSERT_EQ(result->recovered_labels.size(), request.size());
+    EXPECT_EQ(result->recovered_labels[0], kMissingLabel);
+  }
+}
+
+TEST_F(AdmissionPlatformTest, StrictModeRejectsWholeRequest) {
+  DataPlatformConfig config = FastPlatformConfig();
+  config.admission.strict = true;
+  DataPlatform platform(config);
+  ASSERT_TRUE(platform.Initialize(workload_->inventory).ok());
+
+  Dataset request = workload_->incremental[0];
+  request.features.Row(3)[1] = kNaN;
+
+  const StatusOr<DetectionResult> result = platform.Process(request);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(result.status().message().find("strict admission"),
+            std::string::npos);
+
+  const PlatformStats& stats = platform.stats();
+  EXPECT_EQ(stats.requests, 0u);
+  EXPECT_EQ(stats.requests_rejected, 1u);
+  EXPECT_EQ(stats.samples_quarantined, 0u);
+  EXPECT_TRUE(platform.quarantine().records().empty());
+
+  // The clean version of the same request still goes through.
+  EXPECT_TRUE(platform.Process(workload_->incremental[0]).ok());
+}
+
+TEST_F(AdmissionPlatformTest, FullyInvalidRequestRejected) {
+  DataPlatform platform(FastPlatformConfig());
+  ASSERT_TRUE(platform.Initialize(workload_->inventory).ok());
+
+  Dataset request = workload_->incremental[0];
+  for (size_t r = 0; r < request.size(); ++r) {
+    request.features.Row(r)[0] = kNaN;
+  }
+  const StatusOr<DetectionResult> result = platform.Process(request);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+  const PlatformStats& stats = platform.stats();
+  EXPECT_EQ(stats.requests, 0u);
+  EXPECT_EQ(stats.requests_rejected, 1u);
+  EXPECT_EQ(stats.samples_quarantined, request.size());
+}
+
+TEST_F(AdmissionPlatformTest, InitializeScreensInventory) {
+  DataPlatform platform(FastPlatformConfig());
+  Dataset inventory = workload_->inventory;
+  inventory.features.Row(0)[0] = kNaN;
+  inventory.observed_labels[1] = inventory.num_classes + 2;
+  ASSERT_TRUE(platform.Initialize(inventory).ok());
+  EXPECT_EQ(platform.stats().samples_quarantined, 2u);
+  ASSERT_EQ(platform.quarantine().records().size(), 2u);
+  // Initialize screens under request number 0.
+  EXPECT_EQ(platform.quarantine().records()[0].request, 0u);
+  // The screened platform still serves clean requests.
+  EXPECT_TRUE(platform.Process(workload_->incremental[0]).ok());
+}
+
+TEST_F(AdmissionPlatformTest, QuarantineCapacityCapsPlatformLog) {
+  DataPlatformConfig config = FastPlatformConfig();
+  config.admission.quarantine_capacity = 1;
+  DataPlatform platform(config);
+  ASSERT_TRUE(platform.Initialize(workload_->inventory).ok());
+
+  Dataset request = workload_->incremental[0];
+  request.features.Row(0)[0] = kNaN;
+  request.features.Row(1)[0] = kNaN;
+  request.features.Row(2)[0] = kNaN;
+  ASSERT_TRUE(platform.Process(request).ok());
+
+  EXPECT_EQ(platform.stats().samples_quarantined, 3u);
+  EXPECT_EQ(platform.quarantine().records().size(), 1u);
+  EXPECT_EQ(platform.quarantine().total(), 3u);
+  EXPECT_TRUE(platform.quarantine().truncated());
+}
+
+TEST_F(AdmissionPlatformTest, DueUpdateBelowMinimumStaysPending) {
+  DataPlatformConfig config = FastPlatformConfig();
+  config.update_every = 1;
+  config.min_update_samples = 1'000'000;  // never enough
+  DataPlatform platform(config);
+  ASSERT_TRUE(platform.Initialize(workload_->inventory).ok());
+  for (const Dataset& d : workload_->incremental) {
+    ASSERT_TRUE(platform.Process(d).ok());
+  }
+  EXPECT_EQ(platform.stats().model_updates, 0u);
+  EXPECT_TRUE(platform.update_pending());
+  EXPECT_EQ(platform.stats().update_retries,
+            workload_->incremental.size());
+}
+
+TEST_F(AdmissionPlatformTest, PendingUpdateClearsOnSuccess) {
+  DataPlatformConfig config = FastPlatformConfig();
+  config.update_every = 2;
+  config.min_update_samples = 1;
+  DataPlatform platform(config);
+  ASSERT_TRUE(platform.Initialize(workload_->inventory).ok());
+  for (const Dataset& d : workload_->incremental) {
+    ASSERT_TRUE(platform.Process(d).ok());
+  }
+  EXPECT_GE(platform.stats().model_updates, 1u);
+  EXPECT_FALSE(platform.update_pending());
+}
+
+}  // namespace
+}  // namespace enld

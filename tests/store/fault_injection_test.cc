@@ -1,0 +1,286 @@
+// Fault-injection coverage: every registered fault site is exercised, the
+// io-layer retry policy absorbs transient faults, and a crash-point matrix
+// over the snapshot publish protocol shows that a fault at ANY durable-write
+// step leaves the store readable with the previous snapshot intact — never
+// torn state.
+
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/faults.h"
+#include "common/retry.h"
+#include "data/workload.h"
+#include "enld/platform.h"
+#include "store/io.h"
+#include "store/shard.h"
+#include "store/snapshot.h"
+#include "test_util.h"
+
+namespace enld {
+namespace {
+
+namespace fs = std::filesystem;
+
+Dataset TinyDataset() {
+  Matrix features(4, 2);
+  for (size_t r = 0; r < 4; ++r) {
+    features.Row(r)[0] = static_cast<float>(r);
+    features.Row(r)[1] = static_cast<float>(r) * 2.0f;
+  }
+  return MakeDataset(std::move(features), {0, 1, 0, 1}, {0, 1, 1, 0},
+                     /*num_classes=*/2);
+}
+
+/// Clears the fault registry and pins a fast, sleep-free retry policy for
+/// the duration of each test, restoring the process defaults afterward.
+class FaultInjectionTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    faults::Clear();
+    saved_policy_ = store::DefaultIoRetryPolicy();
+    store::DefaultIoRetryPolicy().initial_backoff_seconds = 0.0;
+    store::DefaultIoRetryPolicy().max_backoff_seconds = 0.0;
+    root_ = fs::path(::testing::TempDir()) /
+            ("fault_test_" + std::string(::testing::UnitTest::GetInstance()
+                                             ->current_test_info()
+                                             ->name()));
+    fs::remove_all(root_);
+    fs::create_directories(root_);
+  }
+  void TearDown() override {
+    faults::Clear();
+    store::DefaultIoRetryPolicy() = saved_policy_;
+    fs::remove_all(root_);
+  }
+
+  std::string Path(const std::string& name) const {
+    return (root_ / name).string();
+  }
+
+  RetryPolicy saved_policy_;
+  fs::path root_;
+};
+
+TEST_F(FaultInjectionTest, ReadFileFaultFailsWithoutRetries) {
+  ASSERT_TRUE(store::WriteFileDurable(Path("a.txt"), "payload").ok());
+  store::DefaultIoRetryPolicy().max_attempts = 1;
+  faults::ArmSite("store/read_file", 1.0, /*max_fires=*/0,
+                  /*burst_limit=*/0);
+  const StatusOr<std::string> read = store::ReadFile(Path("a.txt"));
+  ASSERT_FALSE(read.ok());
+  EXPECT_EQ(read.status().code(), StatusCode::kUnavailable);
+}
+
+TEST_F(FaultInjectionTest, ReadFileTransientFaultAbsorbedByRetry) {
+  ASSERT_TRUE(store::WriteFileDurable(Path("a.txt"), "payload").ok());
+  faults::ArmSite("store/read_file", 1.0, /*max_fires=*/2,
+                  /*burst_limit=*/0);
+  const StatusOr<std::string> read = store::ReadFile(Path("a.txt"));
+  ASSERT_TRUE(read.ok()) << read.status().ToString();
+  EXPECT_EQ(read.value(), "payload");
+  EXPECT_EQ(faults::TotalFires(), 2u);
+}
+
+TEST_F(FaultInjectionTest, EveryWriteStepFaultFailsCleanly) {
+  int file_index = 0;
+  for (const char* site : {"store/write_file", "store/fsync",
+                           "store/rename"}) {
+    faults::Clear();
+    store::DefaultIoRetryPolicy().max_attempts = 1;
+    faults::ArmSite(site, 1.0, /*max_fires=*/0, /*burst_limit=*/0);
+    const std::string path =
+        Path("out_" + std::to_string(file_index++) + ".txt");
+    const Status status = store::WriteFileDurable(path, "data");
+    ASSERT_FALSE(status.ok()) << site;
+    EXPECT_EQ(status.code(), StatusCode::kUnavailable) << site;
+    // A failed durable write never leaves a torn file under the final name.
+    EXPECT_FALSE(fs::exists(path)) << site;
+  }
+}
+
+TEST_F(FaultInjectionTest, WriteStepTransientFaultsAbsorbedByRetry) {
+  for (const char* site : {"store/write_file", "store/fsync",
+                           "store/rename"}) {
+    faults::Clear();
+    faults::ArmSite(site, 1.0, /*max_fires=*/2, /*burst_limit=*/0);
+    const std::string path = Path("retry_out.txt");
+    ASSERT_TRUE(store::WriteFileDurable(path, site).ok()) << site;
+    const StatusOr<std::string> read = store::ReadFile(path);
+    ASSERT_TRUE(read.ok());
+    EXPECT_EQ(read.value(), site);
+    EXPECT_EQ(faults::TotalFires(), 2u) << site;
+  }
+}
+
+TEST_F(FaultInjectionTest, ShardSaveAndLoadFaultSites) {
+  const Dataset dataset = TinyDataset();
+  const std::string path = Path("shard.bin");
+
+  faults::ArmSite("store/save_shard", 1.0, /*max_fires=*/1,
+                  /*burst_limit=*/0);
+  const Status save = store::SaveDatasetShard(dataset, path);
+  ASSERT_FALSE(save.ok());
+  EXPECT_EQ(save.code(), StatusCode::kUnavailable);
+
+  faults::Clear();
+  ASSERT_TRUE(store::SaveDatasetShard(dataset, path).ok());
+
+  faults::ArmSite("store/load_shard", 1.0, /*max_fires=*/1,
+                  /*burst_limit=*/0);
+  const StatusOr<Dataset> load = store::LoadDatasetShard(path);
+  ASSERT_FALSE(load.ok());
+  EXPECT_EQ(load.status().code(), StatusCode::kUnavailable);
+
+  faults::Clear();
+  const StatusOr<Dataset> reload = store::LoadDatasetShard(path);
+  ASSERT_TRUE(reload.ok());
+  EXPECT_EQ(reload.value().size(), dataset.size());
+}
+
+DataPlatformConfig FastPlatformConfig() {
+  DataPlatformConfig config;
+  config.enld.general = testing_util::TinyGeneralConfig();
+  config.enld.iterations = 3;
+  config.enld.steps_per_iteration = 3;
+  return config;
+}
+
+/// Snapshot-level fault tests share one initialized platform: its state is
+/// only read (Save is const; the armed Process call fails before touching
+/// any state), so test order cannot leak between cases.
+class FaultSnapshotTest : public FaultInjectionTest {
+ protected:
+  static void SetUpTestSuite() {
+    workload_ =
+        new Workload(BuildWorkload(testing_util::TinyWorkloadConfig(0.2)));
+    platform_ = new DataPlatform(FastPlatformConfig());
+    ASSERT_TRUE(platform_->Initialize(workload_->inventory).ok());
+    ASSERT_TRUE(platform_->Process(workload_->incremental[0]).ok());
+  }
+  static void TearDownTestSuite() {
+    delete platform_;
+    delete workload_;
+    platform_ = nullptr;
+    workload_ = nullptr;
+  }
+  static Workload* workload_;
+  static DataPlatform* platform_;
+};
+
+Workload* FaultSnapshotTest::workload_ = nullptr;
+DataPlatform* FaultSnapshotTest::platform_ = nullptr;
+
+TEST_F(FaultSnapshotTest, ProcessFaultSiteFailsRequest) {
+  faults::ArmSite("platform/process", 1.0, /*max_fires=*/1,
+                  /*burst_limit=*/0);
+  const StatusOr<DetectionResult> result =
+      platform_->Process(workload_->incremental[1]);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kUnavailable);
+  // The failed request never touched the platform's counters.
+  EXPECT_EQ(platform_->stats().requests, 1u);
+}
+
+TEST_F(FaultSnapshotTest, PublishFaultAbsorbedByRetry) {
+  faults::ArmSite("snapshot/publish", 1.0, /*max_fires=*/2,
+                  /*burst_limit=*/0);
+  ASSERT_TRUE(platform_->SaveSnapshot(root_.string()).ok());
+  EXPECT_GE(faults::TotalFires(), 2u);
+  faults::Clear();
+
+  DataPlatform restored(FastPlatformConfig());
+  ASSERT_TRUE(restored.RestoreFromSnapshot(root_.string()).ok());
+  EXPECT_EQ(restored.stats().requests, platform_->stats().requests);
+}
+
+// The crash-point matrix: save one good snapshot, then re-run the save with
+// an injected fault at the k-th check of each durable-write site, for every
+// k. Each faulted save must fail, and a subsequent restore must load the
+// previous good snapshot — the publish protocol has no step whose failure
+// tears the store.
+TEST_F(FaultSnapshotTest, CrashPointMatrixLeavesPreviousSnapshotIntact) {
+  ASSERT_TRUE(platform_->SaveSnapshot(root_.string()).ok());
+
+  // Count how many times a clean save checks each site, by arming them at
+  // probability zero and watching the check counters.
+  ASSERT_TRUE(faults::Configure("store/write_file:0,store/fsync:0,"
+                                "store/rename:0,snapshot/publish:0")
+                  .ok());
+  ASSERT_TRUE(platform_->SaveSnapshot(root_.string()).ok());
+  std::vector<std::pair<std::string, uint64_t>> sites;
+  for (const faults::FaultSiteStats& s : faults::Stats()) {
+    ASSERT_GT(s.checks, 0u) << s.site << " never checked during a save";
+    sites.emplace_back(s.site, s.checks);
+  }
+  ASSERT_EQ(sites.size(), 4u);
+  faults::Clear();
+
+  const StatusOr<std::string> current = store::ReadFile(root_.string() +
+                                                        "/CURRENT");
+  ASSERT_TRUE(current.ok());
+  const std::string current_before = current.value();
+  const EnldFrameworkState want = platform_->framework().CaptureState();
+
+  size_t crash_points = 0;
+  for (const auto& [site, checks] : sites) {
+    for (uint64_t skip = 0; skip < checks; ++skip) {
+      // One shot, no retries: this models a hard crash at this exact step.
+      store::DefaultIoRetryPolicy().max_attempts = 1;
+      faults::ArmSite(site, 1.0, /*max_fires=*/1, /*burst_limit=*/0, skip);
+      const Status failed = platform_->SaveSnapshot(root_.string());
+      ASSERT_FALSE(failed.ok())
+          << site << " skip=" << skip << " save unexpectedly succeeded";
+      EXPECT_EQ(failed.code(), StatusCode::kUnavailable)
+          << site << " skip=" << skip;
+      faults::Clear();
+      ++crash_points;
+
+      // The store still reads back as the previous good snapshot.
+      const StatusOr<std::string> pointer =
+          store::ReadFile(root_.string() + "/CURRENT");
+      ASSERT_TRUE(pointer.ok()) << site << " skip=" << skip;
+      EXPECT_EQ(pointer.value(), current_before)
+          << site << " skip=" << skip;
+      DataPlatform restored(FastPlatformConfig());
+      const Status recovered = restored.RestoreFromSnapshot(root_.string());
+      ASSERT_TRUE(recovered.ok())
+          << site << " skip=" << skip << ": " << recovered.ToString();
+      EXPECT_EQ(restored.stats().requests, platform_->stats().requests);
+      const EnldFrameworkState got = restored.framework().CaptureState();
+      EXPECT_EQ(got.model_weights, want.model_weights)
+          << site << " skip=" << skip;
+    }
+  }
+  EXPECT_GT(crash_points, 4u);
+
+  // The store is not wedged by the failed attempts: a clean save works and
+  // advances CURRENT past the matrix's leftovers.
+  store::DefaultIoRetryPolicy().max_attempts = saved_policy_.max_attempts;
+  ASSERT_TRUE(platform_->SaveSnapshot(root_.string()).ok());
+  const StatusOr<std::string> advanced =
+      store::ReadFile(root_.string() + "/CURRENT");
+  ASSERT_TRUE(advanced.ok());
+  EXPECT_NE(advanced.value(), current_before);
+}
+
+TEST_F(FaultSnapshotTest, SnapshotSurvivesLowProbabilityFaultStorm) {
+  // End-to-end: every store site flaky at once, default retry policy on.
+  // The save and the restore must both converge.
+  ASSERT_TRUE(
+      faults::Configure("store/read_file:0.2,store/write_file:0.2,"
+                        "store/fsync:0.2,store/rename:0.2,"
+                        "snapshot/publish:0.2",
+                        /*seed=*/11)
+          .ok());
+  ASSERT_TRUE(platform_->SaveSnapshot(root_.string()).ok());
+  DataPlatform restored(FastPlatformConfig());
+  ASSERT_TRUE(restored.RestoreFromSnapshot(root_.string()).ok());
+  EXPECT_EQ(restored.stats().requests, platform_->stats().requests);
+  EXPECT_GT(faults::TotalFires(), 0u);
+}
+
+}  // namespace
+}  // namespace enld

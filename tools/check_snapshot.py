@@ -13,8 +13,9 @@ and re-verifies, with nothing but the Python standard library:
   * each dataset directory's manifest.json is consistent (shard row
     totals, per-shard size + CRC32),
   * every shard starts with the ENLDSHD1 magic and little-endian tag,
-  * state.bin parses structurally: ENLDSNP1 magic, endian tag, version,
-    and five sections whose payload CRCs match their envelopes.
+  * state.bin parses structurally: ENLDSNP1 magic, endian tag, version
+    (1 or 2), and every section's payload CRC matches its envelope
+    (v1: meta/stats/rng/conditional/selected; v2 appends admission).
 
 By default only the snapshot CURRENT points at is audited; --all checks
 every snap-* directory present. Exits non-zero with one message per
@@ -32,7 +33,11 @@ DATASET_SCHEMA = "enld-dataset-manifest-v1"
 SNAPSHOT_MAGIC = b"ENLDSNP1"
 SHARD_MAGIC = b"ENLDSHD1"
 ENDIAN_TAG = 0x01020304
-STATE_SECTION_IDS = (1, 2, 3, 4, 5)  # meta, stats, rng, conditional, selected
+# meta, stats, rng, conditional, selected (+ admission in v2)
+STATE_SECTION_IDS_BY_VERSION = {
+    1: (1, 2, 3, 4, 5),
+    2: (1, 2, 3, 4, 5, 6),
+}
 
 errors = []
 
@@ -89,14 +94,15 @@ def check_state_bin(path, data):
     if endian != ENDIAN_TAG:
         fail(path, f"byte-order tag {endian:#010x} != {ENDIAN_TAG:#010x}")
         return
-    if version != 1:
+    section_ids = STATE_SECTION_IDS_BY_VERSION.get(version)
+    if section_ids is None:
         fail(path, f"unsupported state version {version}")
         return
     (count,) = struct.unpack_from("<I", data, 16)
-    if count != len(STATE_SECTION_IDS):
-        fail(path, f"section count {count} != {len(STATE_SECTION_IDS)}")
+    if count != len(section_ids):
+        fail(path, f"section count {count} != {len(section_ids)}")
         return
-    check_sections(path, data, 20, STATE_SECTION_IDS)
+    check_sections(path, data, 20, section_ids)
 
 
 def check_shard_header(path, data):
