@@ -14,8 +14,22 @@
 //                         setup
 //   --kill_after=<n>      simulate a crash: exit with code 3 after serving
 //                         n requests in this run (snapshots written so
-//                         far stay behind for the next run to resume from)
+//                         far stay behind for the next run to resume from;
+//                         sequential mode only)
 //   --datasets=<n>        stream length (default 12)
+//   --snapshot_keep=<n>   retain only the newest n snapshots (0 = all)
+//
+// Async pipeline flags (see docs/ARCHITECTURE.md):
+//   --async               serve the stream through the batched request
+//                         pipeline: requests are submitted up front and a
+//                         dispatcher thread drains them in batches,
+//                         overlapping snapshot writes with detection.
+//                         Output is byte-identical to the sequential loop
+//                         at any thread count.
+//   --batch_size=<n>      dispatcher batch size in async mode (default 4)
+//   --request_deadline=<s>  per-request budget in seconds; an over-budget
+//                         request fails with DeadlineExceeded while the
+//                         stream behind it keeps flowing (0 = no deadline)
 //
 // A killed run resumed with the same flags produces byte-identical
 // detections for the remaining requests — the snapshot carries the full
@@ -36,12 +50,15 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <future>
 #include <string>
+#include <vector>
 
 #include "common/faults.h"
 #include "common/stopwatch.h"
 #include "common/telemetry/report.h"
 #include "data/workload.h"
+#include "enld/pipeline.h"
 #include "enld/platform.h"
 #include "eval/metrics.h"
 #include "eval/paper_setup.h"
@@ -64,6 +81,14 @@ std::string FlagValue(int argc, char** argv, const std::string& name,
   return fallback;
 }
 
+bool HasFlag(int argc, char** argv, const std::string& name) {
+  const std::string bare = "--" + name;
+  for (int i = 1; i < argc; ++i) {
+    if (bare == argv[i]) return true;
+  }
+  return !FlagValue(argc, argv, name, "").empty();
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -79,6 +104,19 @@ int main(int argc, char** argv) {
       std::atoi(FlagValue(argc, argv, "datasets", "12").c_str()));
   const std::string quarantine_out =
       FlagValue(argc, argv, "quarantine_out", "");
+  const bool use_async = HasFlag(argc, argv, "async");
+  const size_t batch_size = static_cast<size_t>(
+      std::atoi(FlagValue(argc, argv, "batch_size", "4").c_str()));
+  const double request_deadline =
+      std::atof(FlagValue(argc, argv, "request_deadline", "0").c_str());
+  const size_t snapshot_keep = static_cast<size_t>(
+      std::atoi(FlagValue(argc, argv, "snapshot_keep", "0").c_str()));
+  if (use_async && kill_after > 0) {
+    std::fprintf(stderr,
+                 "--kill_after is sequential-only (the async pipeline has "
+                 "no per-request exit point); drop --async to use it\n");
+    return 2;
+  }
 
   // Unlike the eval harness, the platform serves requests directly, so the
   // example owns the telemetry scope: reset here, capture after the stream.
@@ -97,6 +135,8 @@ int main(int argc, char** argv) {
   config.enld = PaperEnldConfig(PaperDataset::kCifar100);
   config.update_every = 9;
   config.min_update_samples = 1500;
+  config.request_deadline_seconds = request_deadline;
+  config.snapshot_keep_last = snapshot_keep;
   DataPlatform platform(config);
 
   // With a snapshot directory, an existing snapshot wins over a fresh
@@ -132,43 +172,94 @@ int main(int argc, char** argv) {
 
   double f1_sum = 0.0;
   size_t served_this_run = 0;
-  for (size_t i = start_request; i < workload.incremental.size(); ++i) {
-    const Dataset& arriving = workload.incremental[i];
-    const uint64_t updates_before = platform.stats().model_updates;
-    const StatusOr<DetectionResult> result = platform.Process(arriving);
-    if (!result.ok()) {
-      std::fprintf(stderr, "request failed: %s\n",
-                   result.status().ToString().c_str());
-      continue;
-    }
-    const DetectionMetrics m =
-        EvaluateDetection(arriving, result->noisy_indices);
-    f1_sum += m.f1;
-    ++served_this_run;
-    std::printf(
-        "request %2zu: %3zu samples / %zu classes -> %2zu flagged noisy "
-        "(F1 %.3f); clean bank %zu\n",
-        i + 1, arriving.size(), arriving.ObservedLabelSet().size(),
-        result->noisy_indices.size(), m.f1,
-        platform.framework().selected_clean_count());
-    if (platform.stats().model_updates > updates_before) {
-      std::printf("  -> automatic model update performed\n");
-    }
+  if (use_async) {
+    // Batched async path: every remaining dataset is submitted up front
+    // (Submit applies backpressure when the queue fills) and responses are
+    // rendered in submission order from the per-response state snapshots —
+    // never from the live platform, which the dispatcher keeps mutating.
+    PipelineConfig pipeline_config;
+    pipeline_config.batch_size = batch_size;
     if (!snapshot_dir.empty()) {
-      const Status saved = platform.SaveSnapshot(snapshot_dir);
-      if (!saved.ok()) {
-        std::fprintf(stderr, "snapshot failed: %s\n",
-                     saved.ToString().c_str());
-        return 1;
-      }
+      pipeline_config.snapshot_capture = [&platform, snapshot_dir] {
+        return platform.BeginSnapshot(snapshot_dir);
+      };
     }
-    if (kill_after > 0 && served_this_run == kill_after &&
-        i + 1 < workload.incremental.size()) {
+    RequestPipeline pipeline(&platform, pipeline_config);
+    std::vector<std::future<PipelineResponse>> futures;
+    futures.reserve(workload.incremental.size() - start_request);
+    for (size_t i = start_request; i < workload.incremental.size(); ++i) {
+      futures.push_back(pipeline.Submit(workload.incremental[i]));
+    }
+    uint64_t updates_before = platform.stats().model_updates;
+    for (size_t f = 0; f < futures.size(); ++f) {
+      const size_t i = start_request + f;
+      const Dataset& arriving = workload.incremental[i];
+      PipelineResponse response = futures[f].get();
+      if (!response.result.ok()) {
+        std::fprintf(stderr, "request failed: %s\n",
+                     response.result.status().ToString().c_str());
+        continue;
+      }
+      const DetectionMetrics m =
+          EvaluateDetection(arriving, response.result->noisy_indices);
+      f1_sum += m.f1;
+      ++served_this_run;
       std::printf(
-          "\nsimulated crash after %zu request(s); snapshot left in %s — "
-          "rerun to resume\n",
-          served_this_run, snapshot_dir.c_str());
-      return 3;
+          "request %2zu: %3zu samples / %zu classes -> %2zu flagged noisy "
+          "(F1 %.3f); clean bank %zu\n",
+          i + 1, arriving.size(), arriving.ObservedLabelSet().size(),
+          response.result->noisy_indices.size(), m.f1,
+          response.clean_bank_after);
+      if (response.stats_after.model_updates > updates_before) {
+        std::printf("  -> automatic model update performed\n");
+      }
+      updates_before = response.stats_after.model_updates;
+    }
+    const Status drained = pipeline.Shutdown();
+    if (!drained.ok()) {
+      std::fprintf(stderr, "snapshot failed: %s\n",
+                   drained.ToString().c_str());
+      return 1;
+    }
+  } else {
+    for (size_t i = start_request; i < workload.incremental.size(); ++i) {
+      const Dataset& arriving = workload.incremental[i];
+      const uint64_t updates_before = platform.stats().model_updates;
+      const StatusOr<DetectionResult> result = platform.Process(arriving);
+      if (!result.ok()) {
+        std::fprintf(stderr, "request failed: %s\n",
+                     result.status().ToString().c_str());
+        continue;
+      }
+      const DetectionMetrics m =
+          EvaluateDetection(arriving, result->noisy_indices);
+      f1_sum += m.f1;
+      ++served_this_run;
+      std::printf(
+          "request %2zu: %3zu samples / %zu classes -> %2zu flagged noisy "
+          "(F1 %.3f); clean bank %zu\n",
+          i + 1, arriving.size(), arriving.ObservedLabelSet().size(),
+          result->noisy_indices.size(), m.f1,
+          platform.framework().selected_clean_count());
+      if (platform.stats().model_updates > updates_before) {
+        std::printf("  -> automatic model update performed\n");
+      }
+      if (!snapshot_dir.empty()) {
+        const Status saved = platform.SaveSnapshot(snapshot_dir);
+        if (!saved.ok()) {
+          std::fprintf(stderr, "snapshot failed: %s\n",
+                       saved.ToString().c_str());
+          return 1;
+        }
+      }
+      if (kill_after > 0 && served_this_run == kill_after &&
+          i + 1 < workload.incremental.size()) {
+        std::printf(
+            "\nsimulated crash after %zu request(s); snapshot left in %s — "
+            "rerun to resume\n",
+            served_this_run, snapshot_dir.c_str());
+        return 3;
+      }
     }
   }
 
@@ -186,6 +277,11 @@ int main(int argc, char** argv) {
                 "rejected\n",
                 static_cast<unsigned long>(stats.samples_quarantined),
                 static_cast<unsigned long>(stats.requests_rejected));
+  }
+  if (stats.requests_deadline_exceeded > 0) {
+    std::printf("deadlines: %lu request(s) exceeded their %.3fs budget\n",
+                static_cast<unsigned long>(stats.requests_deadline_exceeded),
+                config.request_deadline_seconds);
   }
   if (!quarantine_out.empty()) {
     const Status written =

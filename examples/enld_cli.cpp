@@ -39,6 +39,14 @@
 //   --max_retries=<n>        cap store IO retry attempts (default 5)
 //   --strict_admission=1     reject whole requests containing any invalid
 //                            sample instead of quarantining per sample
+//   --request_deadline=<s>   per-request budget in seconds; requests over
+//                            budget fail with DeadlineExceeded instead of
+//                            stalling the stream (0 = no deadline)
+//   --snapshot_keep=<n>      retain only the newest n snapshots after each
+//                            save (0 = keep all). Like the admission
+//                            knobs, both are outside the snapshot config
+//                            fingerprint, so they may differ between the
+//                            writer and the resumer.
 
 #include <cstdio>
 #include <cstdlib>
@@ -136,6 +144,13 @@ DataPlatformConfig MakePlatformConfig(int argc, char** argv,
   config.enld = PaperEnldConfig(dataset);
   const std::string strict = FlagValue(argc, argv, "strict_admission", "0");
   config.admission.strict = strict == "1" || strict == "true";
+  // Serving knobs: also excluded from the fingerprint (they change how
+  // requests are scheduled and how many snapshots are retained, never what
+  // detection computes).
+  config.request_deadline_seconds =
+      std::atof(FlagValue(argc, argv, "request_deadline", "0").c_str());
+  config.snapshot_keep_last = static_cast<size_t>(
+      std::atoi(FlagValue(argc, argv, "snapshot_keep", "0").c_str()));
   return config;
 }
 

@@ -31,20 +31,6 @@ Status RetryWithBackoff(const RetryPolicy& policy, const std::string& what,
         ->Increment();
     if (attempt == max_attempts) break;
 
-    if (policy.deadline_seconds > 0.0) {
-      double elapsed =
-          std::chrono::duration<double>(std::chrono::steady_clock::now() -
-                                        start)
-              .count();
-      if (elapsed + backoff > policy.deadline_seconds) {
-        return Status(last.code(),
-                      last.message() + " (retry deadline of " +
-                          std::to_string(policy.deadline_seconds) +
-                          "s exceeded after " + std::to_string(attempt) +
-                          " attempt(s) of " + what + ")");
-      }
-    }
-
     double delay = std::min(backoff, policy.max_backoff_seconds);
     if (rng != nullptr && policy.jitter_fraction > 0.0) {
       // Deterministic jitter: one Uniform draw per sleep, so a retried run
@@ -53,10 +39,33 @@ Status RetryWithBackoff(const RetryPolicy& policy, const std::string& what,
                                    policy.jitter_fraction);
       delay = std::max(0.0, delay * (1.0 + jitter));
     }
+
+    // The deadline gates the delay actually slept — capped and jittered —
+    // not the raw exponential value, which can exceed max_backoff_seconds
+    // by orders of magnitude and would abort retries the budget still
+    // affords.
+    if (policy.deadline_seconds > 0.0) {
+      double elapsed =
+          std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                        start)
+              .count();
+      if (elapsed + delay > policy.deadline_seconds) {
+        return Status(last.code(),
+                      last.message() + " (retry deadline of " +
+                          std::to_string(policy.deadline_seconds) +
+                          "s exceeded after " + std::to_string(attempt) +
+                          " attempt(s) of " + what + ")");
+      }
+    }
+
     if (delay > 0.0) {
       std::this_thread::sleep_for(std::chrono::duration<double>(delay));
     }
-    backoff *= policy.backoff_multiplier;
+    // Clamp the exponential schedule at its cap: an uncapped product
+    // overflows to +inf on long retry loops, which would poison both the
+    // deadline arithmetic and any later delay computation.
+    backoff = std::min(backoff * policy.backoff_multiplier,
+                       policy.max_backoff_seconds);
     telemetry::MetricsRegistry::Global().GetCounter("retry/backoffs")
         ->Increment();
   }

@@ -20,6 +20,10 @@ enum class StatusCode {
   /// succeed if retried; the only code RetryWithBackoff treats as
   /// always-retryable.
   kUnavailable = 6,
+  /// The request exceeded its per-request deadline budget and was dropped
+  /// so the stream behind it keeps flowing. Not retryable: the caller
+  /// decides whether to resubmit with a larger budget.
+  kDeadlineExceeded = 7,
 };
 
 /// A lightweight success-or-error value. Functions that can fail for
@@ -51,6 +55,9 @@ class Status {
   }
   static Status Unavailable(std::string msg) {
     return Status(StatusCode::kUnavailable, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -1,0 +1,194 @@
+#include "enld/pipeline.h"
+
+#include <algorithm>
+#include <memory>
+#include <string>
+#include <utility>
+
+#include "common/parallel.h"
+#include "common/telemetry/metrics.h"
+
+namespace enld {
+
+namespace {
+
+struct PipelineMetrics {
+  telemetry::Counter* submitted;
+  telemetry::Counter* completed;
+  telemetry::Counter* batches;
+  telemetry::Counter* queue_deadline_drops;
+  telemetry::Counter* snapshot_writes;
+
+  static const PipelineMetrics& Get() {
+    static const PipelineMetrics m = [] {
+      auto& registry = telemetry::MetricsRegistry::Global();
+      return PipelineMetrics{
+          registry.GetCounter("pipeline/submitted"),
+          registry.GetCounter("pipeline/completed"),
+          registry.GetCounter("pipeline/batches"),
+          registry.GetCounter("pipeline/queue_deadline_drops"),
+          registry.GetCounter("pipeline/snapshot_writes")};
+    }();
+    return m;
+  }
+};
+
+}  // namespace
+
+RequestPipeline::RequestPipeline(DataPlatform* platform, PipelineConfig config)
+    : platform_(platform), config_(std::move(config)) {
+  if (config_.queue_capacity == 0) config_.queue_capacity = 1;
+  if (config_.batch_size == 0) config_.batch_size = 1;
+  dispatcher_ = std::thread([this] { DispatcherLoop(); });
+}
+
+RequestPipeline::~RequestPipeline() { Shutdown(); }
+
+std::future<PipelineResponse> RequestPipeline::Submit(Dataset incremental) {
+  PendingRequest request;
+  request.dataset = std::move(incremental);
+  std::future<PipelineResponse> future = request.promise.get_future();
+
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    // Bounded queue: block the producer until a slot frees up (or the
+    // pipeline stops). This is the backpressure that keeps a burst of
+    // arrivals from buffering unbounded datasets in memory.
+    space_cv_.wait(lock, [this] {
+      return stopping_ || queue_.size() < config_.queue_capacity;
+    });
+    if (stopping_) {
+      PipelineResponse response;
+      response.result =
+          Status::FailedPrecondition("pipeline is shut down");
+      request.promise.set_value(std::move(response));
+      return future;
+    }
+    request.sequence = ++next_sequence_;
+    request.queued.Restart();
+    ++counters_.submitted;
+    queue_.push_back(std::move(request));
+  }
+  PipelineMetrics::Get().submitted->Increment();
+  queue_cv_.notify_one();
+  return future;
+}
+
+void RequestPipeline::DispatcherLoop() {
+  std::vector<PendingRequest> batch;
+  while (true) {
+    batch.clear();
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      queue_cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) break;  // stopping_ and fully drained
+      const size_t take = std::min(config_.batch_size, queue_.size());
+      for (size_t i = 0; i < take; ++i) {
+        batch.push_back(std::move(queue_.front()));
+        queue_.pop_front();
+      }
+      ++counters_.batches;
+      counters_.largest_batch = std::max<uint64_t>(counters_.largest_batch,
+                                                   batch.size());
+    }
+    // Claimed slots are free before the batch is served, so producers
+    // refill the queue while detection runs.
+    space_cv_.notify_all();
+    PipelineMetrics::Get().batches->Increment();
+
+    for (PendingRequest& request : batch) CompleteRequest(request);
+  }
+  AwaitSnapshotWrite();
+}
+
+void RequestPipeline::CompleteRequest(PendingRequest& request) {
+  PipelineResponse response;
+  response.sequence = request.sequence;
+  response.queue_seconds = request.queued.ElapsedSeconds();
+
+  const double deadline = platform_->config().request_deadline_seconds;
+  bool dropped_in_queue = false;
+  if (config_.drop_stale_in_queue && deadline > 0.0 &&
+      response.queue_seconds > deadline) {
+    // The request's whole budget evaporated in the queue: fail it without
+    // touching the platform, so detection state (RNG stream included) is
+    // exactly what it would be had the request never been submitted.
+    dropped_in_queue = true;
+    PipelineMetrics::Get().queue_deadline_drops->Increment();
+    response.result = Status::DeadlineExceeded(
+        "request spent " + std::to_string(response.queue_seconds) +
+        "s queued, over its budget of " + std::to_string(deadline) + "s");
+  } else {
+    Stopwatch service;
+    response.result = platform_->Process(request.dataset);
+    response.process_seconds = service.ElapsedSeconds();
+    if (response.result.ok()) BeginDeferredSnapshot();
+  }
+
+  response.stats_after = platform_->stats();
+  response.clean_bank_after = platform_->framework().selected_clean_count();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++counters_.completed;
+    if (dropped_in_queue) ++counters_.queue_deadline_drops;
+  }
+  PipelineMetrics::Get().completed->Increment();
+  request.promise.set_value(std::move(response));
+}
+
+void RequestPipeline::BeginDeferredSnapshot() {
+  if (!config_.snapshot_capture) return;
+  // Serialize writes: snapshot seq numbers (and CURRENT) must advance in
+  // request order, so the previous write has to land before the next
+  // capture is taken. Detection of the *next* request still overlaps the
+  // write enqueued below.
+  AwaitSnapshotWrite();
+  StatusOr<std::function<Status()>> deferred = config_.snapshot_capture();
+  if (!deferred.ok()) {
+    std::lock_guard<std::mutex> lock(snapshot_mu_);
+    if (snapshot_status_.ok()) snapshot_status_ = deferred.status();
+    return;
+  }
+  auto write = std::make_shared<std::function<Status()>>(
+      std::move(deferred).value());
+  auto promise = std::make_shared<std::promise<Status>>();
+  snapshot_write_ = promise->get_future();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++counters_.snapshot_writes;
+  }
+  PipelineMetrics::Get().snapshot_writes->Increment();
+  ParallelEnqueue([write, promise] { promise->set_value((*write)()); });
+}
+
+void RequestPipeline::AwaitSnapshotWrite() {
+  if (!snapshot_write_.valid()) return;
+  const Status written = snapshot_write_.get();
+  if (!written.ok()) {
+    std::lock_guard<std::mutex> lock(snapshot_mu_);
+    if (snapshot_status_.ok()) snapshot_status_ = written;
+  }
+}
+
+Status RequestPipeline::Shutdown() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stopping_ = true;
+  }
+  queue_cv_.notify_all();
+  space_cv_.notify_all();
+  if (dispatcher_.joinable()) dispatcher_.join();
+  return snapshot_status();
+}
+
+Status RequestPipeline::snapshot_status() const {
+  std::lock_guard<std::mutex> lock(snapshot_mu_);
+  return snapshot_status_;
+}
+
+RequestPipeline::Counters RequestPipeline::counters() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return counters_;
+}
+
+}  // namespace enld

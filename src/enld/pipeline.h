@@ -1,0 +1,165 @@
+#ifndef ENLD_ENLD_PIPELINE_H_
+#define ENLD_ENLD_PIPELINE_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/status.h"
+#include "common/stopwatch.h"
+#include "enld/platform.h"
+
+namespace enld {
+
+/// Asynchronous request pipeline in front of a DataPlatform (Fig. 1's
+/// serving loop, decoupled from request arrival).
+///
+/// Producers call Submit from any thread; requests land in a bounded MPSC
+/// queue and a single dispatcher thread drains them in batches of up to
+/// `batch_size`, serving each through DataPlatform::Process. With a
+/// snapshot hook configured, the post-request snapshot is captured
+/// synchronously on the dispatcher thread, but its durable write runs on
+/// the shared thread pool (common/parallel.h), overlapping store IO with
+/// the next request's detection.
+///
+/// Determinism contract: detection results are byte-identical to calling
+/// Process sequentially in submission order, at any thread count. Two
+/// properties make this hold without any per-request re-seeding tricks:
+/// the dispatcher completes requests strictly in submission order (the
+/// framework's RNG stream and S_c accumulation advance exactly as in the
+/// sequential path), and deferred snapshot writes only touch state that
+/// was copied out synchronously before the next request started. Requests
+/// are numbered by a monotonic submission sequence; that sequence — not
+/// wall clock — is the identity used in responses and audit trails.
+///
+/// Deadline semantics: the platform's request_deadline_seconds budget is
+/// enforced inside Process (admission + detection checks) — it is a
+/// *service-time* budget, so a request that merely waited behind a slow
+/// one still gets its full budget once picked up. With
+/// `drop_stale_in_queue` set, the pipeline additionally fails a request
+/// whose queue wait alone already exceeded the budget, without touching
+/// the platform at all (load-shedding for latency-sensitive callers that
+/// would ignore a late answer anyway). Either way the response carries
+/// kDeadlineExceeded and the next queued request is served normally — a
+/// slow request degrades, the stream never stalls.
+struct PipelineConfig {
+  /// Maximum requests waiting in the submission queue; Submit blocks the
+  /// producer (backpressure) while the queue is full. Must be >= 1.
+  size_t queue_capacity = 64;
+  /// Maximum requests the dispatcher claims per drain cycle. Batching
+  /// amortizes queue synchronization and keeps the snapshot writer busy
+  /// with a steady stream of overlapped writes; it never changes results.
+  size_t batch_size = 1;
+  /// Fail requests whose queue wait alone exceeded the platform's
+  /// request_deadline_seconds, without serving them (see the deadline
+  /// semantics above). Off by default: the deadline bounds service time,
+  /// not time-in-system.
+  bool drop_stale_in_queue = false;
+  /// Optional snapshot hook, typically
+  ///   [&] { return platform.BeginSnapshot(dir); }
+  /// Called on the dispatcher thread after every successful request; the
+  /// returned closure (the durable write) is enqueued on the shared pool.
+  /// Writes are serialized with each other — the next capture waits for
+  /// the previous write — so snapshot sequence numbers advance in request
+  /// order, but detection of later requests proceeds concurrently.
+  std::function<StatusOr<std::function<Status()>>()> snapshot_capture;
+};
+
+/// Everything the caller needs to render one completed request, snapshot
+/// at completion time on the dispatcher thread. Reading the platform
+/// directly from a producer thread races with later requests; reading the
+/// response does not.
+struct PipelineResponse {
+  /// 1-based submission sequence number.
+  uint64_t sequence = 0;
+  StatusOr<DetectionResult> result = Status::Internal("request not processed");
+  /// Platform stats immediately after this request completed.
+  PlatformStats stats_after;
+  /// framework().selected_clean_count() immediately after this request.
+  size_t clean_bank_after = 0;
+  /// Time spent queued before the dispatcher picked the request up.
+  double queue_seconds = 0.0;
+  /// Time spent inside DataPlatform::Process.
+  double process_seconds = 0.0;
+};
+
+class RequestPipeline {
+ public:
+  /// `platform` must be initialized and must outlive the pipeline; the
+  /// dispatcher is the only thread touching it between construction and
+  /// Shutdown.
+  RequestPipeline(DataPlatform* platform, PipelineConfig config);
+  ~RequestPipeline();
+
+  RequestPipeline(const RequestPipeline&) = delete;
+  RequestPipeline& operator=(const RequestPipeline&) = delete;
+
+  /// Enqueues one detection request; blocks while the queue is full. The
+  /// future resolves when the dispatcher completes the request — in
+  /// submission order. After Shutdown, resolves immediately with
+  /// FailedPrecondition.
+  std::future<PipelineResponse> Submit(Dataset incremental);
+
+  /// Drains every queued request, waits for the in-flight snapshot write,
+  /// stops the dispatcher, and returns the first deferred snapshot error
+  /// (OK when every write landed). Idempotent; also run by the destructor.
+  Status Shutdown();
+
+  /// First error produced by a deferred snapshot write, latched; OK while
+  /// all writes (so far) succeeded. Complete only after Shutdown.
+  Status snapshot_status() const;
+
+  /// Monotonic pipeline counters (also exported as pipeline/* telemetry).
+  struct Counters {
+    uint64_t submitted = 0;
+    uint64_t completed = 0;
+    uint64_t batches = 0;
+    uint64_t largest_batch = 0;
+    uint64_t queue_deadline_drops = 0;
+    uint64_t snapshot_writes = 0;
+  };
+  Counters counters() const;
+
+ private:
+  struct PendingRequest {
+    uint64_t sequence = 0;
+    Dataset dataset;
+    std::promise<PipelineResponse> promise;
+    Stopwatch queued;
+  };
+
+  void DispatcherLoop();
+  void CompleteRequest(PendingRequest& request);
+  /// Captures the post-request snapshot and enqueues its durable write.
+  void BeginDeferredSnapshot();
+  /// Joins the in-flight snapshot write, latching any error. Dispatcher
+  /// thread only.
+  void AwaitSnapshotWrite();
+
+  DataPlatform* platform_;
+  PipelineConfig config_;
+
+  mutable std::mutex mu_;
+  std::condition_variable queue_cv_;  ///< dispatcher waits for work
+  std::condition_variable space_cv_;  ///< producers wait for capacity
+  std::deque<PendingRequest> queue_;
+  bool stopping_ = false;
+  uint64_t next_sequence_ = 0;
+  Counters counters_;
+
+  /// In-flight deferred snapshot write; dispatcher thread only.
+  std::future<Status> snapshot_write_;
+  mutable std::mutex snapshot_mu_;
+  Status snapshot_status_;  ///< guarded by snapshot_mu_
+
+  std::thread dispatcher_;
+};
+
+}  // namespace enld
+
+#endif  // ENLD_ENLD_PIPELINE_H_

@@ -1,5 +1,7 @@
 #include "enld/platform.h"
 
+#include <chrono>
+#include <thread>
 #include <utility>
 
 #include "common/faults.h"
@@ -9,6 +11,48 @@
 namespace enld {
 
 namespace {
+
+/// How long one fire of a latency fault site ("platform/slow_admission",
+/// "platform/slow_detect") stalls Process. Latency sites model a slow
+/// request rather than a failing one: ShouldFail decides deterministically
+/// whether this request is slow, and a fire sleeps instead of erroring, so
+/// chaos drills can overrun a deadline on demand. The real sleep stays
+/// short; when a deadline budget is configured the fire additionally
+/// charges the full budget to the request's deadline clock (the returned
+/// penalty), so the overrun is guaranteed on any machine — however generous
+/// the budget relative to real work, and however slow the machine (TSan
+/// runs included) relative to the budget.
+constexpr double kInjectedStallSeconds = 0.1;
+
+double MaybeInjectStall(const char* site, double deadline_seconds) {
+  if (faults::Enabled() && faults::ShouldFail(site)) {
+    std::this_thread::sleep_for(
+        std::chrono::duration<double>(kInjectedStallSeconds));
+    return deadline_seconds > 0.0 ? deadline_seconds : 0.0;
+  }
+  return 0.0;
+}
+
+/// Charges the enclosing scope's wall time to `sink` on every exit path —
+/// Process must account screening, subset-copy and failure time, not just
+/// detection (stats comment on total_process_seconds). Injected stall
+/// penalties (modeled time that did not really pass) are folded into both
+/// the elapsed reading and the charge, so a faulted request is accounted as
+/// if it had genuinely been that slow.
+class ScopedTimeCharge {
+ public:
+  explicit ScopedTimeCharge(double* sink) : sink_(sink) {}
+  ~ScopedTimeCharge() { *sink_ += ElapsedSeconds(); }
+  void AddPenalty(double seconds) { penalty_ += seconds; }
+  double ElapsedSeconds() const {
+    return timer_.ElapsedSeconds() + penalty_;
+  }
+
+ private:
+  Stopwatch timer_;
+  double penalty_ = 0.0;
+  double* sink_;
+};
 
 /// Rewrites a DetectionResult computed on the admitted subset so its
 /// indices refer to rows of the original request dataset. `admitted[i]` is
@@ -103,10 +147,35 @@ Status DataPlatform::Initialize(const Dataset& inventory) {
   return Status::OK();
 }
 
+Status DataPlatform::RecordDeadlineExceeded(double elapsed_seconds,
+                                            const std::string& stage) {
+  static telemetry::Counter* exceeded =
+      telemetry::MetricsRegistry::Global().GetCounter(
+          "platform/deadline_exceeded");
+  exceeded->Increment();
+  ++stats_.requests_deadline_exceeded;
+  if (deadline_audit_.size() < config_.admission.quarantine_capacity) {
+    DeadlineRecord record;
+    record.request = stats_.requests + 1;
+    record.elapsed_seconds = elapsed_seconds;
+    record.budget_seconds = config_.request_deadline_seconds;
+    record.stage = stage;
+    deadline_audit_.push_back(std::move(record));
+  }
+  return Status::DeadlineExceeded(
+      "request exceeded its deadline budget of " +
+      std::to_string(config_.request_deadline_seconds) + "s during " +
+      stage + " (" + std::to_string(elapsed_seconds) + "s elapsed)");
+}
+
 StatusOr<DetectionResult> DataPlatform::Process(const Dataset& incremental) {
   if (!initialized_) {
     return Status::FailedPrecondition("platform not initialized");
   }
+  // Timing starts at request entry: admission screening and the subset
+  // copy are part of serving the request and count toward both
+  // total_process_seconds and the deadline budget.
+  ScopedTimeCharge timer(&stats_.total_process_seconds);
   ENLD_RETURN_IF_ERROR(faults::Check("platform/process"));
   if (incremental.empty()) {
     return Status::InvalidArgument("incremental dataset is empty");
@@ -120,17 +189,35 @@ StatusOr<DetectionResult> DataPlatform::Process(const Dataset& incremental) {
         "incremental class count does not match the inventory");
   }
 
+  timer.AddPenalty(MaybeInjectStall("platform/slow_admission",
+                                    config_.request_deadline_seconds));
   StatusOr<std::vector<size_t>> admitted =
       AdmitSamples(incremental, stats_.requests + 1);
   if (!admitted.ok()) return admitted.status();
   const bool screened = admitted->size() != incremental.size();
 
-  Stopwatch timer;
+  // Deadline check #1, before detection: a request already over budget is
+  // dropped without touching the framework (its RNG stream included), so
+  // the remaining stream is byte-identical to one that never saw it.
+  const double deadline = config_.request_deadline_seconds;
+  if (deadline > 0.0 && timer.ElapsedSeconds() > deadline) {
+    return RecordDeadlineExceeded(timer.ElapsedSeconds(), "admission");
+  }
+
+  timer.AddPenalty(MaybeInjectStall("platform/slow_detect",
+                                    config_.request_deadline_seconds));
   DetectionResult result =
       screened ? RemapResult(framework_.Detect(incremental.Subset(*admitted)),
                              *admitted, incremental.size())
                : framework_.Detect(incremental);
-  stats_.total_process_seconds += timer.ElapsedSeconds();
+
+  // Deadline check #2, after detection: the work happened but the caller's
+  // budget is blown — degrade by discarding the result so the queue behind
+  // this request keeps draining.
+  if (deadline > 0.0 && timer.ElapsedSeconds() > deadline) {
+    return RecordDeadlineExceeded(timer.ElapsedSeconds(), "detection");
+  }
+
   ++stats_.requests;
   stats_.samples_processed += admitted->size();
   stats_.samples_flagged_noisy += result.noisy_indices.size();

@@ -2,7 +2,9 @@
 #define ENLD_ENLD_PLATFORM_H_
 
 #include <cstdint>
+#include <functional>
 #include <string>
+#include <vector>
 
 #include "common/status.h"
 #include "enld/admission.h"
@@ -24,6 +26,31 @@ struct DataPlatformConfig {
   /// snapshot config fingerprint: strictness may change across restarts
   /// without orphaning existing snapshots.
   AdmissionConfig admission;
+  /// Per-request wall-clock budget for Process, in seconds; 0 disables the
+  /// deadline. Measured from request entry (queue wait excluded — the
+  /// pipeline accounts that separately) and checked after admission and
+  /// after detection: an over-budget request returns kDeadlineExceeded and
+  /// is audited instead of stalling the stream behind it. An ops knob like
+  /// admission — excluded from the snapshot config fingerprint.
+  double request_deadline_seconds = 0.0;
+  /// Keep-last-N retention for SaveSnapshot: after a successful save, all
+  /// but the newest N snapshots are garbage-collected (0 keeps every
+  /// snapshot). CURRENT and its target always survive. Also excluded from
+  /// the config fingerprint.
+  size_t snapshot_keep_last = 0;
+};
+
+/// Audit record of one request that blew its deadline budget — the
+/// quarantine-style trail for the watchdog path (capped, inspectable,
+/// telemetry-counted).
+struct DeadlineRecord {
+  uint64_t request = 0;       ///< platform request number
+  double elapsed_seconds = 0.0;
+  double budget_seconds = 0.0;
+  /// Where the budget ran out: "admission" (before detection — the
+  /// framework RNG stream was not consumed) or "detection" (the computed
+  /// result was discarded).
+  std::string stage;
 };
 
 /// Running counters of a platform instance.
@@ -43,6 +70,11 @@ struct PlatformStats {
   /// min_update_samples, or a failed update attempt) and will be retried
   /// on a later request.
   uint64_t update_retries = 0;
+  /// Requests dropped for exceeding request_deadline_seconds.
+  uint64_t requests_deadline_exceeded = 0;
+  /// Wall time spent inside Process, measured from request entry — it
+  /// includes admission screening, the subset copy, and failed requests'
+  /// time, not just detection.
   double total_process_seconds = 0.0;
 };
 
@@ -66,9 +98,13 @@ class DataPlatform {
   /// quarantined and the clean remainder is processed; indices in the
   /// returned DetectionResult always refer to rows of the dataset as
   /// passed in. With `admission.strict`, any invalid sample fails the
-  /// whole request instead. On success, may trigger an automatic model
-  /// update per the configured policy; an update that comes due but cannot
-  /// run yet is retried on later requests rather than dropped.
+  /// whole request instead. With `request_deadline_seconds` set, a request
+  /// over budget returns kDeadlineExceeded: before detection the framework
+  /// state (including its RNG stream) is untouched, after detection the
+  /// result is discarded; either way the next request proceeds normally.
+  /// On success, may trigger an automatic model update per the configured
+  /// policy; an update that comes due but cannot run yet is retried on
+  /// later requests rather than dropped.
   StatusOr<DetectionResult> Process(const Dataset& incremental);
 
   /// Manually triggers a model update (same preconditions as
@@ -76,10 +112,16 @@ class DataPlatform {
   Status Update();
 
   bool initialized() const { return initialized_; }
+  const DataPlatformConfig& config() const { return config_; }
   const PlatformStats& stats() const { return stats_; }
   /// Inspectable log of quarantined samples (capped by
   /// admission.quarantine_capacity; counters keep counting past the cap).
   const QuarantineLog& quarantine() const { return quarantine_; }
+  /// Audit trail of deadline-exceeded requests (capped like the quarantine
+  /// log; stats_.requests_deadline_exceeded keeps counting past the cap).
+  const std::vector<DeadlineRecord>& deadline_audit() const {
+    return deadline_audit_;
+  }
   /// True while a due auto-update is deferred awaiting enough clean
   /// samples (or a successful retry).
   bool update_pending() const { return update_pending_; }
@@ -88,10 +130,20 @@ class DataPlatform {
 
   /// Writes a crash-safe snapshot of the complete platform state (model,
   /// I_t / I_c, P̃, S_c, stats, RNG position) into `dir` and advances the
-  /// store's CURRENT pointer. Requires Initialize. Defined in
+  /// store's CURRENT pointer, then applies the snapshot_keep_last
+  /// retention policy. Requires Initialize. Defined in
   /// src/store/snapshot.cc; link the `enld_store` (or umbrella `enld`)
   /// target to use it.
   Status SaveSnapshot(const std::string& dir) const;
+
+  /// Asynchronous variant used by the request pipeline: captures the
+  /// complete platform state *now* (synchronously, so the platform may
+  /// keep serving) and returns a deferred durable write. Running the
+  /// returned closure — on any thread, e.g. via ParallelEnqueue — performs
+  /// the same save-and-retain work as SaveSnapshot and yields its Status.
+  /// Defined in src/store/snapshot.cc.
+  StatusOr<std::function<Status()>> BeginSnapshot(
+      const std::string& dir) const;
 
   /// Replaces this platform's state with the latest snapshot in `dir`.
   /// The platform must have been built from the same DataPlatformConfig
@@ -108,11 +160,16 @@ class DataPlatform {
   StatusOr<std::vector<size_t>> AdmitSamples(const Dataset& dataset,
                                              uint64_t request);
   void RunUpdatePolicy();
+  /// Records a deadline overrun (stats, telemetry, capped audit trail) and
+  /// builds the kDeadlineExceeded status Process returns for it.
+  Status RecordDeadlineExceeded(double elapsed_seconds,
+                                const std::string& stage);
 
   DataPlatformConfig config_;
   EnldFramework framework_;
   PlatformStats stats_;
   QuarantineLog quarantine_;
+  std::vector<DeadlineRecord> deadline_audit_;
   bool update_pending_ = false;
   bool initialized_ = false;
   size_t inventory_dim_ = 0;

@@ -5,6 +5,8 @@
 #include <cstdlib>
 #include <cstring>
 #include <filesystem>
+#include <functional>
+#include <memory>
 #include <utility>
 
 #include "common/check.h"
@@ -24,12 +26,15 @@ namespace {
 
 constexpr char kSnapshotMagic[8] = {'E', 'N', 'L', 'D', 'S', 'N', 'P', '1'};
 constexpr uint32_t kEndianTag = 0x01020304u;
-constexpr uint32_t kSnapshotVersion = 2;
+constexpr uint32_t kSnapshotVersion = 3;
 constexpr uint32_t kSectionCount = 6;
 // v1 files (sections 1-5, no admission data) still load; their admission
-// counters and update_pending default to zero/false.
+// counters and update_pending default to zero/false. v2 files lack the
+// deadline-exceeded counter at the end of the admission section; it
+// defaults to zero.
 constexpr uint32_t kLegacyVersion1 = 1;
 constexpr uint32_t kLegacySectionCount1 = 5;
+constexpr uint32_t kLegacyVersion2 = 2;
 constexpr char kSnapshotSchema[] = "enld-snapshot-manifest-v1";
 constexpr char kCurrentFile[] = "CURRENT";
 constexpr char kManifestFile[] = "MANIFEST.json";
@@ -141,6 +146,7 @@ std::string EncodeState(const SnapshotContents& contents) {
     PutU64(&payload, contents.stats.quarantined_by_reason[i]);
   }
   PutU8(&payload, contents.update_pending ? 1 : 0);
+  PutU64(&payload, contents.stats.requests_deadline_exceeded);  // v3
   PutSection(&out, kSnapshotSectionAdmission, payload);
   return out;
 }
@@ -164,7 +170,8 @@ Status DecodeState(const std::string& data, SnapshotContents* contents) {
     return Status::InvalidArgument(
         "snapshot byte-order tag mismatch (foreign-endian or corrupt file)");
   }
-  if (version != kSnapshotVersion && version != kLegacyVersion1) {
+  if (version != kSnapshotVersion && version != kLegacyVersion1 &&
+      version != kLegacyVersion2) {
     return Status::InvalidArgument("unsupported snapshot version " +
                                    std::to_string(version));
   }
@@ -273,8 +280,14 @@ Status DecodeState(const std::string& data, SnapshotContents* contents) {
             "malformed snapshot admission section");
       }
     }
-    if (!admission.ReadU8(&pending) || pending > 1 ||
-        admission.remaining() != 0) {
+    if (!admission.ReadU8(&pending) || pending > 1) {
+      return Status::InvalidArgument("malformed snapshot admission section");
+    }
+    if (version >= kSnapshotVersion &&
+        !admission.ReadU64(&contents->stats.requests_deadline_exceeded)) {
+      return Status::InvalidArgument("malformed snapshot admission section");
+    }
+    if (admission.remaining() != 0) {
       return Status::InvalidArgument("malformed snapshot admission section");
     }
     contents->update_pending = pending == 1;
@@ -485,7 +498,37 @@ StatusOr<uint64_t> SnapshotStore::Save(const SnapshotContents& contents) {
       telemetry::MetricsRegistry::Global().GetCounter(
           "store/snapshots_written");
   saved->Increment();
+  GarbageCollect();
   return seq;
+}
+
+size_t SnapshotStore::GarbageCollect() const {
+  if (keep_last_ == 0) return 0;
+  const std::vector<uint64_t> seqs = ListSeqs();
+  if (seqs.size() <= keep_last_) return 0;
+
+  // CURRENT's target is immortal regardless of its age. After a crash
+  // between a snapshot publish and the CURRENT update, newer unpublished
+  // directories outrank the published one by sequence number — retention
+  // must still never delete the only snapshot a reader can reach.
+  uint64_t current = 0;
+  const StatusOr<uint64_t> latest = LatestSeq();
+  if (latest.ok()) current = latest.value();
+
+  static telemetry::Counter* collected =
+      telemetry::MetricsRegistry::Global().GetCounter(
+          "store/snapshots_collected");
+  size_t removed = 0;
+  for (size_t i = 0; i + keep_last_ < seqs.size(); ++i) {
+    if (seqs[i] == current) continue;
+    std::error_code ec;
+    std::filesystem::remove_all(root_ + "/" + DirName(seqs[i]), ec);
+    if (!ec) {
+      ++removed;
+      collected->Increment();
+    }
+  }
+  return removed;
 }
 
 StatusOr<SnapshotContents> SnapshotStore::Load(uint64_t seq) const {
@@ -606,21 +649,34 @@ StatusOr<SnapshotContents> SnapshotStore::LoadLatest() const {
 
 }  // namespace store
 
-Status DataPlatform::SaveSnapshot(const std::string& dir) const {
+StatusOr<std::function<Status()>> DataPlatform::BeginSnapshot(
+    const std::string& dir) const {
   if (!initialized_) {
     return Status::FailedPrecondition(
         "platform not initialized; nothing to snapshot");
   }
-  store::SnapshotContents contents;
-  contents.config_fingerprint = store::FingerprintConfig(config_);
-  contents.framework = framework_.CaptureState();
-  contents.stats = stats_;
-  contents.inventory_dim = inventory_dim_;
-  contents.inventory_classes = inventory_classes_;
-  contents.update_pending = update_pending_;
-  store::SnapshotStore snapshots(dir);
-  StatusOr<uint64_t> seq = snapshots.Save(contents);
-  return seq.ok() ? Status::OK() : seq.status();
+  // The capture is synchronous — every byte below is copied before this
+  // returns, so the platform may process further requests while the
+  // returned closure performs the durable write on another thread.
+  auto contents = std::make_shared<store::SnapshotContents>();
+  contents->config_fingerprint = store::FingerprintConfig(config_);
+  contents->framework = framework_.CaptureState();
+  contents->stats = stats_;
+  contents->inventory_dim = inventory_dim_;
+  contents->inventory_classes = inventory_classes_;
+  contents->update_pending = update_pending_;
+  const size_t keep_last = config_.snapshot_keep_last;
+  return std::function<Status()>([dir, keep_last, contents]() -> Status {
+    store::SnapshotStore snapshots(dir, keep_last);
+    StatusOr<uint64_t> seq = snapshots.Save(*contents);
+    return seq.ok() ? Status::OK() : seq.status();
+  });
+}
+
+Status DataPlatform::SaveSnapshot(const std::string& dir) const {
+  StatusOr<std::function<Status()>> write = BeginSnapshot(dir);
+  if (!write.ok()) return write.status();
+  return write.value()();
 }
 
 Status DataPlatform::RestoreFromSnapshot(const std::string& dir) {

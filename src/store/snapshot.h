@@ -38,8 +38,9 @@ namespace store {
 /// DataPlatform::RestoreFromSnapshot.
 
 /// Section ids inside state.bin (mirrored by tools/check_snapshot.py).
-/// Version history: v1 wrote sections 1–5; v2 (this build) appends the
-/// admission section. Loads accept both.
+/// Version history: v1 wrote sections 1–5; v2 appends the admission
+/// section; v3 (this build) appends the deadline-exceeded counter to the
+/// admission section's payload. Loads accept all three.
 inline constexpr uint32_t kSnapshotSectionMeta = 1;
 inline constexpr uint32_t kSnapshotSectionStats = 2;
 inline constexpr uint32_t kSnapshotSectionRng = 3;
@@ -67,16 +68,31 @@ struct SnapshotContents {
 };
 
 /// Manages the snapshot directory: sequential saves, CURRENT tracking,
-/// and fully validated loads.
+/// keep-last-N retention, and fully validated loads.
 class SnapshotStore {
  public:
-  explicit SnapshotStore(std::string root) : root_(std::move(root)) {}
+  /// `keep_last` = 0 retains every snapshot; otherwise each successful
+  /// Save garbage-collects all but the newest `keep_last` snapshot
+  /// directories (CURRENT's target always survives).
+  explicit SnapshotStore(std::string root, size_t keep_last = 0)
+      : root_(std::move(root)), keep_last_(keep_last) {}
 
   const std::string& root() const { return root_; }
+  size_t keep_last() const { return keep_last_; }
 
-  /// Writes `contents` as the next snapshot (seq := LatestSeq() + 1) and
-  /// advances CURRENT. Returns the sequence number written.
+  /// Writes `contents` as the next snapshot (seq := LatestSeq() + 1),
+  /// advances CURRENT, then applies the retention policy. Returns the
+  /// sequence number written.
   StatusOr<uint64_t> Save(const SnapshotContents& contents);
+
+  /// Applies keep-last-N retention now: removes every snapshot directory
+  /// except the newest keep_last() and the one CURRENT points at (which
+  /// survives unconditionally, so a reader holding CURRENT never loses
+  /// its target — including after a mid-publish crash left newer,
+  /// unpublished directories behind). Best-effort: returns the number of
+  /// snapshot directories removed; IO errors skip the entry. No-op when
+  /// keep_last() is 0.
+  size_t GarbageCollect() const;
 
   /// Loads one snapshot by sequence number, verifying the manifest, every
   /// file CRC and all cross-section invariants.
@@ -97,6 +113,7 @@ class SnapshotStore {
 
  private:
   std::string root_;
+  size_t keep_last_ = 0;
 };
 
 }  // namespace store

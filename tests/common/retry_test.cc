@@ -114,6 +114,47 @@ TEST(RetryTest, DeadlineStopsRetrying) {
   EXPECT_NE(status.message().find("retry deadline"), std::string::npos);
 }
 
+TEST(RetryTest, DeadlineGatesCappedDelayNotRawBackoff) {
+  // Regression: the deadline check used to compare against the raw
+  // exponential backoff value, which max_backoff never touched — a policy
+  // whose *slept* delays fit comfortably in the budget was aborted after
+  // one attempt because the uncapped schedule looked too expensive.
+  RetryPolicy policy;
+  policy.max_attempts = 4;
+  policy.initial_backoff_seconds = 100.0;  // raw schedule: 100s, 1000s, ...
+  policy.backoff_multiplier = 10.0;
+  policy.max_backoff_seconds = 0.0;  // ...but every slept delay is 0s
+  policy.deadline_seconds = 30.0;
+  size_t calls = 0;
+  const Status status = RetryWithBackoff(policy, "op", [&]() {
+    ++calls;
+    if (calls < 3) return Status::Unavailable("transient");
+    return Status::OK();
+  });
+  EXPECT_TRUE(status.ok());
+  EXPECT_EQ(calls, 3u);
+}
+
+TEST(RetryTest, BackoffScheduleClampsInsteadOfOverflowing) {
+  // Regression: the uncapped exponential product overflowed to +inf within
+  // a few attempts, and `elapsed + inf > deadline` then killed every retry
+  // the budget still afforded.
+  RetryPolicy policy;
+  policy.max_attempts = 6;
+  policy.initial_backoff_seconds = 1e308;
+  policy.backoff_multiplier = 1e308;
+  policy.max_backoff_seconds = 0.0;
+  policy.deadline_seconds = 60.0;
+  size_t calls = 0;
+  const Status status = RetryWithBackoff(policy, "op", [&]() {
+    ++calls;
+    return Status::Unavailable("transient");
+  });
+  EXPECT_EQ(calls, 6u);  // every attempt ran; exhaustion, not the deadline
+  EXPECT_NE(status.message().find("gave up after 6 attempt(s)"),
+            std::string::npos);
+}
+
 TEST(RetryTest, JitterDrawsOncePerSleepFromSuppliedRng) {
   RetryPolicy policy = FastPolicy(4);
   policy.initial_backoff_seconds = 1e-9;

@@ -1,0 +1,274 @@
+// RequestPipeline coverage: the batched async path is byte-identical to
+// the sequential serving loop at any thread count, deadline-blown requests
+// degrade without stalling the queue behind them, shutdown drains every
+// queued request, and deferred snapshot writes land (and garbage-collect)
+// exactly like their synchronous counterparts.
+
+#include "enld/pipeline.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <future>
+#include <string>
+#include <vector>
+
+#include "common/faults.h"
+#include "common/parallel.h"
+#include "common/telemetry/metrics.h"
+#include "store/snapshot.h"
+#include "test_util.h"
+
+namespace enld {
+namespace {
+
+namespace fs = std::filesystem;
+
+using testing_util::TinyGeneralConfig;
+using testing_util::TinyWorkloadConfig;
+
+DataPlatformConfig FastPlatformConfig() {
+  DataPlatformConfig config;
+  config.enld.general = TinyGeneralConfig();
+  config.enld.iterations = 3;
+  config.enld.steps_per_iteration = 3;
+  return config;
+}
+
+/// Budget for the deadline test: a latency fire charges the full budget to
+/// the deadline clock, so any value overruns; it is generous so the
+/// legitimate requests behind the slow one never flake under sanitizer
+/// slowdown.
+constexpr double kBudget = 30.0;
+
+/// Budget for the queue-shedding test: well below the ~100 ms real stall
+/// of the slow request in front (so the queued request's wait alone
+/// exceeds it), yet well above the dispatcher's dequeue latency (so the
+/// slow request itself is not shed before it reaches the platform).
+constexpr double kQueueBudget = 0.01;
+
+class PipelineTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    workload_ = new Workload(BuildWorkload(TinyWorkloadConfig(0.2)));
+  }
+  static void TearDownTestSuite() {
+    delete workload_;
+    workload_ = nullptr;
+  }
+  void SetUp() override { faults::Clear(); }
+  void TearDown() override {
+    faults::Clear();
+    SetParallelThreads(0);
+  }
+  static Workload* workload_;
+};
+
+Workload* PipelineTest::workload_ = nullptr;
+
+/// One request's worth of reference state from the sequential loop.
+struct SequentialStep {
+  DetectionResult result;
+  size_t clean_bank = 0;
+  PlatformStats stats;
+};
+
+std::vector<SequentialStep> RunSequential(const DataPlatformConfig& config,
+                                          const Workload& workload) {
+  DataPlatform platform(config);
+  EXPECT_TRUE(platform.Initialize(workload.inventory).ok());
+  std::vector<SequentialStep> steps;
+  for (const Dataset& d : workload.incremental) {
+    const auto result = platform.Process(d);
+    EXPECT_TRUE(result.ok());
+    SequentialStep step;
+    step.result = result.value();
+    step.clean_bank = platform.framework().selected_clean_count();
+    step.stats = platform.stats();
+    steps.push_back(std::move(step));
+  }
+  return steps;
+}
+
+TEST_F(PipelineTest, AsyncMatchesSequentialByteForByte) {
+  const DataPlatformConfig config = FastPlatformConfig();
+  const std::vector<SequentialStep> expected =
+      RunSequential(config, *workload_);
+
+  // The contract holds at any thread count: with one thread the deferred
+  // work runs inline (the exact sequential path); with several it overlaps
+  // the dispatcher.
+  for (size_t threads : {size_t{1}, size_t{4}}) {
+    SCOPED_TRACE("threads=" + std::to_string(threads));
+    SetParallelThreads(threads);
+    DataPlatform platform(config);
+    ASSERT_TRUE(platform.Initialize(workload_->inventory).ok());
+
+    PipelineConfig pipeline_config;
+    pipeline_config.batch_size = 3;
+    RequestPipeline pipeline(&platform, pipeline_config);
+    std::vector<std::future<PipelineResponse>> futures;
+    for (const Dataset& d : workload_->incremental) {
+      futures.push_back(pipeline.Submit(d));
+    }
+    for (size_t i = 0; i < futures.size(); ++i) {
+      SCOPED_TRACE("request=" + std::to_string(i));
+      PipelineResponse response = futures[i].get();
+      ASSERT_TRUE(response.result.ok());
+      EXPECT_EQ(response.sequence, i + 1);
+      const SequentialStep& want = expected[i];
+      EXPECT_EQ(response.result->noisy_indices, want.result.noisy_indices);
+      EXPECT_EQ(response.result->clean_indices, want.result.clean_indices);
+      EXPECT_EQ(response.result->recovered_labels,
+                want.result.recovered_labels);
+      EXPECT_EQ(response.clean_bank_after, want.clean_bank);
+      EXPECT_EQ(response.stats_after.requests, want.stats.requests);
+      EXPECT_EQ(response.stats_after.samples_processed,
+                want.stats.samples_processed);
+      EXPECT_EQ(response.stats_after.samples_flagged_noisy,
+                want.stats.samples_flagged_noisy);
+      EXPECT_EQ(response.stats_after.model_updates,
+                want.stats.model_updates);
+    }
+    EXPECT_TRUE(pipeline.Shutdown().ok());
+    const RequestPipeline::Counters counters = pipeline.counters();
+    EXPECT_EQ(counters.submitted, workload_->incremental.size());
+    EXPECT_EQ(counters.completed, workload_->incremental.size());
+    EXPECT_GE(counters.batches, 1u);
+    EXPECT_LE(counters.largest_batch, 3u);
+  }
+}
+
+TEST_F(PipelineTest, DeadlineExceededRequestDoesNotStallQueue) {
+  DataPlatformConfig config = FastPlatformConfig();
+  config.request_deadline_seconds = kBudget;
+  DataPlatform platform(config);
+  ASSERT_TRUE(platform.Initialize(workload_->inventory).ok());
+
+  telemetry::Counter* exceeded =
+      telemetry::MetricsRegistry::Global().GetCounter(
+          "platform/deadline_exceeded");
+  const uint64_t exceeded_before = exceeded->Value();
+
+  // Only the first request is slow: its detection stalls past the budget.
+  faults::ArmSite("platform/slow_detect", 1.0, /*max_fires=*/1,
+                  /*burst_limit=*/0);
+
+  RequestPipeline pipeline(&platform, PipelineConfig{});
+  std::vector<std::future<PipelineResponse>> futures;
+  for (size_t i = 0; i < 3; ++i) {
+    futures.push_back(pipeline.Submit(workload_->incremental[i]));
+  }
+
+  PipelineResponse slow = futures[0].get();
+  ASSERT_FALSE(slow.result.ok());
+  EXPECT_EQ(slow.result.status().code(), StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(exceeded->Value(), exceeded_before + 1);
+
+  // The requests queued behind the slow one complete normally.
+  for (size_t i = 1; i < futures.size(); ++i) {
+    PipelineResponse response = futures[i].get();
+    ASSERT_TRUE(response.result.ok());
+    EXPECT_EQ(response.stats_after.requests_deadline_exceeded, 1u);
+  }
+  EXPECT_TRUE(pipeline.Shutdown().ok());
+  EXPECT_EQ(platform.stats().requests, 2u);
+  ASSERT_EQ(platform.deadline_audit().size(), 1u);
+  EXPECT_EQ(platform.deadline_audit()[0].stage, "detection");
+}
+
+TEST_F(PipelineTest, DropStaleInQueueShedsExpiredRequests) {
+  DataPlatformConfig config = FastPlatformConfig();
+  config.request_deadline_seconds = kQueueBudget;
+  DataPlatform platform(config);
+  ASSERT_TRUE(platform.Initialize(workload_->inventory).ok());
+
+  // The first request stalls ~100 ms (real) before admission and blows its
+  // small budget there; the request queued behind it accumulates at
+  // least that stall as queue wait — over the budget — before the
+  // dispatcher picks it up.
+  faults::ArmSite("platform/slow_admission", 1.0, /*max_fires=*/1,
+                  /*burst_limit=*/0);
+  PipelineConfig pipeline_config;
+  pipeline_config.drop_stale_in_queue = true;
+  RequestPipeline pipeline(&platform, pipeline_config);
+
+  auto slow = pipeline.Submit(workload_->incremental[0]);
+  auto stale = pipeline.Submit(workload_->incremental[1]);
+  EXPECT_EQ(slow.get().result.status().code(),
+            StatusCode::kDeadlineExceeded);
+  PipelineResponse shed = stale.get();
+  EXPECT_EQ(shed.result.status().code(), StatusCode::kDeadlineExceeded);
+  EXPECT_GT(shed.queue_seconds, kQueueBudget);
+  EXPECT_TRUE(pipeline.Shutdown().ok());
+
+  // The shed request never touched the platform.
+  EXPECT_EQ(platform.stats().requests, 0u);
+  EXPECT_EQ(platform.stats().requests_deadline_exceeded, 1u);
+  EXPECT_EQ(pipeline.counters().queue_deadline_drops, 1u);
+}
+
+TEST_F(PipelineTest, ShutdownDrainsEveryQueuedRequest) {
+  DataPlatform platform(FastPlatformConfig());
+  ASSERT_TRUE(platform.Initialize(workload_->inventory).ok());
+
+  RequestPipeline pipeline(&platform, PipelineConfig{});
+  std::vector<std::future<PipelineResponse>> futures;
+  for (const Dataset& d : workload_->incremental) {
+    futures.push_back(pipeline.Submit(d));
+  }
+  // Shutdown drains: every already-submitted request still completes.
+  ASSERT_TRUE(pipeline.Shutdown().ok());
+  for (auto& future : futures) {
+    EXPECT_TRUE(future.get().result.ok());
+  }
+  EXPECT_EQ(platform.stats().requests, workload_->incremental.size());
+
+  // After shutdown, submission fails fast instead of hanging.
+  PipelineResponse rejected =
+      pipeline.Submit(workload_->incremental[0]).get();
+  ASSERT_FALSE(rejected.result.ok());
+  EXPECT_EQ(rejected.result.status().code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST_F(PipelineTest, DeferredSnapshotsLandAndGarbageCollect) {
+  const std::string root =
+      (fs::path(::testing::TempDir()) / "pipeline_snapshots").string();
+  fs::remove_all(root);
+
+  DataPlatformConfig config = FastPlatformConfig();
+  config.snapshot_keep_last = 2;
+  DataPlatform platform(config);
+  ASSERT_TRUE(platform.Initialize(workload_->inventory).ok());
+
+  PipelineConfig pipeline_config;
+  pipeline_config.batch_size = 2;
+  pipeline_config.snapshot_capture = [&platform, root] {
+    return platform.BeginSnapshot(root);
+  };
+  RequestPipeline pipeline(&platform, pipeline_config);
+  std::vector<std::future<PipelineResponse>> futures;
+  for (const Dataset& d : workload_->incremental) {
+    futures.push_back(pipeline.Submit(d));
+  }
+  for (auto& future : futures) {
+    ASSERT_TRUE(future.get().result.ok());
+  }
+  ASSERT_TRUE(pipeline.Shutdown().ok());
+  EXPECT_EQ(pipeline.counters().snapshot_writes,
+            workload_->incremental.size());
+
+  // One snapshot per request was written; retention kept the newest two,
+  // and CURRENT points at the last one.
+  store::SnapshotStore snapshots(root);
+  EXPECT_EQ(snapshots.ListSeqs().size(), 2u);
+  const auto latest = snapshots.LoadLatest();
+  ASSERT_TRUE(latest.ok());
+  EXPECT_EQ(latest.value().seq, workload_->incremental.size());
+  EXPECT_EQ(latest.value().stats.requests, workload_->incremental.size());
+  fs::remove_all(root);
+}
+
+}  // namespace
+}  // namespace enld

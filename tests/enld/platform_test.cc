@@ -2,6 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <limits>
+
+#include "common/faults.h"
+#include "common/telemetry/metrics.h"
 #include "test_util.h"
 
 namespace enld {
@@ -136,6 +140,126 @@ TEST_F(PlatformTest, ManualUpdateSucceedsWithSelection) {
   EXPECT_EQ(platform.stats().model_updates, 1u);
   // Platform keeps serving after an update.
   EXPECT_TRUE(platform.Process(workload_->incremental[0]).ok());
+}
+
+/// The latency fault sites sleep at least this long per fire
+/// (kInjectedStallSeconds in platform.cc).
+constexpr double kMinStall = 0.1;
+
+/// Budget used by the deadline tests. A latency fire charges the full
+/// budget to the deadline clock, so any value works for the overrun; it is
+/// set generously above the tiny workload's real processing time so the
+/// legitimate requests around the slow one never flake — even under
+/// TSan/ASan slowdown.
+constexpr double kBudget = 30.0;
+
+class PlatformFaultTest : public PlatformTest {
+ protected:
+  void SetUp() override { faults::Clear(); }
+  void TearDown() override { faults::Clear(); }
+};
+
+TEST_F(PlatformFaultTest, ProcessChargesScreeningTimeToStats) {
+  // Regression: the Process stopwatch used to start *after* admission
+  // screening, so screening (and any stall inside it) was invisible in
+  // total_process_seconds. The stall fires before admission; with timing
+  // measured from request entry it must show up for unscreened, screened
+  // and rejected requests alike.
+  DataPlatform platform(FastPlatformConfig());
+  ASSERT_TRUE(platform.Initialize(workload_->inventory).ok());
+  faults::ArmSite("platform/slow_admission", 1.0, /*max_fires=*/3,
+                  /*burst_limit=*/0);
+
+  // Unscreened request: every sample admitted.
+  double before = platform.stats().total_process_seconds;
+  ASSERT_TRUE(platform.Process(workload_->incremental[0]).ok());
+  EXPECT_GE(platform.stats().total_process_seconds - before, kMinStall);
+
+  // Screened request: one sample quarantined, the remainder processed.
+  Dataset screened = workload_->incremental[1];
+  screened.features.Row(0)[0] = std::numeric_limits<float>::quiet_NaN();
+  before = platform.stats().total_process_seconds;
+  ASSERT_TRUE(platform.Process(screened).ok());
+  EXPECT_EQ(platform.stats().samples_quarantined, 1u);
+  EXPECT_GE(platform.stats().total_process_seconds - before, kMinStall);
+
+  // Rejected request: every sample invalid — the request fails, but the
+  // time it consumed is still charged.
+  Dataset rejected = workload_->incremental[2];
+  for (size_t r = 0; r < rejected.size(); ++r) {
+    rejected.features.Row(r)[0] = std::numeric_limits<float>::quiet_NaN();
+  }
+  before = platform.stats().total_process_seconds;
+  EXPECT_EQ(platform.Process(rejected).status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_GE(platform.stats().total_process_seconds - before, kMinStall);
+}
+
+TEST_F(PlatformFaultTest, DeadlineAtAdmissionLeavesDetectionStreamUntouched) {
+  DataPlatformConfig config = FastPlatformConfig();
+  config.request_deadline_seconds = kBudget;
+
+  DataPlatform slowed(config);
+  ASSERT_TRUE(slowed.Initialize(workload_->inventory).ok());
+  DataPlatform reference(config);
+  ASSERT_TRUE(reference.Initialize(workload_->inventory).ok());
+
+  telemetry::Counter* exceeded =
+      telemetry::MetricsRegistry::Global().GetCounter(
+          "platform/deadline_exceeded");
+  const uint64_t exceeded_before = exceeded->Value();
+
+  // Only the first request is slow; the fire charges the whole budget to
+  // the deadline clock, guaranteeing the overrun.
+  faults::ArmSite("platform/slow_admission", 1.0, /*max_fires=*/1,
+                  /*burst_limit=*/0);
+  const auto dropped = slowed.Process(workload_->incremental[0]);
+  ASSERT_FALSE(dropped.ok());
+  EXPECT_EQ(dropped.status().code(), StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(exceeded->Value(), exceeded_before + 1);
+
+  const PlatformStats& stats = slowed.stats();
+  EXPECT_EQ(stats.requests, 0u);  // the dropped request served nothing
+  EXPECT_EQ(stats.requests_deadline_exceeded, 1u);
+  ASSERT_EQ(slowed.deadline_audit().size(), 1u);
+  EXPECT_EQ(slowed.deadline_audit()[0].stage, "admission");
+  EXPECT_EQ(slowed.deadline_audit()[0].request, 1u);
+  EXPECT_GT(slowed.deadline_audit()[0].elapsed_seconds, kBudget);
+  EXPECT_DOUBLE_EQ(slowed.deadline_audit()[0].budget_seconds, kBudget);
+
+  // An admission-stage drop never touches the framework (RNG included):
+  // the next request detects byte-identically to a platform that never saw
+  // the dropped one.
+  const auto after_drop = slowed.Process(workload_->incremental[1]);
+  const auto fresh = reference.Process(workload_->incremental[1]);
+  ASSERT_TRUE(after_drop.ok());
+  ASSERT_TRUE(fresh.ok());
+  EXPECT_EQ(after_drop->noisy_indices, fresh->noisy_indices);
+  EXPECT_EQ(after_drop->clean_indices, fresh->clean_indices);
+}
+
+TEST_F(PlatformFaultTest, DeadlineAfterDetectionDiscardsResult) {
+  DataPlatformConfig config = FastPlatformConfig();
+  config.request_deadline_seconds = kBudget;
+  DataPlatform platform(config);
+  ASSERT_TRUE(platform.Initialize(workload_->inventory).ok());
+
+  faults::ArmSite("platform/slow_detect", 1.0, /*max_fires=*/1,
+                  /*burst_limit=*/0);
+  const auto dropped = platform.Process(workload_->incremental[0]);
+  ASSERT_FALSE(dropped.ok());
+  EXPECT_EQ(dropped.status().code(), StatusCode::kDeadlineExceeded);
+
+  // Detection ran but its result was discarded: no serving counters moved.
+  EXPECT_EQ(platform.stats().requests, 0u);
+  EXPECT_EQ(platform.stats().samples_processed, 0u);
+  EXPECT_EQ(platform.stats().requests_deadline_exceeded, 1u);
+  ASSERT_EQ(platform.deadline_audit().size(), 1u);
+  EXPECT_EQ(platform.deadline_audit()[0].stage, "detection");
+
+  // The stream behind the slow request keeps flowing.
+  EXPECT_TRUE(platform.Process(workload_->incremental[1]).ok());
+  EXPECT_EQ(platform.stats().requests, 1u);
 }
 
 }  // namespace

@@ -145,6 +145,71 @@ TEST_F(SnapshotTest, SequenceNumbersAdvanceAndListCompletely) {
   EXPECT_EQ(current->stats.requests, 1u);
 }
 
+TEST_F(SnapshotTest, KeepLastRetentionPrunesAllButNewest) {
+  const Workload workload = BuildWorkload(testing_util::TinyWorkloadConfig(0.2));
+  DataPlatformConfig config = FastPlatformConfig();
+  config.snapshot_keep_last = 2;
+  // The retention knob is an ops setting, never part of the fingerprint.
+  EXPECT_EQ(store::FingerprintConfig(config),
+            store::FingerprintConfig(FastPlatformConfig()));
+
+  DataPlatform platform(config);
+  ASSERT_TRUE(platform.Initialize(workload.inventory).ok());
+  for (size_t i = 0; i < 5; ++i) {
+    ASSERT_TRUE(
+        platform.Process(workload.incremental[i % workload.incremental.size()])
+            .ok());
+    ASSERT_TRUE(platform.SaveSnapshot(root_.string()).ok());
+  }
+
+  // Only the newest two survive; both still load and CURRENT is intact.
+  store::SnapshotStore snapshots(root_.string());
+  EXPECT_EQ(snapshots.ListSeqs(), (std::vector<uint64_t>{4, 5}));
+  ASSERT_TRUE(snapshots.Load(4).ok());
+  const auto latest = snapshots.LoadLatest();
+  ASSERT_TRUE(latest.ok()) << latest.status().ToString();
+  EXPECT_EQ(latest->seq, 5u);
+  EXPECT_EQ(latest->stats.requests, 5u);
+
+  // A platform restored from the pruned store resumes normally.
+  DataPlatform resumed(config);
+  ASSERT_TRUE(resumed.RestoreFromSnapshot(root_.string()).ok());
+  EXPECT_EQ(resumed.stats().requests, 5u);
+}
+
+TEST_F(SnapshotTest, GarbageCollectSparesCurrentTargetAfterMidPublishCrash) {
+  const Workload workload = BuildWorkload(testing_util::TinyWorkloadConfig(0.2));
+  DataPlatform platform(FastPlatformConfig());
+  ASSERT_TRUE(platform.Initialize(workload.inventory).ok());
+  for (size_t i = 0; i < 3; ++i) {
+    ASSERT_TRUE(
+        platform.Process(workload.incremental[i % workload.incremental.size()])
+            .ok());
+    ASSERT_TRUE(platform.SaveSnapshot(root_.string()).ok());
+  }
+
+  // Simulate crashes between the snapshot-directory publish and the
+  // CURRENT update: newer directories exist on disk, but CURRENT still
+  // points at snapshot 3.
+  fs::create_directories(root_ / store::SnapshotStore::DirName(4));
+  fs::create_directories(root_ / store::SnapshotStore::DirName(5));
+  store::SnapshotStore snapshots(root_.string(), /*keep_last=*/1);
+  ASSERT_EQ(snapshots.LatestSeq().value(), 3u);
+
+  // keep_last=1 would retain only the newest directory (the unpublished
+  // crash leftover) — CURRENT's target must survive anyway, or a reader
+  // following CURRENT would find nothing.
+  EXPECT_EQ(snapshots.GarbageCollect(), 3u);  // removed 1, 2 and 4
+  EXPECT_EQ(snapshots.ListSeqs(), (std::vector<uint64_t>{3, 5}));
+  const auto current = snapshots.LoadLatest();
+  ASSERT_TRUE(current.ok()) << current.status().ToString();
+  EXPECT_EQ(current->seq, 3u);
+
+  // A keep_last of zero is "retain everything": nothing else is removed.
+  EXPECT_EQ(store::SnapshotStore(root_.string()).GarbageCollect(), 0u);
+  EXPECT_EQ(snapshots.ListSeqs(), (std::vector<uint64_t>{3, 5}));
+}
+
 TEST_F(SnapshotTest, SaveRequiresInitializedPlatform) {
   DataPlatform platform(FastPlatformConfig());
   const Status status = platform.SaveSnapshot(root_.string());

@@ -14,8 +14,9 @@ and re-verifies, with nothing but the Python standard library:
     totals, per-shard size + CRC32),
   * every shard starts with the ENLDSHD1 magic and little-endian tag,
   * state.bin parses structurally: ENLDSNP1 magic, endian tag, version
-    (1 or 2), and every section's payload CRC matches its envelope
-    (v1: meta/stats/rng/conditional/selected; v2 appends admission).
+    (1, 2 or 3), and every section's payload CRC matches its envelope
+    (v1: meta/stats/rng/conditional/selected; v2 appends admission; v3
+    extends the admission payload with the deadline-exceeded counter).
 
 By default only the snapshot CURRENT points at is audited; --all checks
 every snap-* directory present. Exits non-zero with one message per
@@ -33,10 +34,11 @@ DATASET_SCHEMA = "enld-dataset-manifest-v1"
 SNAPSHOT_MAGIC = b"ENLDSNP1"
 SHARD_MAGIC = b"ENLDSHD1"
 ENDIAN_TAG = 0x01020304
-# meta, stats, rng, conditional, selected (+ admission in v2)
+# meta, stats, rng, conditional, selected (+ admission in v2/v3)
 STATE_SECTION_IDS_BY_VERSION = {
     1: (1, 2, 3, 4, 5),
     2: (1, 2, 3, 4, 5, 6),
+    3: (1, 2, 3, 4, 5, 6),
 }
 
 errors = []
