@@ -30,6 +30,11 @@
 //   --request_deadline=<s>  per-request budget in seconds; an over-budget
 //                         request fails with DeadlineExceeded while the
 //                         stream behind it keeps flowing (0 = no deadline)
+//   --queue_wait_budget=<s>  separate budget for time spent waiting in the
+//                         pipeline queue (docs/SERVING.md §5); requests
+//                         waiting longer count as head-of-line blocked and
+//                         a summary is printed to stderr (0 = fall back to
+//                         the request deadline)
 //
 // A killed run resumed with the same flags produces byte-identical
 // detections for the remaining requests — the snapshot carries the full
@@ -109,6 +114,8 @@ int main(int argc, char** argv) {
       std::atoi(FlagValue(argc, argv, "batch_size", "4").c_str()));
   const double request_deadline =
       std::atof(FlagValue(argc, argv, "request_deadline", "0").c_str());
+  const double queue_wait_budget =
+      std::atof(FlagValue(argc, argv, "queue_wait_budget", "0").c_str());
   const size_t snapshot_keep = static_cast<size_t>(
       std::atoi(FlagValue(argc, argv, "snapshot_keep", "0").c_str()));
   if (use_async && kill_after > 0) {
@@ -179,6 +186,7 @@ int main(int argc, char** argv) {
     // never from the live platform, which the dispatcher keeps mutating.
     PipelineConfig pipeline_config;
     pipeline_config.batch_size = batch_size;
+    pipeline_config.queue_wait_budget_seconds = queue_wait_budget;
     if (!snapshot_dir.empty()) {
       pipeline_config.snapshot_capture = [&platform, snapshot_dir] {
         return platform.BeginSnapshot(snapshot_dir);
@@ -220,6 +228,20 @@ int main(int argc, char** argv) {
       std::fprintf(stderr, "snapshot failed: %s\n",
                    drained.ToString().c_str());
       return 1;
+    }
+    // Head-of-line pressure summary on stderr (stdout stays byte-diffable
+    // against the sequential loop): how many served requests burned their
+    // whole queue-wait budget behind earlier work.
+    const RequestPipeline::Counters pc = pipeline.counters();
+    if (pc.hol_blocked > 0) {
+      std::fprintf(stderr,
+                   "queue pressure: %llu of %llu request(s) head-of-line "
+                   "blocked past the %.3fs queue-wait budget (%llu shed)\n",
+                   static_cast<unsigned long long>(pc.hol_blocked),
+                   static_cast<unsigned long long>(pc.completed),
+                   queue_wait_budget > 0.0 ? queue_wait_budget
+                                           : request_deadline,
+                   static_cast<unsigned long long>(pc.queue_deadline_drops));
     }
   } else {
     for (size_t i = start_request; i < workload.incremental.size(); ++i) {

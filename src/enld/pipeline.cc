@@ -17,6 +17,7 @@ struct PipelineMetrics {
   telemetry::Counter* completed;
   telemetry::Counter* batches;
   telemetry::Counter* queue_deadline_drops;
+  telemetry::Counter* hol_blocked;
   telemetry::Counter* snapshot_writes;
 
   static const PipelineMetrics& Get() {
@@ -27,6 +28,7 @@ struct PipelineMetrics {
           registry.GetCounter("pipeline/completed"),
           registry.GetCounter("pipeline/batches"),
           registry.GetCounter("pipeline/queue_deadline_drops"),
+          registry.GetCounter("pipeline/hol_blocked"),
           registry.GetCounter("pipeline/snapshot_writes")};
     }();
     return m;
@@ -45,8 +47,14 @@ RequestPipeline::RequestPipeline(DataPlatform* platform, PipelineConfig config)
 RequestPipeline::~RequestPipeline() { Shutdown(); }
 
 std::future<PipelineResponse> RequestPipeline::Submit(Dataset incremental) {
+  return Submit(std::move(incremental), SubmitOptions{});
+}
+
+std::future<PipelineResponse> RequestPipeline::Submit(Dataset incremental,
+                                                      SubmitOptions options) {
   PendingRequest request;
   request.dataset = std::move(incremental);
+  request.options = options;
   std::future<PipelineResponse> future = request.promise.get_future();
 
   {
@@ -106,10 +114,27 @@ void RequestPipeline::CompleteRequest(PendingRequest& request) {
   response.sequence = request.sequence;
   response.queue_seconds = request.queued.ElapsedSeconds();
 
-  const double deadline = platform_->config().request_deadline_seconds;
+  // The service budget for this request: the per-request override when one
+  // was submitted (wire deadline header), else the platform config's.
+  const double service_deadline =
+      request.options.deadline_seconds >= 0.0
+          ? request.options.deadline_seconds
+          : platform_->config().request_deadline_seconds;
+  // The queue-wait budget is its own knob; 0 falls back to the service
+  // budget so existing drop_stale_in_queue configs behave as before.
+  const double queue_budget = config_.queue_wait_budget_seconds > 0.0
+                                  ? config_.queue_wait_budget_seconds
+                                  : service_deadline;
+  const bool waited_past_budget =
+      queue_budget > 0.0 && response.queue_seconds > queue_budget;
+  if (waited_past_budget) {
+    // Head-of-line alarm: whatever sat in front of this request consumed
+    // its whole queue budget. Counted even when the request is served
+    // anyway, so ops can see HOL pressure before turning shedding on.
+    PipelineMetrics::Get().hol_blocked->Increment();
+  }
   bool dropped_in_queue = false;
-  if (config_.drop_stale_in_queue && deadline > 0.0 &&
-      response.queue_seconds > deadline) {
+  if (config_.drop_stale_in_queue && waited_past_budget) {
     // The request's whole budget evaporated in the queue: fail it without
     // touching the platform, so detection state (RNG stream included) is
     // exactly what it would be had the request never been submitted.
@@ -117,10 +142,12 @@ void RequestPipeline::CompleteRequest(PendingRequest& request) {
     PipelineMetrics::Get().queue_deadline_drops->Increment();
     response.result = Status::DeadlineExceeded(
         "request spent " + std::to_string(response.queue_seconds) +
-        "s queued, over its budget of " + std::to_string(deadline) + "s");
+        "s queued, over its queue-wait budget of " +
+        std::to_string(queue_budget) + "s");
   } else {
     Stopwatch service;
-    response.result = platform_->Process(request.dataset);
+    response.result = platform_->Process(request.dataset,
+                                         request.options.deadline_seconds);
     response.process_seconds = service.ElapsedSeconds();
     if (response.result.ok()) BeginDeferredSnapshot();
   }
@@ -130,6 +157,7 @@ void RequestPipeline::CompleteRequest(PendingRequest& request) {
   {
     std::lock_guard<std::mutex> lock(mu_);
     ++counters_.completed;
+    if (waited_past_budget) ++counters_.hol_blocked;
     if (dropped_in_queue) ++counters_.queue_deadline_drops;
   }
   PipelineMetrics::Get().completed->Increment();

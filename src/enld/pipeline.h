@@ -55,11 +55,19 @@ struct PipelineConfig {
   /// amortizes queue synchronization and keeps the snapshot writer busy
   /// with a steady stream of overlapped writes; it never changes results.
   size_t batch_size = 1;
-  /// Fail requests whose queue wait alone exceeded the platform's
-  /// request_deadline_seconds, without serving them (see the deadline
-  /// semantics above). Off by default: the deadline bounds service time,
-  /// not time-in-system.
+  /// Fail requests whose queue wait alone exceeded their queue-wait
+  /// budget, without serving them (see the deadline semantics above). Off
+  /// by default: the deadline bounds service time, not time-in-system.
   bool drop_stale_in_queue = false;
+  /// Queue-wait budget in seconds, decoupled from the service deadline so
+  /// ops can tune shedding independently of service budgets
+  /// (docs/SERVING.md §5): it bounds the wait `drop_stale_in_queue` sheds
+  /// on, and feeds the head-of-line alarm (`hol_blocked` counter +
+  /// "pipeline/hol_blocked" telemetry) that fires whenever a request
+  /// waited past the budget — shed or not. 0 falls back to the request's
+  /// service deadline (the platform config's request_deadline_seconds, or
+  /// the per-request override), the original coupled behavior.
+  double queue_wait_budget_seconds = 0.0;
   /// Optional snapshot hook, typically
   ///   [&] { return platform.BeginSnapshot(dir); }
   /// Called on the dispatcher thread after every successful request; the
@@ -68,6 +76,17 @@ struct PipelineConfig {
   /// the previous write — so snapshot sequence numbers advance in request
   /// order, but detection of later requests proceeds concurrently.
   std::function<StatusOr<std::function<Status()>>()> snapshot_capture;
+};
+
+/// Per-request options carried alongside the dataset.
+struct SubmitOptions {
+  /// Service-deadline override in seconds for this request only —
+  /// propagated from the wire deadline header by the RPC front-end
+  /// (docs/SERVING.md §4). Negative (the default) applies the platform
+  /// config's request_deadline_seconds; 0 explicitly disables the
+  /// deadline for this request; positive values replace the config's
+  /// budget (they may extend it as well as tighten it).
+  double deadline_seconds = -1.0;
 };
 
 /// Everything the caller needs to render one completed request, snapshot
@@ -105,6 +124,10 @@ class RequestPipeline {
   /// FailedPrecondition.
   std::future<PipelineResponse> Submit(Dataset incremental);
 
+  /// Same, with per-request options (e.g. a wire-propagated deadline).
+  std::future<PipelineResponse> Submit(Dataset incremental,
+                                       SubmitOptions options);
+
   /// Drains every queued request, waits for the in-flight snapshot write,
   /// stops the dispatcher, and returns the first deferred snapshot error
   /// (OK when every write landed). Idempotent; also run by the destructor.
@@ -121,6 +144,10 @@ class RequestPipeline {
     uint64_t batches = 0;
     uint64_t largest_batch = 0;
     uint64_t queue_deadline_drops = 0;
+    /// Requests whose queue wait exceeded the queue-wait budget — the
+    /// head-of-line-blocking alarm. Counts shed and served requests alike,
+    /// so the alarm fires even when drop_stale_in_queue is off.
+    uint64_t hol_blocked = 0;
     uint64_t snapshot_writes = 0;
   };
   Counters counters() const;
@@ -129,6 +156,7 @@ class RequestPipeline {
   struct PendingRequest {
     uint64_t sequence = 0;
     Dataset dataset;
+    SubmitOptions options;
     std::promise<PipelineResponse> promise;
     Stopwatch queued;
   };

@@ -148,7 +148,8 @@ Status DataPlatform::Initialize(const Dataset& inventory) {
 }
 
 Status DataPlatform::RecordDeadlineExceeded(double elapsed_seconds,
-                                            const std::string& stage) {
+                                            const std::string& stage,
+                                            double budget_seconds) {
   static telemetry::Counter* exceeded =
       telemetry::MetricsRegistry::Global().GetCounter(
           "platform/deadline_exceeded");
@@ -158,17 +159,23 @@ Status DataPlatform::RecordDeadlineExceeded(double elapsed_seconds,
     DeadlineRecord record;
     record.request = stats_.requests + 1;
     record.elapsed_seconds = elapsed_seconds;
-    record.budget_seconds = config_.request_deadline_seconds;
+    record.budget_seconds = budget_seconds;
     record.stage = stage;
     deadline_audit_.push_back(std::move(record));
   }
   return Status::DeadlineExceeded(
       "request exceeded its deadline budget of " +
-      std::to_string(config_.request_deadline_seconds) + "s during " +
-      stage + " (" + std::to_string(elapsed_seconds) + "s elapsed)");
+      std::to_string(budget_seconds) + "s during " + stage + " (" +
+      std::to_string(elapsed_seconds) + "s elapsed)");
 }
 
-StatusOr<DetectionResult> DataPlatform::Process(const Dataset& incremental) {
+StatusOr<DetectionResult> DataPlatform::Process(
+    const Dataset& incremental, double deadline_override_seconds) {
+  // The budget that applies to this request: the per-request override when
+  // one was propagated (wire deadline header), else the config's.
+  const double deadline = deadline_override_seconds >= 0.0
+                              ? deadline_override_seconds
+                              : config_.request_deadline_seconds;
   if (!initialized_) {
     return Status::FailedPrecondition("platform not initialized");
   }
@@ -189,8 +196,7 @@ StatusOr<DetectionResult> DataPlatform::Process(const Dataset& incremental) {
         "incremental class count does not match the inventory");
   }
 
-  timer.AddPenalty(MaybeInjectStall("platform/slow_admission",
-                                    config_.request_deadline_seconds));
+  timer.AddPenalty(MaybeInjectStall("platform/slow_admission", deadline));
   StatusOr<std::vector<size_t>> admitted =
       AdmitSamples(incremental, stats_.requests + 1);
   if (!admitted.ok()) return admitted.status();
@@ -199,13 +205,12 @@ StatusOr<DetectionResult> DataPlatform::Process(const Dataset& incremental) {
   // Deadline check #1, before detection: a request already over budget is
   // dropped without touching the framework (its RNG stream included), so
   // the remaining stream is byte-identical to one that never saw it.
-  const double deadline = config_.request_deadline_seconds;
   if (deadline > 0.0 && timer.ElapsedSeconds() > deadline) {
-    return RecordDeadlineExceeded(timer.ElapsedSeconds(), "admission");
+    return RecordDeadlineExceeded(timer.ElapsedSeconds(), "admission",
+                                  deadline);
   }
 
-  timer.AddPenalty(MaybeInjectStall("platform/slow_detect",
-                                    config_.request_deadline_seconds));
+  timer.AddPenalty(MaybeInjectStall("platform/slow_detect", deadline));
   DetectionResult result =
       screened ? RemapResult(framework_.Detect(incremental.Subset(*admitted)),
                              *admitted, incremental.size())
@@ -215,7 +220,8 @@ StatusOr<DetectionResult> DataPlatform::Process(const Dataset& incremental) {
   // budget is blown — degrade by discarding the result so the queue behind
   // this request keeps draining.
   if (deadline > 0.0 && timer.ElapsedSeconds() > deadline) {
-    return RecordDeadlineExceeded(timer.ElapsedSeconds(), "detection");
+    return RecordDeadlineExceeded(timer.ElapsedSeconds(), "detection",
+                                  deadline);
   }
 
   ++stats_.requests;

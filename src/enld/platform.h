@@ -105,7 +105,14 @@ class DataPlatform {
   /// On success, may trigger an automatic model update per the configured
   /// policy; an update that comes due but cannot run yet is retried on
   /// later requests rather than dropped.
-  StatusOr<DetectionResult> Process(const Dataset& incremental);
+  ///
+  /// `deadline_override_seconds` replaces the configured
+  /// request_deadline_seconds for this request only — the RPC front-end
+  /// propagates the wire deadline header through it (docs/SERVING.md §4).
+  /// Negative (the default) keeps the config's budget; 0 disables the
+  /// deadline for this request.
+  StatusOr<DetectionResult> Process(const Dataset& incremental,
+                                    double deadline_override_seconds = -1.0);
 
   /// Manually triggers a model update (same preconditions as
   /// EnldFramework::UpdateModel, plus the min_update_samples policy).
@@ -162,8 +169,11 @@ class DataPlatform {
   void RunUpdatePolicy();
   /// Records a deadline overrun (stats, telemetry, capped audit trail) and
   /// builds the kDeadlineExceeded status Process returns for it.
+  /// `budget_seconds` is the budget that actually applied — the config's
+  /// or a per-request override.
   Status RecordDeadlineExceeded(double elapsed_seconds,
-                                const std::string& stage);
+                                const std::string& stage,
+                                double budget_seconds);
 
   DataPlatformConfig config_;
   EnldFramework framework_;

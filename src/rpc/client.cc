@@ -1,0 +1,143 @@
+#include "rpc/client.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#include "rpc/net.h"
+
+namespace enld {
+namespace rpc {
+
+RpcClient::RpcClient(ClientConfig config) : config_(std::move(config)) {}
+
+RpcClient::~RpcClient() { Disconnect(); }
+
+Status RpcClient::Connect() {
+  if (fd_ >= 0) return Status::OK();
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return Status::Unavailable(std::string("socket() failed: ") +
+                               std::strerror(errno));
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(config_.port));
+  if (::inet_pton(AF_INET, config_.host.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd);
+    return Status::InvalidArgument("bad numeric IPv4 host '" + config_.host +
+                                   "'");
+  }
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    const Status status = Status::Unavailable(
+        "connect(" + config_.host + ":" + std::to_string(config_.port) +
+        ") failed: " + std::strerror(errno));
+    ::close(fd);
+    return status;
+  }
+  fd_ = fd;
+  return Status::OK();
+}
+
+void RpcClient::Disconnect() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+StatusOr<Frame> RpcClient::AwaitReply(uint64_t sequence) {
+  while (true) {
+    StatusOr<Frame> read = ReadFrame(fd_);
+    if (!read.ok()) {
+      // Any failure to read the paired reply — including a clean close
+      // (the server's drop_frame behavior) — leaves this connection
+      // useless: close it and report the retryable class so the caller's
+      // policy reconnects and resends.
+      Disconnect();
+      if (read.status().code() == StatusCode::kNotFound) {
+        return Status::Unavailable("connection closed awaiting reply");
+      }
+      return read.status();
+    }
+    Frame frame = std::move(*read);
+    if (frame.header.type == FrameType::kError) {
+      Status carried;
+      const Status decoded = DecodeErrorBody(frame.payload, &carried);
+      if (!decoded.ok()) {
+        Disconnect();
+        return decoded;
+      }
+      // A pre-dispatch wire error (CRC mismatch, overload): the connection
+      // is still framed correctly, so keep it for the resend.
+      if (carried.ok()) carried = Status::Unavailable("empty error frame");
+      return carried;
+    }
+    if (frame.header.sequence != sequence) {
+      // A reply for a request we no longer care about (e.g. one whose
+      // error we already consumed) — with one in-flight request this means
+      // the stream slipped; resync by reconnecting.
+      Disconnect();
+      return Status::Unavailable("out-of-order reply; resynchronizing");
+    }
+    return frame;
+  }
+}
+
+StatusOr<WireDetectResponse> RpcClient::DetectOnce(
+    const std::string& request_payload, double deadline_seconds) {
+  ENLD_RETURN_IF_ERROR(Connect());
+
+  FrameHeader header;
+  header.type = FrameType::kDetectRequest;
+  header.sequence = ++next_sequence_;
+  header.deadline_seconds = deadline_seconds;
+  Status written = WriteFrame(fd_, header, request_payload);
+  if (!written.ok()) {
+    Disconnect();
+    return written;
+  }
+
+  StatusOr<Frame> reply = AwaitReply(header.sequence);
+  if (!reply.ok()) return reply.status();
+  if (reply->header.type != FrameType::kDetectResponse) {
+    Disconnect();
+    return Status::InvalidArgument("unexpected frame type in reply");
+  }
+  return DecodeDetectResponse(reply->payload);
+}
+
+StatusOr<WireDetectResponse> RpcClient::Detect(const Dataset& dataset,
+                                               double deadline_seconds) {
+  const double deadline =
+      deadline_seconds < 0.0 ? config_.deadline_seconds : deadline_seconds;
+  // Encoded once: every resend ships byte-identical request bytes.
+  const std::string payload = EncodeDetectRequest(dataset);
+  return RetryWithBackoffOr<WireDetectResponse>(
+      config_.retry, "rpc detect",
+      [&]() -> StatusOr<WireDetectResponse> {
+        return DetectOnce(payload, deadline);
+      });
+}
+
+Status RpcClient::SendShutdown() {
+  ENLD_RETURN_IF_ERROR(Connect());
+  FrameHeader header;
+  header.type = FrameType::kShutdown;
+  header.sequence = ++next_sequence_;
+  ENLD_RETURN_IF_ERROR(WriteFrame(fd_, header, ""));
+  StatusOr<Frame> reply = AwaitReply(header.sequence);
+  if (!reply.ok()) return reply.status();
+  if (reply->header.type != FrameType::kShutdownAck) {
+    return Status::InvalidArgument("expected shutdown ack");
+  }
+  return Status::OK();
+}
+
+}  // namespace rpc
+}  // namespace enld

@@ -1,0 +1,83 @@
+#ifndef ENLD_RPC_CLIENT_H_
+#define ENLD_RPC_CLIENT_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/retry.h"
+#include "common/status.h"
+#include "data/dataset.h"
+#include "rpc/frame.h"
+#include "rpc/message.h"
+
+namespace enld {
+namespace rpc {
+
+struct ClientConfig {
+  /// Numeric IPv4 address of the server.
+  std::string host = "127.0.0.1";
+  int port = 0;
+  /// Wire deadline header attached to every request, in seconds; 0 sends
+  /// no deadline (the server's configured budget applies). Overridable per
+  /// call.
+  double deadline_seconds = 0.0;
+  /// Governs resends of wire-damaged requests (Unavailable responses,
+  /// dropped connections). Protocol and service errors pass through
+  /// without a retry.
+  RetryPolicy retry;
+};
+
+/// Blocking client of the wire serving protocol (docs/SERVING.md): one
+/// connection, one in-flight request at a time.
+///
+/// Detect is safe to retry because the server applies every wire fault —
+/// and reports every wire error — *before* the request reaches the
+/// pipeline: a resend can never make the platform process the same dataset
+/// twice. The client therefore retries exactly the retryable class
+/// (Unavailable: CRC-failure error frames, torn connections, overload
+/// shedding) under the shared RetryPolicy machinery, reconnecting first
+/// when the connection died.
+class RpcClient {
+ public:
+  explicit RpcClient(ClientConfig config);
+  ~RpcClient();
+
+  RpcClient(const RpcClient&) = delete;
+  RpcClient& operator=(const RpcClient&) = delete;
+
+  /// Opens the connection (also done lazily by the first call).
+  Status Connect();
+
+  /// Sends one detection request and waits for its response.
+  /// `deadline_seconds` < 0 uses the config's wire deadline; 0 sends none;
+  /// positive overrides for this call. The returned response's
+  /// service_status may itself be an error (e.g. kDeadlineExceeded) — that
+  /// is the server's verdict on the request, delivered intact; only
+  /// wire-level failures surface as this function's own error status.
+  StatusOr<WireDetectResponse> Detect(const Dataset& dataset,
+                                      double deadline_seconds = -1.0);
+
+  /// Asks the server to drain and stop; resolves when the ack arrives.
+  Status SendShutdown();
+
+  /// Closes the connection (reopened on demand by the next call).
+  void Disconnect();
+
+ private:
+  /// One wire attempt: connect if needed, send, await the paired reply.
+  StatusOr<WireDetectResponse> DetectOnce(const std::string& request_payload,
+                                          double deadline_seconds);
+  /// Reads frames until one echoes `sequence`; decodes kError bodies into
+  /// their carried Status. Closes the connection on transport damage so
+  /// the next attempt starts clean.
+  StatusOr<Frame> AwaitReply(uint64_t sequence);
+
+  ClientConfig config_;
+  int fd_ = -1;
+  uint64_t next_sequence_ = 0;
+};
+
+}  // namespace rpc
+}  // namespace enld
+
+#endif  // ENLD_RPC_CLIENT_H_

@@ -1,0 +1,112 @@
+#ifndef ENLD_RPC_FRAME_H_
+#define ENLD_RPC_FRAME_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/status.h"
+
+namespace enld {
+namespace rpc {
+
+/// Wire-level frame codec of the serving front-end (docs/SERVING.md).
+///
+/// Every message on an ENLD serving connection is one length-prefixed
+/// binary frame, built from the same little-endian + CRC32 primitives as
+/// the durable store (store/io.h), so the bytes are host-independent and
+/// every kind of wire damage is caught by a checksum before any payload is
+/// interpreted:
+///
+///   offset size field
+///   0      8    magic "ENLDRPC1"
+///   8      4    byte-order tag 0x01020304
+///   12     1    frame version (1)
+///   13     1    frame type (FrameType)
+///   14     8    sequence number (echoed in the response)
+///   22     8    deadline header, f64 seconds (0 = none; requests only)
+///   30     8    payload byte length
+///   38     4    CRC32 over bytes [0, 38)   (header CRC)
+///   42     4    CRC32 over the payload     (payload CRC)
+///   46     n    payload
+///
+/// Error contract (mirrors the store's, split by retryability):
+///
+/// * `InvalidArgument` — protocol violations that resending cannot fix:
+///   bad magic, foreign byte order, unknown version or frame type, a
+///   declared payload length over kMaxFramePayloadBytes. The peer is
+///   confused or hostile; the connection should be closed.
+/// * `Unavailable` — wire damage that a resend repairs: a buffer shorter
+///   than one header, a payload shorter than the header declares, or a
+///   header/payload CRC mismatch. CRC mismatches additionally count the
+///   "rpc/crc_failures" telemetry counter. Clients retry these under the
+///   same RetryPolicy machinery the store uses for flaky disks.
+
+inline constexpr char kFrameMagic[] = "ENLDRPC1";  ///< 8 bytes on the wire.
+inline constexpr uint32_t kFrameByteOrderTag = 0x01020304;
+inline constexpr uint8_t kFrameVersion = 1;
+/// Fixed byte length of the frame prefix (everything before the payload).
+inline constexpr size_t kFrameHeaderBytes = 46;
+/// Upper bound on a declared payload length; anything larger is rejected
+/// as InvalidArgument before any allocation happens.
+inline constexpr uint64_t kMaxFramePayloadBytes = 64ull << 20;  // 64 MiB
+
+enum class FrameType : uint8_t {
+  /// Payload: one Dataset in the store's shard byte format.
+  kDetectRequest = 1,
+  /// Payload: a WireDetectResponse body (message.h).
+  kDetectResponse = 2,
+  /// Payload: a Status body — wire/protocol-level failure (message.h).
+  kError = 3,
+  /// Empty payload: ask the server to drain and stop.
+  kShutdown = 4,
+  /// Empty payload: acknowledges kShutdown before the server stops.
+  kShutdownAck = 5,
+};
+
+/// True for the FrameType values this build understands.
+bool IsKnownFrameType(uint8_t type);
+
+struct FrameHeader {
+  FrameType type = FrameType::kError;
+  /// Caller-chosen request identity, echoed verbatim in the response so a
+  /// client can pair frames without trusting arrival order.
+  uint64_t sequence = 0;
+  /// Per-request service-deadline header in seconds; 0 = no deadline
+  /// requested (the server's configured default applies). Meaningful on
+  /// request frames only.
+  double deadline_seconds = 0.0;
+  /// Declared payload byte length (filled by DecodeFrameHeader).
+  uint64_t payload_size = 0;
+  /// Declared payload CRC32 (filled by DecodeFrameHeader; EncodeFrame
+  /// computes it from the payload).
+  uint32_t payload_crc = 0;
+};
+
+struct Frame {
+  FrameHeader header;
+  std::string payload;
+};
+
+/// Serializes one complete frame (header CRC and payload CRC computed
+/// here; `header.payload_size`/`payload_crc` inputs are ignored).
+std::string EncodeFrame(const FrameHeader& header, const std::string& payload);
+
+/// Validates and parses the fixed-size frame prefix. `prefix` must hold at
+/// least kFrameHeaderBytes; see the error contract above.
+StatusOr<FrameHeader> DecodeFrameHeader(const std::string& prefix);
+
+/// Checks `payload` against the declared length and CRC of `header`.
+/// Unavailable on truncation or checksum mismatch.
+Status VerifyFramePayload(const FrameHeader& header,
+                          const std::string& payload);
+
+/// Whole-buffer decode: header + payload verification in one call.
+/// Exactly DecodeFrameHeader + VerifyFramePayload over a fully buffered
+/// frame; trailing bytes beyond the declared payload are rejected as
+/// InvalidArgument (frames are never concatenated inside one buffer here).
+StatusOr<Frame> DecodeFrame(const std::string& buffer);
+
+}  // namespace rpc
+}  // namespace enld
+
+#endif  // ENLD_RPC_FRAME_H_

@@ -1,0 +1,125 @@
+#include "rpc/message.h"
+
+#include <utility>
+
+#include "store/io.h"
+#include "store/shard.h"
+
+namespace enld {
+namespace rpc {
+
+namespace {
+
+void PutStatus(std::string* out, const Status& status) {
+  store::PutU32(out, static_cast<uint32_t>(status.code()));
+  store::PutU32(out, static_cast<uint32_t>(status.message().size()));
+  store::PutBytes(out, status.message().data(), status.message().size());
+}
+
+bool ReadStatus(store::BinaryReader* reader, Status* status) {
+  uint32_t code = 0, length = 0;
+  if (!reader->ReadU32(&code) || !reader->ReadU32(&length)) return false;
+  std::string message;
+  if (!reader->ReadBytes(length, &message)) return false;
+  *status = Status(static_cast<StatusCode>(code), std::move(message));
+  return true;
+}
+
+void PutU32Vector(std::string* out, const std::vector<uint32_t>& values) {
+  store::PutU64(out, values.size());
+  for (uint32_t v : values) store::PutU32(out, v);
+}
+
+bool ReadU32Vector(store::BinaryReader* reader,
+                   std::vector<uint32_t>* values) {
+  uint64_t count = 0;
+  if (!reader->ReadU64(&count)) return false;
+  if (count > reader->remaining() / 4) return false;  // cheap size sanity
+  values->resize(count);
+  for (uint64_t i = 0; i < count; ++i) {
+    if (!reader->ReadU32(&(*values)[i])) return false;
+  }
+  return true;
+}
+
+Status Malformed(const std::string& what) {
+  return Status::InvalidArgument("malformed " + what +
+                                 " body (truncated or inconsistent)");
+}
+
+}  // namespace
+
+std::string EncodeDetectRequest(const Dataset& dataset) {
+  return store::EncodeDatasetShard(dataset);
+}
+
+StatusOr<Dataset> DecodeDetectRequest(const std::string& payload) {
+  return store::DecodeDatasetShard(payload);
+}
+
+std::string EncodeDetectResponse(const WireDetectResponse& response) {
+  std::string out;
+  store::PutU64(&out, response.server_sequence);
+  PutStatus(&out, response.service_status);
+  PutU32Vector(&out, response.noisy_indices);
+  PutU32Vector(&out, response.clean_indices);
+  store::PutU64(&out, response.recovered_labels.size());
+  for (int32_t label : response.recovered_labels) {
+    store::PutI32(&out, label);
+  }
+  store::PutU64(&out, response.clean_bank_after);
+  store::PutU64(&out, response.model_updates_after);
+  store::PutU64(&out, response.requests_after);
+  store::PutF64(&out, response.queue_seconds);
+  store::PutF64(&out, response.process_seconds);
+  return out;
+}
+
+StatusOr<WireDetectResponse> DecodeDetectResponse(
+    const std::string& payload) {
+  store::BinaryReader reader(payload);
+  WireDetectResponse response;
+  if (!reader.ReadU64(&response.server_sequence) ||
+      !ReadStatus(&reader, &response.service_status) ||
+      !ReadU32Vector(&reader, &response.noisy_indices) ||
+      !ReadU32Vector(&reader, &response.clean_indices)) {
+    return Malformed("detect-response");
+  }
+  uint64_t recovered = 0;
+  if (!reader.ReadU64(&recovered) ||
+      recovered > reader.remaining() / 4) {
+    return Malformed("detect-response");
+  }
+  response.recovered_labels.resize(recovered);
+  for (uint64_t i = 0; i < recovered; ++i) {
+    if (!reader.ReadI32(&response.recovered_labels[i])) {
+      return Malformed("detect-response");
+    }
+  }
+  if (!reader.ReadU64(&response.clean_bank_after) ||
+      !reader.ReadU64(&response.model_updates_after) ||
+      !reader.ReadU64(&response.requests_after) ||
+      !reader.ReadF64(&response.queue_seconds) ||
+      !reader.ReadF64(&response.process_seconds) ||
+      reader.remaining() != 0) {
+    return Malformed("detect-response");
+  }
+  return response;
+}
+
+std::string EncodeErrorBody(const Status& status) {
+  std::string out;
+  PutStatus(&out, status);
+  return out;
+}
+
+Status DecodeErrorBody(const std::string& payload, Status* carried) {
+  store::BinaryReader reader(payload);
+  if (!ReadStatus(&reader, carried) || reader.remaining() != 0) {
+    return Malformed("error");
+  }
+  return Status::OK();
+}
+
+}  // namespace rpc
+}  // namespace enld

@@ -1,0 +1,78 @@
+#ifndef ENLD_RPC_MESSAGE_H_
+#define ENLD_RPC_MESSAGE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "data/dataset.h"
+
+namespace enld {
+namespace rpc {
+
+/// Frame payload bodies of the serving protocol (docs/SERVING.md §2).
+///
+/// A detect request ships the arriving Dataset in the store's shard byte
+/// format (store/shard.h) — the exact CRC'd columnar encoding snapshots
+/// use on disk, so the wire inherits its per-section checksums and its
+/// byte-for-byte round-trip guarantee for free.
+///
+/// A detect response carries the service Status plus the detection verdict
+/// and the post-request platform state a remote caller needs to render the
+/// request without ever reading the live platform: indices always refer to
+/// rows of the dataset as sent (the admission remapping already happened
+/// server-side). Bodies travel inside CRC'd frames, so truncation here
+/// means an encoder bug, not wire damage: decode failures are
+/// InvalidArgument.
+
+/// Encodes the arriving dataset as a detect-request payload.
+std::string EncodeDetectRequest(const Dataset& dataset);
+
+/// Decodes a detect-request payload back into a Dataset, re-validating
+/// every section CRC and the column invariants.
+StatusOr<Dataset> DecodeDetectRequest(const std::string& payload);
+
+/// Everything a remote caller learns about one completed request.
+struct WireDetectResponse {
+  /// Pipeline submission sequence on the server (1-based) — the identity
+  /// used in server-side audit trails; distinct from the frame sequence,
+  /// which the client chose.
+  uint64_t server_sequence = 0;
+  /// The service-level outcome: OK, InvalidArgument (bad request),
+  /// DeadlineExceeded (budget blown), FailedPrecondition (shutting down)…
+  /// The detection fields below are meaningful only when this is OK.
+  Status service_status = Status::OK();
+  std::vector<uint32_t> noisy_indices;
+  std::vector<uint32_t> clean_indices;
+  /// Recovered labels for missing-label samples, parallel to the request
+  /// dataset (kMissingLabel where not applicable); empty when the request
+  /// had no missing labels.
+  std::vector<int32_t> recovered_labels;
+  /// framework().selected_clean_count() right after this request.
+  uint64_t clean_bank_after = 0;
+  /// stats().model_updates right after this request.
+  uint64_t model_updates_after = 0;
+  /// stats().requests right after this request.
+  uint64_t requests_after = 0;
+  /// Server-side queue wait and service time for this request.
+  double queue_seconds = 0.0;
+  double process_seconds = 0.0;
+};
+
+std::string EncodeDetectResponse(const WireDetectResponse& response);
+StatusOr<WireDetectResponse> DecodeDetectResponse(const std::string& payload);
+
+/// Body of a kError frame: a bare Status describing a wire/protocol-level
+/// failure (decode failure, server overload, injected wire fault).
+/// Retryable codes (kUnavailable) tell the client to resend; anything else
+/// is a hard protocol error.
+std::string EncodeErrorBody(const Status& status);
+/// Parses the carried Status into `*carried`; the return value reports the
+/// decode itself (InvalidArgument on a malformed body).
+Status DecodeErrorBody(const std::string& payload, Status* carried);
+
+}  // namespace rpc
+}  // namespace enld
+
+#endif  // ENLD_RPC_MESSAGE_H_

@@ -1,0 +1,48 @@
+#ifndef ENLD_RPC_NET_H_
+#define ENLD_RPC_NET_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "rpc/frame.h"
+
+namespace enld {
+namespace rpc {
+
+/// Blocking socket I/O shared by the server and the client. All traffic is
+/// counted into the telemetry registry ("rpc/bytes_read",
+/// "rpc/bytes_written"), mirroring the store's byte accounting.
+///
+/// Error contract: a peer that closes cleanly *between* frames surfaces as
+/// NotFound ("connection closed") so the server's per-connection loop can
+/// tell a finished client from a damaged one; every other transport
+/// failure — mid-read EOF, ECONNRESET, EPIPE, short writes — is
+/// Unavailable, the retryable class.
+
+/// Reads exactly `size` bytes into `*out` (resized). NotFound on a clean
+/// EOF before the first byte, Unavailable on mid-read EOF or a socket
+/// error.
+Status ReadExact(int fd, size_t size, std::string* out);
+
+/// Writes all of `data` (EPIPE suppressed via MSG_NOSIGNAL; surfaces as
+/// Unavailable instead of killing the process).
+Status WriteAll(int fd, const std::string& data);
+
+/// Reads one frame without verifying the payload checksum: fixed prefix,
+/// header validation, then the declared payload bytes. The caller runs
+/// VerifyFramePayload — the server injects wire faults between the raw
+/// read and the verification, which is what keeps an injected corruption
+/// indistinguishable from a real one.
+StatusOr<Frame> ReadFrameRaw(int fd);
+
+/// ReadFrameRaw + VerifyFramePayload.
+StatusOr<Frame> ReadFrame(int fd);
+
+/// Encodes and writes one complete frame.
+Status WriteFrame(int fd, const FrameHeader& header,
+                  const std::string& payload);
+
+}  // namespace rpc
+}  // namespace enld
+
+#endif  // ENLD_RPC_NET_H_

@@ -1,0 +1,361 @@
+#include "rpc/server.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <future>
+#include <thread>
+#include <utility>
+
+#include "common/faults.h"
+#include "common/telemetry/metrics.h"
+#include "rpc/message.h"
+#include "rpc/net.h"
+
+namespace enld {
+namespace rpc {
+
+namespace {
+
+struct ServerMetrics {
+  telemetry::Counter* connections;
+  telemetry::Counter* requests;
+  telemetry::Counter* responses;
+  telemetry::Counter* wire_errors;
+  telemetry::Counter* deadline_propagated;
+
+  static const ServerMetrics& Get() {
+    static const ServerMetrics m = [] {
+      auto& registry = telemetry::MetricsRegistry::Global();
+      return ServerMetrics{registry.GetCounter("rpc/connections"),
+                           registry.GetCounter("rpc/requests"),
+                           registry.GetCounter("rpc/responses"),
+                           registry.GetCounter("rpc/wire_errors"),
+                           registry.GetCounter("rpc/deadline_propagated")};
+    }();
+    return m;
+  }
+};
+
+/// How long one rpc/delay fire stalls a request — long enough to be
+/// visible in latency percentiles, short enough for chaos drills.
+constexpr auto kInjectedDelay = std::chrono::milliseconds(20);
+
+/// Applies the armed wire faults to a just-read request frame, before the
+/// payload checksum is verified or the frame is interpreted. Returns false
+/// when the connection must be closed without a reply (drop). Truncation
+/// and corruption damage the buffered payload; the regular verification
+/// path then reports them exactly as it would report real wire damage.
+bool ApplyWireFaults(Frame* frame, bool* dropped) {
+  *dropped = false;
+  if (!faults::Enabled()) return true;
+  if (faults::ShouldFail("rpc/delay")) {
+    std::this_thread::sleep_for(kInjectedDelay);
+  }
+  if (faults::ShouldFail("rpc/drop_frame")) {
+    *dropped = true;
+    return false;
+  }
+  if (faults::ShouldFail("rpc/truncate_frame")) {
+    frame->payload.resize(frame->payload.size() / 2);
+  }
+  if (faults::ShouldFail("rpc/corrupt_frame")) {
+    if (!frame->payload.empty()) {
+      frame->payload[frame->payload.size() / 2] ^= 0x40;
+    } else {
+      // Nothing to corrupt in the payload: damage the declared checksum
+      // instead, so the fire is still observable as a CRC mismatch.
+      frame->header.payload_crc ^= 0x1;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+RpcServer::RpcServer(DataPlatform* platform, ServerConfig config)
+    : platform_(platform), config_(std::move(config)) {}
+
+RpcServer::~RpcServer() { Shutdown(); }
+
+Status RpcServer::Start() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (started_) {
+      return Status::FailedPrecondition("server already started");
+    }
+    started_ = true;
+  }
+
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) {
+    return Status::Unavailable(std::string("socket() failed: ") +
+                               std::strerror(errno));
+  }
+  const int enable = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &enable,
+               sizeof(enable));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(config_.port));
+  if (::inet_pton(AF_INET, config_.host.c_str(), &addr.sin_addr) != 1) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return Status::InvalidArgument("bad numeric IPv4 host '" + config_.host +
+                                   "'");
+  }
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr),
+             sizeof(addr)) != 0) {
+    const Status status = Status::Unavailable(
+        "bind(" + config_.host + ":" + std::to_string(config_.port) +
+        ") failed: " + std::strerror(errno));
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return status;
+  }
+  if (::listen(listen_fd_, config_.listen_backlog) != 0) {
+    const Status status = Status::Unavailable(
+        std::string("listen() failed: ") + std::strerror(errno));
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return status;
+  }
+  sockaddr_in bound{};
+  socklen_t bound_len = sizeof(bound);
+  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound),
+                    &bound_len) == 0) {
+    port_ = ntohs(bound.sin_port);
+  }
+
+  pipeline_ = std::make_unique<RequestPipeline>(platform_, config_.pipeline);
+  accept_thread_ = std::thread([this] { AcceptLoop(); });
+  return Status::OK();
+}
+
+void RpcServer::AcceptLoop() {
+  while (true) {
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (stopping_) {
+        if (fd >= 0) ::close(fd);
+        return;
+      }
+      if (fd < 0) {
+        if (errno == EINTR) continue;
+        return;  // listen socket gone; Shutdown is tearing us down
+      }
+      if (connection_fds_.size() >= config_.max_connections) {
+        // Front-door shedding: tell the client the server is saturated
+        // (retryable) instead of letting it queue invisibly in the
+        // backlog.
+        ++counters_.connections_rejected;
+        FrameHeader header;
+        header.type = FrameType::kError;
+        WriteFrame(fd, header,
+                   EncodeErrorBody(Status::Unavailable(
+                       "server at max_connections; retry later")));
+        ::close(fd);
+        continue;
+      }
+      ++counters_.connections_accepted;
+      connection_fds_.insert(fd);
+      connection_threads_.emplace_back(
+          [this, fd] { ServeConnection(fd); });
+    }
+    ServerMetrics::Get().connections->Increment();
+  }
+}
+
+Status RpcServer::SendError(int fd, uint64_t sequence, const Status& error) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++counters_.wire_errors;
+  }
+  ServerMetrics::Get().wire_errors->Increment();
+  FrameHeader header;
+  header.type = FrameType::kError;
+  header.sequence = sequence;
+  return WriteFrame(fd, header, EncodeErrorBody(error));
+}
+
+Status RpcServer::ServeDetect(int fd, const Frame& frame) {
+  StatusOr<Dataset> dataset = DecodeDetectRequest(frame.payload);
+  if (!dataset.ok()) {
+    // The frame survived its CRC, so this is a malformed shard payload —
+    // a client bug, not wire damage. Non-retryable error frame.
+    return SendError(fd, frame.header.sequence, dataset.status());
+  }
+
+  SubmitOptions options;
+  if (frame.header.deadline_seconds > 0.0) {
+    options.deadline_seconds = frame.header.deadline_seconds;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      ++counters_.deadline_propagated;
+    }
+    ServerMetrics::Get().deadline_propagated->Increment();
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++counters_.requests;
+  }
+  ServerMetrics::Get().requests->Increment();
+
+  // Closed loop per connection: block here until the dispatcher finishes
+  // this request. The pipeline's bounded queue is what pushes back on a
+  // flood of connections.
+  std::future<PipelineResponse> future =
+      pipeline_->Submit(std::move(*dataset), options);
+  PipelineResponse response = future.get();
+
+  WireDetectResponse wire;
+  wire.server_sequence = response.sequence;
+  wire.service_status = response.result.status();
+  if (response.result.ok()) {
+    const DetectionResult& result = *response.result;
+    wire.noisy_indices.assign(result.noisy_indices.begin(),
+                              result.noisy_indices.end());
+    wire.clean_indices.assign(result.clean_indices.begin(),
+                              result.clean_indices.end());
+    wire.recovered_labels.assign(result.recovered_labels.begin(),
+                                 result.recovered_labels.end());
+  }
+  wire.clean_bank_after = response.clean_bank_after;
+  wire.model_updates_after = response.stats_after.model_updates;
+  wire.requests_after = response.stats_after.requests;
+  wire.queue_seconds = response.queue_seconds;
+  wire.process_seconds = response.process_seconds;
+
+  FrameHeader header;
+  header.type = FrameType::kDetectResponse;
+  header.sequence = frame.header.sequence;
+  const Status written =
+      WriteFrame(fd, header, EncodeDetectResponse(wire));
+  if (written.ok()) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      ++counters_.responses;
+    }
+    ServerMetrics::Get().responses->Increment();
+  }
+  return written;
+}
+
+void RpcServer::ServeConnection(int fd) {
+  while (true) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (stopping_) break;
+    }
+    StatusOr<Frame> read = ReadFrameRaw(fd);
+    if (!read.ok()) {
+      if (read.status().code() == StatusCode::kNotFound) break;  // clean EOF
+      if (read.status().code() == StatusCode::kUnavailable) break;  // torn
+      // Protocol violation (bad magic/version/oversized): tell the peer
+      // why, then hang up — the stream cannot be resynchronized.
+      SendError(fd, 0, read.status());
+      break;
+    }
+    Frame frame = std::move(*read);
+
+    bool dropped = false;
+    if (!ApplyWireFaults(&frame, &dropped)) {
+      std::lock_guard<std::mutex> lock(mu_);
+      ++counters_.dropped_frames;
+      break;  // injected drop: close without a reply, like a dead link
+    }
+
+    const Status payload_ok =
+        VerifyFramePayload(frame.header, frame.payload);
+    if (!payload_ok.ok()) {
+      // Wire damage (real or injected): retryable error frame; framing is
+      // intact (we read the declared byte count), so keep the connection.
+      if (!SendError(fd, frame.header.sequence, payload_ok).ok()) break;
+      continue;
+    }
+
+    if (frame.header.type == FrameType::kShutdown) {
+      FrameHeader ack;
+      ack.type = FrameType::kShutdownAck;
+      ack.sequence = frame.header.sequence;
+      WriteFrame(fd, ack, "");
+      RequestShutdown();
+      break;
+    }
+    if (frame.header.type != FrameType::kDetectRequest) {
+      if (!SendError(fd, frame.header.sequence,
+                     Status::InvalidArgument(
+                         "frame type not servable by this endpoint"))
+               .ok()) {
+        break;
+      }
+      continue;
+    }
+    if (!ServeDetect(fd, frame).ok()) break;
+  }
+
+  ::close(fd);
+  std::lock_guard<std::mutex> lock(mu_);
+  connection_fds_.erase(fd);
+}
+
+void RpcServer::WaitForShutdown() {
+  std::unique_lock<std::mutex> lock(mu_);
+  shutdown_cv_.wait(lock, [this] { return stopping_; });
+}
+
+void RpcServer::RequestShutdown() {
+  std::lock_guard<std::mutex> lock(mu_);
+  stopping_ = true;
+  shutdown_cv_.notify_all();
+}
+
+Status RpcServer::Shutdown() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!started_) return Status::OK();
+    stopping_ = true;
+    shutdown_cv_.notify_all();
+  }
+
+  if (listen_fd_ >= 0) {
+    // Closing the listen socket unblocks accept(); the loop then sees
+    // stopping_ and exits.
+    ::shutdown(listen_fd_, SHUT_RDWR);
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+  if (accept_thread_.joinable()) accept_thread_.join();
+
+  {
+    // Unblock handlers parked in recv(); they close their own fds.
+    std::lock_guard<std::mutex> lock(mu_);
+    for (int fd : connection_fds_) ::shutdown(fd, SHUT_RDWR);
+  }
+  std::vector<std::thread> handlers;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    handlers.swap(connection_threads_);
+  }
+  for (std::thread& handler : handlers) {
+    if (handler.joinable()) handler.join();
+  }
+
+  if (pipeline_ == nullptr) return Status::OK();
+  return pipeline_->Shutdown();
+}
+
+RpcServer::Counters RpcServer::counters() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return counters_;
+}
+
+}  // namespace rpc
+}  // namespace enld

@@ -1,0 +1,134 @@
+#ifndef ENLD_RPC_SERVER_H_
+#define ENLD_RPC_SERVER_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/status.h"
+#include "enld/pipeline.h"
+#include "rpc/frame.h"
+
+namespace enld {
+namespace rpc {
+
+/// The wire-level serving front-end (docs/SERVING.md): a framed TCP
+/// socket server putting `RequestPipeline` — and through it one
+/// `DataPlatform` — on the network.
+///
+/// Shape: one accept thread, one handler thread per connection, one
+/// shared RequestPipeline. Each handler reads one frame, dispatches it,
+/// and writes the reply before reading the next — a closed loop per
+/// connection, so responses on a connection always arrive in that
+/// connection's request order. Concurrency comes from multiple
+/// connections; the pipeline's single dispatcher still serializes
+/// platform access, preserving the byte-identical-to-sequential
+/// determinism contract.
+///
+/// Backpressure composes end to end: the pipeline's bounded queue blocks
+/// `Submit`, which blocks the handler, which stops reading its socket,
+/// which fills the kernel receive buffer, which blocks the remote
+/// producer — no layer buffers unboundedly.
+///
+/// Deadline propagation: a request frame's deadline header (seconds)
+/// overrides the platform's request_deadline_seconds for that request
+/// only, via `SubmitOptions::deadline_seconds` (0 on the wire = no
+/// deadline requested = server default applies).
+///
+/// Wire fault sites (docs/ROBUSTNESS.md §1), all checked between reading
+/// a request frame and interpreting it — before the pipeline is touched,
+/// so a client retry never re-executes detection and chaos-drill output
+/// stays byte-identical to a fault-free run:
+///
+///   rpc/delay           stalls the request ~20 ms (latency site)
+///   rpc/drop_frame      drops the request and closes the connection
+///   rpc/truncate_frame  truncates the received payload (CRC then fails)
+///   rpc/corrupt_frame   flips one payload byte (CRC then fails)
+///
+/// Telemetry: rpc/connections, rpc/requests, rpc/responses,
+/// rpc/wire_errors, rpc/deadline_propagated, rpc/bytes_read,
+/// rpc/bytes_written, rpc/crc_failures.
+struct ServerConfig {
+  /// Numeric IPv4 address to bind; loopback by default.
+  std::string host = "127.0.0.1";
+  /// TCP port; 0 binds an ephemeral port (read it back with port()).
+  int port = 0;
+  int listen_backlog = 64;
+  /// Connections beyond this are accepted and immediately closed with a
+  /// kError(Unavailable) frame — overload shedding at the front door.
+  size_t max_connections = 64;
+  /// Configuration of the RequestPipeline the server fronts (queue
+  /// capacity, batching, shedding, snapshot hook).
+  PipelineConfig pipeline;
+};
+
+class RpcServer {
+ public:
+  /// `platform` must be initialized and outlive the server.
+  RpcServer(DataPlatform* platform, ServerConfig config);
+  ~RpcServer();
+
+  RpcServer(const RpcServer&) = delete;
+  RpcServer& operator=(const RpcServer&) = delete;
+
+  /// Binds, listens and starts the accept loop. Fails with Unavailable on
+  /// socket errors (port in use, …). Call at most once.
+  Status Start();
+
+  /// The bound TCP port (after Start); useful with `port = 0`.
+  int port() const { return port_; }
+
+  /// Blocks until a kShutdown frame arrives or Shutdown() is called.
+  void WaitForShutdown();
+
+  /// Stops accepting, unblocks every connection, joins all threads and
+  /// drains the pipeline. Idempotent; returns the pipeline's deferred
+  /// snapshot status. Also run by the destructor.
+  Status Shutdown();
+
+  /// Monotonic serving counters (also exported as rpc/* telemetry).
+  struct Counters {
+    uint64_t connections_accepted = 0;
+    uint64_t connections_rejected = 0;  ///< over max_connections
+    uint64_t requests = 0;              ///< detect requests dispatched
+    uint64_t responses = 0;             ///< detect responses written
+    uint64_t wire_errors = 0;           ///< kError frames written
+    uint64_t dropped_frames = 0;        ///< rpc/drop_frame fires
+    uint64_t deadline_propagated = 0;   ///< requests with a wire deadline
+  };
+  Counters counters() const;
+
+ private:
+  void AcceptLoop();
+  void ServeConnection(int fd);
+  /// Handles one verified detect-request frame on `fd`.
+  Status ServeDetect(int fd, const Frame& frame);
+  Status SendError(int fd, uint64_t sequence, const Status& error);
+  void RequestShutdown();
+
+  DataPlatform* platform_;
+  ServerConfig config_;
+  std::unique_ptr<RequestPipeline> pipeline_;
+
+  int listen_fd_ = -1;
+  int port_ = 0;
+  std::thread accept_thread_;
+
+  mutable std::mutex mu_;
+  std::condition_variable shutdown_cv_;
+  bool stopping_ = false;
+  bool started_ = false;
+  std::set<int> connection_fds_;
+  std::vector<std::thread> connection_threads_;
+  Counters counters_;
+};
+
+}  // namespace rpc
+}  // namespace enld
+
+#endif  // ENLD_RPC_SERVER_H_

@@ -208,6 +208,94 @@ TEST_F(PipelineTest, DropStaleInQueueShedsExpiredRequests) {
   EXPECT_EQ(pipeline.counters().queue_deadline_drops, 1u);
 }
 
+TEST_F(PipelineTest, QueueWaitBudgetIsDistinctFromServiceDeadline) {
+  // No service deadline at all: shedding here can only come from the
+  // dedicated queue-wait budget.
+  DataPlatform platform(FastPlatformConfig());
+  ASSERT_TRUE(platform.Initialize(workload_->inventory).ok());
+
+  // The first request stalls ~100 ms (real) in admission; the request
+  // queued behind it waits at least that long — over the queue budget.
+  faults::ArmSite("platform/slow_admission", 1.0, /*max_fires=*/1,
+                  /*burst_limit=*/0);
+  PipelineConfig pipeline_config;
+  pipeline_config.drop_stale_in_queue = true;
+  pipeline_config.queue_wait_budget_seconds = kQueueBudget;
+  RequestPipeline pipeline(&platform, pipeline_config);
+
+  auto slow = pipeline.Submit(workload_->incremental[0]);
+  auto stale = pipeline.Submit(workload_->incremental[1]);
+  // With no service deadline the slow request itself completes fine…
+  EXPECT_TRUE(slow.get().result.ok());
+  // …while the one behind it is shed purely for its queue wait.
+  PipelineResponse shed = stale.get();
+  EXPECT_EQ(shed.result.status().code(), StatusCode::kDeadlineExceeded);
+  EXPECT_GT(shed.queue_seconds, kQueueBudget);
+  EXPECT_TRUE(pipeline.Shutdown().ok());
+
+  EXPECT_EQ(platform.stats().requests, 1u);
+  EXPECT_EQ(platform.stats().requests_deadline_exceeded, 0u);
+  const RequestPipeline::Counters counters = pipeline.counters();
+  EXPECT_EQ(counters.queue_deadline_drops, 1u);
+  EXPECT_EQ(counters.hol_blocked, 1u);
+}
+
+TEST_F(PipelineTest, HeadOfLineBlockingIsCountedWithoutShedding) {
+  DataPlatform platform(FastPlatformConfig());
+  ASSERT_TRUE(platform.Initialize(workload_->inventory).ok());
+
+  telemetry::Counter* hol = telemetry::MetricsRegistry::Global().GetCounter(
+      "pipeline/hol_blocked");
+  const uint64_t hol_before = hol->Value();
+
+  faults::ArmSite("platform/slow_admission", 1.0, /*max_fires=*/1,
+                  /*burst_limit=*/0);
+  PipelineConfig pipeline_config;
+  pipeline_config.queue_wait_budget_seconds = kQueueBudget;
+  // drop_stale_in_queue stays off: the alarm counts, nothing is shed.
+  RequestPipeline pipeline(&platform, pipeline_config);
+
+  auto slow = pipeline.Submit(workload_->incremental[0]);
+  auto blocked = pipeline.Submit(workload_->incremental[1]);
+  EXPECT_TRUE(slow.get().result.ok());
+  PipelineResponse response = blocked.get();
+  EXPECT_TRUE(response.result.ok());
+  EXPECT_GT(response.queue_seconds, kQueueBudget);
+  EXPECT_TRUE(pipeline.Shutdown().ok());
+
+  // Both requests were served; the blocked one was counted as HOL-hit.
+  EXPECT_EQ(platform.stats().requests, 2u);
+  EXPECT_EQ(pipeline.counters().hol_blocked, 1u);
+  EXPECT_EQ(pipeline.counters().queue_deadline_drops, 0u);
+  EXPECT_EQ(hol->Value(), hol_before + 1);
+}
+
+TEST_F(PipelineTest, SubmitOptionsDeadlineOverridesPlatformBudget) {
+  // The platform itself has no deadline; only the per-request override
+  // (the RPC front-end's wire header path) imposes one.
+  DataPlatform platform(FastPlatformConfig());
+  ASSERT_TRUE(platform.Initialize(workload_->inventory).ok());
+
+  faults::ArmSite("platform/slow_detect", 1.0, /*max_fires=*/1,
+                  /*burst_limit=*/0);
+  RequestPipeline pipeline(&platform, PipelineConfig{});
+
+  SubmitOptions bounded;
+  bounded.deadline_seconds = kBudget;
+  auto slow = pipeline.Submit(workload_->incremental[0], bounded);
+  auto plain = pipeline.Submit(workload_->incremental[1]);
+
+  // The stall charges the overridden budget, so the bounded request blows
+  // its deadline while the default-budget (= none) request is unaffected.
+  EXPECT_EQ(slow.get().result.status().code(),
+            StatusCode::kDeadlineExceeded);
+  EXPECT_TRUE(plain.get().result.ok());
+  EXPECT_TRUE(pipeline.Shutdown().ok());
+
+  ASSERT_EQ(platform.deadline_audit().size(), 1u);
+  EXPECT_EQ(platform.deadline_audit()[0].budget_seconds, kBudget);
+}
+
 TEST_F(PipelineTest, ShutdownDrainsEveryQueuedRequest) {
   DataPlatform platform(FastPlatformConfig());
   ASSERT_TRUE(platform.Initialize(workload_->inventory).ok());

@@ -262,5 +262,38 @@ TEST_F(PlatformFaultTest, DeadlineAfterDetectionDiscardsResult) {
   EXPECT_EQ(platform.stats().requests, 1u);
 }
 
+TEST_F(PlatformFaultTest, DeadlineOverrideReplacesConfigBudgetPerRequest) {
+  // The config has no budget; a positive per-request override (the wire
+  // deadline header path, docs/SERVING.md §4) imposes one anyway.
+  DataPlatform platform(FastPlatformConfig());
+  ASSERT_TRUE(platform.Initialize(workload_->inventory).ok());
+  faults::ArmSite("platform/slow_detect", 1.0, /*max_fires=*/1,
+                  /*burst_limit=*/0);
+  const auto bounded =
+      platform.Process(workload_->incremental[0], /*deadline=*/kBudget);
+  ASSERT_FALSE(bounded.ok());
+  EXPECT_EQ(bounded.status().code(), StatusCode::kDeadlineExceeded);
+  ASSERT_EQ(platform.deadline_audit().size(), 1u);
+  EXPECT_DOUBLE_EQ(platform.deadline_audit()[0].budget_seconds, kBudget);
+  // The default (negative) override keeps the config's no-deadline policy.
+  EXPECT_TRUE(platform.Process(workload_->incremental[1]).ok());
+}
+
+TEST_F(PlatformFaultTest, ZeroDeadlineOverrideDisablesConfigBudget) {
+  // The config budget would fail the stalled request; an explicit 0
+  // override disables the deadline for this request only.
+  DataPlatformConfig config = FastPlatformConfig();
+  config.request_deadline_seconds = kBudget;
+  DataPlatform platform(config);
+  ASSERT_TRUE(platform.Initialize(workload_->inventory).ok());
+  faults::ArmSite("platform/slow_detect", 1.0, /*max_fires=*/2,
+                  /*burst_limit=*/0);
+  EXPECT_TRUE(
+      platform.Process(workload_->incremental[0], /*deadline=*/0.0).ok());
+  // The next stalled request runs under the config budget again.
+  EXPECT_EQ(platform.Process(workload_->incremental[1]).status().code(),
+            StatusCode::kDeadlineExceeded);
+}
+
 }  // namespace
 }  // namespace enld

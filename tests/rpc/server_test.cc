@@ -1,0 +1,239 @@
+// End-to-end serving coverage (docs/SERVING.md): a real loopback socket
+// between RpcClient and RpcServer. The load-bearing properties: responses
+// are byte-identical to the in-process sequential Process loop — including
+// under the full rpc/* wire-fault matrix, because every injected fault
+// fires before the pipeline is touched and the client's retries are
+// therefore idempotent; the wire deadline header propagates into the
+// platform's per-request budget; overload is shed with a retryable error;
+// protocol violations are answered and the connection closed.
+
+#include "rpc/server.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/faults.h"
+#include "data/workload.h"
+#include "rpc/client.h"
+#include "test_util.h"
+
+namespace enld {
+namespace rpc {
+namespace {
+
+using testing_util::TinyGeneralConfig;
+using testing_util::TinyWorkloadConfig;
+
+DataPlatformConfig FastPlatformConfig() {
+  DataPlatformConfig config;
+  config.enld.general = TinyGeneralConfig();
+  config.enld.iterations = 3;
+  config.enld.steps_per_iteration = 3;
+  return config;
+}
+
+/// Reference state after each request of the sequential in-process loop.
+struct SequentialStep {
+  DetectionResult result;
+  size_t clean_bank = 0;
+  uint64_t requests = 0;
+};
+
+std::vector<SequentialStep> RunSequential(const DataPlatformConfig& config,
+                                          const Workload& workload) {
+  DataPlatform platform(config);
+  EXPECT_TRUE(platform.Initialize(workload.inventory).ok());
+  std::vector<SequentialStep> steps;
+  for (const Dataset& d : workload.incremental) {
+    const auto result = platform.Process(d);
+    EXPECT_TRUE(result.ok());
+    SequentialStep step;
+    step.result = result.value();
+    step.clean_bank = platform.framework().selected_clean_count();
+    step.requests = platform.stats().requests;
+    steps.push_back(std::move(step));
+  }
+  return steps;
+}
+
+class ServerTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    workload_ = new Workload(BuildWorkload(TinyWorkloadConfig(0.2)));
+  }
+  static void TearDownTestSuite() {
+    delete workload_;
+    workload_ = nullptr;
+  }
+  void SetUp() override { faults::Clear(); }
+  void TearDown() override {
+    faults::Clear();
+    server_.reset();
+    platform_.reset();
+  }
+
+  /// Initializes a platform from the fixture workload and serves it on an
+  /// ephemeral loopback port.
+  void StartServer(DataPlatformConfig platform_config = FastPlatformConfig(),
+                   ServerConfig server_config = ServerConfig()) {
+    platform_ = std::make_unique<DataPlatform>(platform_config);
+    ASSERT_TRUE(platform_->Initialize(workload_->inventory).ok());
+    server_ = std::make_unique<RpcServer>(platform_.get(), server_config);
+    ASSERT_TRUE(server_->Start().ok());
+  }
+
+  RpcClient MakeClient() {
+    ClientConfig config;
+    config.port = server_->port();
+    return RpcClient(config);
+  }
+
+  /// Streams the whole workload through `client` and checks every response
+  /// against the sequential reference, field for field.
+  void ExpectStreamMatches(RpcClient& client,
+                           const std::vector<SequentialStep>& expected) {
+    for (size_t i = 0; i < workload_->incremental.size(); ++i) {
+      SCOPED_TRACE("request=" + std::to_string(i));
+      const StatusOr<WireDetectResponse> response =
+          client.Detect(workload_->incremental[i]);
+      ASSERT_TRUE(response.ok()) << response.status().ToString();
+      ASSERT_TRUE(response->service_status.ok())
+          << response->service_status.ToString();
+      const SequentialStep& want = expected[i];
+      const std::vector<uint32_t> want_noisy(
+          want.result.noisy_indices.begin(), want.result.noisy_indices.end());
+      const std::vector<uint32_t> want_clean(
+          want.result.clean_indices.begin(), want.result.clean_indices.end());
+      const std::vector<int32_t> want_recovered(
+          want.result.recovered_labels.begin(),
+          want.result.recovered_labels.end());
+      EXPECT_EQ(response->noisy_indices, want_noisy);
+      EXPECT_EQ(response->clean_indices, want_clean);
+      EXPECT_EQ(response->recovered_labels, want_recovered);
+      EXPECT_EQ(response->clean_bank_after, want.clean_bank);
+      EXPECT_EQ(response->requests_after, want.requests);
+      EXPECT_EQ(response->server_sequence, i + 1);
+    }
+  }
+
+  static Workload* workload_;
+  std::unique_ptr<DataPlatform> platform_;
+  std::unique_ptr<RpcServer> server_;
+};
+
+Workload* ServerTest::workload_ = nullptr;
+
+TEST_F(ServerTest, ServedStreamMatchesSequentialByteForByte) {
+  const std::vector<SequentialStep> expected =
+      RunSequential(FastPlatformConfig(), *workload_);
+  StartServer();
+  RpcClient client = MakeClient();
+  ExpectStreamMatches(client, expected);
+
+  ASSERT_TRUE(client.SendShutdown().ok());
+  server_->WaitForShutdown();
+  EXPECT_TRUE(server_->Shutdown().ok());
+  const RpcServer::Counters counters = server_->counters();
+  EXPECT_EQ(counters.requests, workload_->incremental.size());
+  EXPECT_EQ(counters.responses, workload_->incremental.size());
+  EXPECT_EQ(counters.wire_errors, 0u);
+}
+
+TEST_F(ServerTest, WireFaultMatrixStaysByteIdentical) {
+  const std::vector<SequentialStep> expected =
+      RunSequential(FastPlatformConfig(), *workload_);
+  StartServer();
+  // The full wire-fault matrix, every site guaranteed to fire: delays,
+  // dropped requests (connection killed without a reply), truncated and
+  // corrupted payloads (CRC failure error frames). All fire before the
+  // pipeline sees the request, so the client's resends are idempotent and
+  // the served stream must still match the fault-free sequential run.
+  faults::ArmSite("rpc/delay", 1.0, /*max_fires=*/2, /*burst_limit=*/0);
+  faults::ArmSite("rpc/drop_frame", 1.0, /*max_fires=*/1, /*burst_limit=*/0);
+  faults::ArmSite("rpc/truncate_frame", 1.0, /*max_fires=*/1,
+                  /*burst_limit=*/0);
+  faults::ArmSite("rpc/corrupt_frame", 1.0, /*max_fires=*/1,
+                  /*burst_limit=*/0);
+
+  RpcClient client = MakeClient();
+  ExpectStreamMatches(client, expected);
+
+  // Every site actually fired…
+  for (const faults::FaultSiteStats& site : faults::Stats()) {
+    EXPECT_GT(site.fires, 0u) << site.site;
+  }
+  // …and the platform still served each request exactly once.
+  EXPECT_EQ(platform_->stats().requests, workload_->incremental.size());
+  const RpcServer::Counters counters = server_->counters();
+  EXPECT_EQ(counters.dropped_frames, 1u);
+  // Truncation and corruption may damage the same frame (one CRC-failure
+  // error frame) or different frames (two) — at least one was reported.
+  EXPECT_GE(counters.wire_errors, 1u);
+  EXPECT_TRUE(server_->Shutdown().ok());
+}
+
+TEST_F(ServerTest, WireDeadlineHeaderPropagatesToPlatformBudget) {
+  // No server-side default budget: only the wire header can impose one.
+  StartServer();
+  // The first detect stalls; the stall charges the request's whole budget,
+  // so the request with a wire deadline must blow it while the
+  // header-less request after it is served normally.
+  faults::ArmSite("platform/slow_detect", 1.0, /*max_fires=*/1,
+                  /*burst_limit=*/0);
+  RpcClient client = MakeClient();
+
+  const StatusOr<WireDetectResponse> bounded =
+      client.Detect(workload_->incremental[0], /*deadline_seconds=*/30.0);
+  ASSERT_TRUE(bounded.ok()) << bounded.status().ToString();
+  EXPECT_EQ(bounded->service_status.code(), StatusCode::kDeadlineExceeded);
+
+  const StatusOr<WireDetectResponse> unbounded =
+      client.Detect(workload_->incremental[1]);
+  ASSERT_TRUE(unbounded.ok()) << unbounded.status().ToString();
+  EXPECT_TRUE(unbounded->service_status.ok());
+
+  EXPECT_EQ(server_->counters().deadline_propagated, 1u);
+  ASSERT_EQ(platform_->deadline_audit().size(), 1u);
+  EXPECT_EQ(platform_->deadline_audit()[0].budget_seconds, 30.0);
+  EXPECT_TRUE(server_->Shutdown().ok());
+}
+
+TEST_F(ServerTest, OverloadIsShedWithRetryableError) {
+  ServerConfig config;
+  config.max_connections = 0;  // shed every connection at the front door
+  StartServer(FastPlatformConfig(), config);
+
+  ClientConfig client_config;
+  client_config.port = server_->port();
+  client_config.retry.max_attempts = 2;
+  RpcClient client(client_config);
+  const StatusOr<WireDetectResponse> response =
+      client.Detect(workload_->incremental[0]);
+  ASSERT_FALSE(response.ok());
+  EXPECT_EQ(response.status().code(), StatusCode::kUnavailable);
+  EXPECT_GE(server_->counters().connections_rejected, 1u);
+  EXPECT_EQ(platform_->stats().requests, 0u);
+  EXPECT_TRUE(server_->Shutdown().ok());
+}
+
+TEST_F(ServerTest, ShutdownFrameDrainsAndStopsTheServer) {
+  StartServer();
+  RpcClient client = MakeClient();
+  const StatusOr<WireDetectResponse> served =
+      client.Detect(workload_->incremental[0]);
+  ASSERT_TRUE(served.ok());
+  ASSERT_TRUE(client.SendShutdown().ok());
+  server_->WaitForShutdown();  // returns because the frame arrived
+  EXPECT_TRUE(server_->Shutdown().ok());
+
+  // A fresh connection after shutdown cannot be served.
+  RpcClient late = MakeClient();
+  EXPECT_FALSE(late.Detect(workload_->incremental[0]).ok());
+}
+
+}  // namespace
+}  // namespace rpc
+}  // namespace enld

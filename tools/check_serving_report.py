@@ -1,0 +1,70 @@
+#!/usr/bin/env python3
+"""Validates a bench_serving telemetry run report (docs/SERVING.md §6).
+
+Usage: check_serving_report.py report.json
+
+Asserts the open-loop serving bench actually measured what it claims:
+an enld-telemetry-v1 report with p50/p99 latency quality keys for every
+(connections, qps) cell, sane percentile ordering (p50 <= p99), wire
+traffic recorded on the rpc/* byte counters, and at least one detect
+request served through the platform. Exits non-zero with a message per
+violation.
+"""
+
+import json
+import sys
+
+
+def main():
+    if len(sys.argv) != 2:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    with open(sys.argv[1]) as f:
+        report = json.load(f)
+
+    errors = []
+
+    if report.get("schema") != "enld-telemetry-v1":
+        errors.append(f"unexpected schema: {report.get('schema')!r}")
+    if report.get("method") != "bench-serving":
+        errors.append(f"unexpected method: {report.get('method')!r}")
+
+    quality = report.get("quality", {})
+    cells = sorted({key.rsplit("_", 2)[0] for key in quality
+                    if key.endswith("_p50_ms")})
+    if not cells:
+        errors.append("no *_p50_ms latency cells in quality")
+    for cell in cells:
+        p50 = quality.get(f"{cell}_p50_ms")
+        p99 = quality.get(f"{cell}_p99_ms")
+        qps = quality.get(f"{cell}_achieved_qps")
+        if p99 is None:
+            errors.append(f"cell {cell}: p50 present but p99 missing")
+            continue
+        if not (0 < p50 <= p99):
+            errors.append(
+                f"cell {cell}: bad percentile ordering p50={p50} p99={p99}")
+        if qps is None or qps <= 0:
+            errors.append(f"cell {cell}: achieved qps missing or zero")
+
+    counters = report.get("metrics", {}).get("counters", {})
+    for name in ("rpc/bytes_read", "rpc/bytes_written", "rpc/requests",
+                 "rpc/responses"):
+        if counters.get(name, 0) <= 0:
+            errors.append(f"counter {name} missing or zero")
+    if counters.get("rpc/responses", 0) > counters.get("rpc/requests", 0):
+        errors.append("more responses than requests on the rpc counters")
+    if counters.get("pipeline/completed", 0) <= 0:
+        errors.append("pipeline served no requests")
+
+    if errors:
+        for error in errors:
+            print(f"serving report: {error}", file=sys.stderr)
+        return 1
+    print(f"serving report OK: {len(cells)} cell(s), "
+          f"{int(counters.get('rpc/requests', 0))} wire request(s)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
