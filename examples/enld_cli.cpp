@@ -35,6 +35,16 @@
 //     reported instead of failing the load. Exit code 0 = all samples
 //     admitted, 2 = some quarantined, 1 = hard error.
 //
+// Serving subcommand (see docs/OBSERVABILITY.md):
+//   enld_cli stats <host:port> [--watch=<s>] [--retries=<n>] [--shutdown]
+//     Scrapes a running enld_server's live stats/health document (kStats
+//     frame) and prints the raw "enld-stats-v1" JSON to stdout. With
+//     --watch=<s>, instead re-scrapes every s seconds and prints one
+//     compact summary line per scrape until interrupted. --shutdown sends
+//     a shutdown frame after the (final) scrape, so CI drills can collect
+//     stats and stop the server in one invocation. Scrapes retry the same
+//     retryable wire-failure class as detect requests.
+//
 // Robustness flags (ingest / snapshot / resume):
 //   --max_retries=<n>        cap store IO retry attempts (default 5)
 //   --strict_admission=1     reject whole requests containing any invalid
@@ -48,11 +58,13 @@
 //                            fingerprint, so they may differ between the
 //                            writer and the resumer.
 
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <memory>
 #include <string>
+#include <thread>
 
 #include "baselines/co_teaching.h"
 #include "baselines/confident_learning.h"
@@ -70,7 +82,9 @@
 #include "eval/paper_setup.h"
 #include "eval/reporting.h"
 #include "enld/admission.h"
+#include "rpc/client.h"
 #include "store/io.h"
+#include "store/json.h"
 #include "store/manifest.h"
 #include "store/quarantine.h"
 #include "store/snapshot.h"
@@ -411,6 +425,102 @@ int RunValidate(int argc, char** argv) {
   return log.records().empty() ? 0 : 2;
 }
 
+/// Digs `path` (dot-separated keys) out of a parsed stats document;
+/// returns fallback when any step is missing or non-numeric.
+double StatsNumber(const store::JsonValue& doc, const std::string& path,
+                   double fallback) {
+  const store::JsonValue* node = &doc;
+  size_t start = 0;
+  while (start <= path.size()) {
+    const size_t dot = path.find('.', start);
+    const std::string key = path.substr(
+        start, dot == std::string::npos ? std::string::npos : dot - start);
+    node = node->Find(key);
+    if (node == nullptr) return fallback;
+    if (dot == std::string::npos) break;
+    start = dot + 1;
+  }
+  return node->is_number() ? node->AsNumber() : fallback;
+}
+
+/// `enld_cli stats`: scrape a running server's live stats document.
+int RunStats(int argc, char** argv) {
+  if (argc < 3 || argv[2][0] == '-') {
+    std::fprintf(stderr, "stats requires <host:port> as its first argument\n");
+    return 1;
+  }
+  const std::string target = argv[2];
+  const size_t colon = target.rfind(':');
+  const int port =
+      colon == std::string::npos ? 0 : std::atoi(target.c_str() + colon + 1);
+  if (colon == std::string::npos || port <= 0) {
+    std::fprintf(stderr, "bad stats target '%s' (expected host:port)\n",
+                 target.c_str());
+    return 1;
+  }
+  const double watch_seconds =
+      std::atof(FlagValue(argc, argv, "watch", "0").c_str());
+  const size_t retries = static_cast<size_t>(
+      std::atoi(FlagValue(argc, argv, "retries", "8").c_str()));
+  bool send_shutdown = false;
+  for (int i = 2; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--shutdown") == 0) send_shutdown = true;
+  }
+
+  rpc::ClientConfig client_config;
+  client_config.host = target.substr(0, colon);
+  client_config.port = port;
+  client_config.retry.max_attempts = retries < 1 ? 1 : retries;
+  rpc::RpcClient client(client_config);
+
+  while (true) {
+    const StatusOr<std::string> stats = client.Stats();
+    if (!stats.ok()) {
+      std::fprintf(stderr, "stats scrape failed: %s\n",
+                   stats.status().ToString().c_str());
+      return 1;
+    }
+    if (watch_seconds <= 0.0) {
+      // One-shot: the raw document, ready for redirection into a file and
+      // validation with tools/check_stats.py.
+      std::printf("%s\n", stats.value().c_str());
+      break;
+    }
+    const StatusOr<store::JsonValue> doc =
+        store::JsonValue::Parse(stats.value());
+    if (!doc.ok()) {
+      std::fprintf(stderr, "stats document unparseable: %s\n",
+                   doc.status().ToString().c_str());
+      return 1;
+    }
+    std::printf(
+        "up %7.1fs  req %6.0f  resp %6.0f  wire_err %4.0f  queue %3.0f  "
+        "e2e p50 %.4fs p99 %.4fs\n",
+        StatsNumber(*doc, "uptime_seconds", 0),
+        StatsNumber(*doc, "server.requests", 0),
+        StatsNumber(*doc, "server.responses", 0),
+        StatsNumber(*doc, "server.wire_errors", 0),
+        StatsNumber(*doc, "pipeline.queue_depth", 0),
+        StatsNumber(*doc,
+                    "metrics.histograms.rpc/e2e_seconds.quantiles.p50", 0),
+        StatsNumber(*doc,
+                    "metrics.histograms.rpc/e2e_seconds.quantiles.p99", 0));
+    std::fflush(stdout);
+    std::this_thread::sleep_for(
+        std::chrono::milliseconds(static_cast<int>(watch_seconds * 1000)));
+  }
+
+  if (send_shutdown) {
+    const Status stopped = client.SendShutdown();
+    if (!stopped.ok()) {
+      std::fprintf(stderr, "shutdown request failed: %s\n",
+                   stopped.ToString().c_str());
+      return 1;
+    }
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -422,9 +532,10 @@ int main(int argc, char** argv) {
     if (subcommand == "snapshot") return RunSnapshot(argc, argv);
     if (subcommand == "resume") return RunResume(argc, argv);
     if (subcommand == "validate") return RunValidate(argc, argv);
+    if (subcommand == "stats") return RunStats(argc, argv);
     std::fprintf(stderr,
                  "unknown subcommand '%s' (expected ingest, snapshot, "
-                 "resume or validate)\n",
+                 "resume, validate or stats)\n",
                  subcommand.c_str());
     return 1;
   }

@@ -104,10 +104,24 @@ int main(int argc, char** argv) {
   for (size_t i = 0; i < workload.incremental.size(); ++i) {
     const Dataset& arriving = workload.incremental[i];
     rpc::RpcClient& client = *clients[i % num_connections];
-    StatusOr<rpc::WireDetectResponse> response = client.Detect(arriving);
+    // Tag each logical request with a client-set id (1-based stream
+    // position) — the server threads it through its audit records and the
+    // stats ring, and echoes it in the response. Retries reuse the same id.
+    const uint64_t request_id = static_cast<uint64_t>(i + 1);
+    StatusOr<rpc::WireDetectResponse> response =
+        client.Detect(arriving, /*deadline_seconds=*/-1.0, request_id);
     if (!response.ok()) {
       std::fprintf(stderr, "wire failure on request %zu: %s\n", i + 1,
                    response.status().ToString().c_str());
+      return 1;
+    }
+    if (response->request_id != request_id) {
+      std::fprintf(stderr,
+                   "request %zu: server echoed request id %llu, expected "
+                   "%llu\n",
+                   i + 1,
+                   static_cast<unsigned long long>(response->request_id),
+                   static_cast<unsigned long long>(request_id));
       return 1;
     }
     if (!response->service_status.ok()) {

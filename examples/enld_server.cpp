@@ -21,6 +21,15 @@
 //   --batch_size=<n>       pipeline dispatcher batch size (default 4)
 //   --max_connections=<n>  connections beyond this are shed with a
 //                          retryable error frame (default 64)
+//   --slow_request_seconds=<s>  log any detect request whose end-to-end
+//                          wall time exceeds s to stderr, with its request
+//                          id and stage breakdown (0 = off, the default)
+//
+// A live stats/health snapshot is served in-band on kStats frames: scrape
+// it with `enld_cli stats 127.0.0.1:<port>` while the server runs
+// (docs/OBSERVABILITY.md, "Live serving observability"). At shutdown the
+// server prints a queue-pressure line plus per-connection request/error/
+// byte totals to stderr.
 //
 // Wire fault sites rpc/delay, rpc/drop_frame, rpc/truncate_frame and
 // rpc/corrupt_frame are armed via ENLD_FAULTS (docs/ROBUSTNESS.md); a fire
@@ -72,6 +81,8 @@ int main(int argc, char** argv) {
       std::atoi(FlagValue(argc, argv, "batch_size", "4").c_str()));
   const size_t max_connections = static_cast<size_t>(
       std::atoi(FlagValue(argc, argv, "max_connections", "64").c_str()));
+  const double slow_request_seconds = std::atof(
+      FlagValue(argc, argv, "slow_request_seconds", "0").c_str());
 
   telemetry::ResetTelemetry();
 
@@ -107,6 +118,8 @@ int main(int argc, char** argv) {
   server_config.max_connections = max_connections;
   server_config.pipeline.batch_size = batch_size;
   server_config.pipeline.queue_wait_budget_seconds = queue_wait_budget;
+  server_config.slow_request_seconds = slow_request_seconds;
+  server_config.log_shutdown_summary = true;
   rpc::RpcServer server(&platform, server_config);
   const Status started = server.Start();
   if (!started.ok()) {

@@ -26,6 +26,10 @@ enum class StatusCode {
   kDeadlineExceeded = 7,
 };
 
+/// Stable CamelCase name of a code ("OK", "InvalidArgument", ...) — used
+/// in Status::ToString and in the serving stats JSON.
+const char* StatusCodeName(StatusCode code);
+
 /// A lightweight success-or-error value. Functions that can fail for
 /// reasons the caller should handle return `Status` (or `StatusOr<T>`);
 /// programming errors are caught with the `ENLD_CHECK` macros instead.

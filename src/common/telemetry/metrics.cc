@@ -50,6 +50,12 @@ Histogram::Histogram(std::vector<double> upper_bounds)
 }
 
 void Histogram::Observe(double value) {
+  if (!(value >= 0.0)) {  // Rejects NaN and negatives in one comparison.
+    static Counter* invalid =
+        MetricsRegistry::Global().GetCounter("telemetry/invalid_observations");
+    invalid->Increment();
+    return;
+  }
   size_t bucket = upper_bounds_.size();  // Overflow unless a bound fits.
   for (size_t i = 0; i < upper_bounds_.size(); ++i) {
     if (value <= upper_bounds_[i]) {
@@ -66,6 +72,50 @@ void Histogram::Reset() {
   for (Counter& b : buckets_) b.Reset();
   count_.Reset();
   sum_.store(0.0, std::memory_order_relaxed);
+}
+
+std::vector<double> LogScaleBuckets(double min_bound, double max_bound,
+                                    double factor) {
+  ENLD_CHECK_GT(min_bound, 0.0);
+  ENLD_CHECK_GT(max_bound, min_bound);
+  ENLD_CHECK_GT(factor, 1.0);
+  std::vector<double> bounds;
+  for (double b = min_bound; b <= max_bound; b *= factor) {
+    bounds.push_back(b);
+  }
+  if (bounds.back() < max_bound) bounds.push_back(max_bound);
+  return bounds;
+}
+
+double HistogramQuantile(const HistogramSnapshot& snapshot, double q) {
+  if (snapshot.count == 0 || snapshot.upper_bounds.empty()) return 0.0;
+  if (q < 0.0) q = 0.0;
+  if (q > 1.0) q = 1.0;
+  // Rank of the target observation, 1-based: ceil(q * count), at least 1.
+  uint64_t rank = static_cast<uint64_t>(q * static_cast<double>(snapshot.count));
+  if (static_cast<double>(rank) < q * static_cast<double>(snapshot.count)) {
+    ++rank;
+  }
+  if (rank < 1) rank = 1;
+  if (rank > snapshot.count) rank = snapshot.count;
+  uint64_t cumulative = 0;
+  for (size_t i = 0; i < snapshot.bucket_counts.size(); ++i) {
+    const uint64_t in_bucket = snapshot.bucket_counts[i];
+    if (rank > cumulative + in_bucket) {
+      cumulative += in_bucket;
+      continue;
+    }
+    if (i >= snapshot.upper_bounds.size()) {
+      // Overflow bucket: no upper edge to interpolate toward.
+      return snapshot.upper_bounds.back();
+    }
+    const double lower = (i == 0) ? 0.0 : snapshot.upper_bounds[i - 1];
+    const double upper = snapshot.upper_bounds[i];
+    const double position =
+        static_cast<double>(rank - cumulative) / static_cast<double>(in_bucket);
+    return lower + position * (upper - lower);
+  }
+  return snapshot.upper_bounds.back();  // Inconsistent counts; stay bounded.
 }
 
 void Series::Append(double v) {

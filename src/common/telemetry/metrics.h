@@ -66,6 +66,10 @@ class Gauge {
 /// overflow bucket. Bucket counts are Counters (exact under concurrency);
 /// the running sum is a CAS-add double, exact when observations are
 /// integer-valued or recorded sequentially.
+///
+/// Observations must be finite and >= 0 (latencies, sizes, counts). NaN
+/// and negative values are dropped — they would otherwise land in an
+/// arbitrary bucket — and counted under "telemetry/invalid_observations".
 class Histogram {
  public:
   explicit Histogram(std::vector<double> upper_bounds);
@@ -107,6 +111,23 @@ struct HistogramSnapshot {
   uint64_t count = 0;
   double sum = 0.0;
 };
+
+/// Geometric bucket ladder for latency histograms: min_bound, then
+/// min_bound * factor^k while <= max_bound, with max_bound appended if the
+/// ladder stops short of it. Bounds are strictly ascending; with the
+/// defaults (10 us .. 128 s, factor 2) the ladder is 24 buckets wide.
+std::vector<double> LogScaleBuckets(double min_bound = 1e-5,
+                                    double max_bound = 128.0,
+                                    double factor = 2.0);
+
+/// Deterministic quantile estimate from bucket counts. q in [0, 1]; the
+/// rank-ceil(q * count) observation's bucket is located and the value is
+/// linearly interpolated inside it (bucket 0 interpolates from 0). The
+/// overflow bucket reports the last finite bound — the histogram cannot
+/// know how far past it the tail reached. Empty histogram -> 0.0. Depends
+/// only on snapshot contents, so identical bucket counts give identical
+/// quantiles on every run and thread count.
+double HistogramQuantile(const HistogramSnapshot& snapshot, double q);
 
 /// Value-type copy of the whole registry; map keys give deterministic
 /// (sorted) serialization order.

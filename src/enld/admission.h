@@ -36,6 +36,10 @@ const char* RejectionReasonName(RejectionReason reason);
 /// One quarantined sample: where it came from and why it was refused.
 struct QuarantineRecord {
   uint64_t request = 0;   ///< platform request number (0 = Initialize)
+  /// Client-set observability id of the request that carried the sample
+  /// (0 = unset / not request-scoped). Stamped by DataPlatform, not by
+  /// ScreenDataset — screening has no wire context.
+  uint64_t request_id = 0;
   uint64_t sample_id = 0; ///< the sample's stable id
   size_t row = 0;         ///< row within the offending request dataset
   RejectionReason reason = RejectionReason::kNonFiniteFeature;

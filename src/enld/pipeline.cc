@@ -19,17 +19,28 @@ struct PipelineMetrics {
   telemetry::Counter* queue_deadline_drops;
   telemetry::Counter* hol_blocked;
   telemetry::Counter* snapshot_writes;
+  // Per-request latency histograms (log-scale buckets, _seconds suffix =
+  // cost metrics, outside the cross-thread determinism contract).
+  telemetry::Histogram* queue_wait_seconds;
+  telemetry::Histogram* admission_seconds;
+  telemetry::Histogram* detect_seconds;
+  telemetry::Histogram* snapshot_publish_seconds;
 
   static const PipelineMetrics& Get() {
     static const PipelineMetrics m = [] {
       auto& registry = telemetry::MetricsRegistry::Global();
+      const std::vector<double> bounds = telemetry::LogScaleBuckets();
       return PipelineMetrics{
           registry.GetCounter("pipeline/submitted"),
           registry.GetCounter("pipeline/completed"),
           registry.GetCounter("pipeline/batches"),
           registry.GetCounter("pipeline/queue_deadline_drops"),
           registry.GetCounter("pipeline/hol_blocked"),
-          registry.GetCounter("pipeline/snapshot_writes")};
+          registry.GetCounter("pipeline/snapshot_writes"),
+          registry.GetHistogram("pipeline/queue_wait_seconds", bounds),
+          registry.GetHistogram("pipeline/admission_seconds", bounds),
+          registry.GetHistogram("pipeline/detect_seconds", bounds),
+          registry.GetHistogram("pipeline/snapshot_publish_seconds", bounds)};
     }();
     return m;
   }
@@ -41,6 +52,7 @@ RequestPipeline::RequestPipeline(DataPlatform* platform, PipelineConfig config)
     : platform_(platform), config_(std::move(config)) {
   if (config_.queue_capacity == 0) config_.queue_capacity = 1;
   if (config_.batch_size == 0) config_.batch_size = 1;
+  if (config_.recent_ring_capacity == 0) config_.recent_ring_capacity = 1;
   dispatcher_ = std::thread([this] { DispatcherLoop(); });
 }
 
@@ -112,7 +124,9 @@ void RequestPipeline::DispatcherLoop() {
 void RequestPipeline::CompleteRequest(PendingRequest& request) {
   PipelineResponse response;
   response.sequence = request.sequence;
+  response.request_id = request.options.request_id;
   response.queue_seconds = request.queued.ElapsedSeconds();
+  PipelineMetrics::Get().queue_wait_seconds->Observe(response.queue_seconds);
 
   // The service budget for this request: the per-request override when one
   // was submitted (wire deadline header), else the platform config's.
@@ -147,18 +161,41 @@ void RequestPipeline::CompleteRequest(PendingRequest& request) {
   } else {
     Stopwatch service;
     response.result = platform_->Process(request.dataset,
-                                         request.options.deadline_seconds);
+                                         request.options.deadline_seconds,
+                                         request.options.request_id);
     response.process_seconds = service.ElapsedSeconds();
+    const RequestTimings& timings = platform_->last_request_timings();
+    response.admission_seconds = timings.admission_seconds;
+    response.detect_seconds = timings.detect_seconds;
+    PipelineMetrics::Get().admission_seconds->Observe(
+        timings.admission_seconds);
+    if (timings.detect_seconds > 0.0) {
+      PipelineMetrics::Get().detect_seconds->Observe(timings.detect_seconds);
+    }
     if (response.result.ok()) BeginDeferredSnapshot();
   }
 
   response.stats_after = platform_->stats();
   response.clean_bank_after = platform_->framework().selected_clean_count();
+
+  RequestRecord record;
+  record.sequence = response.sequence;
+  record.request_id = response.request_id;
+  record.status = response.result.ok() ? StatusCode::kOk
+                                       : response.result.status().code();
+  record.queue_seconds = response.queue_seconds;
+  record.admission_seconds = response.admission_seconds;
+  record.detect_seconds = response.detect_seconds;
+  record.process_seconds = response.process_seconds;
   {
     std::lock_guard<std::mutex> lock(mu_);
     ++counters_.completed;
     if (waited_past_budget) ++counters_.hol_blocked;
     if (dropped_in_queue) ++counters_.queue_deadline_drops;
+    recent_.push_back(record);
+    while (recent_.size() > config_.recent_ring_capacity) {
+      recent_.pop_front();
+    }
   }
   PipelineMetrics::Get().completed->Increment();
   request.promise.set_value(std::move(response));
@@ -186,7 +223,15 @@ void RequestPipeline::BeginDeferredSnapshot() {
     ++counters_.snapshot_writes;
   }
   PipelineMetrics::Get().snapshot_writes->Increment();
-  ParallelEnqueue([write, promise] { promise->set_value((*write)()); });
+  // The publish histogram times the durable write itself, on whatever pool
+  // thread runs it — the capture cost is already inside detect/process.
+  ParallelEnqueue([write, promise] {
+    Stopwatch publish;
+    Status written = (*write)();
+    PipelineMetrics::Get().snapshot_publish_seconds->Observe(
+        publish.ElapsedSeconds());
+    promise->set_value(std::move(written));
+  });
 }
 
 void RequestPipeline::AwaitSnapshotWrite() {
@@ -217,6 +262,16 @@ Status RequestPipeline::snapshot_status() const {
 RequestPipeline::Counters RequestPipeline::counters() const {
   std::lock_guard<std::mutex> lock(mu_);
   return counters_;
+}
+
+std::vector<RequestRecord> RequestPipeline::RecentRequests() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return std::vector<RequestRecord>(recent_.begin(), recent_.end());
+}
+
+size_t RequestPipeline::queue_depth() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return queue_.size();
 }
 
 }  // namespace enld

@@ -76,6 +76,10 @@ struct PipelineConfig {
   /// the previous write — so snapshot sequence numbers advance in request
   /// order, but detection of later requests proceeds concurrently.
   std::function<StatusOr<std::function<Status()>>()> snapshot_capture;
+  /// Completed requests remembered in the recent-request ring buffer
+  /// (RecentRequests) for the stats endpoint; oldest entries fall off.
+  /// Must be >= 1.
+  size_t recent_ring_capacity = 64;
 };
 
 /// Per-request options carried alongside the dataset.
@@ -87,6 +91,10 @@ struct SubmitOptions {
   /// deadline for this request; positive values replace the config's
   /// budget (they may extend it as well as tighten it).
   double deadline_seconds = -1.0;
+  /// Client-set observability id from the frame header (0 = unset).
+  /// Carried into Process, the audit records, the recent-request ring,
+  /// and the response (docs/OBSERVABILITY.md).
+  uint64_t request_id = 0;
 };
 
 /// Everything the caller needs to render one completed request, snapshot
@@ -96,6 +104,8 @@ struct SubmitOptions {
 struct PipelineResponse {
   /// 1-based submission sequence number.
   uint64_t sequence = 0;
+  /// The SubmitOptions request id, echoed through the pipeline (0 = unset).
+  uint64_t request_id = 0;
   StatusOr<DetectionResult> result = Status::Internal("request not processed");
   /// Platform stats immediately after this request completed.
   PlatformStats stats_after;
@@ -104,6 +114,24 @@ struct PipelineResponse {
   /// Time spent queued before the dispatcher picked the request up.
   double queue_seconds = 0.0;
   /// Time spent inside DataPlatform::Process.
+  double process_seconds = 0.0;
+  /// Stage breakdown of Process (platform last_request_timings); zero for
+  /// requests shed in the queue or failed before the stage ran.
+  double admission_seconds = 0.0;
+  double detect_seconds = 0.0;
+};
+
+/// One completed request as remembered by the recent-request ring buffer —
+/// the per-request trace record the stats endpoint exposes. The aggregated
+/// span tree cannot carry per-request identity (spans merge by name), so
+/// this ring is where a live request id can actually be found again.
+struct RequestRecord {
+  uint64_t sequence = 0;
+  uint64_t request_id = 0;
+  StatusCode status = StatusCode::kOk;
+  double queue_seconds = 0.0;
+  double admission_seconds = 0.0;
+  double detect_seconds = 0.0;
   double process_seconds = 0.0;
 };
 
@@ -152,6 +180,14 @@ class RequestPipeline {
   };
   Counters counters() const;
 
+  /// Copy of the recent-request ring, oldest first (at most
+  /// recent_ring_capacity entries).
+  std::vector<RequestRecord> RecentRequests() const;
+
+  /// Requests currently waiting in the submission queue (excludes the
+  /// batch the dispatcher already claimed).
+  size_t queue_depth() const;
+
  private:
   struct PendingRequest {
     uint64_t sequence = 0;
@@ -179,6 +215,7 @@ class RequestPipeline {
   bool stopping_ = false;
   uint64_t next_sequence_ = 0;
   Counters counters_;
+  std::deque<RequestRecord> recent_;  ///< ring buffer, guarded by mu_
 
   /// In-flight deferred snapshot write; dispatcher thread only.
   std::future<Status> snapshot_write_;

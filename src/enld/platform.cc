@@ -7,6 +7,7 @@
 #include "common/faults.h"
 #include "common/stopwatch.h"
 #include "common/telemetry/metrics.h"
+#include "common/telemetry/trace.h"
 
 namespace enld {
 
@@ -41,8 +42,16 @@ double MaybeInjectStall(const char* site, double deadline_seconds) {
 /// if it had genuinely been that slow.
 class ScopedTimeCharge {
  public:
-  explicit ScopedTimeCharge(double* sink) : sink_(sink) {}
-  ~ScopedTimeCharge() { *sink_ += ElapsedSeconds(); }
+  /// `sink` is accumulated (+=); `total_out`, when given, is assigned (=)
+  /// the same elapsed reading — the per-request timings slot, which wants
+  /// this request's total rather than a running sum.
+  explicit ScopedTimeCharge(double* sink, double* total_out = nullptr)
+      : sink_(sink), total_out_(total_out) {}
+  ~ScopedTimeCharge() {
+    const double elapsed = ElapsedSeconds();
+    *sink_ += elapsed;
+    if (total_out_ != nullptr) *total_out_ = elapsed;
+  }
   void AddPenalty(double seconds) { penalty_ += seconds; }
   double ElapsedSeconds() const {
     return timer_.ElapsedSeconds() + penalty_;
@@ -52,6 +61,7 @@ class ScopedTimeCharge {
   Stopwatch timer_;
   double penalty_ = 0.0;
   double* sink_;
+  double* total_out_;
 };
 
 /// Rewrites a DetectionResult computed on the admitted subset so its
@@ -85,8 +95,11 @@ DataPlatform::DataPlatform(const DataPlatformConfig& config)
       quarantine_(config.admission.quarantine_capacity) {}
 
 StatusOr<std::vector<size_t>> DataPlatform::AdmitSamples(
-    const Dataset& dataset, uint64_t request) {
+    const Dataset& dataset, uint64_t request, uint64_t request_id) {
   AdmissionResult screen = ScreenDataset(dataset, request);
+  for (QuarantineRecord& record : screen.rejected) {
+    record.request_id = request_id;
+  }
   if (screen.all_admitted()) return std::move(screen.admitted);
 
   if (config_.admission.strict) {
@@ -128,7 +141,7 @@ Status DataPlatform::Initialize(const Dataset& inventory) {
     return Status::InvalidArgument("inventory needs at least 2 classes");
   }
 
-  StatusOr<std::vector<size_t>> admitted = AdmitSamples(inventory, 0);
+  StatusOr<std::vector<size_t>> admitted = AdmitSamples(inventory, 0, 0);
   if (!admitted.ok()) return admitted.status();
   if (admitted->size() < 2) {
     ++stats_.requests_rejected;
@@ -149,7 +162,8 @@ Status DataPlatform::Initialize(const Dataset& inventory) {
 
 Status DataPlatform::RecordDeadlineExceeded(double elapsed_seconds,
                                             const std::string& stage,
-                                            double budget_seconds) {
+                                            double budget_seconds,
+                                            uint64_t request_id) {
   static telemetry::Counter* exceeded =
       telemetry::MetricsRegistry::Global().GetCounter(
           "platform/deadline_exceeded");
@@ -158,6 +172,7 @@ Status DataPlatform::RecordDeadlineExceeded(double elapsed_seconds,
   if (deadline_audit_.size() < config_.admission.quarantine_capacity) {
     DeadlineRecord record;
     record.request = stats_.requests + 1;
+    record.request_id = request_id;
     record.elapsed_seconds = elapsed_seconds;
     record.budget_seconds = budget_seconds;
     record.stage = stage;
@@ -170,7 +185,8 @@ Status DataPlatform::RecordDeadlineExceeded(double elapsed_seconds,
 }
 
 StatusOr<DetectionResult> DataPlatform::Process(
-    const Dataset& incremental, double deadline_override_seconds) {
+    const Dataset& incremental, double deadline_override_seconds,
+    uint64_t request_id) {
   // The budget that applies to this request: the per-request override when
   // one was propagated (wire deadline header), else the config's.
   const double deadline = deadline_override_seconds >= 0.0
@@ -182,7 +198,15 @@ StatusOr<DetectionResult> DataPlatform::Process(
   // Timing starts at request entry: admission screening and the subset
   // copy are part of serving the request and count toward both
   // total_process_seconds and the deadline budget.
-  ScopedTimeCharge timer(&stats_.total_process_seconds);
+  last_timings_ = RequestTimings{};
+  ScopedTimeCharge timer(&stats_.total_process_seconds,
+                         &last_timings_.total_seconds);
+  // The span tree aggregates by name, so the id itself lives in the
+  // serving ring buffer and audit records; the span counts how many
+  // requests carried one (docs/OBSERVABILITY.md).
+  ENLD_TRACE_SPAN("platform/process");
+  telemetry::CurrentSpanStat("requests", 1.0);
+  if (request_id != 0) telemetry::CurrentSpanStat("tagged_requests", 1.0);
   ENLD_RETURN_IF_ERROR(faults::Check("platform/process"));
   if (incremental.empty()) {
     return Status::InvalidArgument("incremental dataset is empty");
@@ -198,7 +222,8 @@ StatusOr<DetectionResult> DataPlatform::Process(
 
   timer.AddPenalty(MaybeInjectStall("platform/slow_admission", deadline));
   StatusOr<std::vector<size_t>> admitted =
-      AdmitSamples(incremental, stats_.requests + 1);
+      AdmitSamples(incremental, stats_.requests + 1, request_id);
+  last_timings_.admission_seconds = timer.ElapsedSeconds();
   if (!admitted.ok()) return admitted.status();
   const bool screened = admitted->size() != incremental.size();
 
@@ -207,7 +232,7 @@ StatusOr<DetectionResult> DataPlatform::Process(
   // the remaining stream is byte-identical to one that never saw it.
   if (deadline > 0.0 && timer.ElapsedSeconds() > deadline) {
     return RecordDeadlineExceeded(timer.ElapsedSeconds(), "admission",
-                                  deadline);
+                                  deadline, request_id);
   }
 
   timer.AddPenalty(MaybeInjectStall("platform/slow_detect", deadline));
@@ -215,13 +240,15 @@ StatusOr<DetectionResult> DataPlatform::Process(
       screened ? RemapResult(framework_.Detect(incremental.Subset(*admitted)),
                              *admitted, incremental.size())
                : framework_.Detect(incremental);
+  last_timings_.detect_seconds =
+      timer.ElapsedSeconds() - last_timings_.admission_seconds;
 
   // Deadline check #2, after detection: the work happened but the caller's
   // budget is blown — degrade by discarding the result so the queue behind
   // this request keeps draining.
   if (deadline > 0.0 && timer.ElapsedSeconds() > deadline) {
     return RecordDeadlineExceeded(timer.ElapsedSeconds(), "detection",
-                                  deadline);
+                                  deadline, request_id);
   }
 
   ++stats_.requests;

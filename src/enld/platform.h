@@ -45,12 +45,25 @@ struct DataPlatformConfig {
 /// telemetry-counted).
 struct DeadlineRecord {
   uint64_t request = 0;       ///< platform request number
+  /// Client-set observability id carried down from the wire (0 = unset);
+  /// lets an operator join this audit row with the client's own logs and
+  /// the serving ring buffer (docs/OBSERVABILITY.md).
+  uint64_t request_id = 0;
   double elapsed_seconds = 0.0;
   double budget_seconds = 0.0;
   /// Where the budget ran out: "admission" (before detection — the
   /// framework RNG stream was not consumed) or "detection" (the computed
   /// result was discarded).
   std::string stage;
+};
+
+/// Wall-clock stage breakdown of the most recent Process call, for the
+/// serving layer's per-request histograms and ring buffer. Includes
+/// injected-stall penalties, like total_process_seconds does.
+struct RequestTimings {
+  double admission_seconds = 0.0;  ///< entry through admission screening
+  double detect_seconds = 0.0;     ///< detection proper (0 if never reached)
+  double total_seconds = 0.0;      ///< full Process wall time, every exit path
 };
 
 /// Running counters of a platform instance.
@@ -111,8 +124,15 @@ class DataPlatform {
   /// propagates the wire deadline header through it (docs/SERVING.md §4).
   /// Negative (the default) keeps the config's budget; 0 disables the
   /// deadline for this request.
+  ///
+  /// `request_id` is the client-set observability id from the frame header
+  /// (0 = unset). It changes no behavior: it is stamped into quarantine
+  /// and deadline-audit records produced by this request and counted into
+  /// the "platform/process" trace span, so a live request can be followed
+  /// from the wire into the audit trails (docs/OBSERVABILITY.md).
   StatusOr<DetectionResult> Process(const Dataset& incremental,
-                                    double deadline_override_seconds = -1.0);
+                                    double deadline_override_seconds = -1.0,
+                                    uint64_t request_id = 0);
 
   /// Manually triggers a model update (same preconditions as
   /// EnldFramework::UpdateModel, plus the min_update_samples policy).
@@ -129,6 +149,11 @@ class DataPlatform {
   const std::vector<DeadlineRecord>& deadline_audit() const {
     return deadline_audit_;
   }
+  /// Stage breakdown of the most recent Process call (zeroed at its
+  /// entry). Read it right after Process returns, from the same thread
+  /// that called it — the pipeline dispatcher does exactly that to feed
+  /// the serving histograms and the recent-request ring.
+  const RequestTimings& last_request_timings() const { return last_timings_; }
   /// True while a due auto-update is deferred awaiting enough clean
   /// samples (or a successful retry).
   bool update_pending() const { return update_pending_; }
@@ -161,11 +186,13 @@ class DataPlatform {
   Status RestoreFromSnapshot(const std::string& dir);
 
  private:
-  /// Screens `dataset`, records rejections into the quarantine log and
-  /// stats, and returns the row positions admitted for processing.
-  /// InvalidArgument in strict mode or when nothing survives screening.
+  /// Screens `dataset`, records rejections (stamped with `request_id`)
+  /// into the quarantine log and stats, and returns the row positions
+  /// admitted for processing. InvalidArgument in strict mode or when
+  /// nothing survives screening.
   StatusOr<std::vector<size_t>> AdmitSamples(const Dataset& dataset,
-                                             uint64_t request);
+                                             uint64_t request,
+                                             uint64_t request_id);
   void RunUpdatePolicy();
   /// Records a deadline overrun (stats, telemetry, capped audit trail) and
   /// builds the kDeadlineExceeded status Process returns for it.
@@ -173,13 +200,14 @@ class DataPlatform {
   /// or a per-request override.
   Status RecordDeadlineExceeded(double elapsed_seconds,
                                 const std::string& stage,
-                                double budget_seconds);
+                                double budget_seconds, uint64_t request_id);
 
   DataPlatformConfig config_;
   EnldFramework framework_;
   PlatformStats stats_;
   QuarantineLog quarantine_;
   std::vector<DeadlineRecord> deadline_audit_;
+  RequestTimings last_timings_;
   bool update_pending_ = false;
   bool initialized_ = false;
   size_t inventory_dim_ = 0;

@@ -90,12 +90,14 @@ StatusOr<Frame> RpcClient::AwaitReply(uint64_t sequence) {
 }
 
 StatusOr<WireDetectResponse> RpcClient::DetectOnce(
-    const std::string& request_payload, double deadline_seconds) {
+    const std::string& request_payload, double deadline_seconds,
+    uint64_t request_id) {
   ENLD_RETURN_IF_ERROR(Connect());
 
   FrameHeader header;
   header.type = FrameType::kDetectRequest;
   header.sequence = ++next_sequence_;
+  header.request_id = request_id;
   header.deadline_seconds = deadline_seconds;
   Status written = WriteFrame(fd_, header, request_payload);
   if (!written.ok()) {
@@ -113,16 +115,44 @@ StatusOr<WireDetectResponse> RpcClient::DetectOnce(
 }
 
 StatusOr<WireDetectResponse> RpcClient::Detect(const Dataset& dataset,
-                                               double deadline_seconds) {
+                                               double deadline_seconds,
+                                               uint64_t request_id) {
   const double deadline =
       deadline_seconds < 0.0 ? config_.deadline_seconds : deadline_seconds;
-  // Encoded once: every resend ships byte-identical request bytes.
+  // Encoded once: every resend ships byte-identical request bytes; the
+  // request id is likewise constant across attempts so the server-side
+  // trace stitches retries of one logical request together.
   const std::string payload = EncodeDetectRequest(dataset);
   return RetryWithBackoffOr<WireDetectResponse>(
       config_.retry, "rpc detect",
       [&]() -> StatusOr<WireDetectResponse> {
-        return DetectOnce(payload, deadline);
+        return DetectOnce(payload, deadline, request_id);
       });
+}
+
+StatusOr<std::string> RpcClient::StatsOnce() {
+  ENLD_RETURN_IF_ERROR(Connect());
+  FrameHeader header;
+  header.type = FrameType::kStats;
+  header.sequence = ++next_sequence_;
+  Status written = WriteFrame(fd_, header, "");
+  if (!written.ok()) {
+    Disconnect();
+    return written;
+  }
+  StatusOr<Frame> reply = AwaitReply(header.sequence);
+  if (!reply.ok()) return reply.status();
+  if (reply->header.type != FrameType::kStatsResponse) {
+    Disconnect();
+    return Status::InvalidArgument("unexpected frame type in stats reply");
+  }
+  return std::move(reply->payload);
+}
+
+StatusOr<std::string> RpcClient::Stats() {
+  return RetryWithBackoffOr<std::string>(
+      config_.retry, "rpc stats",
+      [&]() -> StatusOr<std::string> { return StatsOnce(); });
 }
 
 Status RpcClient::SendShutdown() {

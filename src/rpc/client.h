@@ -50,12 +50,23 @@ class RpcClient {
 
   /// Sends one detection request and waits for its response.
   /// `deadline_seconds` < 0 uses the config's wire deadline; 0 sends none;
-  /// positive overrides for this call. The returned response's
-  /// service_status may itself be an error (e.g. kDeadlineExceeded) — that
-  /// is the server's verdict on the request, delivered intact; only
-  /// wire-level failures surface as this function's own error status.
+  /// positive overrides for this call. `request_id` is the caller's opaque
+  /// trace tag (frame header v2): it is constant across retries — only the
+  /// sequence re-increments per wire attempt — so every attempt of one
+  /// logical request carries the same id, and the server echoes it in the
+  /// response header and WireDetectResponse. 0 means untagged. The returned
+  /// response's service_status may itself be an error (e.g.
+  /// kDeadlineExceeded) — that is the server's verdict on the request,
+  /// delivered intact; only wire-level failures surface as this function's
+  /// own error status.
   StatusOr<WireDetectResponse> Detect(const Dataset& dataset,
-                                      double deadline_seconds = -1.0);
+                                      double deadline_seconds = -1.0,
+                                      uint64_t request_id = 0);
+
+  /// Fetches the server's live "enld-stats-v1" JSON document (kStats
+  /// frame). Retries the same retryable class as Detect — a stats scrape is
+  /// read-only, so resending is always safe.
+  StatusOr<std::string> Stats();
 
   /// Asks the server to drain and stop; resolves when the ack arrives.
   Status SendShutdown();
@@ -66,7 +77,10 @@ class RpcClient {
  private:
   /// One wire attempt: connect if needed, send, await the paired reply.
   StatusOr<WireDetectResponse> DetectOnce(const std::string& request_payload,
-                                          double deadline_seconds);
+                                          double deadline_seconds,
+                                          uint64_t request_id);
+  /// One kStats wire attempt.
+  StatusOr<std::string> StatsOnce();
   /// Reads frames until one echoes `sequence`; decodes kError bodies into
   /// their carried Status. Closes the connection on transport damage so
   /// the next attempt starts clean.

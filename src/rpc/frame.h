@@ -17,17 +17,28 @@ namespace rpc {
 /// every kind of wire damage is caught by a checksum before any payload is
 /// interpreted:
 ///
-///   offset size field
+///   offset size field                         (frame version 2)
 ///   0      8    magic "ENLDRPC1"
 ///   8      4    byte-order tag 0x01020304
-///   12     1    frame version (1)
+///   12     1    frame version (2)
 ///   13     1    frame type (FrameType)
 ///   14     8    sequence number (echoed in the response)
-///   22     8    deadline header, f64 seconds (0 = none; requests only)
-///   30     8    payload byte length
-///   38     4    CRC32 over bytes [0, 38)   (header CRC)
-///   42     4    CRC32 over the payload     (payload CRC)
-///   46     n    payload
+///   22     8    request id (client-set, echoed; 0 = unset)
+///   30     8    deadline header, f64 seconds (0 = none; requests only)
+///   38     8    payload byte length
+///   46     4    CRC32 over bytes [0, 46)   (header CRC)
+///   50     4    CRC32 over the payload     (payload CRC)
+///   54     n    payload
+///
+/// Version 1 frames (PR 6 peers) carry no request-id field: sequence is
+/// followed directly by the deadline at offset 22, the payload length at
+/// 30, and the header CRC over [0, 38) at 38 (46-byte prefix total). The
+/// decoder accepts both versions — the version byte selects the layout,
+/// and the header CRC is still verified before the version is trusted, so
+/// a flipped version bit reads as retryable wire damage, never as a
+/// protocol violation. v1 frames decode with request_id = 0. EncodeFrame
+/// always emits version 2; EncodeFrameV1 exists for compatibility tests
+/// and legacy peers.
 ///
 /// Error contract (mirrors the store's, split by retryability):
 ///
@@ -43,9 +54,19 @@ namespace rpc {
 
 inline constexpr char kFrameMagic[] = "ENLDRPC1";  ///< 8 bytes on the wire.
 inline constexpr uint32_t kFrameByteOrderTag = 0x01020304;
-inline constexpr uint8_t kFrameVersion = 1;
-/// Fixed byte length of the frame prefix (everything before the payload).
-inline constexpr size_t kFrameHeaderBytes = 46;
+inline constexpr uint8_t kFrameVersion = 2;
+inline constexpr uint8_t kFrameVersionV1 = 1;
+/// Byte length of the version-2 frame prefix (everything before the
+/// payload). Version-1 prefixes are kFrameHeaderBytesV1 long; use
+/// FrameHeaderBytesForVersion when handling a decoded frame generically.
+inline constexpr size_t kFrameHeaderBytes = 54;
+inline constexpr size_t kFrameHeaderBytesV1 = 46;
+
+/// Prefix length implied by a (trusted) version byte. Unknown versions map
+/// to the current layout; the decoder rejects them after the CRC check.
+inline constexpr size_t FrameHeaderBytesForVersion(uint8_t version) {
+  return version == kFrameVersionV1 ? kFrameHeaderBytesV1 : kFrameHeaderBytes;
+}
 /// Upper bound on a declared payload length; anything larger is rejected
 /// as InvalidArgument before any allocation happens.
 inline constexpr uint64_t kMaxFramePayloadBytes = 64ull << 20;  // 64 MiB
@@ -61,6 +82,12 @@ enum class FrameType : uint8_t {
   kShutdown = 4,
   /// Empty payload: acknowledges kShutdown before the server stops.
   kShutdownAck = 5,
+  /// Empty payload: ask the server for a live stats/health snapshot.
+  /// Served off the request path — never enters the pipeline queue.
+  kStats = 6,
+  /// Payload: the deterministic "enld-stats-v1" JSON document
+  /// (docs/OBSERVABILITY.md).
+  kStatsResponse = 7,
 };
 
 /// True for the FrameType values this build understands.
@@ -71,6 +98,11 @@ struct FrameHeader {
   /// Caller-chosen request identity, echoed verbatim in the response so a
   /// client can pair frames without trusting arrival order.
   uint64_t sequence = 0;
+  /// Client-set observability identity, echoed in the response and carried
+  /// through pipeline, platform, and audit records (docs/OBSERVABILITY.md).
+  /// Unlike `sequence` it stays constant across retries of one logical
+  /// request. 0 = unset (and what every v1 frame decodes to).
+  uint64_t request_id = 0;
   /// Per-request service-deadline header in seconds; 0 = no deadline
   /// requested (the server's configured default applies). Meaningful on
   /// request frames only.
@@ -80,6 +112,9 @@ struct FrameHeader {
   /// Declared payload CRC32 (filled by DecodeFrameHeader; EncodeFrame
   /// computes it from the payload).
   uint32_t payload_crc = 0;
+  /// Wire version the frame was decoded from (filled by DecodeFrameHeader;
+  /// ignored by EncodeFrame, which always writes kFrameVersion).
+  uint8_t version = kFrameVersion;
 };
 
 struct Frame {
@@ -88,11 +123,18 @@ struct Frame {
 };
 
 /// Serializes one complete frame (header CRC and payload CRC computed
-/// here; `header.payload_size`/`payload_crc` inputs are ignored).
+/// here; `header.payload_size`/`payload_crc`/`version` inputs are ignored).
 std::string EncodeFrame(const FrameHeader& header, const std::string& payload);
 
-/// Validates and parses the fixed-size frame prefix. `prefix` must hold at
-/// least kFrameHeaderBytes; see the error contract above.
+/// Serializes a version-1 frame (46-byte prefix, no request-id field).
+/// `header.request_id` is dropped on the floor — exactly what a PR 6 peer
+/// would send. Kept for compatibility tests and mixed-fleet rollouts.
+std::string EncodeFrameV1(const FrameHeader& header,
+                          const std::string& payload);
+
+/// Validates and parses the frame prefix. `prefix` must hold at least
+/// kFrameHeaderBytesV1 bytes — the version byte then selects the layout
+/// (v2 prefixes need kFrameHeaderBytes). See the error contract above.
 StatusOr<FrameHeader> DecodeFrameHeader(const std::string& prefix);
 
 /// Checks `payload` against the declared length and CRC of `header`.

@@ -60,6 +60,7 @@ StatusOr<Dataset> DecodeDetectRequest(const std::string& payload) {
 std::string EncodeDetectResponse(const WireDetectResponse& response) {
   std::string out;
   store::PutU64(&out, response.server_sequence);
+  store::PutU64(&out, response.request_id);
   PutStatus(&out, response.service_status);
   PutU32Vector(&out, response.noisy_indices);
   PutU32Vector(&out, response.clean_indices);
@@ -80,6 +81,7 @@ StatusOr<WireDetectResponse> DecodeDetectResponse(
   store::BinaryReader reader(payload);
   WireDetectResponse response;
   if (!reader.ReadU64(&response.server_sequence) ||
+      !reader.ReadU64(&response.request_id) ||
       !ReadStatus(&reader, &response.service_status) ||
       !ReadU32Vector(&reader, &response.noisy_indices) ||
       !ReadU32Vector(&reader, &response.clean_indices)) {

@@ -39,6 +39,11 @@ struct WireDetectResponse {
   /// used in server-side audit trails; distinct from the frame sequence,
   /// which the client chose.
   uint64_t server_sequence = 0;
+  /// The client-set request id, echoed back after the full
+  /// frame → pipeline → platform round trip (0 when the client set none).
+  /// Matching it against the id sent proves the observability thread is
+  /// intact, not just the frame-header echo.
+  uint64_t request_id = 0;
   /// The service-level outcome: OK, InvalidArgument (bad request),
   /// DeadlineExceeded (budget blown), FailedPrecondition (shutting down)…
   /// The detection fields below are meaningful only when this is OK.

@@ -7,6 +7,7 @@
 
 #include <cerrno>
 #include <chrono>
+#include <cstdio>
 #include <cstring>
 #include <future>
 #include <thread>
@@ -16,6 +17,8 @@
 #include "common/telemetry/metrics.h"
 #include "rpc/message.h"
 #include "rpc/net.h"
+#include "rpc/stats.h"
+#include "store/snapshot.h"
 
 namespace enld {
 namespace rpc {
@@ -28,15 +31,24 @@ struct ServerMetrics {
   telemetry::Counter* responses;
   telemetry::Counter* wire_errors;
   telemetry::Counter* deadline_propagated;
+  telemetry::Counter* stats_served;
+  /// End-to-end serving latency per dispatched detect request: frame fully
+  /// read → response write finished. Observed exactly once per dispatched
+  /// request, so its count equals the rpc/requests counter.
+  telemetry::Histogram* e2e_seconds;
 
   static const ServerMetrics& Get() {
     static const ServerMetrics m = [] {
       auto& registry = telemetry::MetricsRegistry::Global();
-      return ServerMetrics{registry.GetCounter("rpc/connections"),
-                           registry.GetCounter("rpc/requests"),
-                           registry.GetCounter("rpc/responses"),
-                           registry.GetCounter("rpc/wire_errors"),
-                           registry.GetCounter("rpc/deadline_propagated")};
+      return ServerMetrics{
+          registry.GetCounter("rpc/connections"),
+          registry.GetCounter("rpc/requests"),
+          registry.GetCounter("rpc/responses"),
+          registry.GetCounter("rpc/wire_errors"),
+          registry.GetCounter("rpc/deadline_propagated"),
+          registry.GetCounter("rpc/stats_served"),
+          registry.GetHistogram("rpc/e2e_seconds",
+                                telemetry::LogScaleBuckets())};
     }();
     return m;
   }
@@ -134,6 +146,7 @@ Status RpcServer::Start() {
   }
 
   pipeline_ = std::make_unique<RequestPipeline>(platform_, config_.pipeline);
+  uptime_.Restart();
   accept_thread_ = std::thread([this] { AcceptLoop(); });
   return Status::OK();
 }
@@ -165,35 +178,46 @@ void RpcServer::AcceptLoop() {
         continue;
       }
       ++counters_.connections_accepted;
+      const uint64_t connection_id = counters_.connections_accepted;
       connection_fds_.insert(fd);
       connection_threads_.emplace_back(
-          [this, fd] { ServeConnection(fd); });
+          [this, fd, connection_id] { ServeConnection(fd, connection_id); });
     }
     ServerMetrics::Get().connections->Increment();
   }
 }
 
-Status RpcServer::SendError(int fd, uint64_t sequence, const Status& error) {
+Status RpcServer::SendError(int fd, uint64_t sequence, const Status& error,
+                            ConnectionSummary* conn) {
   {
     std::lock_guard<std::mutex> lock(mu_);
     ++counters_.wire_errors;
   }
   ServerMetrics::Get().wire_errors->Increment();
+  if (conn != nullptr) ++conn->errors;
   FrameHeader header;
   header.type = FrameType::kError;
   header.sequence = sequence;
-  return WriteFrame(fd, header, EncodeErrorBody(error));
+  const std::string body = EncodeErrorBody(error);
+  const Status written = WriteFrame(fd, header, body);
+  if (written.ok() && conn != nullptr) {
+    conn->bytes_written += kFrameHeaderBytes + body.size();
+  }
+  return written;
 }
 
-Status RpcServer::ServeDetect(int fd, const Frame& frame) {
+Status RpcServer::ServeDetect(int fd, const Frame& frame,
+                              const Stopwatch& received,
+                              ConnectionSummary* conn) {
   StatusOr<Dataset> dataset = DecodeDetectRequest(frame.payload);
   if (!dataset.ok()) {
     // The frame survived its CRC, so this is a malformed shard payload —
     // a client bug, not wire damage. Non-retryable error frame.
-    return SendError(fd, frame.header.sequence, dataset.status());
+    return SendError(fd, frame.header.sequence, dataset.status(), conn);
   }
 
   SubmitOptions options;
+  options.request_id = frame.header.request_id;
   if (frame.header.deadline_seconds > 0.0) {
     options.deadline_seconds = frame.header.deadline_seconds;
     {
@@ -207,6 +231,7 @@ Status RpcServer::ServeDetect(int fd, const Frame& frame) {
     ++counters_.requests;
   }
   ServerMetrics::Get().requests->Increment();
+  ++conn->requests;
 
   // Closed loop per connection: block here until the dispatcher finishes
   // this request. The pipeline's bounded queue is what pushes back on a
@@ -217,6 +242,7 @@ Status RpcServer::ServeDetect(int fd, const Frame& frame) {
 
   WireDetectResponse wire;
   wire.server_sequence = response.sequence;
+  wire.request_id = response.request_id;
   wire.service_status = response.result.status();
   if (response.result.ok()) {
     const DetectionResult& result = *response.result;
@@ -236,19 +262,87 @@ Status RpcServer::ServeDetect(int fd, const Frame& frame) {
   FrameHeader header;
   header.type = FrameType::kDetectResponse;
   header.sequence = frame.header.sequence;
-  const Status written =
-      WriteFrame(fd, header, EncodeDetectResponse(wire));
+  header.request_id = frame.header.request_id;
+  const std::string body = EncodeDetectResponse(wire);
+  const Status written = WriteFrame(fd, header, body);
   if (written.ok()) {
     {
       std::lock_guard<std::mutex> lock(mu_);
       ++counters_.responses;
     }
     ServerMetrics::Get().responses->Increment();
+    ++conn->responses;
+    conn->bytes_written += kFrameHeaderBytes + body.size();
+  }
+
+  // End-to-end latency: frame fully read through the response write — the
+  // injected rpc/delay stall, queue wait, detection and the write itself
+  // all show up in the percentiles. Observed once per dispatched request,
+  // write failure or not, so the histogram count matches rpc/requests.
+  const double e2e = received.ElapsedSeconds();
+  ServerMetrics::Get().e2e_seconds->Observe(e2e);
+  if (config_.slow_request_seconds > 0.0 &&
+      e2e > config_.slow_request_seconds) {
+    std::fprintf(
+        stderr,
+        "[enld_server] slow request: id=%llu seq=%llu e2e=%.3fs "
+        "queue=%.3fs admission=%.3fs detect=%.3fs status=%s\n",
+        static_cast<unsigned long long>(response.request_id),
+        static_cast<unsigned long long>(response.sequence), e2e,
+        response.queue_seconds, response.admission_seconds,
+        response.detect_seconds,
+        StatusCodeName(response.result.status().code()));
   }
   return written;
 }
 
-void RpcServer::ServeConnection(int fd) {
+Status RpcServer::ServeStats(int fd, const Frame& frame,
+                             ConnectionSummary* conn) {
+  const std::string body = BuildStatsJson();
+  FrameHeader header;
+  header.type = FrameType::kStatsResponse;
+  header.sequence = frame.header.sequence;
+  header.request_id = frame.header.request_id;
+  const Status written = WriteFrame(fd, header, body);
+  if (written.ok()) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      ++counters_.stats_served;
+    }
+    ServerMetrics::Get().stats_served->Increment();
+    conn->bytes_written += kFrameHeaderBytes + body.size();
+  }
+  return written;
+}
+
+std::string RpcServer::BuildStatsJson() const {
+  StatsInfo info;
+  info.uptime_seconds = uptime_.ElapsedSeconds();
+  info.config_fingerprint = store::FingerprintConfig(platform_->config());
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    info.connections_accepted = counters_.connections_accepted;
+    info.connections_rejected = counters_.connections_rejected;
+    info.connections_active = connection_fds_.size();
+    info.requests = counters_.requests;
+    info.responses = counters_.responses;
+    info.wire_errors = counters_.wire_errors;
+    info.dropped_frames = counters_.dropped_frames;
+    info.deadline_propagated = counters_.deadline_propagated;
+    info.stats_served = counters_.stats_served;
+  }
+  if (pipeline_ != nullptr) {
+    info.pipeline = pipeline_->counters();
+    info.queue_depth = pipeline_->queue_depth();
+    info.recent_requests = pipeline_->RecentRequests();
+  }
+  info.metrics = telemetry::MetricsRegistry::Global().Snapshot();
+  return RenderStatsJson(info);
+}
+
+void RpcServer::ServeConnection(int fd, uint64_t connection_id) {
+  ConnectionSummary conn;
+  conn.id = connection_id;
   while (true) {
     {
       std::lock_guard<std::mutex> lock(mu_);
@@ -260,10 +354,15 @@ void RpcServer::ServeConnection(int fd) {
       if (read.status().code() == StatusCode::kUnavailable) break;  // torn
       // Protocol violation (bad magic/version/oversized): tell the peer
       // why, then hang up — the stream cannot be resynchronized.
-      SendError(fd, 0, read.status());
+      SendError(fd, 0, read.status(), &conn);
       break;
     }
     Frame frame = std::move(*read);
+    // The end-to-end clock starts the moment the frame is fully read, so
+    // injected wire stalls and everything downstream count toward it.
+    Stopwatch received;
+    conn.bytes_read += FrameHeaderBytesForVersion(frame.header.version) +
+                       frame.header.payload_size;
 
     bool dropped = false;
     if (!ApplyWireFaults(&frame, &dropped)) {
@@ -277,7 +376,9 @@ void RpcServer::ServeConnection(int fd) {
     if (!payload_ok.ok()) {
       // Wire damage (real or injected): retryable error frame; framing is
       // intact (we read the declared byte count), so keep the connection.
-      if (!SendError(fd, frame.header.sequence, payload_ok).ok()) break;
+      if (!SendError(fd, frame.header.sequence, payload_ok, &conn).ok()) {
+        break;
+      }
       continue;
     }
 
@@ -285,25 +386,39 @@ void RpcServer::ServeConnection(int fd) {
       FrameHeader ack;
       ack.type = FrameType::kShutdownAck;
       ack.sequence = frame.header.sequence;
-      WriteFrame(fd, ack, "");
+      if (WriteFrame(fd, ack, "").ok()) {
+        conn.bytes_written += kFrameHeaderBytes;
+      }
       RequestShutdown();
       break;
+    }
+    if (frame.header.type == FrameType::kStats) {
+      // Served inline on the handler thread, never submitted to the
+      // pipeline: a stats scrape must not perturb (or wait behind) the
+      // deterministic detection stream.
+      if (!ServeStats(fd, frame, &conn).ok()) break;
+      continue;
     }
     if (frame.header.type != FrameType::kDetectRequest) {
       if (!SendError(fd, frame.header.sequence,
                      Status::InvalidArgument(
-                         "frame type not servable by this endpoint"))
+                         "frame type not servable by this endpoint"),
+                     &conn)
                .ok()) {
         break;
       }
       continue;
     }
-    if (!ServeDetect(fd, frame).ok()) break;
+    if (!ServeDetect(fd, frame, received, &conn).ok()) break;
   }
 
   ::close(fd);
   std::lock_guard<std::mutex> lock(mu_);
   connection_fds_.erase(fd);
+  finished_connections_.push_back(conn);
+  while (finished_connections_.size() > kMaxConnectionSummaries) {
+    finished_connections_.pop_front();
+  }
 }
 
 void RpcServer::WaitForShutdown() {
@@ -348,6 +463,34 @@ Status RpcServer::Shutdown() {
     if (handler.joinable()) handler.join();
   }
 
+  if (config_.log_shutdown_summary) {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!summary_logged_) {
+      summary_logged_ = true;
+      if (pipeline_ != nullptr) {
+        const RequestPipeline::Counters pc = pipeline_->counters();
+        std::fprintf(stderr,
+                     "[enld_server] queue pressure: completed=%llu "
+                     "hol_blocked=%llu deadline_drops=%llu\n",
+                     static_cast<unsigned long long>(pc.completed),
+                     static_cast<unsigned long long>(pc.hol_blocked),
+                     static_cast<unsigned long long>(pc.queue_deadline_drops));
+      }
+      for (const ConnectionSummary& conn : finished_connections_) {
+        std::fprintf(
+            stderr,
+            "[enld_server] conn %llu: requests=%llu responses=%llu "
+            "errors=%llu bytes_read=%llu bytes_written=%llu\n",
+            static_cast<unsigned long long>(conn.id),
+            static_cast<unsigned long long>(conn.requests),
+            static_cast<unsigned long long>(conn.responses),
+            static_cast<unsigned long long>(conn.errors),
+            static_cast<unsigned long long>(conn.bytes_read),
+            static_cast<unsigned long long>(conn.bytes_written));
+      }
+    }
+  }
+
   if (pipeline_ == nullptr) return Status::OK();
   return pipeline_->Shutdown();
 }
@@ -355,6 +498,13 @@ Status RpcServer::Shutdown() {
 RpcServer::Counters RpcServer::counters() const {
   std::lock_guard<std::mutex> lock(mu_);
   return counters_;
+}
+
+std::vector<RpcServer::ConnectionSummary> RpcServer::connection_summaries()
+    const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return std::vector<ConnectionSummary>(finished_connections_.begin(),
+                                        finished_connections_.end());
 }
 
 }  // namespace rpc

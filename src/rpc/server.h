@@ -3,6 +3,7 @@
 
 #include <condition_variable>
 #include <cstdint>
+#include <deque>
 #include <memory>
 #include <mutex>
 #include <set>
@@ -11,6 +12,7 @@
 #include <vector>
 
 #include "common/status.h"
+#include "common/stopwatch.h"
 #include "enld/pipeline.h"
 #include "rpc/frame.h"
 
@@ -65,6 +67,14 @@ struct ServerConfig {
   /// Configuration of the RequestPipeline the server fronts (queue
   /// capacity, batching, shedding, snapshot hook).
   PipelineConfig pipeline;
+  /// Detect requests whose end-to-end wall time (frame fully read →
+  /// response written) exceeds this many seconds are logged to stderr with
+  /// their request id and stage breakdown. 0 disables the log.
+  double slow_request_seconds = 0.0;
+  /// Print the queue-pressure line and per-connection totals (requests,
+  /// errors, bytes) to stderr when the server shuts down — what serving
+  /// drills grep. Off by default so tests stay quiet.
+  bool log_shutdown_summary = false;
 };
 
 class RpcServer {
@@ -100,15 +110,44 @@ class RpcServer {
     uint64_t wire_errors = 0;           ///< kError frames written
     uint64_t dropped_frames = 0;        ///< rpc/drop_frame fires
     uint64_t deadline_propagated = 0;   ///< requests with a wire deadline
+    uint64_t stats_served = 0;          ///< kStats snapshots written
   };
   Counters counters() const;
 
+  /// Lifetime totals of one finished connection, for the shutdown summary
+  /// and post-hoc inspection.
+  struct ConnectionSummary {
+    uint64_t id = 0;             ///< 1-based accept order
+    uint64_t requests = 0;       ///< detect requests dispatched
+    uint64_t responses = 0;      ///< detect responses written
+    uint64_t errors = 0;         ///< kError frames written
+    uint64_t bytes_read = 0;     ///< frame bytes received
+    uint64_t bytes_written = 0;  ///< frame bytes sent
+  };
+  /// Summaries of closed connections, oldest first (bounded: the most
+  /// recent kMaxConnectionSummaries are retained).
+  std::vector<ConnectionSummary> connection_summaries() const;
+
+  /// Builds the "enld-stats-v1" document (rpc/stats.h) from live state —
+  /// the same bytes a kStats frame returns. Callable any time between
+  /// Start and Shutdown, off the request path.
+  std::string BuildStatsJson() const;
+
+  /// Closed-connection summaries retained for connection_summaries().
+  static constexpr size_t kMaxConnectionSummaries = 1024;
+
  private:
   void AcceptLoop();
-  void ServeConnection(int fd);
-  /// Handles one verified detect-request frame on `fd`.
-  Status ServeDetect(int fd, const Frame& frame);
-  Status SendError(int fd, uint64_t sequence, const Status& error);
+  void ServeConnection(int fd, uint64_t connection_id);
+  /// Handles one verified detect-request frame on `fd`. `received` started
+  /// when the frame was fully read — its elapsed time at response write is
+  /// the request's end-to-end serving latency.
+  Status ServeDetect(int fd, const Frame& frame, const Stopwatch& received,
+                     ConnectionSummary* conn);
+  /// Replies to a kStats frame with the rendered stats document.
+  Status ServeStats(int fd, const Frame& frame, ConnectionSummary* conn);
+  Status SendError(int fd, uint64_t sequence, const Status& error,
+                   ConnectionSummary* conn);
   void RequestShutdown();
 
   DataPlatform* platform_;
@@ -126,6 +165,9 @@ class RpcServer {
   std::set<int> connection_fds_;
   std::vector<std::thread> connection_threads_;
   Counters counters_;
+  std::deque<ConnectionSummary> finished_connections_;  ///< guarded by mu_
+  bool summary_logged_ = false;  ///< guarded by mu_; print once
+  Stopwatch uptime_;             ///< restarted by Start()
 };
 
 }  // namespace rpc

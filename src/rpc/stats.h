@@ -1,0 +1,60 @@
+#ifndef ENLD_RPC_STATS_H_
+#define ENLD_RPC_STATS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/telemetry/metrics.h"
+#include "enld/pipeline.h"
+
+namespace enld {
+namespace rpc {
+
+/// The "enld-stats-v1" live stats/health document served on kStats frames
+/// (docs/OBSERVABILITY.md, "Live serving observability"). RpcServer fills
+/// a StatsInfo off the request path — no pipeline Submit, so a stats scrape
+/// never perturbs the detection stream — and RenderStatsJson turns it into
+/// deterministic JSON: object keys are written in a fixed order, metric
+/// names come from the registry's sorted snapshot, and every number goes
+/// through the JSON model's single round-trippable formatter, so two
+/// identical states always produce identical bytes.
+
+struct StatsInfo {
+  double uptime_seconds = 0.0;
+  /// FNV-1a fingerprint of the serving platform's DataPlatformConfig — the
+  /// same fingerprint snapshots embed (store/snapshot.h), so an operator
+  /// can tell at a glance whether this server would accept a given
+  /// snapshot lineage.
+  uint64_t config_fingerprint = 0;
+
+  // Serving counters (RpcServer::Counters plus the live gauge).
+  uint64_t connections_accepted = 0;
+  uint64_t connections_rejected = 0;
+  uint64_t connections_active = 0;
+  uint64_t requests = 0;
+  uint64_t responses = 0;
+  uint64_t wire_errors = 0;
+  uint64_t dropped_frames = 0;
+  uint64_t deadline_propagated = 0;
+  uint64_t stats_served = 0;
+
+  // Pipeline state behind the server.
+  RequestPipeline::Counters pipeline;
+  uint64_t queue_depth = 0;
+  std::vector<RequestRecord> recent_requests;  ///< oldest first
+
+  /// Full metrics registry. Series are omitted from the rendered document
+  /// (append-only and unbounded — they belong in the end-of-run report,
+  /// not a live endpoint polled in a loop).
+  telemetry::MetricsSnapshot metrics;
+};
+
+/// Renders the document. Histograms additionally carry deterministic
+/// p50/p90/p99 readouts (telemetry::HistogramQuantile) under "quantiles".
+std::string RenderStatsJson(const StatsInfo& info);
+
+}  // namespace rpc
+}  // namespace enld
+
+#endif  // ENLD_RPC_STATS_H_

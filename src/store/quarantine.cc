@@ -20,6 +20,8 @@ Status WriteQuarantineJson(const QuarantineLog& log, const std::string& path) {
     JsonValue entry = JsonValue::Object();
     entry.Set("request",
               JsonValue::Number(static_cast<double>(record.request)));
+    entry.Set("request_id",
+              JsonValue::Number(static_cast<double>(record.request_id)));
     entry.Set("row", JsonValue::Number(static_cast<double>(record.row)));
     entry.Set("sample_id",
               JsonValue::Number(static_cast<double>(record.sample_id)));

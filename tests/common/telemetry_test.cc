@@ -1,4 +1,5 @@
 #include <algorithm>
+#include <cmath>
 #include <cstdlib>
 #include <functional>
 #include <string>
@@ -67,6 +68,93 @@ TEST_F(TelemetryTest, HistogramBucketSemantics) {
   EXPECT_EQ(hist->BucketCount(3), 1u);
   EXPECT_EQ(hist->TotalCount(), 4u);
   EXPECT_DOUBLE_EQ(hist->Sum(), 0.5 + 1.0 + 2.5 + 99.0);
+}
+
+TEST_F(TelemetryTest, HistogramDropsInvalidObservations) {
+  auto& registry = MetricsRegistry::Global();
+  Histogram* hist = registry.GetHistogram("test/invalid", {1.0});
+  Counter* invalid = registry.GetCounter("telemetry/invalid_observations");
+  const uint64_t before = invalid->Value();
+  hist->Observe(std::nan(""));
+  hist->Observe(-0.25);
+  hist->Observe(0.5);  // valid, lands in the first bucket
+  EXPECT_EQ(hist->TotalCount(), 1u);
+  EXPECT_DOUBLE_EQ(hist->Sum(), 0.5);
+  EXPECT_EQ(invalid->Value(), before + 2);
+}
+
+TEST_F(TelemetryTest, LogScaleBucketsAreAscendingAndCapped) {
+  const std::vector<double> bounds = LogScaleBuckets();
+  ASSERT_GE(bounds.size(), 2u);
+  EXPECT_DOUBLE_EQ(bounds.front(), 1e-5);
+  EXPECT_DOUBLE_EQ(bounds.back(), 128.0);
+  for (size_t i = 1; i < bounds.size(); ++i) {
+    EXPECT_LT(bounds[i - 1], bounds[i]) << "at index " << i;
+  }
+  // A ladder whose geometric progression stops short of max_bound gets
+  // max_bound appended as the final edge.
+  const std::vector<double> custom = LogScaleBuckets(1.0, 10.0, 3.0);
+  EXPECT_EQ(custom, (std::vector<double>{1.0, 3.0, 9.0, 10.0}));
+}
+
+TEST_F(TelemetryTest, HistogramQuantileOfEmptyHistogramIsZero) {
+  HistogramSnapshot empty;
+  empty.upper_bounds = {1.0, 2.0};
+  empty.bucket_counts = {0, 0, 0};
+  EXPECT_DOUBLE_EQ(HistogramQuantile(empty, 0.5), 0.0);
+}
+
+TEST_F(TelemetryTest, HistogramQuantileInterpolatesWithinBuckets) {
+  HistogramSnapshot snap;
+  snap.upper_bounds = {1.0, 2.0, 4.0};
+  snap.bucket_counts = {2, 1, 1, 0};
+  snap.count = 4;
+  // rank 1 of 2 in the first bucket: halfway between 0 and its edge.
+  EXPECT_DOUBLE_EQ(HistogramQuantile(snap, 0.25), 0.5);
+  // rank 2 exhausts the first bucket: exactly the bucket boundary.
+  EXPECT_DOUBLE_EQ(HistogramQuantile(snap, 0.5), 1.0);
+  // The maximum lands at the last finite edge.
+  EXPECT_DOUBLE_EQ(HistogramQuantile(snap, 1.0), 4.0);
+  // Quantiles are clamped into [0, 1].
+  EXPECT_DOUBLE_EQ(HistogramQuantile(snap, -3.0),
+                   HistogramQuantile(snap, 0.0));
+  EXPECT_DOUBLE_EQ(HistogramQuantile(snap, 7.0),
+                   HistogramQuantile(snap, 1.0));
+}
+
+TEST_F(TelemetryTest, HistogramQuantileOverflowBucketStaysBounded) {
+  HistogramSnapshot snap;
+  snap.upper_bounds = {1.0, 2.0, 4.0};
+  snap.bucket_counts = {0, 0, 0, 5};
+  snap.count = 5;
+  // Every observation overflowed: no upper edge to interpolate toward, so
+  // the readout pins to the last finite bound instead of inventing one.
+  EXPECT_DOUBLE_EQ(HistogramQuantile(snap, 0.5), 4.0);
+  EXPECT_DOUBLE_EQ(HistogramQuantile(snap, 0.99), 4.0);
+}
+
+// Quantiles must read deterministically off the merged snapshot even when
+// the observations landed on different counter shards.
+TEST_F(TelemetryTest, HistogramQuantileMergesAcrossShards) {
+  SetParallelThreads(8);
+  auto& registry = MetricsRegistry::Global();
+  Histogram* hist = registry.GetHistogram("test/quantile", {1.0, 2.0, 3.0});
+  constexpr size_t kItems = 4000;
+  ParallelFor(0, kItems, 16, [&](size_t begin, size_t end) {
+    for (size_t i = begin; i < end; ++i) {
+      hist->Observe(0.5 + static_cast<double>(i % 4));  // 0.5, 1.5, 2.5, 3.5
+    }
+  });
+  const HistogramSnapshot snap =
+      registry.Snapshot().histograms.at("test/quantile");
+  ASSERT_EQ(snap.count, kItems);
+  const double p50 = HistogramQuantile(snap, 0.5);
+  const double p90 = HistogramQuantile(snap, 0.9);
+  const double p99 = HistogramQuantile(snap, 0.99);
+  EXPECT_DOUBLE_EQ(p50, 2.0);  // rank 2000 exhausts the (1, 2] bucket
+  EXPECT_DOUBLE_EQ(p99, 3.0);  // overflow bucket pins to the last edge
+  EXPECT_LE(p50, p90);
+  EXPECT_LE(p90, p99);
 }
 
 TEST_F(TelemetryTest, SeriesPreservesAppendOrder) {

@@ -139,6 +139,42 @@ TEST_F(PipelineTest, AsyncMatchesSequentialByteForByte) {
   }
 }
 
+TEST_F(PipelineTest, RecentRequestRingIsBoundedAndCarriesRequestIds) {
+  DataPlatform platform(FastPlatformConfig());
+  ASSERT_TRUE(platform.Initialize(workload_->inventory).ok());
+  PipelineConfig pipeline_config;
+  pipeline_config.recent_ring_capacity = 2;
+  RequestPipeline pipeline(&platform, pipeline_config);
+
+  const size_t n = workload_->incremental.size();
+  ASSERT_GE(n, 3u);  // enough traffic to overflow a capacity-2 ring
+  for (size_t i = 0; i < n; ++i) {
+    SubmitOptions options;
+    options.request_id = 500 + i;
+    PipelineResponse response =
+        pipeline.Submit(workload_->incremental[i], options).get();
+    ASSERT_TRUE(response.result.ok());
+    // The id and the stage breakdown ride back on the response.
+    EXPECT_EQ(response.request_id, 500 + i);
+    EXPECT_GT(response.process_seconds, 0.0);
+    EXPECT_GE(response.admission_seconds, 0.0);
+    EXPECT_GE(response.detect_seconds, 0.0);
+  }
+
+  // The ring keeps only the newest `recent_ring_capacity` records, oldest
+  // first, each tagged with its client-set id.
+  const std::vector<RequestRecord> recent = pipeline.RecentRequests();
+  ASSERT_EQ(recent.size(), 2u);
+  EXPECT_EQ(recent[0].sequence, n - 1);
+  EXPECT_EQ(recent[0].request_id, 500 + n - 2);
+  EXPECT_EQ(recent[1].sequence, n);
+  EXPECT_EQ(recent[1].request_id, 500 + n - 1);
+  EXPECT_EQ(recent[1].status, StatusCode::kOk);
+  EXPECT_GT(recent[1].process_seconds, 0.0);
+  EXPECT_EQ(pipeline.queue_depth(), 0u);
+  EXPECT_TRUE(pipeline.Shutdown().ok());
+}
+
 TEST_F(PipelineTest, DeadlineExceededRequestDoesNotStallQueue) {
   DataPlatformConfig config = FastPlatformConfig();
   config.request_deadline_seconds = kBudget;

@@ -26,18 +26,20 @@ FrameHeader RequestHeader() {
   FrameHeader header;
   header.type = FrameType::kDetectRequest;
   header.sequence = 0x0123456789abcdefull;
+  header.request_id = 0xfeedfacecafef00dull;
   header.deadline_seconds = 2.5;
   return header;
 }
 
-/// Rewrites the header CRC of an encoded frame so deliberate field edits
-/// still pass the checksum — the way to reach the post-CRC validation
-/// (version / type / length checks) in tests.
+/// Rewrites the header CRC of an encoded v2 frame so deliberate field
+/// edits still pass the checksum — the way to reach the post-CRC
+/// validation (version / type / length checks) in tests. The v2 header
+/// CRC covers [0, 46) and lives at [46, 50).
 void FixHeaderCrc(std::string* frame) {
-  const uint32_t crc = store::Crc32(frame->data(), 38);
+  const uint32_t crc = store::Crc32(frame->data(), 46);
   std::string patched;
   store::PutU32(&patched, crc);
-  frame->replace(38, 4, patched);
+  frame->replace(46, 4, patched);
 }
 
 uint64_t CrcFailures() {
@@ -53,8 +55,10 @@ TEST(FrameCodec, RoundTripsHeaderAndPayload) {
 
   const StatusOr<Frame> decoded = DecodeFrame(encoded);
   ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_EQ(decoded->header.version, kFrameVersion);
   EXPECT_EQ(decoded->header.type, FrameType::kDetectRequest);
   EXPECT_EQ(decoded->header.sequence, 0x0123456789abcdefull);
+  EXPECT_EQ(decoded->header.request_id, 0xfeedfacecafef00dull);
   EXPECT_EQ(decoded->header.deadline_seconds, 2.5);
   EXPECT_EQ(decoded->header.payload_size, payload.size());
   EXPECT_EQ(decoded->payload, payload);
@@ -104,8 +108,11 @@ TEST(FrameCodec, FlippedHeaderBitIsRetryableNotProtocolError) {
 }
 
 TEST(FrameCodec, UnsupportedVersionIsProtocolViolation) {
+  // Version 3 doesn't exist yet. The decoder assumes the current (v2)
+  // layout for any non-v1 version byte, so with the CRC repaired the
+  // failure is the post-CRC version check — a protocol violation.
   std::string encoded = EncodeFrame(RequestHeader(), "x");
-  encoded[12] = 2;
+  encoded[12] = 3;
   FixHeaderCrc(&encoded);
   EXPECT_EQ(DecodeFrameHeader(encoded).status().code(),
             StatusCode::kInvalidArgument);
@@ -124,7 +131,7 @@ TEST(FrameCodec, OversizedPayloadDeclarationIsProtocolViolation) {
   std::string encoded = EncodeFrame(RequestHeader(), "x");
   std::string huge;
   store::PutU64(&huge, kMaxFramePayloadBytes + 1);
-  encoded.replace(30, 8, huge);
+  encoded.replace(38, 8, huge);  // v2 payload length field
   FixHeaderCrc(&encoded);
   EXPECT_EQ(DecodeFrameHeader(encoded).status().code(),
             StatusCode::kInvalidArgument);
@@ -152,6 +159,52 @@ TEST(FrameCodec, TrailingBytesAreProtocolViolation) {
             StatusCode::kInvalidArgument);
 }
 
+TEST(FrameCodec, V1FrameStillDecodes) {
+  // Backward compatibility: a frame from a pre-request-id (v1) peer must
+  // decode on a v2 endpoint with every shared field intact. The v1 header
+  // has no request-id slot, so the decoded id is 0 (= untagged).
+  const std::string payload = "payload from a v1 peer";
+  const std::string encoded = EncodeFrameV1(RequestHeader(), payload);
+  ASSERT_EQ(encoded.size(), kFrameHeaderBytesV1 + payload.size());
+
+  const StatusOr<Frame> decoded = DecodeFrame(encoded);
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_EQ(decoded->header.version, kFrameVersionV1);
+  EXPECT_EQ(decoded->header.request_id, 0u);
+  EXPECT_EQ(decoded->header.type, FrameType::kDetectRequest);
+  EXPECT_EQ(decoded->header.sequence, 0x0123456789abcdefull);
+  EXPECT_EQ(decoded->header.deadline_seconds, 2.5);
+  EXPECT_EQ(decoded->payload, payload);
+}
+
+TEST(FrameCodec, V1TruncatedPrefixIsRetryable) {
+  const std::string encoded = EncodeFrameV1(RequestHeader(), "x");
+  EXPECT_EQ(DecodeFrameHeader(encoded.substr(0, kFrameHeaderBytesV1 - 1))
+                .status()
+                .code(),
+            StatusCode::kUnavailable);
+}
+
+TEST(FrameCodec, V1FlippedHeaderBitIsRetryable) {
+  // The v1 header CRC covers its own (shorter) span, so wire damage to a
+  // v1 frame still reads as retryable on a v2 endpoint.
+  std::string encoded = EncodeFrameV1(RequestHeader(), "x");
+  encoded[15] ^= 0x08;  // a sequence byte in the v1 layout
+  const uint64_t failures_before = CrcFailures();
+  EXPECT_EQ(DecodeFrameHeader(encoded).status().code(),
+            StatusCode::kUnavailable);
+  EXPECT_EQ(CrcFailures(), failures_before + 1);
+}
+
+TEST(FrameCodec, UntaggedV2FrameDecodesWithZeroRequestId) {
+  FrameHeader header;
+  header.type = FrameType::kStats;
+  const StatusOr<Frame> decoded = DecodeFrame(EncodeFrame(header, ""));
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded->header.type, FrameType::kStats);
+  EXPECT_EQ(decoded->header.request_id, 0u);
+}
+
 TEST(MessageBodies, DetectRequestRoundTripsByteExactly) {
   const Workload workload =
       BuildWorkload(testing_util::TinyWorkloadConfig(0.2));
@@ -172,6 +225,7 @@ TEST(MessageBodies, MalformedDetectRequestIsRejected) {
 TEST(MessageBodies, DetectResponseRoundTrips) {
   WireDetectResponse response;
   response.server_sequence = 7;
+  response.request_id = 0xabad1deaull;
   response.service_status = Status::DeadlineExceeded("budget blown");
   response.noisy_indices = {3, 1, 4, 1, 5};
   response.clean_indices = {9, 2, 6};
@@ -186,6 +240,7 @@ TEST(MessageBodies, DetectResponseRoundTrips) {
       DecodeDetectResponse(EncodeDetectResponse(response));
   ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
   EXPECT_EQ(decoded->server_sequence, 7u);
+  EXPECT_EQ(decoded->request_id, 0xabad1deaull);
   EXPECT_EQ(decoded->service_status.code(), StatusCode::kDeadlineExceeded);
   EXPECT_EQ(decoded->service_status.message(), "budget blown");
   EXPECT_EQ(decoded->noisy_indices, response.noisy_indices);

@@ -16,8 +16,10 @@
 #include <vector>
 
 #include "common/faults.h"
+#include "common/telemetry/metrics.h"
 #include "data/workload.h"
 #include "rpc/client.h"
+#include "store/json.h"
 #include "test_util.h"
 
 namespace enld {
@@ -217,6 +219,117 @@ TEST_F(ServerTest, OverloadIsShedWithRetryableError) {
   EXPECT_GE(server_->counters().connections_rejected, 1u);
   EXPECT_EQ(platform_->stats().requests, 0u);
   EXPECT_TRUE(server_->Shutdown().ok());
+}
+
+TEST_F(ServerTest, RequestIdIsEchoedAndThreadedIntoAudit) {
+  StartServer();
+  faults::ArmSite("platform/slow_detect", 1.0, /*max_fires=*/1,
+                  /*burst_limit=*/0);
+  RpcClient client = MakeClient();
+
+  // A tagged request that blows its wire deadline: the id must come back
+  // in the response AND land in the platform's deadline audit record.
+  const StatusOr<WireDetectResponse> bounded = client.Detect(
+      workload_->incremental[0], /*deadline_seconds=*/30.0,
+      /*request_id=*/777);
+  ASSERT_TRUE(bounded.ok()) << bounded.status().ToString();
+  EXPECT_EQ(bounded->request_id, 777u);
+  EXPECT_EQ(bounded->service_status.code(), StatusCode::kDeadlineExceeded);
+  ASSERT_EQ(platform_->deadline_audit().size(), 1u);
+  EXPECT_EQ(platform_->deadline_audit()[0].request_id, 777u);
+
+  // An untagged request echoes id 0.
+  const StatusOr<WireDetectResponse> untagged =
+      client.Detect(workload_->incremental[1]);
+  ASSERT_TRUE(untagged.ok());
+  EXPECT_EQ(untagged->request_id, 0u);
+  EXPECT_TRUE(server_->Shutdown().ok());
+}
+
+TEST_F(ServerTest, StatsEndpointReportsRingAndHistograms) {
+  telemetry::MetricsRegistry::Global().Reset();
+  StartServer();
+  RpcClient client = MakeClient();
+  const size_t n = workload_->incremental.size();
+  for (size_t i = 0; i < n; ++i) {
+    const StatusOr<WireDetectResponse> response = client.Detect(
+        workload_->incremental[i], /*deadline_seconds=*/-1.0,
+        /*request_id=*/100 + i);
+    ASSERT_TRUE(response.ok()) << response.status().ToString();
+    EXPECT_EQ(response->request_id, 100 + i);
+  }
+
+  const StatusOr<std::string> stats = client.Stats();
+  ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+  const StatusOr<store::JsonValue> parsed =
+      store::JsonValue::Parse(stats.value());
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  const store::JsonValue& doc = parsed.value();
+
+  ASSERT_NE(doc.Find("schema"), nullptr);
+  EXPECT_EQ(doc.Find("schema")->AsString(), "enld-stats-v1");
+  EXPECT_GT(doc.Find("uptime_seconds")->AsNumber(), 0.0);
+
+  const store::JsonValue* server = doc.Find("server");
+  ASSERT_NE(server, nullptr);
+  EXPECT_EQ(server->Find("requests")->AsNumber(), static_cast<double>(n));
+  EXPECT_EQ(server->Find("responses")->AsNumber(), static_cast<double>(n));
+  // The scraped document was built before its own response was written.
+  EXPECT_EQ(server->Find("stats_served")->AsNumber(), 0.0);
+
+  // End-to-end latency histogram: one observation per dispatched request.
+  const store::JsonValue* e2e =
+      doc.Find("metrics")->Find("histograms")->Find("rpc/e2e_seconds");
+  ASSERT_NE(e2e, nullptr);
+  EXPECT_EQ(e2e->Find("count")->AsNumber(), static_cast<double>(n));
+  const store::JsonValue* quantiles = e2e->Find("quantiles");
+  ASSERT_NE(quantiles, nullptr);
+  EXPECT_LE(quantiles->Find("p50")->AsNumber(),
+            quantiles->Find("p90")->AsNumber());
+  EXPECT_LE(quantiles->Find("p90")->AsNumber(),
+            quantiles->Find("p99")->AsNumber());
+
+  // The recent-request ring carries the client-set ids, oldest first.
+  const store::JsonValue* recent = doc.Find("recent_requests");
+  ASSERT_NE(recent, nullptr);
+  ASSERT_EQ(recent->items().size(), n);
+  for (size_t i = 0; i < n; ++i) {
+    SCOPED_TRACE("ring entry " + std::to_string(i));
+    const store::JsonValue& entry = recent->items()[i];
+    EXPECT_EQ(entry.Find("request_id")->AsNumber(),
+              static_cast<double>(100 + i));
+    EXPECT_EQ(entry.Find("status")->AsString(), "OK");
+    EXPECT_GE(entry.Find("process_seconds")->AsNumber(), 0.0);
+  }
+
+  const store::JsonValue* pipeline = doc.Find("pipeline");
+  ASSERT_NE(pipeline, nullptr);
+  EXPECT_EQ(pipeline->Find("completed")->AsNumber(), static_cast<double>(n));
+  EXPECT_EQ(pipeline->Find("queue_depth")->AsNumber(), 0.0);
+
+  // Shutdown joins the handler threads, so the post-write counter update
+  // is visible by the time it returns.
+  EXPECT_TRUE(server_->Shutdown().ok());
+  EXPECT_EQ(server_->counters().stats_served, 1u);
+}
+
+TEST_F(ServerTest, ConnectionSummariesAccumulateTotals) {
+  StartServer();
+  {
+    RpcClient client = MakeClient();
+    ASSERT_TRUE(client.Detect(workload_->incremental[0]).ok());
+    ASSERT_TRUE(client.Detect(workload_->incremental[1]).ok());
+  }  // destructor closes the connection; the handler files its summary
+  EXPECT_TRUE(server_->Shutdown().ok());
+  const std::vector<RpcServer::ConnectionSummary> summaries =
+      server_->connection_summaries();
+  ASSERT_EQ(summaries.size(), 1u);
+  EXPECT_EQ(summaries[0].id, 1u);
+  EXPECT_EQ(summaries[0].requests, 2u);
+  EXPECT_EQ(summaries[0].responses, 2u);
+  EXPECT_EQ(summaries[0].errors, 0u);
+  EXPECT_GT(summaries[0].bytes_read, 0u);
+  EXPECT_GT(summaries[0].bytes_written, 0u);
 }
 
 TEST_F(ServerTest, ShutdownFrameDrainsAndStopsTheServer) {

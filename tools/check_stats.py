@@ -1,0 +1,227 @@
+#!/usr/bin/env python3
+"""Offline audit of an ENLD live stats document (docs/OBSERVABILITY.md).
+
+Usage: check_stats.py <stats.json> [--expect-requests=<n>]
+                      [--expect-tagged-ring]
+
+Validates, with nothing but the Python standard library, the
+"enld-stats-v1" JSON served by enld_server on kStats frames and scraped
+with `enld_cli stats <host:port>`:
+
+  * the schema tag is "enld-stats-v1" and uptime is positive,
+  * the build block names the current frame version and a hex config
+    fingerprint,
+  * server/pipeline counters are non-negative integers with the obvious
+    invariants (responses <= requests, completed <= submitted),
+  * every histogram is internally consistent: len(bucket_counts) ==
+    len(upper_bounds) + 1, the bucket counts sum to `count`, bounds are
+    strictly ascending, and the p50/p90/p99 readouts are monotone and
+    inside [0, last_bound],
+  * the rpc/e2e_seconds histogram count equals the server's dispatched
+    request count — one end-to-end observation per request, no more, no
+    less,
+  * ring entries carry the per-request stage breakdown and a status name.
+
+--expect-requests=<n> additionally pins the dispatched request count;
+--expect-tagged-ring fails unless at least one ring entry carries a
+nonzero client-set request id — used by the serving drill to prove the
+ids crossed the wire. Exits non-zero with one message per violation so
+CI can gate on it.
+"""
+
+import json
+import sys
+
+SCHEMA = "enld-stats-v1"
+
+errors = []
+
+
+def fail(message):
+    errors.append(message)
+
+
+def require_uint(doc, key, where):
+    value = doc.get(key)
+    if not isinstance(value, (int, float)) or value < 0 or value != int(value):
+        fail(f"{where}.{key} missing or not a non-negative integer: {value!r}")
+        return None
+    return int(value)
+
+
+def check_histogram(name, hist):
+    where = f"histograms[{name}]"
+    if not isinstance(hist, dict):
+        fail(f"{where} is not an object")
+        return None
+    count = require_uint(hist, "count", where)
+    bounds = hist.get("upper_bounds")
+    buckets = hist.get("bucket_counts")
+    if not isinstance(bounds, list) or not isinstance(buckets, list):
+        fail(f"{where} lacks upper_bounds/bucket_counts arrays")
+        return count
+    if len(buckets) != len(bounds) + 1:
+        fail(f"{where}: {len(buckets)} bucket(s) for {len(bounds)} bound(s); "
+             "want bounds + 1 (overflow)")
+    for i in range(1, len(bounds)):
+        if not bounds[i - 1] < bounds[i]:
+            fail(f"{where}: upper_bounds not strictly ascending at {i}")
+    if count is not None and sum(buckets) != count:
+        fail(f"{where}: bucket_counts sum {sum(buckets)} != count {count}")
+    quantiles = hist.get("quantiles")
+    if not isinstance(quantiles, dict):
+        fail(f"{where} lacks a quantiles object")
+        return count
+    readouts = []
+    for q in ("p50", "p90", "p99"):
+        value = quantiles.get(q)
+        if not isinstance(value, (int, float)):
+            fail(f"{where}.quantiles.{q} missing or not a number")
+            return count
+        readouts.append(value)
+    p50, p90, p99 = readouts
+    if not p50 <= p90 <= p99:
+        fail(f"{where}: quantiles not monotone: p50={p50} p90={p90} p99={p99}")
+    if bounds and count:
+        if p50 < 0 or p99 > bounds[-1]:
+            fail(f"{where}: quantiles escape [0, {bounds[-1]}]: "
+                 f"p50={p50} p99={p99}")
+    if count == 0 and any(r != 0.0 for r in readouts):
+        fail(f"{where}: empty histogram must read 0 at every quantile")
+    return count
+
+
+def main():
+    args = [a for a in sys.argv[1:] if not a.startswith("--")]
+    if len(args) != 1:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    expect_requests = None
+    expect_tagged_ring = False
+    for arg in sys.argv[1:]:
+        if arg.startswith("--expect-requests="):
+            expect_requests = int(arg.split("=", 1)[1])
+        elif arg == "--expect-tagged-ring":
+            expect_tagged_ring = True
+
+    try:
+        with open(args[0], "r", encoding="utf-8") as fh:
+            doc = json.load(fh)
+    except (OSError, json.JSONDecodeError) as exc:
+        print(f"cannot load {args[0]}: {exc}", file=sys.stderr)
+        return 1
+
+    if doc.get("schema") != SCHEMA:
+        fail(f"schema is {doc.get('schema')!r}, want {SCHEMA!r}")
+    uptime = doc.get("uptime_seconds")
+    if not isinstance(uptime, (int, float)) or uptime <= 0:
+        fail(f"uptime_seconds missing or not positive: {uptime!r}")
+
+    build = doc.get("build")
+    if not isinstance(build, dict):
+        fail("build block missing")
+    else:
+        require_uint(build, "frame_version", "build")
+        require_uint(build, "frame_header_bytes", "build")
+        fingerprint = build.get("config_fingerprint")
+        if (not isinstance(fingerprint, str) or len(fingerprint) != 16
+                or any(c not in "0123456789abcdef" for c in fingerprint)):
+            fail(f"build.config_fingerprint is not a 16-digit hex string: "
+                 f"{fingerprint!r}")
+
+    server = doc.get("server")
+    requests = None
+    if not isinstance(server, dict):
+        fail("server block missing")
+    else:
+        for key in ("connections_accepted", "connections_rejected",
+                    "connections_active", "requests", "responses",
+                    "wire_errors", "dropped_frames", "deadline_propagated",
+                    "stats_served"):
+            require_uint(server, key, "server")
+        requests = server.get("requests")
+        responses = server.get("responses")
+        if (isinstance(requests, (int, float))
+                and isinstance(responses, (int, float))
+                and responses > requests):
+            fail(f"server.responses {responses} > server.requests {requests}")
+
+    pipeline = doc.get("pipeline")
+    if not isinstance(pipeline, dict):
+        fail("pipeline block missing")
+    else:
+        for key in ("submitted", "completed", "batches", "largest_batch",
+                    "queue_deadline_drops", "hol_blocked", "snapshot_writes",
+                    "queue_depth"):
+            require_uint(pipeline, key, "pipeline")
+        submitted = pipeline.get("submitted")
+        completed = pipeline.get("completed")
+        if (isinstance(submitted, (int, float))
+                and isinstance(completed, (int, float))
+                and completed > submitted):
+            fail(f"pipeline.completed {completed} > submitted {submitted}")
+
+    ring = doc.get("recent_requests")
+    tagged = 0
+    if not isinstance(ring, list):
+        fail("recent_requests block missing")
+    else:
+        for i, entry in enumerate(ring):
+            where = f"recent_requests[{i}]"
+            if not isinstance(entry, dict):
+                fail(f"{where} is not an object")
+                continue
+            sequence = require_uint(entry, "sequence", where)
+            request_id = require_uint(entry, "request_id", where)
+            if request_id:
+                tagged += 1
+            if sequence is not None and i > 0:
+                prev = ring[i - 1].get("sequence")
+                if isinstance(prev, (int, float)) and not prev < sequence:
+                    fail(f"{where}: sequence {sequence} not after {prev}")
+            status = entry.get("status")
+            if not isinstance(status, str) or not status:
+                fail(f"{where}.status missing or empty")
+            for key in ("queue_seconds", "admission_seconds",
+                        "detect_seconds", "process_seconds"):
+                value = entry.get(key)
+                if not isinstance(value, (int, float)) or value < 0:
+                    fail(f"{where}.{key} missing or negative: {value!r}")
+    if expect_tagged_ring and tagged == 0:
+        fail("no recent_requests entry carries a nonzero request_id "
+             "(--expect-tagged-ring)")
+
+    metrics = doc.get("metrics")
+    if not isinstance(metrics, dict):
+        fail("metrics block missing")
+    else:
+        histograms = metrics.get("histograms")
+        if not isinstance(histograms, dict):
+            fail("metrics.histograms missing")
+            histograms = {}
+        e2e_count = None
+        for name, hist in histograms.items():
+            count = check_histogram(name, hist)
+            if name == "rpc/e2e_seconds":
+                e2e_count = count
+        if e2e_count is None:
+            fail("rpc/e2e_seconds histogram missing")
+        elif requests is not None and e2e_count != requests:
+            fail(f"rpc/e2e_seconds count {e2e_count} != server.requests "
+                 f"{requests} (must observe exactly once per request)")
+
+    if expect_requests is not None and requests != expect_requests:
+        fail(f"server.requests is {requests}, expected {expect_requests}")
+
+    if errors:
+        for message in errors:
+            print(f"check_stats: {message}", file=sys.stderr)
+        return 1
+    ring_len = len(ring) if isinstance(ring, list) else 0
+    print(f"check_stats: OK ({requests} request(s), {ring_len} ring "
+          f"entr{'y' if ring_len == 1 else 'ies'}, {tagged} tagged)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
