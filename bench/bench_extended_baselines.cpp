@@ -13,9 +13,6 @@
 
 #include <cstdio>
 
-#include "baselines/co_teaching.h"
-#include "baselines/incv.h"
-#include "baselines/o2u.h"
 #include "bench_util.h"
 
 int main() {
@@ -27,16 +24,14 @@ int main() {
   for (double noise : {0.2, 0.4}) {
     const Workload workload = MakeWorkload(PaperDataset::kCifar100, noise);
 
+    // Registry-created, default configs for the extension methods plus the
+    // paper-calibrated reference points from the main comparison set.
     std::vector<std::unique_ptr<NoisyLabelDetector>> detectors;
-    detectors.push_back(std::make_unique<O2UDetector>(O2UConfig()));
-    detectors.push_back(
-        std::make_unique<CoTeachingDetector>(CoTeachingConfig()));
-    detectors.push_back(std::make_unique<IncvDetector>(IncvConfig()));
-    // Reference points from the paper's own comparison set.
-    detectors.push_back(std::make_unique<TopofilterDetector>(
-        PaperTopofilterConfig(PaperDataset::kCifar100)));
-    detectors.push_back(std::make_unique<EnldFramework>(
-        PaperEnldConfig(PaperDataset::kCifar100)));
+    for (const char* key :
+         {"o2u", "coteaching", "incv", "topofilter", "enld"}) {
+      detectors.push_back(
+          MakePaperDetector(key, PaperDataset::kCifar100));
+    }
 
     for (auto& detector : detectors) {
       const MethodRunResult run = RunDetector(detector.get(), workload);

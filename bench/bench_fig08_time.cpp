@@ -62,9 +62,9 @@ int main(int argc, char** argv) {
                       TablePrinter::Num(noise, 1), run.method,
                       TablePrinter::Num(run.setup_seconds, 2),
                       TablePrinter::Num(run.average_process_seconds(), 3)});
-        if (run.method == "Topofilter") {
+        if (run.method == "topofilter") {
           topofilter_time = run.average_process_seconds();
-        } else if (run.method == "ENLD") {
+        } else if (run.method == "enld") {
           enld_time = run.average_process_seconds();
           // The span tree replaces the old flat phase registry: every
           // top-level child of the root is one pipeline stage, with the

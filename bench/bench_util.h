@@ -7,10 +7,10 @@
 #include <utility>
 #include <vector>
 
-#include "baselines/confident_learning.h"
-#include "baselines/default_detector.h"
 #include "baselines/topofilter.h"
+#include "common/check.h"
 #include "common/table.h"
+#include "detect/registry.h"
 #include "enld/framework.h"
 #include "eval/experiment.h"
 #include "eval/paper_setup.h"
@@ -87,20 +87,26 @@ inline Workload MakeWorkload(PaperDataset dataset, double noise_rate) {
   return BuildWorkload(config);
 }
 
-/// All five detection methods of Section V-A4, configured for `dataset`.
+/// Creates one registry detector under the task-calibrated context; the
+/// keys come from detect::ListDetectors or the lists below. A benchmark
+/// asking for an unregistered key is a programming error — aborts.
+inline std::unique_ptr<NoisyLabelDetector> MakePaperDetector(
+    const std::string& key, PaperDataset dataset,
+    const detect::DetectorOptions& options = {}) {
+  auto detector =
+      detect::CreateDetector(key, options, PaperDetectorContext(dataset));
+  ENLD_CHECK(detector.ok());
+  return std::move(detector.value());
+}
+
+/// All five detection methods of Section V-A4, configured for `dataset`
+/// (registry-created; same configs the paper figures use).
 inline std::vector<std::unique_ptr<NoisyLabelDetector>> MakeAllDetectors(
     PaperDataset dataset) {
-  const GeneralModelConfig general = PaperGeneralConfig(dataset);
   std::vector<std::unique_ptr<NoisyLabelDetector>> detectors;
-  detectors.push_back(std::make_unique<DefaultDetector>(general));
-  detectors.push_back(std::make_unique<ConfidentLearningDetector>(
-      general, ClVariant::kPruneByClass));
-  detectors.push_back(std::make_unique<ConfidentLearningDetector>(
-      general, ClVariant::kPruneByNoiseRate));
-  detectors.push_back(
-      std::make_unique<TopofilterDetector>(PaperTopofilterConfig(dataset)));
-  detectors.push_back(
-      std::make_unique<EnldFramework>(PaperEnldConfig(dataset)));
+  for (const char* key : {"default", "cl1", "cl2", "topofilter", "enld"}) {
+    detectors.push_back(MakePaperDetector(key, dataset));
+  }
   return detectors;
 }
 

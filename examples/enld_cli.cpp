@@ -1,13 +1,25 @@
-// Command-line driver: run any detection method on any of the paper's
+// Command-line driver: run any registered detector on any of the paper's
 // synthetic tasks and print per-dataset and aggregate results, optionally
-// exporting the workload to CSV.
+// exporting the workload to CSV. `enld_cli --help` enumerates the
+// detector registry at runtime.
 //
-//   ./build/examples/enld_cli --dataset=cifar100 --noise=0.2 --method=enld
+//   ./build/examples/enld_cli detect --dataset=cifar100 --detector=enld
+//   ./build/examples/enld_cli detect --detector=probe --detector_opt \
+//       sweep_points=64
+//   ./build/examples/enld_cli detect --list_detectors
 //
-// Flags:
+// Detection flags (`detect` subcommand, or flag-only invocation with the
+// legacy --method= spelling):
 //   --dataset=emnist|cifar100|tiny       task profile (default cifar100)
 //   --noise=<0..1>                       pair-noise rate (default 0.2)
-//   --method=enld|default|cl1|cl2|topofilter|o2u|coteaching|incv
+//   --detector=<registry key>            detector to run (default enld);
+//                                        see --list_detectors for keys
+//   --detector_opt k=v                   detector option (repeatable;
+//                                        --detector_opt=k=v also works);
+//                                        unknown keys / malformed values
+//                                        are InvalidArgument errors
+//   --list_detectors                     print every registered detector
+//                                        with its option table and exit
 //   --datasets=<n>                       stream length (default: paper's)
 //   --export=<path.csv>                  also write the inventory as CSV
 //   --telemetry_out=<path>               dump the run's telemetry report
@@ -66,16 +78,10 @@
 #include <string>
 #include <thread>
 
-#include "baselines/co_teaching.h"
-#include "baselines/confident_learning.h"
-#include "baselines/default_detector.h"
-#include "baselines/incv.h"
-#include "baselines/o2u.h"
-#include "baselines/topofilter.h"
 #include "common/table.h"
 #include "common/telemetry/report.h"
 #include "data/serialization.h"
-#include "enld/framework.h"
+#include "detect/registry.h"
 #include "enld/platform.h"
 #include "eval/experiment.h"
 #include "eval/metrics.h"
@@ -105,33 +111,75 @@ std::string FlagValue(int argc, char** argv, const std::string& name,
   return fallback;
 }
 
-std::unique_ptr<NoisyLabelDetector> MakeDetector(const std::string& method,
-                                                 PaperDataset dataset) {
-  const GeneralModelConfig general = PaperGeneralConfig(dataset);
-  if (method == "enld") {
-    return std::make_unique<EnldFramework>(PaperEnldConfig(dataset));
+/// Collects every `--detector_opt k=v` / `--detector_opt=k=v` pair.
+/// Returns false (with a message on stderr) on a malformed flag; the
+/// key/value semantics themselves are validated by the registry.
+bool CollectDetectorOptions(int argc, char** argv,
+                            detect::DetectorOptions* options) {
+  for (int i = 1; i < argc; ++i) {
+    std::string pair;
+    if (std::strcmp(argv[i], "--detector_opt") == 0) {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "--detector_opt expects a k=v argument\n");
+        return false;
+      }
+      pair = argv[++i];
+    } else if (std::strncmp(argv[i], "--detector_opt=", 15) == 0) {
+      pair = argv[i] + 15;
+    } else {
+      continue;
+    }
+    const size_t eq = pair.find('=');
+    if (eq == std::string::npos || eq == 0) {
+      std::fprintf(stderr, "bad --detector_opt '%s' (expected k=v)\n",
+                   pair.c_str());
+      return false;
+    }
+    (*options)[pair.substr(0, eq)] = pair.substr(eq + 1);
   }
-  if (method == "default") {
-    return std::make_unique<DefaultDetector>(general);
+  return true;
+}
+
+/// Enumerates the registry: one line per detector, plus its option table.
+/// The listing is generated at runtime, so newly registered detectors show
+/// up without touching the CLI.
+void PrintDetectorList(FILE* out) {
+  const std::vector<detect::DetectorInfo> detectors =
+      detect::ListDetectors();
+  std::fprintf(out, "registered detectors (%zu):\n", detectors.size());
+  for (const detect::DetectorInfo& info : detectors) {
+    std::fprintf(out, "  %-13s %-13s %s\n", info.key.c_str(),
+                 info.display_name.c_str(), info.description.c_str());
+    for (const detect::OptionSpec& option : info.options) {
+      std::fprintf(out, "      %s=%s  %s\n", option.key.c_str(),
+                   option.default_value.c_str(),
+                   option.description.c_str());
+    }
   }
-  if (method == "cl1") {
-    return std::make_unique<ConfidentLearningDetector>(
-        general, ClVariant::kPruneByClass);
-  }
-  if (method == "cl2") {
-    return std::make_unique<ConfidentLearningDetector>(
-        general, ClVariant::kPruneByNoiseRate);
-  }
-  if (method == "topofilter") {
-    return std::make_unique<TopofilterDetector>(
-        PaperTopofilterConfig(dataset));
-  }
-  if (method == "o2u") return std::make_unique<O2UDetector>(O2UConfig());
-  if (method == "coteaching") {
-    return std::make_unique<CoTeachingDetector>(CoTeachingConfig());
-  }
-  if (method == "incv") return std::make_unique<IncvDetector>(IncvConfig());
-  return nullptr;
+}
+
+/// `--help`: static usage plus the runtime detector enumeration.
+int RunHelp() {
+  std::printf(
+      "enld_cli — noisy-label detection driver for the paper's tasks\n"
+      "\n"
+      "usage:\n"
+      "  enld_cli detect [--dataset=emnist|cifar100|tiny] [--noise=<0..1>]\n"
+      "      [--detector=<key>] [--detector_opt k=v]... [--datasets=<n>]\n"
+      "      [--export=<path.csv>] [--telemetry_out=<path>]\n"
+      "  enld_cli detect --list_detectors\n"
+      "  enld_cli ingest --out=<dir> [--dataset=...] [--noise=...]\n"
+      "  enld_cli snapshot --inventory=<dir> --snapshot_dir=<dir>\n"
+      "  enld_cli resume --snapshot_dir=<dir> [--datasets=<n>]\n"
+      "  enld_cli validate (--input=<path.csv> | --inventory=<dir>)\n"
+      "  enld_cli stats <host:port> [--watch=<s>] [--shutdown]\n"
+      "\n"
+      "Flag-only invocations run detection too (legacy --method=<key>\n"
+      "spelling). Full flag reference: header comment of this file and\n"
+      "docs/DETECTORS.md.\n"
+      "\n");
+  PrintDetectorList(stdout);
+  return 0;
 }
 
 bool ParseDataset(const std::string& name, PaperDataset* out) {
@@ -521,31 +569,27 @@ int RunStats(int argc, char** argv) {
   return 0;
 }
 
-}  // namespace
-
-int main(int argc, char** argv) {
-  // Subcommand dispatch: a bare first argument selects a durable-store
-  // workflow; flag-style arguments fall through to the eval driver.
-  if (argc > 1 && argv[1][0] != '-') {
-    const std::string subcommand = argv[1];
-    if (subcommand == "ingest") return RunIngest(argc, argv);
-    if (subcommand == "snapshot") return RunSnapshot(argc, argv);
-    if (subcommand == "resume") return RunResume(argc, argv);
-    if (subcommand == "validate") return RunValidate(argc, argv);
-    if (subcommand == "stats") return RunStats(argc, argv);
-    std::fprintf(stderr,
-                 "unknown subcommand '%s' (expected ingest, snapshot, "
-                 "resume, validate or stats)\n",
-                 subcommand.c_str());
-    return 1;
+/// `enld_cli detect` (also the flag-only invocation): run one registry
+/// detector over a task's stream and report per-dataset and aggregate
+/// quality.
+int RunDetect(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--list_detectors") == 0) {
+      PrintDetectorList(stdout);
+      return 0;
+    }
   }
 
   const std::string dataset_name =
       FlagValue(argc, argv, "dataset", "cifar100");
   const double noise =
       std::atof(FlagValue(argc, argv, "noise", "0.2").c_str());
-  const std::string method = FlagValue(argc, argv, "method", "enld");
+  // --detector= is the registry spelling; --method= the legacy one.
+  const std::string method = FlagValue(
+      argc, argv, "detector", FlagValue(argc, argv, "method", "enld"));
   const std::string export_path = FlagValue(argc, argv, "export", "");
+  detect::DetectorOptions detector_options;
+  if (!CollectDetectorOptions(argc, argv, &detector_options)) return 1;
 
   PaperDataset dataset = PaperDataset::kCifar100;
   if (dataset_name == "emnist") {
@@ -575,11 +619,16 @@ int main(int argc, char** argv) {
                 saved.ToString().c_str());
   }
 
-  auto detector = MakeDetector(method, dataset);
-  if (detector == nullptr) {
-    std::fprintf(stderr, "unknown --method=%s\n", method.c_str());
+  StatusOr<std::unique_ptr<NoisyLabelDetector>> created =
+      detect::CreateDetector(method, detector_options,
+                             PaperDetectorContext(dataset));
+  if (!created.ok()) {
+    // Typed registry errors: unknown detector, unknown option key,
+    // malformed value — each names the valid alternatives.
+    std::fprintf(stderr, "%s\n", created.status().ToString().c_str());
     return 1;
   }
+  std::unique_ptr<NoisyLabelDetector> detector = std::move(created).value();
 
   std::printf("%s / %s / noise %.2f — %zu inventory samples, %zu arriving "
               "datasets\n",
@@ -615,4 +664,33 @@ int main(int argc, char** argv) {
     if (!written.ok()) return 1;
   }
   return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--help") == 0 ||
+        std::strcmp(argv[i], "-h") == 0) {
+      return RunHelp();
+    }
+  }
+  // Subcommand dispatch: a bare first argument selects a workflow;
+  // flag-style arguments fall through to the detection driver.
+  if (argc > 1 && argv[1][0] != '-') {
+    const std::string subcommand = argv[1];
+    if (subcommand == "detect") return RunDetect(argc, argv);
+    if (subcommand == "ingest") return RunIngest(argc, argv);
+    if (subcommand == "snapshot") return RunSnapshot(argc, argv);
+    if (subcommand == "resume") return RunResume(argc, argv);
+    if (subcommand == "validate") return RunValidate(argc, argv);
+    if (subcommand == "stats") return RunStats(argc, argv);
+    if (subcommand == "help") return RunHelp();
+    std::fprintf(stderr,
+                 "unknown subcommand '%s' (expected detect, ingest, "
+                 "snapshot, resume, validate or stats)\n",
+                 subcommand.c_str());
+    return 1;
+  }
+  return RunDetect(argc, argv);
 }

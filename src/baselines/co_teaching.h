@@ -38,7 +38,8 @@ class CoTeachingDetector : public NoisyLabelDetector {
 
   void Setup(const Dataset& inventory) override;
   DetectionResult Detect(const Dataset& incremental) override;
-  std::string name() const override { return "Co-teaching"; }
+  std::string name() const override { return "coteaching"; }
+  std::string display_name() const override { return "Co-teaching"; }
 
  private:
   CoTeachingConfig config_;

@@ -35,6 +35,9 @@ class ConfidentLearningDetector : public NoisyLabelDetector {
   void Setup(const Dataset& inventory) override;
   DetectionResult Detect(const Dataset& incremental) override;
   std::string name() const override {
+    return variant_ == ClVariant::kPruneByClass ? "cl1" : "cl2";
+  }
+  std::string display_name() const override {
     return variant_ == ClVariant::kPruneByClass ? "CL-1" : "CL-2";
   }
 

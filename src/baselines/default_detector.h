@@ -20,7 +20,8 @@ class DefaultDetector : public NoisyLabelDetector {
 
   void Setup(const Dataset& inventory) override;
   DetectionResult Detect(const Dataset& incremental) override;
-  std::string name() const override { return "Default"; }
+  std::string name() const override { return "default"; }
+  std::string display_name() const override { return "Default"; }
 
   /// The trained general model (valid after Setup).
   MlpModel* model() { return general_.model.get(); }

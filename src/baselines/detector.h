@@ -40,8 +40,15 @@ class NoisyLabelDetector {
   /// state; must be callable repeatedly.
   virtual DetectionResult Detect(const Dataset& incremental) = 0;
 
-  /// Display name used in result tables.
+  /// Canonical lowercase key of this detector. One key per detector, used
+  /// consistently as the registry key (src/detect/registry.h), the
+  /// telemetry method label and the bench report column value — e.g.
+  /// "cl1", "topofilter", "enld".
   virtual std::string name() const = 0;
+
+  /// Human-readable name for figure-style tables and log headers (e.g.
+  /// "CL-1", "O2U-Net"). Defaults to the canonical key.
+  virtual std::string display_name() const { return name(); }
 };
 
 }  // namespace enld

@@ -42,7 +42,8 @@ class IncvDetector : public NoisyLabelDetector {
 
   void Setup(const Dataset& inventory) override;
   DetectionResult Detect(const Dataset& incremental) override;
-  std::string name() const override { return "INCV"; }
+  std::string name() const override { return "incv"; }
+  std::string display_name() const override { return "INCV"; }
 
  private:
   IncvConfig config_;

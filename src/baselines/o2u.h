@@ -42,7 +42,8 @@ class O2UDetector : public NoisyLabelDetector {
 
   void Setup(const Dataset& inventory) override;
   DetectionResult Detect(const Dataset& incremental) override;
-  std::string name() const override { return "O2U-Net"; }
+  std::string name() const override { return "o2u"; }
+  std::string display_name() const override { return "O2U-Net"; }
 
  private:
   O2UConfig config_;

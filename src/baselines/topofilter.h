@@ -60,7 +60,8 @@ class TopofilterDetector : public NoisyLabelDetector {
 
   void Setup(const Dataset& inventory) override;
   DetectionResult Detect(const Dataset& incremental) override;
-  std::string name() const override { return "Topofilter"; }
+  std::string name() const override { return "topofilter"; }
+  std::string display_name() const override { return "Topofilter"; }
 
  private:
   TopofilterConfig config_;

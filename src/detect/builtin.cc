@@ -1,0 +1,323 @@
+// Registration of every built-in detector. Adding a detector to the
+// library means adding one Register call here (docs/DETECTORS.md walks
+// through it); everything downstream — enld_cli, the bench matrix, the
+// platform — picks it up by name automatically.
+
+#include <memory>
+#include <mutex>
+#include <utility>
+
+#include "baselines/co_teaching.h"
+#include "baselines/confident_learning.h"
+#include "baselines/default_detector.h"
+#include "baselines/incv.h"
+#include "baselines/o2u.h"
+#include "baselines/topofilter.h"
+#include "common/check.h"
+#include "detect/longremix.h"
+#include "detect/pls.h"
+#include "detect/probe.h"
+#include "detect/registry.h"
+#include "enld/framework.h"
+
+namespace enld {
+namespace detect {
+namespace {
+
+using Created = StatusOr<std::unique_ptr<NoisyLabelDetector>>;
+
+OptionSpec IntOpt(const std::string& key, const std::string& default_value,
+                  const std::string& description) {
+  return {key, OptionType::kInt, default_value, description, {}};
+}
+
+OptionSpec DoubleOpt(const std::string& key,
+                     const std::string& default_value,
+                     const std::string& description) {
+  return {key, OptionType::kDouble, default_value, description, {}};
+}
+
+OptionSpec BoolOpt(const std::string& key, const std::string& default_value,
+                   const std::string& description) {
+  return {key, OptionType::kBool, default_value, description, {}};
+}
+
+OptionSpec SeedOpt(const std::string& default_value) {
+  return IntOpt("seed", default_value, "base RNG seed");
+}
+
+void Must(const Status& status) { ENLD_CHECK(status.ok()); }
+
+/// Pretrain-family detectors (Default, CL-1, CL-2, PLS) share the general
+/// model's training knobs.
+GeneralModelConfig GeneralFromOptions(const DetectorContext& context,
+                                      const ParsedOptions& options) {
+  GeneralModelConfig general = context.general;
+  general.train.epochs = options.GetSize("epochs", general.train.epochs);
+  general.seed = options.GetUInt64("seed", general.seed);
+  return general;
+}
+
+void RegisterPretrainFamily(DetectorRegistry& registry) {
+  const std::vector<OptionSpec> general_options = {
+      IntOpt("epochs", "9", "general-model training epochs"),
+      SeedOpt("97"),
+  };
+  Must(registry.Register(
+      {"default", "Default",
+       "train the general model once on the inventory; a sample is noisy "
+       "iff the prediction disagrees with its observed label",
+       general_options},
+      [](const DetectorContext& context, const ParsedOptions& options)
+          -> Created {
+        return std::unique_ptr<NoisyLabelDetector>(
+            std::make_unique<DefaultDetector>(
+                GeneralFromOptions(context, options)));
+      }));
+  const auto cl_factory = [](ClVariant variant) {
+    return [variant](const DetectorContext& context,
+                     const ParsedOptions& options) -> Created {
+      return std::unique_ptr<NoisyLabelDetector>(
+          std::make_unique<ConfidentLearningDetector>(
+              GeneralFromOptions(context, options), variant));
+    };
+  };
+  Must(registry.Register(
+      {"cl1", "CL-1",
+       "Confident Learning, prune-by-class: remove each class's least "
+       "self-confident samples by estimated off-diagonal mass",
+       general_options},
+      cl_factory(ClVariant::kPruneByClass)));
+  Must(registry.Register(
+      {"cl2", "CL-2",
+       "Confident Learning, prune-by-noise-rate: per off-diagonal cell, "
+       "remove the largest-margin samples proportional to the confident "
+       "joint",
+       general_options},
+      cl_factory(ClVariant::kPruneByNoiseRate)));
+  Must(registry.Register(
+      {"pls", "PLS",
+       "two-stage selection: per-class self-confidence split, then a copy "
+       "of the general model fine-tuned on the high-confidence side "
+       "re-judges the rest",
+       {IntOpt("epochs", "9", "general-model training epochs"),
+        IntOpt("refine_epochs", "2",
+               "stage-2 fine-tune epochs on the high-confidence split"),
+        DoubleOpt("confidence_margin", "1.0",
+                  "multiple of the class-mean self-confidence a sample "
+                  "must reach to join the high-confidence split"),
+        SeedOpt("811")}},
+      [](const DetectorContext& context, const ParsedOptions& options)
+          -> Created {
+        PlsConfig config;
+        config.general = context.general;
+        config.general.train.epochs =
+            options.GetSize("epochs", config.general.train.epochs);
+        config.refine_epochs =
+            options.GetSize("refine_epochs", config.refine_epochs);
+        config.confidence_margin =
+            options.GetDouble("confidence_margin", config.confidence_margin);
+        config.seed = options.GetUInt64("seed", config.seed);
+        return std::unique_ptr<NoisyLabelDetector>(
+            std::make_unique<PlsDetector>(config));
+      }));
+}
+
+void RegisterPerRequestFamily(DetectorRegistry& registry) {
+  Must(registry.Register(
+      {"topofilter", "Topofilter",
+       "per-request training + latent-space kNN graph; the largest "
+       "connected component per class is clean",
+       {IntOpt("epochs", "16", "per-request training epochs"),
+        IntOpt("graph_k", "4", "k of the latent-space kNN graph"),
+        IntOpt("checkpoints", "3",
+               "training checkpoints voting on the clean set"),
+        BoolOpt("mutual_knn", "true",
+                "use the mutual-kNN variant of the graph"),
+        DoubleOpt("component_keep_ratio", "1.0",
+                  "keep components at least this fraction of the largest"),
+        SeedOpt("131")}},
+      [](const DetectorContext& context, const ParsedOptions& options)
+          -> Created {
+        TopofilterConfig config = context.topofilter;
+        config.train.epochs = options.GetSize("epochs", config.train.epochs);
+        config.graph_k = options.GetSize("graph_k", config.graph_k);
+        config.checkpoints =
+            options.GetSize("checkpoints", config.checkpoints);
+        config.mutual_knn = options.GetBool("mutual_knn", config.mutual_knn);
+        config.component_keep_ratio = options.GetDouble(
+            "component_keep_ratio", config.component_keep_ratio);
+        config.seed = options.GetUInt64("seed", config.seed);
+        return std::unique_ptr<NoisyLabelDetector>(
+            std::make_unique<TopofilterDetector>(config));
+      }));
+  Must(registry.Register(
+      {"o2u", "O2U-Net",
+       "cyclical-learning-rate loss tracking; the high mean-loss cluster "
+       "is noisy",
+       {IntOpt("cycles", "3", "cyclical learning-rate rounds"),
+        IntOpt("epochs", "3", "epochs per cycle"),
+        IntOpt("batch_size", "64", "minibatch size"),
+        SeedOpt("509")}},
+      [](const DetectorContext&, const ParsedOptions& options) -> Created {
+        O2UConfig config;
+        config.cycles = options.GetSize("cycles", config.cycles);
+        config.epochs_per_cycle =
+            options.GetSize("epochs", config.epochs_per_cycle);
+        config.batch_size = options.GetSize("batch_size", config.batch_size);
+        config.seed = options.GetUInt64("seed", config.seed);
+        return std::unique_ptr<NoisyLabelDetector>(
+            std::make_unique<O2UDetector>(config));
+      }));
+  Must(registry.Register(
+      {"coteaching", "Co-teaching",
+       "two peer networks exchange small-loss samples; both must disagree "
+       "with a label to flag it",
+       {IntOpt("epochs", "8", "training epochs"),
+        IntOpt("anneal_epochs", "6",
+               "epochs over which the kept-fraction anneals"),
+        DoubleOpt("forget_rate", "-1",
+                  "fraction dropped as noisy; negative = self-estimate"),
+        SeedOpt("613")}},
+      [](const DetectorContext&, const ParsedOptions& options) -> Created {
+        CoTeachingConfig config;
+        config.epochs = options.GetSize("epochs", config.epochs);
+        config.anneal_epochs =
+            options.GetSize("anneal_epochs", config.anneal_epochs);
+        config.forget_rate =
+            options.GetDouble("forget_rate", config.forget_rate);
+        config.seed = options.GetUInt64("seed", config.seed);
+        return std::unique_ptr<NoisyLabelDetector>(
+            std::make_unique<CoTeachingDetector>(config));
+      }));
+  Must(registry.Register(
+      {"incv", "INCV",
+       "iterative noisy cross-validation: two half-models keep the "
+       "samples they agree with",
+       {IntOpt("iterations", "2", "cross-validation refinement rounds"),
+        IntOpt("epochs", "5", "epochs per half-model"),
+        SeedOpt("719")}},
+      [](const DetectorContext&, const ParsedOptions& options) -> Created {
+        IncvConfig config;
+        config.iterations = options.GetSize("iterations", config.iterations);
+        config.train.epochs = options.GetSize("epochs", config.train.epochs);
+        config.seed = options.GetUInt64("seed", config.seed);
+        return std::unique_ptr<NoisyLabelDetector>(
+            std::make_unique<IncvDetector>(config));
+      }));
+  Must(registry.Register(
+      {"probe", "Probe-Rank",
+       "loss-trajectory ranking with a between-class-variance threshold "
+       "sweep instead of a fixed cut",
+       {IntOpt("epochs", "9", "probe training epochs on the inventory"),
+        IntOpt("checkpoints", "3",
+               "trailing per-epoch weight snapshots averaged into the "
+               "trajectory score"),
+        IntOpt("sweep_points", "32", "candidate thresholds in the sweep"),
+        SeedOpt("97")}},
+      [](const DetectorContext& context, const ParsedOptions& options)
+          -> Created {
+        ProbeConfig config;
+        config.general = context.general;
+        config.general.train.epochs =
+            options.GetSize("epochs", config.general.train.epochs);
+        config.checkpoints =
+            options.GetSize("checkpoints", config.checkpoints);
+        config.sweep_points =
+            options.GetSize("sweep_points", config.sweep_points);
+        config.general.seed =
+            options.GetUInt64("seed", config.general.seed);
+        return std::unique_ptr<NoisyLabelDetector>(
+            std::make_unique<ProbeDetector>(config));
+      }));
+  Must(registry.Register(
+      {"longremix", "LongReMix",
+       "high-confidence seed (agreement + small loss) expanded by "
+       "fine-tune rounds; never-admitted samples are noisy",
+       {IntOpt("epochs", "9", "general-model training epochs"),
+        IntOpt("iterations", "2", "seed expansion rounds"),
+        IntOpt("refine_epochs", "2", "fine-tune epochs per round"),
+        DoubleOpt("seed_fraction", "0.2",
+                  "per-class lowest-loss fallback seed fraction"),
+        SeedOpt("1013")}},
+      [](const DetectorContext& context, const ParsedOptions& options)
+          -> Created {
+        LongRemixConfig config;
+        config.general = context.general;
+        config.general.train.epochs =
+            options.GetSize("epochs", config.general.train.epochs);
+        config.iterations = options.GetSize("iterations", config.iterations);
+        config.refine_epochs =
+            options.GetSize("refine_epochs", config.refine_epochs);
+        config.seed_fraction =
+            options.GetDouble("seed_fraction", config.seed_fraction);
+        config.seed = options.GetUInt64("seed", config.seed);
+        return std::unique_ptr<NoisyLabelDetector>(
+            std::make_unique<LongRemixDetector>(config));
+      }));
+}
+
+void RegisterEnldFamily(DetectorRegistry& registry) {
+  const std::vector<OptionSpec> enld_options = {
+      IntOpt("iterations", "5", "fine-grained training iterations t"),
+      IntOpt("steps", "5", "steps s per iteration"),
+      IntOpt("contrastive_k", "3", "contrastive samples per ambiguous one"),
+      IntOpt("warmup_epochs", "2",
+             "warm-up epochs on the initial contrastive set"),
+      SeedOpt("1234"),
+  };
+  const auto enld_factory = [](SamplingPolicy policy) {
+    return [policy](const DetectorContext& context,
+                    const ParsedOptions& options) -> Created {
+      EnldConfig config = context.enld;
+      config.policy = policy;
+      config.iterations = options.GetSize("iterations", config.iterations);
+      config.steps_per_iteration =
+          options.GetSize("steps", config.steps_per_iteration);
+      config.contrastive_k =
+          options.GetSize("contrastive_k", config.contrastive_k);
+      config.warmup_epochs =
+          options.GetSize("warmup_epochs", config.warmup_epochs);
+      config.seed = options.GetUInt64("seed", config.seed);
+      return std::unique_ptr<NoisyLabelDetector>(
+          std::make_unique<EnldFramework>(config));
+    };
+  };
+  const std::vector<std::pair<SamplingPolicy, const char*>> policies = {
+      {SamplingPolicy::kContrastive,
+       "the paper's framework: contrastive sampling + iterative "
+       "fine-grained detection (Algorithms 1-3)"},
+      {SamplingPolicy::kRandom,
+       "ENLD with uniform-random sampling in place of contrastive "
+       "(Section V-D)"},
+      {SamplingPolicy::kHighestConfidence,
+       "ENLD sampling the highest-confidence candidates (Section V-D)"},
+      {SamplingPolicy::kLeastConfidence,
+       "ENLD sampling the least-confidence candidates (Section V-D)"},
+      {SamplingPolicy::kEntropy,
+       "ENLD sampling the highest-entropy candidates (Section V-D)"},
+      {SamplingPolicy::kPseudo,
+       "ENLD with pseudo-labels from the model's argmax (Section V-D)"},
+  };
+  for (const auto& [policy, description] : policies) {
+    Must(registry.Register({SamplingPolicyKey(policy),
+                            SamplingPolicyName(policy), description,
+                            enld_options},
+                           enld_factory(policy)));
+  }
+}
+
+}  // namespace
+
+void RegisterBuiltinDetectors() {
+  static std::once_flag once;
+  std::call_once(once, [] {
+    DetectorRegistry& registry = DetectorRegistry::Global();
+    RegisterPretrainFamily(registry);
+    RegisterPerRequestFamily(registry);
+    RegisterEnldFamily(registry);
+  });
+}
+
+}  // namespace detect
+}  // namespace enld

@@ -1,0 +1,119 @@
+#include "detect/longremix.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "common/check.h"
+#include "common/rng.h"
+#include "common/stats.h"
+#include "nn/loss.h"
+#include "nn/trainer.h"
+
+namespace enld {
+
+void LongRemixDetector::Setup(const Dataset& inventory) {
+  general_ = InitGeneralModel(inventory, config_.general);
+  request_counter_ = 0;
+}
+
+DetectionResult LongRemixDetector::Detect(const Dataset& incremental) {
+  ENLD_CHECK(general_.model != nullptr);  // Setup must run first.
+  ++request_counter_;
+  Rng rng(config_.seed + request_counter_);
+
+  std::vector<size_t> labeled;
+  for (size_t i = 0; i < incremental.size(); ++i) {
+    if (incremental.observed_labels[i] != kMissingLabel) labeled.push_back(i);
+  }
+  DetectionResult result;
+  if (labeled.empty()) return result;
+
+  Matrix logits;
+  general_.model->Forward(incremental.features, &logits);
+  const std::vector<double> losses =
+      PerSampleCrossEntropy(logits, incremental.observed_labels);
+  std::vector<int> predicted = general_.model->Predict(incremental.features);
+
+  // High-confidence seed: the general model agrees with the observed
+  // label AND the loss lands in the small-loss cluster.
+  std::vector<double> labeled_losses;
+  labeled_losses.reserve(labeled.size());
+  for (size_t i : labeled) labeled_losses.push_back(losses[i]);
+  const double loss_cut = TwoMeansThreshold(labeled_losses);
+  std::vector<uint8_t> admitted(incremental.size(), 0);
+  for (size_t i : labeled) {
+    if (predicted[i] == incremental.observed_labels[i] &&
+        losses[i] <= loss_cut) {
+      admitted[i] = 1;
+    }
+  }
+
+  // Per-class fallback: a class whose seed came out empty gets its
+  // lowest-loss `seed_fraction` instead, so expansion can reach it at all.
+  for (int label : incremental.ObservedLabelSet()) {
+    std::vector<size_t> members;
+    bool has_seed = false;
+    for (size_t i : labeled) {
+      if (incremental.observed_labels[i] != label) continue;
+      members.push_back(i);
+      if (admitted[i]) has_seed = true;
+    }
+    if (has_seed || members.empty()) continue;
+    const size_t take = std::max<size_t>(
+        1, static_cast<size_t>(
+               std::ceil(config_.seed_fraction * members.size())));
+    std::partial_sort(members.begin(),
+                      members.begin() + std::min(take, members.size()),
+                      members.end(), [&](size_t a, size_t b) {
+                        return losses[a] < losses[b];
+                      });
+    for (size_t j = 0; j < std::min(take, members.size()); ++j) {
+      admitted[members[j]] = 1;
+    }
+  }
+
+  // Expansion rounds: fine-tune a copy of the general model on the
+  // current seed, then admit samples it now agrees with. Monotone —
+  // nothing is evicted. The copy keeps the inventory-trained general
+  // model untouched for later requests.
+  MlpModel refined(general_.model->layer_dims(), rng);
+  refined.SetWeights(general_.model->GetWeights());
+  for (size_t round = 0; round < config_.iterations; ++round) {
+    std::vector<size_t> seed_positions;
+    for (size_t i : labeled) {
+      if (admitted[i]) seed_positions.push_back(i);
+    }
+    if (seed_positions.empty() || seed_positions.size() == labeled.size()) {
+      break;
+    }
+    if (config_.refine_epochs > 0) {
+      const Dataset seed_set = incremental.Subset(seed_positions);
+      TrainConfig refine;
+      refine.epochs = config_.refine_epochs;
+      refine.batch_size = config_.general.train.batch_size;
+      refine.sgd.learning_rate =
+          config_.general.train.sgd.learning_rate * 0.2;
+      refine.sgd.weight_decay = config_.general.train.sgd.weight_decay;
+      refine.seed = rng.NextUInt64();
+      TrainModel(&refined, seed_set, /*validation=*/nullptr, refine);
+    }
+    const std::vector<int> updated = refined.Predict(incremental.features);
+    for (size_t i : labeled) {
+      if (!admitted[i] && updated[i] == incremental.observed_labels[i]) {
+        admitted[i] = 1;
+      }
+    }
+  }
+
+  for (size_t i : labeled) {
+    if (admitted[i]) {
+      result.clean_indices.push_back(i);
+    } else {
+      result.noisy_indices.push_back(i);
+    }
+  }
+  return result;
+}
+
+}  // namespace enld

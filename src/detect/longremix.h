@@ -1,0 +1,60 @@
+#ifndef ENLD_DETECT_LONGREMIX_H_
+#define ENLD_DETECT_LONGREMIX_H_
+
+#include <string>
+
+#include "baselines/detector.h"
+#include "nn/general_model.h"
+
+namespace enld {
+
+/// Configuration of the LongReMix-style high-confidence-seed detector.
+struct LongRemixConfig {
+  /// Backbone and training schedule of the inventory model the seed rule
+  /// judges against (the registry context supplies the paper's
+  /// task-calibrated general settings).
+  GeneralModelConfig general;
+  /// Per-observed-class fallback seed size (fraction of the class's
+  /// samples, lowest loss first) when the loss/agreement rule yields an
+  /// empty seed for that class.
+  double seed_fraction = 0.2;
+  /// Expansion rounds: fine-tune on the seed, then admit newly-agreeing
+  /// samples.
+  size_t iterations = 2;
+  /// Fine-tune epochs per expansion round (at 0.2x the general-model
+  /// learning rate).
+  size_t refine_epochs = 2;
+  /// Seeds the per-request refinement RNG.
+  uint64_t seed = 1013;
+};
+
+/// LongReMix-style detection (after Cordeiro et al. 2023's two-stage
+/// "high-confidence seed then expand" scheme): judge D against a general
+/// model trained once on the inventory, seed a high-confidence clean set
+/// with the samples the model agrees with at small loss (per-class
+/// lowest-loss fallback so no observed class starts empty), then
+/// alternately fine-tune a copy of the model on the seed and admit
+/// samples it newly agrees with. D-samples never admitted across all
+/// rounds are flagged noisy.
+///
+/// The conservative counterpoint to threshold detectors: precision comes
+/// from seeding strictly, recall from the expansion rounds.
+class LongRemixDetector : public NoisyLabelDetector {
+ public:
+  explicit LongRemixDetector(const LongRemixConfig& config)
+      : config_(config) {}
+
+  void Setup(const Dataset& inventory) override;
+  DetectionResult Detect(const Dataset& incremental) override;
+  std::string name() const override { return "longremix"; }
+  std::string display_name() const override { return "LongReMix"; }
+
+ private:
+  LongRemixConfig config_;
+  GeneralModel general_;
+  uint64_t request_counter_ = 0;
+};
+
+}  // namespace enld
+
+#endif  // ENLD_DETECT_LONGREMIX_H_

@@ -1,0 +1,30 @@
+#include "detect/platform_detector.h"
+
+#include <memory>
+#include <utility>
+
+#include "common/check.h"
+
+namespace enld {
+namespace detect {
+
+Status ConfigurePlatformDetector(DataPlatform* platform,
+                                 const DetectorContext& context) {
+  ENLD_CHECK(platform != nullptr);
+  const DataPlatformConfig& config = platform->config();
+  if (config.detector == "enld") {
+    if (!config.detector_options.empty()) {
+      return Status::InvalidArgument(
+          "detector_options apply to registry-created detectors; configure "
+          "the built-in 'enld' detector via DataPlatformConfig::enld");
+    }
+    return Status::OK();
+  }
+  StatusOr<std::unique_ptr<NoisyLabelDetector>> detector =
+      CreateDetector(config.detector, config.detector_options, context);
+  if (!detector.ok()) return detector.status();
+  return platform->InstallDetector(std::move(detector.value()));
+}
+
+}  // namespace detect
+}  // namespace enld

@@ -1,0 +1,34 @@
+#ifndef ENLD_DETECT_PLATFORM_DETECTOR_H_
+#define ENLD_DETECT_PLATFORM_DETECTOR_H_
+
+#include "common/status.h"
+#include "detect/registry.h"
+#include "enld/platform.h"
+
+namespace enld {
+namespace detect {
+
+/// Resolves the platform's configured detector
+/// (DataPlatformConfig::detector + detector_options) through the registry
+/// and installs the instance. Call between constructing the platform and
+/// Initialize:
+///
+///   DataPlatformConfig config;
+///   config.detector = "topofilter";
+///   config.detector_options = {{"epochs", "5"}};
+///   DataPlatform platform(config);
+///   ENLD_RETURN_IF_ERROR(detect::ConfigurePlatformDetector(&platform));
+///   ENLD_RETURN_IF_ERROR(platform.Initialize(inventory));
+///
+/// For the built-in "enld" key this is a no-op as long as detector_options
+/// is empty (the framework is configured via DataPlatformConfig::enld);
+/// options on "enld" are an InvalidArgument. Lives in enld_detect — the
+/// platform itself stays registry-free, exactly like the
+/// DataPlatform::SaveSnapshot / enld_store link seam.
+Status ConfigurePlatformDetector(DataPlatform* platform,
+                                 const DetectorContext& context = {});
+
+}  // namespace detect
+}  // namespace enld
+
+#endif  // ENLD_DETECT_PLATFORM_DETECTOR_H_

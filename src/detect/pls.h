@@ -1,0 +1,52 @@
+#ifndef ENLD_DETECT_PLS_H_
+#define ENLD_DETECT_PLS_H_
+
+#include <string>
+
+#include "baselines/detector.h"
+#include "nn/general_model.h"
+
+namespace enld {
+
+/// Configuration of the PLS-style two-stage detector (after "Pseudo-Label
+/// Selection", arXiv:2210.04578, adapted to the incremental setting).
+struct PlsConfig {
+  /// Stage-0 general model shared with Default / CL / ENLD.
+  GeneralModelConfig general;
+  /// Fine-tune epochs of the stage-2 refinement on the high-confidence
+  /// split.
+  size_t refine_epochs = 2;
+  /// A sample is high-confidence when its self-confidence reaches this
+  /// multiple of its observed class's mean self-confidence (1.0 = the
+  /// class-mean rule).
+  double confidence_margin = 1.0;
+  uint64_t seed = 811;
+};
+
+/// PLS: two-stage selection. Stage 1 splits the arriving dataset by the
+/// general model's *self-confidence* M(x, θ)[ỹ] against a per-class mean
+/// threshold — the high side is trusted as (almost) surely clean. Stage 2
+/// fine-tunes a copy of θ on exactly that high-confidence split and
+/// re-judges the low side with the refined model: a low-confidence sample
+/// is clean iff the refined model agrees with its observed label.
+///
+/// Like CL it reuses the pretrained θ (cheap per request); unlike CL the
+/// final verdict comes from a model adapted to the arriving distribution.
+class PlsDetector : public NoisyLabelDetector {
+ public:
+  explicit PlsDetector(const PlsConfig& config) : config_(config) {}
+
+  void Setup(const Dataset& inventory) override;
+  DetectionResult Detect(const Dataset& incremental) override;
+  std::string name() const override { return "pls"; }
+  std::string display_name() const override { return "PLS"; }
+
+ private:
+  PlsConfig config_;
+  GeneralModel general_;
+  uint64_t request_counter_ = 0;
+};
+
+}  // namespace enld
+
+#endif  // ENLD_DETECT_PLS_H_

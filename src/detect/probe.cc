@@ -1,0 +1,118 @@
+#include "detect/probe.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "common/check.h"
+#include "common/rng.h"
+#include "nn/loss.h"
+#include "nn/trainer.h"
+
+namespace enld {
+namespace {
+
+/// Otsu's criterion over 1-D values: the split (among `points` quantile
+/// positions of the sorted values) maximizing w0 * w1 * (mu0 - mu1)^2.
+/// Quantile candidates — rather than an evenly spaced grid over
+/// [min, max] — keep the sweep meaningful for the right-skewed loss
+/// distributions training produces, where a grid would spend most
+/// candidates inside the empty tail gap. Returns the midpoint of the
+/// range when the values are degenerate.
+double BetweenClassVarianceThreshold(const std::vector<double>& values,
+                                     size_t points) {
+  ENLD_CHECK(!values.empty());
+  std::vector<double> sorted = values;
+  std::sort(sorted.begin(), sorted.end());
+  const size_t n = sorted.size();
+  if (sorted.front() >= sorted.back() || points < 2 || n < 2) {
+    return (sorted.front() + sorted.back()) / 2.0;
+  }
+
+  // Prefix sums make each candidate split O(1).
+  std::vector<double> prefix(n + 1, 0.0);
+  for (size_t i = 0; i < n; ++i) prefix[i + 1] = prefix[i] + sorted[i];
+
+  double best_threshold = (sorted.front() + sorted.back()) / 2.0;
+  double best_score = -1.0;
+  for (size_t p = 1; p < points; ++p) {
+    // Split below the p-th `points`-quantile: low cluster = sorted[0..k).
+    const size_t k = std::max<size_t>(1, std::min(n - 1, p * n / points));
+    if (sorted[k - 1] >= sorted[k]) continue;  // No separating midpoint.
+    const double w0 = static_cast<double>(k) / n;
+    const double w1 = 1.0 - w0;
+    const double mu0 = prefix[k] / k;
+    const double mu1 = (prefix[n] - prefix[k]) / (n - k);
+    const double score = w0 * w1 * (mu1 - mu0) * (mu1 - mu0);
+    if (score > best_score) {
+      best_score = score;
+      best_threshold = (sorted[k - 1] + sorted[k]) / 2.0;
+    }
+  }
+  return best_threshold;
+}
+
+}  // namespace
+
+void ProbeDetector::Setup(const Dataset& inventory) {
+  ENLD_CHECK(!inventory.empty());
+  const size_t total = std::max<size_t>(1, config_.general.train.epochs);
+  const size_t tracked =
+      std::min(std::max<size_t>(1, config_.checkpoints), total);
+
+  Rng rng(config_.general.seed);
+  probe_ = MakeBackboneModel(config_.general.backbone, inventory.dim(),
+                             inventory.num_classes, rng);
+  checkpoints_.clear();
+  // Epoch-at-a-time training so the trailing epochs can be snapshotted.
+  // lr_decay_per_epoch is applied manually across the single-epoch calls.
+  TrainConfig step = config_.general.train;
+  step.epochs = 1;
+  for (size_t epoch = 0; epoch < total; ++epoch) {
+    step.seed = rng.NextUInt64();
+    TrainModel(probe_.get(), inventory, /*validation=*/nullptr, step);
+    step.sgd.learning_rate *= step.lr_decay_per_epoch;
+    if (epoch + tracked >= total) checkpoints_.push_back(probe_->GetWeights());
+  }
+}
+
+DetectionResult ProbeDetector::Detect(const Dataset& incremental) {
+  ENLD_CHECK(probe_ != nullptr);  // Setup must run first.
+  ENLD_CHECK(!checkpoints_.empty());
+
+  // Trajectory score: mean loss across the checkpoint snapshots.
+  std::vector<double> tracked(incremental.size(), 0.0);
+  for (const std::vector<float>& weights : checkpoints_) {
+    probe_->SetWeights(weights);
+    Matrix logits;
+    probe_->Forward(incremental.features, &logits);
+    const std::vector<double> losses =
+        PerSampleCrossEntropy(logits, incremental.observed_labels);
+    for (size_t i = 0; i < incremental.size(); ++i) tracked[i] += losses[i];
+  }
+  // Leave the probe in its final trained state for the next request.
+  probe_->SetWeights(checkpoints_.back());
+
+  std::vector<size_t> labeled;
+  std::vector<double> mean_losses;
+  for (size_t i = 0; i < incremental.size(); ++i) {
+    if (incremental.observed_labels[i] == kMissingLabel) continue;
+    labeled.push_back(i);
+    mean_losses.push_back(tracked[i] /
+                          static_cast<double>(checkpoints_.size()));
+  }
+
+  DetectionResult result;
+  if (labeled.empty()) return result;
+  const double threshold =
+      BetweenClassVarianceThreshold(mean_losses, config_.sweep_points);
+  for (size_t j = 0; j < labeled.size(); ++j) {
+    if (mean_losses[j] > threshold) {
+      result.noisy_indices.push_back(labeled[j]);
+    } else {
+      result.clean_indices.push_back(labeled[j]);
+    }
+  }
+  return result;
+}
+
+}  // namespace enld

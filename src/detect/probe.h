@@ -1,0 +1,58 @@
+#ifndef ENLD_DETECT_PROBE_H_
+#define ENLD_DETECT_PROBE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "baselines/detector.h"
+#include "nn/general_model.h"
+
+namespace enld {
+
+/// Configuration of the loss-trajectory probe-ranking detector.
+struct ProbeConfig {
+  /// Backbone and training schedule of the inventory probe (the registry
+  /// context supplies the paper's task-calibrated general settings).
+  GeneralModelConfig general;
+  /// Trailing per-epoch weight checkpoints kept from probe training; each
+  /// arriving sample's loss is averaged across them to form its
+  /// trajectory score.
+  size_t checkpoints = 3;
+  /// Candidate split positions evaluated by the threshold sweep over the
+  /// ranked mean losses.
+  size_t sweep_points = 32;
+};
+
+/// Probe ranking: train a probe on the inventory, keeping the weights of
+/// the last `checkpoints` epochs, then score every arriving D-sample by
+/// its *mean* cross-entropy across those checkpoints (mislabeled samples
+/// stay hard across the trajectory; a single final snapshot is noisier).
+/// Instead of a fixed cut, the detector sweeps `sweep_points` candidate
+/// thresholds over the ranked losses and keeps the one maximizing the
+/// between-class variance (Otsu's criterion) — a noise-rate-free split
+/// that adapts to each arriving dataset.
+///
+/// The O2U family's loss-tracking signal with a sweep in place of
+/// 2-means; the two disagree exactly when the loss histogram is skewed,
+/// which is what the detector matrix surfaces.
+class ProbeDetector : public NoisyLabelDetector {
+ public:
+  explicit ProbeDetector(const ProbeConfig& config) : config_(config) {}
+
+  void Setup(const Dataset& inventory) override;
+  DetectionResult Detect(const Dataset& incremental) override;
+  std::string name() const override { return "probe"; }
+  std::string display_name() const override { return "Probe-Rank"; }
+
+ private:
+  ProbeConfig config_;
+  std::unique_ptr<MlpModel> probe_;
+  /// Weight snapshots of the last `checkpoints` training epochs, oldest
+  /// first (the last entry is the final trained state).
+  std::vector<std::vector<float>> checkpoints_;
+};
+
+}  // namespace enld
+
+#endif  // ENLD_DETECT_PROBE_H_

@@ -1,0 +1,254 @@
+#include "detect/registry.h"
+
+#include <cctype>
+#include <cstdlib>
+#include <mutex>
+#include <utility>
+
+#include "common/check.h"
+
+namespace enld {
+namespace detect {
+namespace {
+
+/// True when `value` parses completely as the declared type.
+bool ValueParses(OptionType type, const std::string& value) {
+  if (value.empty()) return false;
+  switch (type) {
+    case OptionType::kInt: {
+      char* end = nullptr;
+      const long long parsed = std::strtoll(value.c_str(), &end, 10);
+      return end == value.c_str() + value.size() && parsed >= 0;
+    }
+    case OptionType::kDouble: {
+      char* end = nullptr;
+      (void)std::strtod(value.c_str(), &end);
+      return end == value.c_str() + value.size();
+    }
+    case OptionType::kBool:
+      return value == "true" || value == "false" || value == "1" ||
+             value == "0";
+    case OptionType::kString:
+      return true;
+  }
+  return false;
+}
+
+std::string JoinKeys(const std::vector<OptionSpec>& options) {
+  std::string out;
+  for (const OptionSpec& spec : options) {
+    if (!out.empty()) out += ", ";
+    out += spec.key;
+  }
+  return out.empty() ? "(none)" : out;
+}
+
+std::string JoinAllowed(const std::vector<std::string>& allowed) {
+  std::string out;
+  for (const std::string& value : allowed) {
+    if (!out.empty()) out += "|";
+    out += value;
+  }
+  return out;
+}
+
+/// Canonical keys are the values name() returns: lowercase alphanumerics
+/// with internal dashes ("enld-random").
+bool IsCanonicalKey(const std::string& key) {
+  if (key.empty()) return false;
+  for (char c : key) {
+    const unsigned char u = static_cast<unsigned char>(c);
+    if (!(std::islower(u) || std::isdigit(u) || c == '-')) return false;
+  }
+  return key.front() != '-' && key.back() != '-';
+}
+
+}  // namespace
+
+const char* OptionTypeName(OptionType type) {
+  switch (type) {
+    case OptionType::kInt:
+      return "int";
+    case OptionType::kDouble:
+      return "double";
+    case OptionType::kBool:
+      return "bool";
+    case OptionType::kString:
+      return "string";
+  }
+  return "unknown";
+}
+
+bool ParsedOptions::Has(const std::string& key) const {
+  return values_.count(key) > 0;
+}
+
+size_t ParsedOptions::GetSize(const std::string& key, size_t fallback) const {
+  const auto it = values_.find(key);
+  if (it == values_.end()) return fallback;
+  return static_cast<size_t>(std::strtoull(it->second.c_str(), nullptr, 10));
+}
+
+int ParsedOptions::GetInt(const std::string& key, int fallback) const {
+  const auto it = values_.find(key);
+  if (it == values_.end()) return fallback;
+  return static_cast<int>(std::strtol(it->second.c_str(), nullptr, 10));
+}
+
+uint64_t ParsedOptions::GetUInt64(const std::string& key,
+                                  uint64_t fallback) const {
+  const auto it = values_.find(key);
+  if (it == values_.end()) return fallback;
+  return std::strtoull(it->second.c_str(), nullptr, 10);
+}
+
+double ParsedOptions::GetDouble(const std::string& key,
+                                double fallback) const {
+  const auto it = values_.find(key);
+  if (it == values_.end()) return fallback;
+  return std::strtod(it->second.c_str(), nullptr);
+}
+
+bool ParsedOptions::GetBool(const std::string& key, bool fallback) const {
+  const auto it = values_.find(key);
+  if (it == values_.end()) return fallback;
+  return it->second == "true" || it->second == "1";
+}
+
+std::string ParsedOptions::GetString(const std::string& key,
+                                     const std::string& fallback) const {
+  const auto it = values_.find(key);
+  return it == values_.end() ? fallback : it->second;
+}
+
+DetectorRegistry& DetectorRegistry::Global() {
+  static DetectorRegistry* instance = new DetectorRegistry();
+  return *instance;
+}
+
+Status DetectorRegistry::Register(DetectorInfo info,
+                                  DetectorFactory factory) {
+  if (!IsCanonicalKey(info.key)) {
+    return Status::InvalidArgument(
+        "detector key '" + info.key +
+        "' is not canonical (lowercase alphanumerics and internal dashes)");
+  }
+  if (factory == nullptr) {
+    return Status::InvalidArgument("detector '" + info.key +
+                                   "' registered without a factory");
+  }
+  if (entries_.count(info.key) > 0) {
+    return Status::InvalidArgument("detector '" + info.key +
+                                   "' is already registered");
+  }
+  for (size_t i = 0; i < info.options.size(); ++i) {
+    for (size_t j = i + 1; j < info.options.size(); ++j) {
+      if (info.options[i].key == info.options[j].key) {
+        return Status::InvalidArgument(
+            "detector '" + info.key + "' declares option '" +
+            info.options[i].key + "' twice");
+      }
+    }
+  }
+  const std::string key = info.key;
+  entries_.emplace(key, Entry{std::move(info), std::move(factory)});
+  return Status::OK();
+}
+
+StatusOr<std::unique_ptr<NoisyLabelDetector>> DetectorRegistry::Create(
+    const std::string& key, const DetectorOptions& options,
+    const DetectorContext& context) const {
+  const auto it = entries_.find(key);
+  if (it == entries_.end()) {
+    std::string known;
+    for (const auto& [registered, entry] : entries_) {
+      (void)entry;
+      if (!known.empty()) known += ", ";
+      known += registered;
+    }
+    return Status::InvalidArgument("unknown detector '" + key +
+                                   "'; registered: " + known);
+  }
+  const Entry& entry = it->second;
+
+  ParsedOptions parsed;
+  for (const auto& [option_key, value] : options) {
+    const OptionSpec* spec = nullptr;
+    for (const OptionSpec& candidate : entry.info.options) {
+      if (candidate.key == option_key) {
+        spec = &candidate;
+        break;
+      }
+    }
+    if (spec == nullptr) {
+      return Status::InvalidArgument(
+          "unknown option '" + option_key + "' for detector '" + key +
+          "'; valid options: " + JoinKeys(entry.info.options));
+    }
+    if (!ValueParses(spec->type, value)) {
+      return Status::InvalidArgument(
+          "option '" + option_key + "' of detector '" + key +
+          "' expects a " + std::string(OptionTypeName(spec->type)) +
+          ", got '" + value + "'");
+    }
+    if (!spec->allowed.empty()) {
+      bool found = false;
+      for (const std::string& allowed : spec->allowed) {
+        if (value == allowed) {
+          found = true;
+          break;
+        }
+      }
+      if (!found) {
+        return Status::InvalidArgument(
+            "option '" + option_key + "' of detector '" + key +
+            "' must be one of " + JoinAllowed(spec->allowed) + ", got '" +
+            value + "'");
+      }
+    }
+    parsed.values_[option_key] = value;
+  }
+
+  StatusOr<std::unique_ptr<NoisyLabelDetector>> detector =
+      entry.factory(context, parsed);
+  if (detector.ok()) {
+    // The registry contract: the key IS the detector's canonical name.
+    ENLD_CHECK((*detector)->name() == key);
+  }
+  return detector;
+}
+
+std::vector<DetectorInfo> DetectorRegistry::List() const {
+  std::vector<DetectorInfo> out;
+  out.reserve(entries_.size());
+  for (const auto& [key, entry] : entries_) {
+    (void)key;
+    out.push_back(entry.info);
+  }
+  return out;  // std::map iteration => sorted by key.
+}
+
+const DetectorInfo* DetectorRegistry::Find(const std::string& key) const {
+  const auto it = entries_.find(key);
+  return it == entries_.end() ? nullptr : &it->second.info;
+}
+
+StatusOr<std::unique_ptr<NoisyLabelDetector>> CreateDetector(
+    const std::string& key, const DetectorOptions& options,
+    const DetectorContext& context) {
+  RegisterBuiltinDetectors();
+  return DetectorRegistry::Global().Create(key, options, context);
+}
+
+std::vector<DetectorInfo> ListDetectors() {
+  RegisterBuiltinDetectors();
+  return DetectorRegistry::Global().List();
+}
+
+const DetectorInfo* FindDetector(const std::string& key) {
+  RegisterBuiltinDetectors();
+  return DetectorRegistry::Global().Find(key);
+}
+
+}  // namespace detect
+}  // namespace enld

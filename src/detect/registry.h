@@ -1,0 +1,165 @@
+#ifndef ENLD_DETECT_REGISTRY_H_
+#define ENLD_DETECT_REGISTRY_H_
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "baselines/detector.h"
+#include "baselines/topofilter.h"
+#include "common/status.h"
+#include "enld/config.h"
+#include "nn/general_model.h"
+
+namespace enld {
+namespace detect {
+
+/// Raw detector options as they arrive from a CLI flag, a config file or a
+/// bench sweep: string key -> string value, e.g. {{"epochs","5"}}.
+/// Validation and typing happen inside DetectorRegistry::Create.
+using DetectorOptions = std::map<std::string, std::string>;
+
+/// Value type an option is parsed as.
+enum class OptionType {
+  kInt,     // Non-negative integer.
+  kDouble,  // Floating point.
+  kBool,    // "true"/"false"/"1"/"0".
+  kString,  // Free-form, optionally restricted by `allowed`.
+};
+
+/// Stable name of an option type ("int", "double", "bool", "string") —
+/// used in error messages and docs/DETECTORS.md tables.
+const char* OptionTypeName(OptionType type);
+
+/// Declaration of one option a detector accepts. Options always *override*
+/// a field of the detector's config; when absent, the config's value (from
+/// DetectorContext or the config struct's default) stays in effect —
+/// `default_value` documents that effective default.
+struct OptionSpec {
+  std::string key;
+  OptionType type = OptionType::kString;
+  /// The effective value when the option is not provided (documentation;
+  /// shown by --list_detectors and DETECTORS.md).
+  std::string default_value;
+  std::string description;
+  /// Non-empty => the value must be one of these (enum-style options).
+  std::vector<std::string> allowed;
+};
+
+/// Everything the registry knows about one detector.
+struct DetectorInfo {
+  /// Canonical lowercase key — identical to the created detector's name().
+  std::string key;
+  /// Human-readable name — identical to the detector's display_name().
+  std::string display_name;
+  /// One-line description for --list_detectors and DETECTORS.md.
+  std::string description;
+  std::vector<OptionSpec> options;
+};
+
+/// Calibrated base configurations a factory starts from before applying
+/// option overrides. Default-constructed context = the library's default
+/// configs (what the unit tests use); PaperDetectorContext (eval/) returns
+/// the per-task calibrated setups the benches use.
+struct DetectorContext {
+  GeneralModelConfig general;
+  EnldConfig enld;
+  TopofilterConfig topofilter;
+};
+
+/// Options after validation against a detector's OptionSpec list: every
+/// present key is known and its value parses as the declared type. Getters
+/// return the caller's fallback when the option was not provided — the
+/// "options override a config field" contract.
+class ParsedOptions {
+ public:
+  bool Has(const std::string& key) const;
+  size_t GetSize(const std::string& key, size_t fallback) const;
+  int GetInt(const std::string& key, int fallback) const;
+  uint64_t GetUInt64(const std::string& key, uint64_t fallback) const;
+  double GetDouble(const std::string& key, double fallback) const;
+  bool GetBool(const std::string& key, bool fallback) const;
+  std::string GetString(const std::string& key,
+                        const std::string& fallback) const;
+
+ private:
+  friend class DetectorRegistry;
+  DetectorOptions values_;
+};
+
+/// A factory builds a configured detector from the context plus validated
+/// options. Factories may still fail (e.g. inconsistent option combination)
+/// by returning a non-OK status.
+using DetectorFactory =
+    std::function<StatusOr<std::unique_ptr<NoisyLabelDetector>>(
+        const DetectorContext& context, const ParsedOptions& options)>;
+
+/// String-keyed detector factory registry (the Desbordante
+/// CreateAndLoadPrimitive idiom): every detector in the library is
+/// registered here under its canonical key, and everything that consumes
+/// detectors — enld_cli, the bench matrix, the platform — creates them by
+/// name with a typed option map.
+///
+/// Thread-compatible: registration happens once at startup (RegisterBuiltin
+/// runs under a once_flag); concurrent Create/List afterwards are safe
+/// because the table is no longer mutated.
+class DetectorRegistry {
+ public:
+  /// The process-wide registry. Does NOT register the built-in detectors;
+  /// use the free functions below (CreateDetector / ListDetectors /
+  /// FindDetector), which do, unless you are writing registration tests.
+  static DetectorRegistry& Global();
+
+  /// Registers a detector. InvalidArgument when the key is empty, not
+  /// lowercase-canonical, already taken, or an option key repeats.
+  Status Register(DetectorInfo info, DetectorFactory factory);
+
+  /// Creates a detector by key. InvalidArgument with a descriptive message
+  /// when the key is unknown, an option key is not declared by the
+  /// detector, or an option value does not parse as its declared type (or
+  /// is outside its allowed set).
+  StatusOr<std::unique_ptr<NoisyLabelDetector>> Create(
+      const std::string& key, const DetectorOptions& options = {},
+      const DetectorContext& context = {}) const;
+
+  /// All registered detectors, sorted by key.
+  std::vector<DetectorInfo> List() const;
+
+  /// Info for one key; nullptr when unknown.
+  const DetectorInfo* Find(const std::string& key) const;
+
+ private:
+  struct Entry {
+    DetectorInfo info;
+    DetectorFactory factory;
+  };
+  std::map<std::string, Entry> entries_;
+};
+
+/// Registers every built-in detector (Default, CL-1/2, Topofilter, O2U,
+/// Co-teaching, INCV, the ENLD policy variants, PLS, Probe, LongReMix)
+/// into the global registry. Idempotent; called automatically by the
+/// convenience functions below.
+void RegisterBuiltinDetectors();
+
+/// Creates a detector from the global registry (built-ins registered on
+/// first use). The primary entry point:
+///   auto detector = detect::CreateDetector("topofilter",
+///                                          {{"epochs", "5"}});
+///   if (!detector.ok()) { ... detector.status() ... }
+StatusOr<std::unique_ptr<NoisyLabelDetector>> CreateDetector(
+    const std::string& key, const DetectorOptions& options = {},
+    const DetectorContext& context = {});
+
+/// All registered detectors, sorted by key (built-ins registered first).
+std::vector<DetectorInfo> ListDetectors();
+
+/// Info for one key from the global registry; nullptr when unknown.
+const DetectorInfo* FindDetector(const std::string& key);
+
+}  // namespace detect
+}  // namespace enld
+
+#endif  // ENLD_DETECT_REGISTRY_H_

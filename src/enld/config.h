@@ -23,6 +23,12 @@ enum class SamplingPolicy {
 /// Human-readable policy name (matches the paper's figure legends).
 const char* SamplingPolicyName(SamplingPolicy policy);
 
+/// Canonical lowercase detector key of an ENLD variant — "enld" for the
+/// default contrastive policy, "enld-random" / "enld-hc" / ... for the
+/// Section V-D alternatives. This is the key the detector registry and the
+/// bench reports use (docs/DETECTORS.md).
+const char* SamplingPolicyKey(SamplingPolicy policy);
+
 /// Ablation switches of Section V-I (Fig. 14). Defaults = full ENLD.
 struct EnldAblation {
   /// false => ENLD-1: random picks from the high-quality pool instead of

@@ -57,6 +57,9 @@ class EnldFramework : public NoisyLabelDetector {
   DetectionResult Detect(const Dataset& incremental) override;
 
   std::string name() const override {
+    return SamplingPolicyKey(config_.policy);
+  }
+  std::string display_name() const override {
     return SamplingPolicyName(config_.policy);
   }
 

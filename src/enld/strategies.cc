@@ -25,6 +25,24 @@ const char* SamplingPolicyName(SamplingPolicy policy) {
   return "unknown";
 }
 
+const char* SamplingPolicyKey(SamplingPolicy policy) {
+  switch (policy) {
+    case SamplingPolicy::kContrastive:
+      return "enld";
+    case SamplingPolicy::kRandom:
+      return "enld-random";
+    case SamplingPolicy::kHighestConfidence:
+      return "enld-hc";
+    case SamplingPolicy::kLeastConfidence:
+      return "enld-lc";
+    case SamplingPolicy::kEntropy:
+      return "enld-entropy";
+    case SamplingPolicy::kPseudo:
+      return "enld-pseudo";
+  }
+  return "unknown";
+}
+
 std::vector<double> RowEntropies(const Matrix& probs) {
   std::vector<double> out(probs.rows(), 0.0);
   for (size_t r = 0; r < probs.rows(); ++r) {

@@ -16,7 +16,12 @@ namespace enld {
 /// incremental stream: the paper's per-dataset metrics plus the
 /// setup-time / process-time split of Fig. 8.
 struct MethodRunResult {
+  /// Canonical lowercase detector key (detector->name()); the value used
+  /// in bench report columns and the telemetry method label.
   std::string method;
+  /// Human-readable detector name (detector->display_name()), for
+  /// figure-style headers.
+  std::string method_display;
   double noise_rate = 0.0;
   double setup_seconds = 0.0;
   std::vector<double> process_seconds;     // Per incremental dataset.

@@ -58,4 +58,12 @@ TopofilterConfig PaperTopofilterConfig(PaperDataset dataset) {
   return config;
 }
 
+detect::DetectorContext PaperDetectorContext(PaperDataset dataset) {
+  detect::DetectorContext context;
+  context.general = PaperGeneralConfig(dataset);
+  context.enld = PaperEnldConfig(dataset);
+  context.topofilter = PaperTopofilterConfig(dataset);
+  return context;
+}
+
 }  // namespace enld

@@ -4,6 +4,7 @@
 #include "baselines/confident_learning.h"
 #include "baselines/topofilter.h"
 #include "data/workload.h"
+#include "detect/registry.h"
 #include "enld/config.h"
 
 namespace enld {
@@ -36,6 +37,12 @@ EnldConfig PaperEnldConfig(PaperDataset dataset);
 
 /// Calibrated Topofilter configuration per task.
 TopofilterConfig PaperTopofilterConfig(PaperDataset dataset);
+
+/// The per-task base configurations bundled for the detector registry:
+/// detect::CreateDetector(key, options, PaperDetectorContext(dataset))
+/// builds any registered detector calibrated the way the paper benches run
+/// it (a registry-driven MakeAllDetectors).
+detect::DetectorContext PaperDetectorContext(PaperDataset dataset);
 
 }  // namespace enld
 

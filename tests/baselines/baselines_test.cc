@@ -66,7 +66,8 @@ TEST_F(BaselinesTest, DefaultDetectorBeatsChance) {
 
 TEST_F(BaselinesTest, DefaultDetectorName) {
   DefaultDetector detector(TinyGeneralConfig());
-  EXPECT_EQ(detector.name(), "Default");
+  EXPECT_EQ(detector.name(), "default");
+  EXPECT_EQ(detector.display_name(), "Default");
 }
 
 TEST_F(BaselinesTest, DefaultSkipsMissingLabels) {
@@ -87,8 +88,10 @@ TEST_F(BaselinesTest, ConfidentLearningVariantsDiffer) {
                                 ClVariant::kPruneByClass);
   ConfidentLearningDetector cl2(TinyGeneralConfig(),
                                 ClVariant::kPruneByNoiseRate);
-  EXPECT_EQ(cl1.name(), "CL-1");
-  EXPECT_EQ(cl2.name(), "CL-2");
+  EXPECT_EQ(cl1.name(), "cl1");
+  EXPECT_EQ(cl2.name(), "cl2");
+  EXPECT_EQ(cl1.display_name(), "CL-1");
+  EXPECT_EQ(cl2.display_name(), "CL-2");
   cl1.Setup(workload_->inventory);
   cl2.Setup(workload_->inventory);
   const Dataset& d = workload_->incremental[0];
@@ -140,7 +143,9 @@ TEST_F(BaselinesTest, TopofilterPartitionAndQuality) {
 }
 
 TEST_F(BaselinesTest, TopofilterName) {
-  EXPECT_EQ(TopofilterDetector(TopofilterConfig()).name(), "Topofilter");
+  EXPECT_EQ(TopofilterDetector(TopofilterConfig()).name(), "topofilter");
+  EXPECT_EQ(TopofilterDetector(TopofilterConfig()).display_name(),
+            "Topofilter");
 }
 
 TEST_F(BaselinesTest, TopofilterDeterministicPerRequestIndex) {

@@ -73,7 +73,8 @@ TEST_F(ExtendedBaselinesTest, O2UProducesValidPartition) {
   const Dataset& d = workload_->incremental[0];
   const DetectionResult result = detector.Detect(d);
   ExpectValidPartition(d, result);
-  EXPECT_EQ(detector.name(), "O2U-Net");
+  EXPECT_EQ(detector.name(), "o2u");
+  EXPECT_EQ(detector.display_name(), "O2U-Net");
 }
 
 TEST_F(ExtendedBaselinesTest, O2UDeterministicPerRequestIndex) {
@@ -96,7 +97,8 @@ TEST_F(ExtendedBaselinesTest, CoTeachingProducesValidPartition) {
   const Dataset& d = workload_->incremental[0];
   const DetectionResult result = detector.Detect(d);
   ExpectValidPartition(d, result);
-  EXPECT_EQ(detector.name(), "Co-teaching");
+  EXPECT_EQ(detector.name(), "coteaching");
+  EXPECT_EQ(detector.display_name(), "Co-teaching");
 }
 
 TEST_F(ExtendedBaselinesTest, CoTeachingExplicitForgetRate) {
@@ -117,7 +119,8 @@ TEST_F(ExtendedBaselinesTest, IncvProducesValidPartition) {
   const Dataset& d = workload_->incremental[0];
   const DetectionResult result = detector.Detect(d);
   ExpectValidPartition(d, result);
-  EXPECT_EQ(detector.name(), "INCV");
+  EXPECT_EQ(detector.name(), "incv");
+  EXPECT_EQ(detector.display_name(), "INCV");
 }
 
 TEST_F(ExtendedBaselinesTest, IncvHandlesTinyIncrementalDataset) {

@@ -1,0 +1,160 @@
+#include "detect/platform_detector.h"
+
+#include <memory>
+#include <utility>
+
+#include <gtest/gtest.h>
+
+#include "detect/registry.h"
+#include "enld/platform.h"
+#include "test_util.h"
+
+namespace enld {
+namespace {
+
+using testing_util::TinyGeneralConfig;
+using testing_util::TinyWorkloadConfig;
+
+detect::DetectorContext TinyContext() {
+  detect::DetectorContext context;
+  context.general = TinyGeneralConfig();
+  context.enld.general = TinyGeneralConfig();
+  context.enld.iterations = 3;
+  context.enld.steps_per_iteration = 3;
+  return context;
+}
+
+DataPlatformConfig FastConfig(const std::string& detector = "enld") {
+  DataPlatformConfig config;
+  config.enld.general = TinyGeneralConfig();
+  config.enld.iterations = 3;
+  config.enld.steps_per_iteration = 3;
+  config.detector = detector;
+  return config;
+}
+
+class PlatformDetectorTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    workload_ = new Workload(BuildWorkload(TinyWorkloadConfig(0.2)));
+  }
+  static void TearDownTestSuite() {
+    delete workload_;
+    workload_ = nullptr;
+  }
+  static Workload* workload_;
+};
+
+Workload* PlatformDetectorTest::workload_ = nullptr;
+
+TEST_F(PlatformDetectorTest, NonEnldConfigRequiresInstallBeforeInitialize) {
+  DataPlatform platform(FastConfig("probe"));
+  const Status init = platform.Initialize(workload_->inventory);
+  EXPECT_EQ(init.code(), StatusCode::kFailedPrecondition);
+  EXPECT_NE(init.ToString().find("probe"), std::string::npos);
+}
+
+TEST_F(PlatformDetectorTest, ConfigurePlatformDetectorIsNoOpForEnld) {
+  DataPlatform platform(FastConfig("enld"));
+  EXPECT_TRUE(
+      detect::ConfigurePlatformDetector(&platform, TinyContext()).ok());
+  EXPECT_TRUE(platform.Initialize(workload_->inventory).ok());
+  EXPECT_TRUE(platform.Process(workload_->incremental[0]).ok());
+}
+
+TEST_F(PlatformDetectorTest, EnldWithOptionsRejected) {
+  DataPlatformConfig config = FastConfig("enld");
+  config.detector_options = {{"epochs", "3"}};
+  DataPlatform platform(config);
+  const Status status =
+      detect::ConfigurePlatformDetector(&platform, TinyContext());
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(PlatformDetectorTest, RegistryDetectorServesRequests) {
+  DataPlatformConfig config = FastConfig("probe");
+  config.detector_options = {{"sweep_points", "16"}};
+  DataPlatform platform(config);
+  ASSERT_TRUE(
+      detect::ConfigurePlatformDetector(&platform, TinyContext()).ok());
+  ASSERT_TRUE(platform.Initialize(workload_->inventory).ok());
+  EXPECT_EQ(platform.active_detector().name(), "probe");
+
+  for (const Dataset& incremental : workload_->incremental) {
+    const auto result = platform.Process(incremental);
+    ASSERT_TRUE(result.ok()) << result.status().ToString();
+    EXPECT_EQ(result->noisy_indices.size() + result->clean_indices.size(),
+              incremental.size() -
+                  incremental.MissingLabelIndices().size());
+  }
+  EXPECT_EQ(platform.stats().requests, workload_->incremental.size());
+}
+
+TEST_F(PlatformDetectorTest, ConfigureSurfacesRegistryErrors) {
+  {
+    DataPlatform platform(FastConfig("no-such-detector"));
+    EXPECT_EQ(detect::ConfigurePlatformDetector(&platform, TinyContext())
+                  .code(),
+              StatusCode::kInvalidArgument);
+  }
+  {
+    DataPlatformConfig config = FastConfig("probe");
+    config.detector_options = {{"epochs", "banana"}};
+    DataPlatform platform(config);
+    EXPECT_EQ(detect::ConfigurePlatformDetector(&platform, TinyContext())
+                  .code(),
+              StatusCode::kInvalidArgument);
+  }
+}
+
+TEST_F(PlatformDetectorTest, InstallGuards) {
+  // Null detector.
+  {
+    DataPlatform platform(FastConfig("probe"));
+    EXPECT_EQ(platform.InstallDetector(nullptr).code(),
+              StatusCode::kInvalidArgument);
+  }
+  // Name mismatch between config.detector and the instance.
+  {
+    DataPlatform platform(FastConfig("pls"));
+    auto probe = detect::CreateDetector("probe", {}, TinyContext());
+    ASSERT_TRUE(probe.ok());
+    EXPECT_EQ(platform.InstallDetector(std::move(probe).value()).code(),
+              StatusCode::kInvalidArgument);
+  }
+  // The built-in framework must not be shadowed.
+  {
+    DataPlatform platform(FastConfig("enld"));
+    auto probe = detect::CreateDetector("probe", {}, TinyContext());
+    ASSERT_TRUE(probe.ok());
+    EXPECT_EQ(platform.InstallDetector(std::move(probe).value()).code(),
+              StatusCode::kInvalidArgument);
+  }
+  // Too late after Initialize.
+  {
+    DataPlatform platform(FastConfig("enld"));
+    ASSERT_TRUE(platform.Initialize(workload_->inventory).ok());
+    auto probe = detect::CreateDetector("probe", {}, TinyContext());
+    ASSERT_TRUE(probe.ok());
+    EXPECT_EQ(platform.InstallDetector(std::move(probe).value()).code(),
+              StatusCode::kFailedPrecondition);
+  }
+}
+
+TEST_F(PlatformDetectorTest, UpdatesAndSnapshotsRequireEnld) {
+  DataPlatform platform(FastConfig("probe"));
+  ASSERT_TRUE(
+      detect::ConfigurePlatformDetector(&platform, TinyContext()).ok());
+  ASSERT_TRUE(platform.Initialize(workload_->inventory).ok());
+  ASSERT_TRUE(platform.Process(workload_->incremental[0]).ok());
+
+  EXPECT_EQ(platform.Update().code(), StatusCode::kFailedPrecondition);
+  EXPECT_EQ(platform.SaveSnapshot("/tmp/enld-detector-snap-test").code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_EQ(
+      platform.RestoreFromSnapshot("/tmp/enld-detector-snap-test").code(),
+      StatusCode::kFailedPrecondition);
+}
+
+}  // namespace
+}  // namespace enld

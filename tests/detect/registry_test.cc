@@ -1,0 +1,335 @@
+#include "detect/registry.h"
+
+#include <algorithm>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/parallel.h"
+#include "data/workload.h"
+#include "detect/probe.h"
+#include "eval/metrics.h"
+#include "test_util.h"
+
+namespace enld {
+namespace {
+
+using detect::CreateDetector;
+using detect::DetectorContext;
+using detect::DetectorInfo;
+using detect::DetectorOptions;
+using detect::DetectorRegistry;
+using detect::FindDetector;
+using detect::ListDetectors;
+using detect::OptionSpec;
+using detect::OptionType;
+using testing_util::TinyGeneralConfig;
+using testing_util::TinyWorkloadConfig;
+
+/// Minimal detector for registration-semantics tests: flags nothing.
+class FakeDetector : public NoisyLabelDetector {
+ public:
+  explicit FakeDetector(std::string key) : key_(std::move(key)) {}
+  void Setup(const Dataset&) override {}
+  DetectionResult Detect(const Dataset& incremental) override {
+    DetectionResult result;
+    for (size_t i = 0; i < incremental.size(); ++i) {
+      if (incremental.observed_labels[i] != kMissingLabel) {
+        result.clean_indices.push_back(i);
+      }
+    }
+    return result;
+  }
+  std::string name() const override { return key_; }
+
+ private:
+  std::string key_;
+};
+
+detect::DetectorFactory FakeFactory(const std::string& key) {
+  return [key](const DetectorContext&, const detect::ParsedOptions&)
+             -> StatusOr<std::unique_ptr<NoisyLabelDetector>> {
+    return std::unique_ptr<NoisyLabelDetector>(
+        std::make_unique<FakeDetector>(key));
+  };
+}
+
+DetectorContext TinyContext() {
+  DetectorContext context;
+  context.general = TinyGeneralConfig();
+  context.enld.general = TinyGeneralConfig();
+  context.enld.iterations = 3;
+  context.enld.steps_per_iteration = 3;
+  return context;
+}
+
+void ExpectValidPartition(const Dataset& d, const DetectionResult& result) {
+  std::set<size_t> seen;
+  for (size_t i : result.clean_indices) EXPECT_TRUE(seen.insert(i).second);
+  for (size_t i : result.noisy_indices) EXPECT_TRUE(seen.insert(i).second);
+  EXPECT_EQ(seen.size(), d.size() - d.MissingLabelIndices().size());
+}
+
+TEST(RegistryListTest, BuiltinsArePresentAndSorted) {
+  const std::vector<DetectorInfo> detectors = ListDetectors();
+  ASSERT_GE(detectors.size(), 9u);  // 7 existing + 3 new + enld variants.
+  std::vector<std::string> keys;
+  for (const DetectorInfo& info : detectors) keys.push_back(info.key);
+  for (const char* expected :
+       {"default", "cl1", "cl2", "topofilter", "o2u", "coteaching", "incv",
+        "pls", "probe", "longremix", "enld", "enld-pseudo"}) {
+    EXPECT_NE(std::find(keys.begin(), keys.end(), expected), keys.end())
+        << "missing builtin " << expected;
+  }
+  for (size_t i = 1; i < keys.size(); ++i) EXPECT_LT(keys[i - 1], keys[i]);
+}
+
+TEST(RegistryListTest, FindReturnsInfoOrNull) {
+  const DetectorInfo* info = FindDetector("topofilter");
+  ASSERT_NE(info, nullptr);
+  EXPECT_EQ(info->key, "topofilter");
+  EXPECT_EQ(info->display_name, "Topofilter");
+  EXPECT_FALSE(info->options.empty());
+  EXPECT_EQ(FindDetector("no-such-detector"), nullptr);
+}
+
+// Round trip: every registered detector constructs by name, and the
+// instance's canonical name / display name match its registration.
+TEST(RegistryRoundTripTest, EveryKeyCreatesItsDetector) {
+  for (const DetectorInfo& info : ListDetectors()) {
+    auto detector = CreateDetector(info.key, {}, TinyContext());
+    ASSERT_TRUE(detector.ok())
+        << info.key << ": " << detector.status().ToString();
+    EXPECT_EQ((*detector)->name(), info.key);
+    EXPECT_EQ((*detector)->display_name(), info.display_name);
+  }
+}
+
+TEST(RegistryRegisterTest, DuplicateKeyRejected) {
+  detect::RegisterBuiltinDetectors();
+  DetectorRegistry& registry = DetectorRegistry::Global();
+  const std::string key = "zz-dup-probe";
+  ASSERT_TRUE(registry.Register({key, "Dup", "test", {}}, FakeFactory(key))
+                  .ok());
+  const Status again =
+      registry.Register({key, "Dup", "test", {}}, FakeFactory(key));
+  EXPECT_EQ(again.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(again.ToString().find(key), std::string::npos);
+  // Existing builtin keys are protected the same way.
+  EXPECT_EQ(registry.Register({"default", "Default", "test", {}},
+                              FakeFactory("default"))
+                .code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(RegistryRegisterTest, NonCanonicalKeysRejected) {
+  DetectorRegistry& registry = DetectorRegistry::Global();
+  for (const std::string bad :
+       {"", "UpperCase", "has space", "under_score", "-edge", "edge-",
+        "sym!bol"}) {
+    EXPECT_EQ(registry.Register({bad, "Bad", "test", {}}, FakeFactory(bad))
+                  .code(),
+              StatusCode::kInvalidArgument)
+        << "key '" << bad << "' should be rejected";
+  }
+}
+
+TEST(RegistryRegisterTest, DuplicateOptionKeyRejected) {
+  DetectorRegistry& registry = DetectorRegistry::Global();
+  const std::string key = "zz-dup-option";
+  const Status status = registry.Register(
+      {key,
+       "DupOpt",
+       "test",
+       {{"epochs", OptionType::kInt, "1", "first", {}},
+        {"epochs", OptionType::kInt, "2", "second", {}}}},
+      FakeFactory(key));
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+}
+
+// The typed error matrix of Create: unknown detector, unknown option,
+// malformed value per type, allowed-set violation. Every error is
+// kInvalidArgument and names the offender.
+TEST(RegistryErrorTest, UnknownDetector) {
+  auto detector = CreateDetector("no-such-detector");
+  ASSERT_FALSE(detector.ok());
+  EXPECT_EQ(detector.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(detector.status().ToString().find("no-such-detector"),
+            std::string::npos);
+  // The message lists the registered keys, so typos are self-serviceable.
+  EXPECT_NE(detector.status().ToString().find("topofilter"),
+            std::string::npos);
+}
+
+TEST(RegistryErrorTest, UnknownOptionKey) {
+  auto detector = CreateDetector("probe", {{"not_an_option", "3"}});
+  ASSERT_FALSE(detector.ok());
+  EXPECT_EQ(detector.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(detector.status().ToString().find("not_an_option"),
+            std::string::npos);
+  EXPECT_NE(detector.status().ToString().find("sweep_points"),
+            std::string::npos);
+}
+
+TEST(RegistryErrorTest, MalformedIntValue) {
+  for (const std::string bad : {"banana", "3.5", "-2", "12x", ""}) {
+    auto detector = CreateDetector("probe", {{"epochs", bad}});
+    ASSERT_FALSE(detector.ok()) << "value '" << bad << "'";
+    EXPECT_EQ(detector.status().code(), StatusCode::kInvalidArgument);
+    EXPECT_NE(detector.status().ToString().find("int"), std::string::npos);
+  }
+}
+
+TEST(RegistryErrorTest, MalformedDoubleValue) {
+  auto detector =
+      CreateDetector("longremix", {{"seed_fraction", "not-a-number"}});
+  ASSERT_FALSE(detector.ok());
+  EXPECT_EQ(detector.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(detector.status().ToString().find("double"), std::string::npos);
+}
+
+TEST(RegistryErrorTest, MalformedBoolValue) {
+  auto detector = CreateDetector("topofilter", {{"mutual_knn", "maybe"}});
+  ASSERT_FALSE(detector.ok());
+  EXPECT_EQ(detector.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(detector.status().ToString().find("bool"), std::string::npos);
+}
+
+TEST(RegistryErrorTest, AllowedSetViolation) {
+  DetectorRegistry& registry = DetectorRegistry::Global();
+  const std::string key = "zz-enum-option";
+  ASSERT_TRUE(
+      registry
+          .Register({key,
+                     "EnumOpt",
+                     "test",
+                     {{"mode", OptionType::kString, "fast", "test mode",
+                       {"fast", "slow"}}}},
+                    FakeFactory(key))
+          .ok());
+  EXPECT_TRUE(registry.Create(key, {{"mode", "slow"}}).ok());
+  auto detector = registry.Create(key, {{"mode", "medium"}});
+  ASSERT_FALSE(detector.ok());
+  EXPECT_EQ(detector.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(detector.status().ToString().find("medium"), std::string::npos);
+}
+
+TEST(RegistryErrorTest, ValidValuesOfEveryTypeAccepted) {
+  EXPECT_TRUE(CreateDetector("probe", {{"epochs", "2"},
+                                       {"sweep_points", "8"},
+                                       {"seed", "42"}},
+                             TinyContext())
+                  .ok());
+  EXPECT_TRUE(CreateDetector("longremix", {{"seed_fraction", "0.5"}},
+                             TinyContext())
+                  .ok());
+  EXPECT_TRUE(CreateDetector("topofilter",
+                             {{"mutual_knn", "false"},
+                              {"component_keep_ratio", "0.9"}},
+                             TinyContext())
+                  .ok());
+}
+
+class DetectQualityTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    workload_ = new Workload(BuildWorkload(TinyWorkloadConfig(0.2)));
+  }
+  static void TearDownTestSuite() {
+    delete workload_;
+    workload_ = nullptr;
+  }
+
+  /// Runs a registry detector over the tiny stream; returns mean F1.
+  static double MeanF1(const std::string& key) {
+    auto detector = CreateDetector(key, {}, TinyContext());
+    EXPECT_TRUE(detector.ok()) << detector.status().ToString();
+    (*detector)->Setup(workload_->inventory);
+    double f1_sum = 0.0;
+    for (const Dataset& incremental : workload_->incremental) {
+      const DetectionResult result = (*detector)->Detect(incremental);
+      ExpectValidPartition(incremental, result);
+      f1_sum += EvaluateDetection(incremental, result.noisy_indices).f1;
+    }
+    return f1_sum / static_cast<double>(workload_->incremental.size());
+  }
+
+  static Workload* workload_;
+};
+
+Workload* DetectQualityTest::workload_ = nullptr;
+
+// The three new detectors must beat chance by a wide margin on the tiny
+// workload (noise 0.2 => flagging everything scores F1 ~0.33). Measured
+// means: pls ~0.73, probe ~0.54, longremix ~0.83.
+TEST_F(DetectQualityTest, PlsDetectsNoise) { EXPECT_GT(MeanF1("pls"), 0.55); }
+
+TEST_F(DetectQualityTest, ProbeDetectsNoise) {
+  EXPECT_GT(MeanF1("probe"), 0.40);
+}
+
+TEST_F(DetectQualityTest, LongRemixDetectsNoise) {
+  EXPECT_GT(MeanF1("longremix"), 0.60);
+}
+
+/// Registry-created and directly-constructed detectors must produce
+/// identical verdicts — creation path and thread count never change
+/// results (the library-wide determinism contract).
+class RegistryDeterminismTest : public ::testing::Test {
+ protected:
+  void TearDown() override { SetParallelThreads(0); }
+
+  static std::vector<DetectionResult> RunStream(NoisyLabelDetector* detector,
+                                                const Workload& workload) {
+    detector->Setup(workload.inventory);
+    std::vector<DetectionResult> results;
+    for (const Dataset& incremental : workload.incremental) {
+      results.push_back(detector->Detect(incremental));
+    }
+    return results;
+  }
+
+  static void ExpectSameVerdicts(const std::vector<DetectionResult>& a,
+                                 const std::vector<DetectionResult>& b) {
+    ASSERT_EQ(a.size(), b.size());
+    for (size_t i = 0; i < a.size(); ++i) {
+      EXPECT_EQ(a[i].noisy_indices, b[i].noisy_indices) << "request " << i;
+      EXPECT_EQ(a[i].clean_indices, b[i].clean_indices) << "request " << i;
+    }
+  }
+};
+
+TEST_F(RegistryDeterminismTest, RegistryMatchesDirectAcrossThreadCounts) {
+  const Workload workload = BuildWorkload(TinyWorkloadConfig(0.2));
+  for (const std::string key : {"probe", "pls"}) {
+    SetParallelThreads(1);
+    auto registry_made = CreateDetector(key, {}, TinyContext());
+    ASSERT_TRUE(registry_made.ok());
+    const std::vector<DetectionResult> sequential =
+        RunStream(registry_made->get(), workload);
+
+    SetParallelThreads(4);
+    auto registry_made_parallel = CreateDetector(key, {}, TinyContext());
+    ASSERT_TRUE(registry_made_parallel.ok());
+    ExpectSameVerdicts(sequential,
+                       RunStream(registry_made_parallel->get(), workload));
+  }
+}
+
+TEST_F(RegistryDeterminismTest, DirectConstructionMatchesRegistry) {
+  const Workload workload = BuildWorkload(TinyWorkloadConfig(0.2));
+  SetParallelThreads(1);
+  ProbeConfig config;
+  config.general = TinyGeneralConfig();
+  ProbeDetector direct(config);
+  auto via_registry = CreateDetector("probe", {}, TinyContext());
+  ASSERT_TRUE(via_registry.ok());
+  ExpectSameVerdicts(RunStream(&direct, workload),
+                     RunStream(via_registry->get(), workload));
+}
+
+}  // namespace
+}  // namespace enld

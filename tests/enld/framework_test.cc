@@ -72,9 +72,11 @@ TEST_F(FrameworkTest, DetectReturnsValidPartition) {
 
 TEST_F(FrameworkTest, NameFollowsPolicy) {
   EnldConfig config = FastEnldConfig();
-  EXPECT_EQ(EnldFramework(config).name(), "ENLD");
+  EXPECT_EQ(EnldFramework(config).name(), "enld");
+  EXPECT_EQ(EnldFramework(config).display_name(), "ENLD");
   config.policy = SamplingPolicy::kPseudo;
-  EXPECT_EQ(EnldFramework(config).name(), "Pseudo-ENLD");
+  EXPECT_EQ(EnldFramework(config).name(), "enld-pseudo");
+  EXPECT_EQ(EnldFramework(config).display_name(), "Pseudo-ENLD");
 }
 
 TEST_F(FrameworkTest, OutperformsDefaultBaseline) {

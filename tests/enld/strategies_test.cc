@@ -39,6 +39,17 @@ TEST(PolicyNamesTest, MatchPaperLegends) {
   EXPECT_STREQ(SamplingPolicyName(SamplingPolicy::kPseudo), "Pseudo-ENLD");
 }
 
+TEST(PolicyNamesTest, CanonicalKeysAreLowercase) {
+  EXPECT_STREQ(SamplingPolicyKey(SamplingPolicy::kContrastive), "enld");
+  EXPECT_STREQ(SamplingPolicyKey(SamplingPolicy::kRandom), "enld-random");
+  EXPECT_STREQ(SamplingPolicyKey(SamplingPolicy::kHighestConfidence),
+               "enld-hc");
+  EXPECT_STREQ(SamplingPolicyKey(SamplingPolicy::kLeastConfidence),
+               "enld-lc");
+  EXPECT_STREQ(SamplingPolicyKey(SamplingPolicy::kEntropy), "enld-entropy");
+  EXPECT_STREQ(SamplingPolicyKey(SamplingPolicy::kPseudo), "enld-pseudo");
+}
+
 TEST(RowEntropiesTest, UniformHasMaxEntropy) {
   Matrix probs(2, 4);
   for (size_t c = 0; c < 4; ++c) probs(0, c) = 0.25f;

@@ -1,0 +1,132 @@
+#!/usr/bin/env python3
+"""Validates an enld-detector-matrix-v1 JSON report (bench_detector_matrix).
+
+Usage: check_detector_matrix.py matrix.json [--min-detectors N]
+
+Checks the acceptance shape of the detector matrix (docs/DETECTORS.md):
+schema, complete detector x dataset x noise coverage (every combination
+listed in the header arrays appears exactly once among the cells), metric
+ranges (precision/recall/F1 in [0, 1], timings non-negative, at least one
+incremental dataset processed per cell), and the per-cell telemetry span
+rows — every cell must carry a 'detector/<key>' span so per-detector
+wall-clock is attributable. Exits non-zero with a message per violation.
+"""
+
+import json
+import sys
+
+REQUIRED_TOP_KEYS = ("schema", "threads", "detectors", "datasets", "noises",
+                     "cells")
+REQUIRED_CELL_KEYS = ("detector", "display_name", "dataset", "noise",
+                      "datasets_processed", "precision", "recall", "f1",
+                      "setup_seconds", "avg_process_seconds", "spans")
+
+
+def check_cell(cell, idx, errors):
+    where = f"cell[{idx}]"
+    for key in REQUIRED_CELL_KEYS:
+        if key not in cell:
+            errors.append(f"{where}: missing key {key}")
+            return
+    where = (f"cell[{idx}] ({cell['detector']}/{cell['dataset']}"
+             f"/{cell['noise']})")
+    for metric in ("precision", "recall", "f1"):
+        value = cell[metric]
+        if not (isinstance(value, (int, float)) and 0.0 <= value <= 1.0):
+            errors.append(f"{where}: {metric}={value!r} outside [0, 1]")
+    for metric in ("setup_seconds", "avg_process_seconds"):
+        value = cell[metric]
+        if not (isinstance(value, (int, float)) and value >= 0.0):
+            errors.append(f"{where}: {metric}={value!r} negative")
+    if cell["datasets_processed"] < 1:
+        errors.append(f"{where}: no incremental datasets processed")
+    spans = cell["spans"]
+    if not spans:
+        errors.append(f"{where}: no telemetry spans")
+        return
+    paths = set()
+    for span in spans:
+        if not {"path", "count", "seconds"} <= set(span):
+            errors.append(f"{where}: span row missing path/count/seconds")
+            continue
+        if span["count"] < 1:
+            errors.append(f"{where}: span {span['path']} has count 0")
+        if span["seconds"] < 0:
+            errors.append(f"{where}: span {span['path']} negative time")
+        paths.add(span["path"])
+    wrapper = f"detector/{cell['detector']}"
+    if wrapper not in paths:
+        errors.append(f"{where}: missing per-detector span '{wrapper}'")
+
+
+def main():
+    args = [a for a in sys.argv[1:] if not a.startswith("--")]
+    min_detectors = 1
+    for arg in sys.argv[1:]:
+        if arg.startswith("--min-detectors="):
+            min_detectors = int(arg.split("=", 1)[1])
+    if len(args) != 1:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    with open(args[0]) as f:
+        report = json.load(f)
+
+    errors = []
+
+    for key in REQUIRED_TOP_KEYS:
+        if key not in report:
+            errors.append(f"missing top-level key: {key}")
+    if report.get("schema") != "enld-detector-matrix-v1":
+        errors.append(f"unexpected schema: {report.get('schema')!r}")
+    if errors:
+        for e in errors:
+            print(f"check_detector_matrix: {e}", file=sys.stderr)
+        return 1
+
+    detectors = report["detectors"]
+    datasets = report["datasets"]
+    noises = report["noises"]
+    cells = report["cells"]
+    if len(detectors) < min_detectors:
+        errors.append(
+            f"only {len(detectors)} detectors swept, "
+            f"expected >= {min_detectors}")
+    if len(set(detectors)) != len(detectors):
+        errors.append("duplicate keys in 'detectors'")
+    if not datasets:
+        errors.append("no datasets swept")
+    if len(noises) < 1:
+        errors.append("no noise rates swept")
+
+    # Full-coverage check: every header combination exactly once.
+    seen = {}
+    for idx, cell in enumerate(cells):
+        check_cell(cell, idx, errors)
+        key = (cell.get("detector"), cell.get("dataset"), cell.get("noise"))
+        seen[key] = seen.get(key, 0) + 1
+    for detector in detectors:
+        for dataset in datasets:
+            for noise in noises:
+                count = seen.get((detector, dataset, noise), 0)
+                if count != 1:
+                    errors.append(
+                        f"combination ({detector}, {dataset}, {noise}) "
+                        f"appears {count} times, expected 1")
+    expected = len(detectors) * len(datasets) * len(noises)
+    if len(cells) != expected:
+        errors.append(f"{len(cells)} cells for {expected} combinations")
+
+    if errors:
+        for e in errors:
+            print(f"check_detector_matrix: {e}", file=sys.stderr)
+        return 1
+
+    print(
+        f"ok: {args[0]} — {len(detectors)} detectors x {len(datasets)} "
+        f"datasets x {len(noises)} noise rates = {len(cells)} cells, "
+        f"threads={report['threads']}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
