@@ -47,6 +47,10 @@
 // Robustness hooks (see docs/ROBUSTNESS.md):
 //   --quarantine_out=<path.json>  dump the platform's quarantine log (bad
 //                                 samples rejected at admission) as JSON
+//   --scrub_every=<n>             async mode: run a background integrity
+//                                 scrub of --snapshot_dir every n
+//                                 completed requests (off the request
+//                                 path; findings summarized on stderr)
 //   ENLD_FAULTS=<spec>            arm deterministic fault injection; a
 //                                 per-site fire summary is printed to
 //                                 stderr after the stream so chaos drills
@@ -71,6 +75,7 @@
 #include "nn/serialization.h"
 #include "nn/trainer.h"
 #include "store/quarantine.h"
+#include "store/scrub.h"
 #include "store/snapshot.h"
 
 namespace {
@@ -118,6 +123,8 @@ int main(int argc, char** argv) {
       std::atof(FlagValue(argc, argv, "queue_wait_budget", "0").c_str());
   const size_t snapshot_keep = static_cast<size_t>(
       std::atoi(FlagValue(argc, argv, "snapshot_keep", "0").c_str()));
+  const size_t scrub_every = static_cast<size_t>(
+      std::atoi(FlagValue(argc, argv, "scrub_every", "0").c_str()));
   if (use_async && kill_after > 0) {
     std::fprintf(stderr,
                  "--kill_after is sequential-only (the async pipeline has "
@@ -191,6 +198,19 @@ int main(int argc, char** argv) {
       pipeline_config.snapshot_capture = [&platform, snapshot_dir] {
         return platform.BeginSnapshot(snapshot_dir);
       };
+      // Background integrity scrub every N completed requests — runs on
+      // the shared pool between snapshot writes, never on the request
+      // path. Findings surface in the scrub counters printed below.
+      if (scrub_every > 0) {
+        pipeline_config.scrub_every = scrub_every;
+        pipeline_config.scrub_hook =
+            [snapshot_dir]() -> StatusOr<uint64_t> {
+          StatusOr<store::ScrubReport> report =
+              store::ScrubSnapshotStore(snapshot_dir);
+          if (!report.ok()) return report.status();
+          return static_cast<uint64_t>(report.value().findings.size());
+        };
+      }
     }
     RequestPipeline pipeline(&platform, pipeline_config);
     std::vector<std::future<PipelineResponse>> futures;
@@ -242,6 +262,12 @@ int main(int argc, char** argv) {
                    queue_wait_budget > 0.0 ? queue_wait_budget
                                            : request_deadline,
                    static_cast<unsigned long long>(pc.queue_deadline_drops));
+    }
+    if (pc.scrub_runs > 0) {
+      std::fprintf(stderr,
+                   "background scrub: %llu run(s), %llu finding(s)\n",
+                   static_cast<unsigned long long>(pc.scrub_runs),
+                   static_cast<unsigned long long>(pc.scrub_findings));
     }
   } else {
     for (size_t i = start_request; i < workload.incremental.size(); ++i) {

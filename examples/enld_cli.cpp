@@ -47,6 +47,30 @@
 //     reported instead of failing the load. Exit code 0 = all samples
 //     admitted, 2 = some quarantined, 1 = hard error.
 //
+// Self-healing subcommands (docs/ROBUSTNESS.md §"Self-healing runbook"):
+//   enld_cli repair <snapshot_dir> [--source=<dir>] [--dry_run]
+//       [--allow_rollback] [--scrub_out=<path.json>]
+//       [--repair_out=<path.json>]
+//     Scrubs the whole snapshot lineage (per-section CRC walk) and heals
+//     the snapshot CURRENT points at: damaged shards are rebuilt from
+//     surviving sections, sibling snapshots, or the exact rows the
+//     manifest names (--source adds a donor dataset directory); the
+//     repaired snapshot publishes through the normal atomic staging path.
+//     --dry_run plans without writing; --allow_rollback repoints CURRENT
+//     at the newest intact snapshot when state.bin is unrepairable. Exit
+//     code 0 = store clean or fully repaired (or dry-run plan complete),
+//     4 = damage remains, 1 = hard error.
+//   enld_cli replay <quarantine.json> (--input=<path.csv> |
+//       --inventory=<dir>) [--snapshot_dir=<dir> [--dataset=...]]
+//       [--request_id=<n>] [--replay_out=<path.json>]
+//     Re-screens quarantined samples against corrected source data
+//     (matched by sample id) through the normal admission path. With
+//     --snapshot_dir, restores the platform, re-admits the survivors via
+//     a real Process request stamped with --request_id, and snapshots the
+//     result. Warns when the quarantine log was capacity-truncated. Exit
+//     code 0 = every record readmitted, 2 = some still rejected or
+//     missing from the source, 1 = hard error.
+//
 // Serving subcommand (see docs/OBSERVABILITY.md):
 //   enld_cli stats <host:port> [--watch=<s>] [--retries=<n>] [--shutdown]
 //     Scrapes a running enld_server's live stats/health document (kStats
@@ -93,6 +117,9 @@
 #include "store/json.h"
 #include "store/manifest.h"
 #include "store/quarantine.h"
+#include "store/repair.h"
+#include "store/replay.h"
+#include "store/scrub.h"
 #include "store/snapshot.h"
 
 namespace {
@@ -109,6 +136,15 @@ std::string FlagValue(int argc, char** argv, const std::string& name,
     }
   }
   return fallback;
+}
+
+/// True when the bare flag `--name` is present.
+bool HasFlag(int argc, char** argv, const std::string& name) {
+  const std::string flag = "--" + name;
+  for (int i = 1; i < argc; ++i) {
+    if (flag == argv[i]) return true;
+  }
+  return false;
 }
 
 /// Collects every `--detector_opt k=v` / `--detector_opt=k=v` pair.
@@ -172,6 +208,11 @@ int RunHelp() {
       "  enld_cli snapshot --inventory=<dir> --snapshot_dir=<dir>\n"
       "  enld_cli resume --snapshot_dir=<dir> [--datasets=<n>]\n"
       "  enld_cli validate (--input=<path.csv> | --inventory=<dir>)\n"
+      "  enld_cli repair <snapshot_dir> [--source=<dir>] [--dry_run]\n"
+      "      [--allow_rollback] [--scrub_out=<json>] [--repair_out=<json>]\n"
+      "  enld_cli replay <quarantine.json> (--input=<path.csv> |\n"
+      "      --inventory=<dir>) [--snapshot_dir=<dir>] [--request_id=<n>]\n"
+      "      [--replay_out=<json>]\n"
       "  enld_cli stats <host:port> [--watch=<s>] [--shutdown]\n"
       "\n"
       "Flag-only invocations run detection too (legacy --method=<key>\n"
@@ -473,6 +514,243 @@ int RunValidate(int argc, char** argv) {
   return log.records().empty() ? 0 : 2;
 }
 
+/// `enld_cli repair`: scrub the snapshot lineage and heal the snapshot
+/// CURRENT points at (docs/ROBUSTNESS.md §"Self-healing runbook"). Exit
+/// code 0 = clean or repaired, 4 = damage remains, 1 = hard error.
+int RunRepair(int argc, char** argv) {
+  std::string snapshot_dir = FlagValue(argc, argv, "snapshot_dir", "");
+  if (argc > 2 && argv[2][0] != '-') snapshot_dir = argv[2];
+  if (snapshot_dir.empty()) {
+    std::fprintf(stderr,
+                 "repair requires <snapshot_dir> (or --snapshot_dir=)\n");
+    return 1;
+  }
+  if (!ApplyRetryFlag(argc, argv)) return 1;
+
+  store::RepairOptions options;
+  options.source_dir = FlagValue(argc, argv, "source", "");
+  options.dry_run = HasFlag(argc, argv, "dry_run");
+  options.allow_rollback = HasFlag(argc, argv, "allow_rollback");
+
+  const StatusOr<store::RepairReport> repaired =
+      store::RepairSnapshotStore(snapshot_dir, options);
+  if (!repaired.ok()) {
+    std::fprintf(stderr, "repair failed: %s\n",
+                 repaired.status().ToString().c_str());
+    return 1;
+  }
+  const store::RepairReport& report = repaired.value();
+
+  const std::string scrub_out = FlagValue(argc, argv, "scrub_out", "");
+  if (!scrub_out.empty()) {
+    const Status written = store::WriteScrubReportJson(report.scrub, scrub_out);
+    if (!written.ok()) {
+      std::fprintf(stderr, "cannot write %s: %s\n", scrub_out.c_str(),
+                   written.ToString().c_str());
+      return 1;
+    }
+    std::printf("scrub report -> %s\n", scrub_out.c_str());
+  }
+  const std::string repair_out = FlagValue(argc, argv, "repair_out", "");
+  if (!repair_out.empty()) {
+    const Status written = store::WriteRepairReportJson(report, repair_out);
+    if (!written.ok()) {
+      std::fprintf(stderr, "cannot write %s: %s\n", repair_out.c_str(),
+                   written.ToString().c_str());
+      return 1;
+    }
+    std::printf("repair report -> %s\n", repair_out.c_str());
+  }
+
+  std::printf(
+      "scrub %s: %zu snapshot(s), %llu file(s), %llu section(s), "
+      "%zu finding(s)\n",
+      snapshot_dir.c_str(), report.scrub.scrubbed.size(),
+      static_cast<unsigned long long>(report.scrub.files_checked),
+      static_cast<unsigned long long>(report.scrub.sections_checked),
+      report.scrub.findings.size());
+  for (const store::ScrubFinding& finding : report.scrub.findings) {
+    std::printf("  finding: %s %s %s (%s)\n", finding.file.c_str(),
+                finding.section.c_str(), finding.reason.c_str(),
+                finding.detail.c_str());
+  }
+  for (const store::RepairAction& action : report.actions) {
+    if (action.source.empty()) {
+      std::printf("  %s: %s via %s\n", report.dry_run ? "plan" : "repair",
+                  action.file.c_str(), action.method.c_str());
+    } else {
+      std::printf("  %s: %s via %s from %s\n",
+                  report.dry_run ? "plan" : "repair", action.file.c_str(),
+                  action.method.c_str(), action.source.c_str());
+    }
+  }
+  if (report.clean) {
+    std::printf("store is clean; nothing to repair\n");
+    return 0;
+  }
+  if (!report.failure.empty()) {
+    std::fprintf(stderr, "store is NOT healed: %s\n", report.failure.c_str());
+    return 4;
+  }
+  if (report.dry_run) {
+    std::printf("dry run: %zu action(s) planned for %s; nothing written\n",
+                report.actions.size(),
+                store::SnapshotStore::DirName(report.target_seq).c_str());
+    return 0;
+  }
+  std::printf("repaired %s -> published %s (%zu action(s))\n",
+              store::SnapshotStore::DirName(report.target_seq).c_str(),
+              store::SnapshotStore::DirName(report.published_seq).c_str(),
+              report.actions.size());
+  return 0;
+}
+
+/// `enld_cli replay`: re-screen quarantined samples against corrected
+/// source data and re-admit the survivors. Exit code 0 = every record
+/// readmitted, 2 = some still rejected or missing, 1 = hard error.
+int RunReplay(int argc, char** argv) {
+  std::string quarantine_path = FlagValue(argc, argv, "quarantine", "");
+  if (argc > 2 && argv[2][0] != '-') quarantine_path = argv[2];
+  if (quarantine_path.empty()) {
+    std::fprintf(stderr,
+                 "replay requires <quarantine.json> (or --quarantine=)\n");
+    return 1;
+  }
+  const std::string input = FlagValue(argc, argv, "input", "");
+  const std::string inventory_dir = FlagValue(argc, argv, "inventory", "");
+  if (input.empty() == inventory_dir.empty()) {
+    std::fprintf(stderr,
+                 "replay requires exactly one of --input=<path.csv> or "
+                 "--inventory=<dir> as the corrected source data\n");
+    return 1;
+  }
+  if (!ApplyRetryFlag(argc, argv)) return 1;
+
+  const StatusOr<store::QuarantineFile> log =
+      store::ReadQuarantineJson(quarantine_path);
+  if (!log.ok()) {
+    std::fprintf(stderr, "cannot read %s: %s\n", quarantine_path.c_str(),
+                 log.status().ToString().c_str());
+    return 1;
+  }
+  if (log.value().truncated) {
+    std::fprintf(stderr,
+                 "warning: %s is truncated (%llu quarantined, %zu recorded) "
+                 "— dropped records cannot be replayed\n",
+                 quarantine_path.c_str(),
+                 static_cast<unsigned long long>(log.value().total),
+                 log.value().records.size());
+  }
+
+  // The corrected source, loaded exactly like `validate` loads its input.
+  Dataset source;
+  std::string source_name;
+  if (!input.empty()) {
+    CsvLoadOptions options;
+    options.permissive = true;
+    StatusOr<Dataset> loaded = LoadDatasetCsv(input, options);
+    if (!loaded.ok()) {
+      std::fprintf(stderr, "cannot load %s: %s\n", input.c_str(),
+                   loaded.status().ToString().c_str());
+      return 1;
+    }
+    source = std::move(loaded).value();
+    source_name = input;
+  } else {
+    StatusOr<Dataset> loaded = store::LoadDatasetSharded(inventory_dir);
+    if (!loaded.ok()) {
+      std::fprintf(stderr, "cannot load %s: %s\n", inventory_dir.c_str(),
+                   loaded.status().ToString().c_str());
+      return 1;
+    }
+    source = std::move(loaded).value();
+    source_name = inventory_dir;
+  }
+
+  // With a snapshot directory, readmitted rows go through a real Process
+  // request on the restored platform and the result is snapshotted.
+  const std::string snapshot_dir = FlagValue(argc, argv, "snapshot_dir", "");
+  std::unique_ptr<DataPlatform> platform;
+  if (!snapshot_dir.empty()) {
+    PaperDataset dataset = PaperDataset::kCifar100;
+    if (!ParseDataset(FlagValue(argc, argv, "dataset", "cifar100"),
+                      &dataset)) {
+      std::fprintf(stderr, "unknown --dataset\n");
+      return 1;
+    }
+    platform =
+        std::make_unique<DataPlatform>(MakePlatformConfig(argc, argv, dataset));
+    const Status restored = platform->RestoreFromSnapshot(snapshot_dir);
+    if (!restored.ok()) {
+      std::fprintf(stderr, "restore failed: %s\n",
+                   restored.ToString().c_str());
+      return 1;
+    }
+  }
+
+  const uint64_t request_id = static_cast<uint64_t>(
+      std::atoll(FlagValue(argc, argv, "request_id", "0").c_str()));
+  const StatusOr<store::ReplayReport> replayed = store::ReplayQuarantine(
+      log.value(), source, platform.get(), request_id);
+  if (!replayed.ok()) {
+    std::fprintf(stderr, "replay failed: %s\n",
+                 replayed.status().ToString().c_str());
+    return 1;
+  }
+  const store::ReplayReport& report = replayed.value();
+
+  std::printf(
+      "replay %s against %s: %llu record(s), %llu readmitted, %llu still "
+      "rejected, %llu missing\n",
+      quarantine_path.c_str(), source_name.c_str(),
+      static_cast<unsigned long long>(report.records),
+      static_cast<unsigned long long>(report.readmitted),
+      static_cast<unsigned long long>(report.still_rejected),
+      static_cast<unsigned long long>(report.missing));
+  for (const store::ReplayOutcome& outcome : report.outcomes) {
+    std::printf("  id %llu: %s (was %s%s%s)\n",
+                static_cast<unsigned long long>(outcome.sample_id),
+                outcome.verdict.c_str(), outcome.prior_reason.c_str(),
+                outcome.reason.empty() ? "" : "; now ",
+                outcome.reason.c_str());
+  }
+  if (report.processed) {
+    if (report.process_status != "ok") {
+      std::fprintf(stderr, "re-admission Process failed: %s\n",
+                   report.process_status.c_str());
+      return 1;
+    }
+    std::printf(
+        "re-admitted %llu sample(s) via request_id %llu (%llu flagged "
+        "noisy)\n",
+        static_cast<unsigned long long>(report.readmitted),
+        static_cast<unsigned long long>(report.request_id),
+        static_cast<unsigned long long>(report.process_flagged_noisy));
+    const Status saved = platform->SaveSnapshot(snapshot_dir);
+    if (!saved.ok()) {
+      std::fprintf(stderr, "snapshot failed: %s\n", saved.ToString().c_str());
+      return 1;
+    }
+    std::printf("snapshot updated in %s\n", snapshot_dir.c_str());
+  }
+
+  const std::string replay_out = FlagValue(argc, argv, "replay_out", "");
+  if (!replay_out.empty()) {
+    const Status written = store::WriteReplayReportJson(report, replay_out);
+    if (!written.ok()) {
+      std::fprintf(stderr, "cannot write %s: %s\n", replay_out.c_str(),
+                   written.ToString().c_str());
+      return 1;
+    }
+    std::printf("replay report -> %s\n", replay_out.c_str());
+  }
+  if (report.records == 0) {
+    std::printf("quarantine log holds no records; nothing to replay\n");
+    return 0;
+  }
+  return report.still_rejected == 0 && report.missing == 0 ? 0 : 2;
+}
+
 /// Digs `path` (dot-separated keys) out of a parsed stats document;
 /// returns fallback when any step is missing or non-numeric.
 double StatsNumber(const store::JsonValue& doc, const std::string& path,
@@ -684,11 +962,13 @@ int main(int argc, char** argv) {
     if (subcommand == "snapshot") return RunSnapshot(argc, argv);
     if (subcommand == "resume") return RunResume(argc, argv);
     if (subcommand == "validate") return RunValidate(argc, argv);
+    if (subcommand == "repair") return RunRepair(argc, argv);
+    if (subcommand == "replay") return RunReplay(argc, argv);
     if (subcommand == "stats") return RunStats(argc, argv);
     if (subcommand == "help") return RunHelp();
     std::fprintf(stderr,
                  "unknown subcommand '%s' (expected detect, ingest, "
-                 "snapshot, resume, validate or stats)\n",
+                 "snapshot, resume, validate, repair, replay or stats)\n",
                  subcommand.c_str());
     return 1;
   }

@@ -19,12 +19,16 @@ struct PipelineMetrics {
   telemetry::Counter* queue_deadline_drops;
   telemetry::Counter* hol_blocked;
   telemetry::Counter* snapshot_writes;
+  telemetry::Counter* scrub_runs;
+  telemetry::Counter* scrub_findings;
+  telemetry::Counter* scrub_failures;
   // Per-request latency histograms (log-scale buckets, _seconds suffix =
   // cost metrics, outside the cross-thread determinism contract).
   telemetry::Histogram* queue_wait_seconds;
   telemetry::Histogram* admission_seconds;
   telemetry::Histogram* detect_seconds;
   telemetry::Histogram* snapshot_publish_seconds;
+  telemetry::Histogram* scrub_seconds;
 
   static const PipelineMetrics& Get() {
     static const PipelineMetrics m = [] {
@@ -37,10 +41,14 @@ struct PipelineMetrics {
           registry.GetCounter("pipeline/queue_deadline_drops"),
           registry.GetCounter("pipeline/hol_blocked"),
           registry.GetCounter("pipeline/snapshot_writes"),
+          registry.GetCounter("pipeline/scrub_runs"),
+          registry.GetCounter("pipeline/scrub_findings"),
+          registry.GetCounter("pipeline/scrub_failures"),
           registry.GetHistogram("pipeline/queue_wait_seconds", bounds),
           registry.GetHistogram("pipeline/admission_seconds", bounds),
           registry.GetHistogram("pipeline/detect_seconds", bounds),
-          registry.GetHistogram("pipeline/snapshot_publish_seconds", bounds)};
+          registry.GetHistogram("pipeline/snapshot_publish_seconds", bounds),
+          registry.GetHistogram("pipeline/scrub_seconds", bounds)};
     }();
     return m;
   }
@@ -187,11 +195,14 @@ void RequestPipeline::CompleteRequest(PendingRequest& request) {
   record.admission_seconds = response.admission_seconds;
   record.detect_seconds = response.detect_seconds;
   record.process_seconds = response.process_seconds;
+  bool scrub_due = false;
   {
     std::lock_guard<std::mutex> lock(mu_);
     ++counters_.completed;
     if (waited_past_budget) ++counters_.hol_blocked;
     if (dropped_in_queue) ++counters_.queue_deadline_drops;
+    scrub_due = config_.scrub_hook && config_.scrub_every > 0 &&
+                counters_.completed % config_.scrub_every == 0;
     recent_.push_back(record);
     while (recent_.size() > config_.recent_ring_capacity) {
       recent_.pop_front();
@@ -199,6 +210,7 @@ void RequestPipeline::CompleteRequest(PendingRequest& request) {
   }
   PipelineMetrics::Get().completed->Increment();
   request.promise.set_value(std::move(response));
+  if (scrub_due) BeginBackgroundScrub();
 }
 
 void RequestPipeline::BeginDeferredSnapshot() {
@@ -231,6 +243,39 @@ void RequestPipeline::BeginDeferredSnapshot() {
     PipelineMetrics::Get().snapshot_publish_seconds->Observe(
         publish.ElapsedSeconds());
     promise->set_value(std::move(written));
+  });
+}
+
+void RequestPipeline::BeginBackgroundScrub() {
+  // The scrub reads the same store the deferred writes publish to, so it
+  // rides the snapshot-write serialization chain: it starts only after
+  // the in-flight write landed, and the next capture waits for it. The
+  // request path never blocks on the scrub itself — only the *snapshot*
+  // of a later request would, exactly as it waits for any write.
+  AwaitSnapshotWrite();
+  auto hook = config_.scrub_hook;
+  auto promise = std::make_shared<std::promise<Status>>();
+  snapshot_write_ = promise->get_future();
+  ParallelEnqueue([this, hook, promise] {
+    Stopwatch scrub;
+    StatusOr<uint64_t> findings = hook();
+    PipelineMetrics::Get().scrub_seconds->Observe(scrub.ElapsedSeconds());
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      ++counters_.scrub_runs;
+      if (findings.ok()) counters_.scrub_findings += findings.value();
+    }
+    PipelineMetrics::Get().scrub_runs->Increment();
+    if (findings.ok()) {
+      for (uint64_t i = 0; i < findings.value(); ++i) {
+        PipelineMetrics::Get().scrub_findings->Increment();
+      }
+    } else {
+      PipelineMetrics::Get().scrub_failures->Increment();
+    }
+    // A failed scrub (e.g. no snapshot written yet) is telemetry, not a
+    // pipeline error: it must not poison snapshot_status_.
+    promise->set_value(Status::OK());
   });
 }
 

@@ -76,6 +76,18 @@ struct PipelineConfig {
   /// the previous write — so snapshot sequence numbers advance in request
   /// order, but detection of later requests proceeds concurrently.
   std::function<StatusOr<std::function<Status()>>()> snapshot_capture;
+  /// Optional background integrity scrub, typically
+  ///   [&] { auto r = store::ScrubSnapshotStore(dir); ... }
+  /// returning the number of findings. Runs on the shared pool — off the
+  /// request path — every `scrub_every` completed requests, reusing the
+  /// snapshot-write serialization: the scrub waits for the in-flight
+  /// snapshot write, and the next write waits for the scrub, so the
+  /// scrubber never reads a store mid-publish. Results land in the
+  /// scrub_runs / scrub_findings counters and pipeline/scrub_* telemetry
+  /// (docs/ROBUSTNESS.md §"Self-healing runbook").
+  std::function<StatusOr<uint64_t>()> scrub_hook;
+  /// Completed requests between background scrubs; 0 disables scrubbing.
+  size_t scrub_every = 0;
   /// Completed requests remembered in the recent-request ring buffer
   /// (RecentRequests) for the stats endpoint; oldest entries fall off.
   /// Must be >= 1.
@@ -177,6 +189,10 @@ class RequestPipeline {
     /// so the alarm fires even when drop_stale_in_queue is off.
     uint64_t hol_blocked = 0;
     uint64_t snapshot_writes = 0;
+    /// Background store scrubs completed and the total findings they
+    /// surfaced (0 findings = healthy store).
+    uint64_t scrub_runs = 0;
+    uint64_t scrub_findings = 0;
   };
   Counters counters() const;
 
@@ -201,6 +217,9 @@ class RequestPipeline {
   void CompleteRequest(PendingRequest& request);
   /// Captures the post-request snapshot and enqueues its durable write.
   void BeginDeferredSnapshot();
+  /// Enqueues a background store scrub on the shared pool, serialized
+  /// with snapshot writes. Dispatcher thread only.
+  void BeginBackgroundScrub();
   /// Joins the in-flight snapshot write, latching any error. Dispatcher
   /// thread only.
   void AwaitSnapshotWrite();

@@ -81,6 +81,8 @@ std::string RenderStatsJson(const StatsInfo& info) {
   pipeline.Set("queue_deadline_drops", U64(info.pipeline.queue_deadline_drops));
   pipeline.Set("hol_blocked", U64(info.pipeline.hol_blocked));
   pipeline.Set("snapshot_writes", U64(info.pipeline.snapshot_writes));
+  pipeline.Set("scrub_runs", U64(info.pipeline.scrub_runs));
+  pipeline.Set("scrub_findings", U64(info.pipeline.scrub_findings));
   pipeline.Set("queue_depth", U64(info.queue_depth));
   doc.Set("pipeline", std::move(pipeline));
 

@@ -1,0 +1,158 @@
+#include "store/replay.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+#include <utility>
+
+#include "common/telemetry/metrics.h"
+#include "common/telemetry/trace.h"
+#include "store/io.h"
+#include "store/json.h"
+
+namespace enld {
+namespace store {
+
+StatusOr<ReplayReport> ReplayQuarantine(const QuarantineFile& log,
+                                        const Dataset& source,
+                                        DataPlatform* platform,
+                                        uint64_t request_id) {
+  ENLD_TRACE_SPAN("store/replay_quarantine");
+  ReplayReport report;
+  report.request_id = request_id;
+  report.quarantine_truncated = log.truncated;
+
+  // Log records in order, deduplicated by sample id (a sample quarantined
+  // by several requests replays once).
+  std::vector<std::pair<uint64_t, std::string>> samples;  // id, prior reason
+  std::unordered_set<uint64_t> seen;
+  for (const QuarantineFileRecord& record : log.records) {
+    if (seen.insert(record.sample_id).second) {
+      samples.emplace_back(record.sample_id, record.reason);
+    }
+  }
+  report.records = samples.size();
+
+  // Match each sample to the corrected source by stable id (first
+  // occurrence wins), then re-screen the matched rows as ONE dataset in
+  // ascending source-row order — deterministic at any thread count.
+  std::unordered_map<uint64_t, size_t> source_row_by_id;
+  for (size_t row = 0; row < source.size(); ++row) {
+    source_row_by_id.emplace(source.ids[row], row);
+  }
+  std::vector<size_t> replay_rows;
+  for (const auto& [sample_id, reason] : samples) {
+    auto it = source_row_by_id.find(sample_id);
+    if (it != source_row_by_id.end()) replay_rows.push_back(it->second);
+  }
+  std::sort(replay_rows.begin(), replay_rows.end());
+  const Dataset replay = source.Subset(replay_rows);
+  const AdmissionResult screen = ScreenDataset(replay, 0);
+
+  // Per-replay-row verdicts, keyed by position within `replay`.
+  std::unordered_map<size_t, RejectionReason> rejected_at;
+  for (const QuarantineRecord& record : screen.rejected) {
+    rejected_at.emplace(record.row, record.reason);
+  }
+  std::unordered_map<size_t, size_t> replay_index_of_source_row;
+  for (size_t i = 0; i < replay_rows.size(); ++i) {
+    replay_index_of_source_row.emplace(replay_rows[i], i);
+  }
+
+  for (const auto& [sample_id, prior_reason] : samples) {
+    ReplayOutcome outcome;
+    outcome.sample_id = sample_id;
+    outcome.prior_reason = prior_reason;
+    auto row_it = source_row_by_id.find(sample_id);
+    if (row_it == source_row_by_id.end()) {
+      outcome.verdict = "missing";
+      ++report.missing;
+    } else {
+      outcome.source_row = row_it->second;
+      ++report.replayed;
+      const size_t replay_index =
+          replay_index_of_source_row.at(row_it->second);
+      auto rejected_it = rejected_at.find(replay_index);
+      if (rejected_it == rejected_at.end()) {
+        outcome.verdict = "readmitted";
+        ++report.readmitted;
+      } else {
+        outcome.verdict = "still_rejected";
+        outcome.reason = RejectionReasonName(rejected_it->second);
+        ++report.still_rejected;
+        ++report.still_rejected_by_reason[static_cast<size_t>(
+            rejected_it->second)];
+      }
+    }
+    report.outcomes.push_back(std::move(outcome));
+  }
+
+  if (platform != nullptr && !screen.admitted.empty()) {
+    report.processed = true;
+    StatusOr<DetectionResult> result =
+        platform->Process(replay.Subset(screen.admitted), -1.0, request_id);
+    if (result.ok()) {
+      report.process_status = "ok";
+      report.process_flagged_noisy = result.value().noisy_indices.size();
+    } else {
+      report.process_status = result.status().message();
+    }
+  }
+
+  auto& registry = telemetry::MetricsRegistry::Global();
+  static telemetry::Counter* runs =
+      registry.GetCounter("store/replay_runs");
+  static telemetry::Counter* readmitted =
+      registry.GetCounter("store/replay_readmitted");
+  runs->Increment();
+  for (uint64_t i = 0; i < report.readmitted; ++i) readmitted->Increment();
+  return report;
+}
+
+Status WriteReplayReportJson(const ReplayReport& report,
+                             const std::string& path) {
+  JsonValue doc = JsonValue::Object();
+  doc.Set("schema", JsonValue::String("enld-replay-v1"));
+  doc.Set("request_id",
+          JsonValue::Number(static_cast<double>(report.request_id)));
+  doc.Set("quarantine_truncated",
+          JsonValue::Bool(report.quarantine_truncated));
+  doc.Set("records", JsonValue::Number(static_cast<double>(report.records)));
+  doc.Set("replayed",
+          JsonValue::Number(static_cast<double>(report.replayed)));
+  doc.Set("missing", JsonValue::Number(static_cast<double>(report.missing)));
+  doc.Set("readmitted",
+          JsonValue::Number(static_cast<double>(report.readmitted)));
+  doc.Set("still_rejected",
+          JsonValue::Number(static_cast<double>(report.still_rejected)));
+  JsonValue by_reason = JsonValue::Object();
+  for (size_t i = 0; i < kNumRejectionReasons; ++i) {
+    by_reason.Set(RejectionReasonName(static_cast<RejectionReason>(i)),
+                  JsonValue::Number(static_cast<double>(
+                      report.still_rejected_by_reason[i])));
+  }
+  doc.Set("still_rejected_by_reason", std::move(by_reason));
+  doc.Set("all_readmitted", JsonValue::Bool(report.all_readmitted()));
+  JsonValue outcomes = JsonValue::Array();
+  for (const ReplayOutcome& outcome : report.outcomes) {
+    JsonValue entry = JsonValue::Object();
+    entry.Set("sample_id",
+              JsonValue::Number(static_cast<double>(outcome.sample_id)));
+    entry.Set("source_row",
+              JsonValue::Number(static_cast<double>(outcome.source_row)));
+    entry.Set("prior_reason", JsonValue::String(outcome.prior_reason));
+    entry.Set("verdict", JsonValue::String(outcome.verdict));
+    entry.Set("reason", JsonValue::String(outcome.reason));
+    outcomes.items().push_back(std::move(entry));
+  }
+  doc.Set("outcomes", std::move(outcomes));
+  doc.Set("processed", JsonValue::Bool(report.processed));
+  doc.Set("process_status", JsonValue::String(report.process_status));
+  doc.Set("process_flagged_noisy",
+          JsonValue::Number(
+              static_cast<double>(report.process_flagged_noisy)));
+  return WriteFileDurable(path, doc.ToString());
+}
+
+}  // namespace store
+}  // namespace enld

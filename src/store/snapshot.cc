@@ -36,12 +36,13 @@ constexpr uint32_t kLegacyVersion1 = 1;
 constexpr uint32_t kLegacySectionCount1 = 5;
 constexpr uint32_t kLegacyVersion2 = 2;
 constexpr char kSnapshotSchema[] = "enld-snapshot-manifest-v1";
-constexpr char kCurrentFile[] = "CURRENT";
-constexpr char kManifestFile[] = "MANIFEST.json";
-constexpr char kStateFile[] = "state.bin";
-constexpr char kModelFile[] = "model.bin";
-constexpr char kTrainDir[] = "train";
-constexpr char kCandidateDir[] = "candidate";
+// Short aliases of the exported names in snapshot.h.
+constexpr const char* kCurrentFile = kSnapshotCurrentFile;
+constexpr const char* kManifestFile = kSnapshotManifestFile;
+constexpr const char* kStateFile = kSnapshotStateFile;
+constexpr const char* kModelFile = kSnapshotModelFile;
+constexpr const char* kTrainDir = kSnapshotTrainDir;
+constexpr const char* kCandidateDir = kSnapshotCandidateDir;
 
 constexpr uint64_t kFnvOffset = 14695981039346656037ULL;
 constexpr uint64_t kFnvPrime = 1099511628211ULL;
@@ -88,7 +89,9 @@ telemetry::Counter* CrcFailures() {
   return counter;
 }
 
-std::string EncodeState(const SnapshotContents& contents) {
+}  // namespace
+
+std::string EncodeSnapshotState(const SnapshotContents& contents) {
   std::string out;
   out.append(kSnapshotMagic, sizeof(kSnapshotMagic));
   PutU32(&out, kEndianTag);
@@ -151,9 +154,8 @@ std::string EncodeState(const SnapshotContents& contents) {
   return out;
 }
 
-/// Decodes state.bin into `contents` (datasets and model arrive from their
-/// own files and are stitched in by Load).
-Status DecodeState(const std::string& data, SnapshotContents* contents) {
+Status DecodeSnapshotState(const std::string& data,
+                           SnapshotContents* contents) {
   BinaryReader reader(data);
   std::string magic;
   if (!reader.ReadBytes(sizeof(kSnapshotMagic), &magic) ||
@@ -300,6 +302,8 @@ Status DecodeState(const std::string& data, SnapshotContents* contents) {
   return Status::OK();
 }
 
+namespace {
+
 /// Verifies one manifest-listed file's size and CRC and returns nothing
 /// but the Status; Load re-reads the file via its typed loader afterwards.
 Status VerifyListedFile(const std::string& dir, const std::string& name,
@@ -430,7 +434,7 @@ StatusOr<uint64_t> SnapshotStore::Save(const SnapshotContents& contents) {
 
   SnapshotContents stamped_meta = contents;
   stamped_meta.seq = seq;
-  const std::string state = EncodeState(stamped_meta);
+  const std::string state = EncodeSnapshotState(stamped_meta);
   ENLD_RETURN_IF_ERROR(
       WriteFileDurable(staging + "/" + kStateFile, state));
 
@@ -601,7 +605,7 @@ StatusOr<SnapshotContents> SnapshotStore::Load(uint64_t seq) const {
   SnapshotContents contents;
   StatusOr<std::string> state = ReadFile(dir + "/" + kStateFile);
   if (!state.ok()) return state.status();
-  ENLD_RETURN_IF_ERROR(DecodeState(state.value(), &contents));
+  ENLD_RETURN_IF_ERROR(DecodeSnapshotState(state.value(), &contents));
   if (contents.seq != seq) {
     return Status::InvalidArgument(
         "state.bin seq does not match the snapshot directory");

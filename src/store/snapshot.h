@@ -48,6 +48,15 @@ inline constexpr uint32_t kSnapshotSectionConditional = 4;
 inline constexpr uint32_t kSnapshotSectionSelected = 5;
 inline constexpr uint32_t kSnapshotSectionAdmission = 6;
 
+/// File and directory names inside a snapshot store, shared with the
+/// integrity scrubber (store/scrub.h) and repairer (store/repair.h).
+inline constexpr char kSnapshotCurrentFile[] = "CURRENT";
+inline constexpr char kSnapshotManifestFile[] = "MANIFEST.json";
+inline constexpr char kSnapshotStateFile[] = "state.bin";
+inline constexpr char kSnapshotModelFile[] = "model.bin";
+inline constexpr char kSnapshotTrainDir[] = "train";
+inline constexpr char kSnapshotCandidateDir[] = "candidate";
+
 /// FNV-1a hash over every behaviour-affecting field of the platform
 /// configuration, in a fixed canonical byte encoding. Two configs with the
 /// same fingerprint drive the detection pipeline identically, so restoring
@@ -66,6 +75,18 @@ struct SnapshotContents {
   /// taken (snapshot v2; defaults to false when restoring a v1 snapshot).
   bool update_pending = false;
 };
+
+/// Serializes the state.bin payload (platform scalars, stats, RNG, P̃,
+/// S_c — everything but the model and the datasets, which ride in their
+/// own files). Deterministic: identical contents yield identical bytes.
+std::string EncodeSnapshotState(const SnapshotContents& contents);
+
+/// Parses a state.bin buffer back into `contents`, verifying every section
+/// envelope. The repairer uses this directly to salvage a snapshot whose
+/// other files are damaged; SnapshotStore::Load stitches the model and
+/// datasets in afterwards.
+Status DecodeSnapshotState(const std::string& data,
+                           SnapshotContents* contents);
 
 /// Manages the snapshot directory: sequential saves, CURRENT tracking,
 /// keep-last-N retention, and fully validated loads.

@@ -12,7 +12,10 @@ written by WriteQuarantineJson / `enld_cli validate --quarantine_out` /
     (recorded == len(records), recorded <= capacity, total >= recorded),
   * every record carries a known reason name, a non-empty human-readable
     detail, and integer request/row/sample_id fields,
-  * kNonFiniteFeature records name the offending column.
+  * kNonFiniteFeature records name the offending column,
+  * the "truncated" marker agrees with the counters (truncated iff
+    total > recorded). A truncated log draws a warning: records were
+    dropped at write time, so `enld_cli replay` cannot re-screen them.
 
 With --expect-nonempty the audit additionally fails when the log holds no
 records — used by CI to prove a drill actually quarantined something.
@@ -101,6 +104,20 @@ def main():
         fail(f"recorded {recorded} exceeds capacity {capacity}")
     if None not in (total, recorded) and total < recorded:
         fail(f"total {total} < recorded {recorded}")
+
+    truncated = doc.get("truncated")
+    if truncated is not None and not isinstance(truncated, bool):
+        fail(f"field 'truncated' is not a boolean: {truncated!r}")
+    elif None not in (total, recorded):
+        # Older files predate the marker; when present it must agree with
+        # the counters.
+        if truncated is not None and truncated != (total > recorded):
+            fail(f"truncated marker {truncated} disagrees with counters "
+                 f"(total {total}, recorded {recorded})")
+        if total > recorded:
+            print(f"WARN {path}: log truncated at capacity — "
+                  f"{total - recorded} record(s) were dropped and cannot "
+                  f"be replayed", file=sys.stderr)
 
     for i, record in enumerate(records):
         check_record(i, record)

@@ -1,0 +1,276 @@
+#!/usr/bin/env python3
+"""Offline validator for ENLD self-healing reports (docs/ROBUSTNESS.md).
+
+Usage: check_scrub_report.py <report.json> [expectations...]
+
+Auto-detects and structurally validates, with nothing but the Python
+standard library, the three report schemas the self-healing tooling
+writes:
+
+  * "enld-scrub-v1"   — `enld_cli repair --scrub_out` /
+                        store::WriteScrubReportJson: counters consistent,
+                        findings typed (known section/reason vocabulary),
+                        `clean` agrees with the findings list, `intact`
+                        is a subset of `scrubbed`;
+  * "enld-repair-v1"  — `enld_cli repair --repair_out`: every action uses
+                        a known method, repaired/clean/failure are
+                        mutually consistent, a repaired store names a
+                        published seq;
+  * "enld-replay-v1"  — `enld_cli replay --replay_out`: verdict counts
+                        add up (replayed + missing == records,
+                        readmitted + still_rejected == replayed), each
+                        outcome carries a known verdict.
+
+Expectations (each adds failures when unmet):
+  --expect-clean       scrub/repair: report must be clean
+  --expect-findings    scrub: at least one finding
+                       repair: scrub_findings > 0
+  --expect-repaired    repair: `repaired` must be true
+  --expect-readmitted  replay: at least one readmitted sample, none
+                       still rejected or missing
+  --schema=<name>      fail unless the report carries this exact schema
+
+Exit codes: 0 = report valid (and expectations met); 3 = validation or
+expectation failures; 2 = usage error; 1 = unreadable/malformed input.
+"""
+
+import json
+import sys
+
+SECTIONS = {"file", "header", "manifest", "pointer", "geometry"}
+REASONS = {"missing", "unreadable", "malformed", "bad_magic", "truncated",
+           "size_mismatch", "crc_mismatch", "mismatch", "dangling",
+           "trailing_bytes"}
+METHODS = {"section_rebuild", "donor_file", "donor_rows",
+           "dataset_manifest_rebuild", "manifest_rebuild",
+           "current_rebuild", "rollback", "gc"}
+VERDICTS = {"readmitted", "still_rejected", "missing"}
+
+errors = []
+
+
+def fail(message):
+    errors.append(message)
+
+
+def require_uint(doc, key, context=""):
+    value = doc.get(key)
+    where = f"{context}{key}"
+    if not isinstance(value, (int, float)) or isinstance(value, bool) \
+            or value < 0 or value != int(value):
+        fail(f"field '{where}' missing or not a non-negative integer: "
+             f"{value!r}")
+        return None
+    return int(value)
+
+
+def require_bool(doc, key, context=""):
+    value = doc.get(key)
+    if not isinstance(value, bool):
+        fail(f"field '{context}{key}' missing or not a boolean: {value!r}")
+        return None
+    return value
+
+
+def require_str(doc, key, context="", nonempty=True):
+    value = doc.get(key)
+    if not isinstance(value, str) or (nonempty and not value):
+        fail(f"field '{context}{key}' missing or not a "
+             f"{'non-empty ' if nonempty else ''}string: {value!r}")
+        return None
+    return value
+
+
+def require_list(doc, key):
+    value = doc.get(key)
+    if not isinstance(value, list):
+        fail(f"field '{key}' missing or not an array")
+        return []
+    return value
+
+
+def check_findings(findings):
+    for i, finding in enumerate(findings):
+        if not isinstance(finding, dict):
+            fail(f"findings[{i}] is not an object")
+            continue
+        require_uint(finding, "seq", f"findings[{i}].")
+        require_str(finding, "file", f"findings[{i}].", nonempty=False)
+        section = require_str(finding, "section", f"findings[{i}].")
+        if section is not None and section not in SECTIONS \
+                and not section.startswith("section-"):
+            fail(f"findings[{i}] has unknown section {section!r}")
+        reason = require_str(finding, "reason", f"findings[{i}].")
+        if reason is not None and reason not in REASONS:
+            fail(f"findings[{i}] has unknown reason {reason!r}")
+        require_str(finding, "detail", f"findings[{i}].")
+
+
+def check_scrub(doc, expect):
+    scrubbed = require_list(doc, "scrubbed")
+    intact = require_list(doc, "intact")
+    if not set(intact) <= set(scrubbed):
+        fail("intact snapshots are not a subset of scrubbed snapshots")
+    require_uint(doc, "files_checked")
+    require_uint(doc, "sections_checked")
+    require_uint(doc, "bytes_scrubbed")
+    findings = require_list(doc, "findings")
+    check_findings(findings)
+    clean = require_bool(doc, "clean")
+    if clean is not None and clean != (not findings):
+        fail(f"clean={clean} disagrees with {len(findings)} finding(s)")
+    if expect.get("clean") and findings:
+        fail(f"expected a clean scrub, got {len(findings)} finding(s)")
+    if expect.get("findings") and not findings:
+        fail("expected scrub findings, got none")
+    return f"{len(findings)} finding(s)"
+
+
+def check_repair(doc, expect):
+    repaired = require_bool(doc, "repaired")
+    clean = require_bool(doc, "clean")
+    require_bool(doc, "dry_run")
+    failure = require_str(doc, "failure", nonempty=False)
+    published = require_uint(doc, "published_seq")
+    require_uint(doc, "target_seq")
+    scrub_findings = require_uint(doc, "scrub_findings")
+    require_list(doc, "intact")
+    actions = require_list(doc, "actions")
+    for i, action in enumerate(actions):
+        if not isinstance(action, dict):
+            fail(f"actions[{i}] is not an object")
+            continue
+        require_uint(action, "seq", f"actions[{i}].")
+        method = require_str(action, "method", f"actions[{i}].")
+        if method is not None and method not in METHODS:
+            fail(f"actions[{i}] has unknown method {method!r}")
+        require_str(action, "detail", f"actions[{i}].")
+    if clean and repaired:
+        fail("a store cannot be both already-clean and repaired")
+    if clean and actions:
+        fail(f"clean=true but {len(actions)} action(s) were taken")
+    if repaired and failure:
+        fail(f"repaired=true alongside failure {failure!r}")
+    if repaired and not doc.get("dry_run") and published == 0:
+        fail("repaired=true but no published_seq")
+    if not repaired and not clean and not doc.get("dry_run") and not failure:
+        fail("neither clean, repaired, dry_run nor failed — "
+             "inconsistent report")
+    if expect.get("clean") and not clean:
+        fail("expected an already-clean store")
+    if expect.get("findings") and not scrub_findings:
+        fail("expected scrub findings, got none")
+    if expect.get("repaired") and not repaired:
+        fail(f"expected repaired=true (failure: {failure!r})")
+    verdict = "clean" if clean else \
+        ("repaired" if repaired else f"failed: {failure!r}")
+    return f"{verdict}, {len(actions)} action(s)"
+
+
+def check_replay(doc, expect):
+    records = require_uint(doc, "records")
+    replayed = require_uint(doc, "replayed")
+    missing = require_uint(doc, "missing")
+    readmitted = require_uint(doc, "readmitted")
+    still_rejected = require_uint(doc, "still_rejected")
+    require_bool(doc, "quarantine_truncated")
+    require_bool(doc, "processed")
+    require_bool(doc, "all_readmitted")
+    counts = (records, replayed, missing, readmitted, still_rejected)
+    if None not in counts:
+        if replayed + missing != records:
+            fail(f"replayed {replayed} + missing {missing} != "
+                 f"records {records}")
+        if readmitted + still_rejected != replayed:
+            fail(f"readmitted {readmitted} + still_rejected "
+                 f"{still_rejected} != replayed {replayed}")
+    by_reason = doc.get("still_rejected_by_reason")
+    if not isinstance(by_reason, dict):
+        fail("field 'still_rejected_by_reason' missing or not an object")
+    elif still_rejected is not None \
+            and sum(by_reason.values()) != still_rejected:
+        fail(f"still_rejected_by_reason sums to {sum(by_reason.values())}, "
+             f"not {still_rejected}")
+    outcomes = require_list(doc, "outcomes")
+    if records is not None and len(outcomes) != records:
+        fail(f"{len(outcomes)} outcome(s) for {records} record(s)")
+    for i, outcome in enumerate(outcomes):
+        if not isinstance(outcome, dict):
+            fail(f"outcomes[{i}] is not an object")
+            continue
+        require_uint(outcome, "sample_id", f"outcomes[{i}].")
+        verdict = require_str(outcome, "verdict", f"outcomes[{i}].")
+        if verdict is not None and verdict not in VERDICTS:
+            fail(f"outcomes[{i}] has unknown verdict {verdict!r}")
+        if verdict == "still_rejected" and not outcome.get("reason"):
+            fail(f"outcomes[{i}] still_rejected without a fresh reason")
+    if expect.get("readmitted"):
+        if not readmitted:
+            fail("expected readmitted samples, got none")
+        if still_rejected or missing:
+            fail(f"expected a full readmission, got {still_rejected} still "
+                 f"rejected and {missing} missing")
+    return (f"{readmitted}/{records} readmitted, {still_rejected} still "
+            f"rejected, {missing} missing")
+
+
+CHECKERS = {
+    "enld-scrub-v1": check_scrub,
+    "enld-repair-v1": check_repair,
+    "enld-replay-v1": check_replay,
+}
+
+
+def main():
+    args = [a for a in sys.argv[1:] if not a.startswith("--")]
+    expect = {
+        "clean": "--expect-clean" in sys.argv[1:],
+        "findings": "--expect-findings" in sys.argv[1:],
+        "repaired": "--expect-repaired" in sys.argv[1:],
+        "readmitted": "--expect-readmitted" in sys.argv[1:],
+    }
+    want_schema = None
+    known = {"--expect-clean", "--expect-findings", "--expect-repaired",
+             "--expect-readmitted"}
+    for arg in sys.argv[1:]:
+        if arg.startswith("--schema="):
+            want_schema = arg[len("--schema="):]
+        elif arg.startswith("--") and arg not in known:
+            print(f"unknown flag {arg}", file=sys.stderr)
+            print(__doc__)
+            return 2
+    if len(args) != 1:
+        print(__doc__)
+        return 2
+    path = args[0]
+
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, ValueError) as e:
+        print(f"FAIL {path}: unreadable or malformed JSON: {e}",
+              file=sys.stderr)
+        return 1
+
+    schema = doc.get("schema")
+    checker = CHECKERS.get(schema)
+    if checker is None:
+        print(f"FAIL {path}: unknown report schema {schema!r} "
+              f"(expected one of {sorted(CHECKERS)})", file=sys.stderr)
+        return 1
+    if want_schema is not None and schema != want_schema:
+        fail(f"schema {schema!r} != required {want_schema!r}")
+
+    summary = checker(doc, expect)
+
+    if errors:
+        for message in errors:
+            print(f"FAIL {path}: {message}", file=sys.stderr)
+        print(f"{len(errors)} violation(s) in {path}", file=sys.stderr)
+        return 3
+    print(f"OK: {schema} report {path} verified ({summary})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
