@@ -16,6 +16,7 @@
 
 #include "bench_util.h"
 #include "common/parallel.h"
+#include "common/telemetry/metrics.h"
 #include "common/telemetry/report.h"
 
 namespace {
@@ -87,6 +88,23 @@ int main(int argc, char** argv) {
   table.Print("Fig. 8 — setup and process time per incremental dataset");
   speedups.Print("Fig. 8 headline — ENLD process-time speedup vs Topofilter");
   phases.Print("ENLD span tree (per workload, current threads)");
+
+  // FeatureCache traffic across the whole sweep (the same counters land in
+  // the --telemetry_out report and the serving /stats endpoint).
+  auto& registry = telemetry::MetricsRegistry::Global();
+  std::printf(
+      "feature cache: view %llu hits / %llu misses, index %llu hits / "
+      "%llu misses, %llu invalidations\n",
+      static_cast<unsigned long long>(
+          registry.GetCounter("cache/view_hits")->Value()),
+      static_cast<unsigned long long>(
+          registry.GetCounter("cache/view_misses")->Value()),
+      static_cast<unsigned long long>(
+          registry.GetCounter("cache/index_hits")->Value()),
+      static_cast<unsigned long long>(
+          registry.GetCounter("cache/index_misses")->Value()),
+      static_cast<unsigned long long>(
+          registry.GetCounter("cache/invalidations")->Value()));
 
   const std::string out_path = telemetry::TelemetryOutPath(argc, argv);
   if (!out_path.empty()) {

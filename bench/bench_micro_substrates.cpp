@@ -6,6 +6,7 @@
 
 #include <benchmark/benchmark.h>
 
+#include "common/distance.h"
 #include "common/matrix.h"
 #include "common/rng.h"
 #include "graph/knn_graph.h"
@@ -63,6 +64,62 @@ void BM_BruteForceQuery(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_BruteForceQuery)->Arg(1000)->Arg(4000)->Arg(16000);
+
+// ---- Distance kernel rows (docs/BENCHMARKS.md, "Distance kernels") ----
+// The scalar per-point loop the KD-tree leaf scans used before the SoA
+// kernel landed, over the same candidate block. The kernel rows divide by
+// this one for the tracked speedup number.
+
+void BM_ScalarDistanceLoop(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  const size_t dim = static_cast<size_t>(state.range(1));
+  const Matrix points = RandomPoints(n, dim, 21);
+  const std::vector<float> query(dim, 0.25f);
+  std::vector<float> out(n);
+  for (auto _ : state) {
+    for (size_t i = 0; i < n; ++i) {
+      out[i] = SquaredDistance(points.Row(i), query.data(), dim);
+    }
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_ScalarDistanceLoop)
+    ->Args({16, 64})
+    ->Args({1024, 64})
+    ->Args({16384, 64});
+
+void BM_BatchedDistance(benchmark::State& state, const char* backend) {
+  if (!SetDistanceKernelBackend(backend)) {
+    state.SkipWithError("backend unavailable on this CPU");
+    return;
+  }
+  const size_t n = static_cast<size_t>(state.range(0));
+  const size_t dim = static_cast<size_t>(state.range(1));
+  const Matrix points = RandomPoints(n, dim, 21);
+  std::vector<size_t> rows(n);
+  for (size_t i = 0; i < n; ++i) rows[i] = i;
+  const size_t stride = PaddedLaneCount(n);
+  std::vector<float> soa(stride * dim);
+  PackSoaBlock(points.data(), dim, rows.data(), n, stride, soa.data());
+  const std::vector<float> query(dim, 0.25f);
+  std::vector<float> out(n);
+  for (auto _ : state) {
+    BatchedSquaredDistances(soa.data(), stride, n, dim, query.data(),
+                            out.data());
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+  SetDistanceKernelBackend("auto");
+}
+BENCHMARK_CAPTURE(BM_BatchedDistance, generic, "generic")
+    ->Args({16, 64})
+    ->Args({1024, 64})
+    ->Args({16384, 64});
+BENCHMARK_CAPTURE(BM_BatchedDistance, avx2, "avx2")
+    ->Args({16, 64})
+    ->Args({1024, 64})
+    ->Args({16384, 64});
 
 void BM_MatMul(benchmark::State& state) {
   const size_t n = static_cast<size_t>(state.range(0));

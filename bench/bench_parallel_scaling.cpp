@@ -11,19 +11,32 @@
 //   conf_joint    — confident-joint estimation over the candidate set
 //   detect_e2e    — one full fine-grained detection request (Alg. 3)
 //
+// Also reports two hot-path numbers that must hold regardless of thread
+// count (docs/BENCHMARKS.md):
+//   distance_kernel — batched SoA squared-distance kernel vs the scalar
+//                     per-point loop (common/distance.h);
+//   detect_stream   — a multi-request detection stream with the
+//                     FeatureCache on vs off at 1 and 4 threads, asserting
+//                     byte-identical partitions and fewer knn/trees_built
+//                     with the cache on.
+//
 // Speedups depend on the host: on a single-core container every row is
 // ~1.0x. ENLD_THREADS is ignored here (thread counts are swept in-process).
 
+#include <cstdint>
 #include <cstdio>
 #include <thread>
 #include <vector>
 
 #include "bench_util.h"
+#include "common/distance.h"
 #include "common/matrix.h"
 #include "common/parallel.h"
 #include "common/rng.h"
 #include "common/stopwatch.h"
+#include "common/telemetry/metrics.h"
 #include "data/synthetic.h"
+#include "enld/framework.h"
 #include "knn/class_index.h"
 #include "nn/confident_joint.h"
 #include "nn/mlp.h"
@@ -117,6 +130,102 @@ DetectRun TimeDetect() {
   return run;
 }
 
+/// Distance-kernel rows: scalar per-point loop vs the batched SoA kernel
+/// on one 1024 x 64 candidate block — the BruteForceNearest chunk size,
+/// so the block is L2-resident like the real leaf scans (at 16k+ points
+/// both paths go memory-bound and converge). Single-threaded by
+/// construction — the kernel win is orthogonal to the thread sweep.
+/// Returns the batched/scalar speedup of the dispatched backend.
+double PrintDistanceKernelTable() {
+  const size_t n = 1024, dim = 64;
+  Rng rng(41);
+  Matrix points(n, dim);
+  for (size_t i = 0; i < points.size(); ++i) {
+    points.data()[i] = static_cast<float>(rng.Gaussian());
+  }
+  std::vector<size_t> rows(n);
+  for (size_t i = 0; i < n; ++i) rows[i] = i;
+  const size_t stride = PaddedLaneCount(n);
+  std::vector<float> soa(stride * dim);
+  PackSoaBlock(points.data(), dim, rows.data(), n, stride, soa.data());
+  std::vector<float> query(dim, 0.25f);
+  std::vector<float> out(n);
+  constexpr int kReps = 2000;
+
+  Stopwatch scalar_watch;
+  for (int rep = 0; rep < kReps; ++rep) {
+    for (size_t i = 0; i < n; ++i) {
+      out[i] = SquaredDistance(points.Row(i), query.data(), dim);
+    }
+  }
+  const double scalar_seconds = scalar_watch.ElapsedSeconds();
+
+  TablePrinter table({"kernel", "seconds", "speedup_vs_scalar"});
+  table.AddRow({"scalar_loop", TablePrinter::Num(scalar_seconds, 4),
+                TablePrinter::Num(1.0, 2)});
+  double dispatched_speedup = 0.0;
+  for (const char* backend : {"generic", "avx2"}) {
+    if (!SetDistanceKernelBackend(backend)) continue;
+    Stopwatch watch;
+    for (int rep = 0; rep < kReps; ++rep) {
+      BatchedSquaredDistances(soa.data(), stride, n, dim, query.data(),
+                              out.data());
+    }
+    const double seconds = watch.ElapsedSeconds();
+    table.AddRow({backend, TablePrinter::Num(seconds, 4),
+                  TablePrinter::Num(scalar_seconds / seconds, 2)});
+    dispatched_speedup = scalar_seconds / seconds;
+  }
+  SetDistanceKernelBackend("auto");
+  table.Print("distance kernel — 1024 points x 64 dims per query");
+  return dispatched_speedup;
+}
+
+struct StreamRun {
+  double seconds = 0.0;
+  uint64_t trees_built = 0;
+  uint64_t view_hits = 0;
+  uint64_t index_hits = 0;
+  std::vector<std::vector<size_t>> clean;
+  std::vector<std::vector<size_t>> noisy;
+};
+
+/// A short multi-request detection stream against one framework, with the
+/// FeatureCache forced on or off. The stream runs two passes over the
+/// incremental datasets — the second pass replays each request, the
+/// pattern the store's quarantine-replay ops produce — so the index cache
+/// gets same-pool repeats to hit on. Counts the KD-trees built during the
+/// Detect calls via the exact knn/trees_built counter.
+StreamRun TimeDetectStream(bool use_cache) {
+  WorkloadConfig config =
+      PaperWorkloadConfig(PaperDataset::kEmnist, /*noise_rate=*/0.2);
+  config.stream.num_datasets = 3;
+  const Workload workload = BuildWorkload(config);
+
+  EnldConfig enld_config = PaperEnldConfig(PaperDataset::kEmnist);
+  enld_config.use_feature_cache = use_cache;
+  EnldFramework enld(enld_config);
+  enld.Setup(workload.inventory);
+
+  auto* trees_built =
+      telemetry::MetricsRegistry::Global().GetCounter("knn/trees_built");
+  StreamRun run;
+  const uint64_t before = trees_built->Value();
+  Stopwatch watch;
+  for (int pass = 0; pass < 2; ++pass) {
+    for (const Dataset& d : workload.incremental) {
+      DetectionResult result = enld.Detect(d);
+      run.clean.push_back(std::move(result.clean_indices));
+      run.noisy.push_back(std::move(result.noisy_indices));
+    }
+  }
+  run.seconds = watch.ElapsedSeconds();
+  run.trees_built = trees_built->Value() - before;
+  run.view_hits = enld.feature_cache().stats().view_hits;
+  run.index_hits = enld.feature_cache().stats().index_hits;
+  return run;
+}
+
 }  // namespace
 
 int main() {
@@ -165,5 +274,51 @@ int main() {
   std::printf("\ndeterminism across thread counts: %s (clean=%zu noisy=%zu)\n",
               identical ? "PASS" : "FAIL", detect_runs[0].clean.size(),
               detect_runs[0].noisy.size());
-  return identical ? 0 : 1;
+
+  SetParallelThreads(1);
+  std::printf("\n");
+  const double kernel_speedup = PrintDistanceKernelTable();
+
+  // FeatureCache on/off at 1 and 4 threads: same partitions, fewer trees.
+  struct Combo {
+    size_t threads;
+    bool cache;
+  };
+  const Combo combos[] = {{1, true}, {1, false}, {4, true}, {4, false}};
+  std::vector<StreamRun> stream_runs;
+  TablePrinter cache_table({"config", "threads", "seconds",
+                            "knn_trees_built", "view_hits", "index_hits"});
+  for (const Combo& combo : combos) {
+    SetParallelThreads(combo.threads);
+    StreamRun run = TimeDetectStream(combo.cache);
+    cache_table.AddRow({combo.cache ? "cache_on" : "cache_off",
+                        TablePrinter::Num(combo.threads, 0),
+                        TablePrinter::Num(run.seconds, 4),
+                        TablePrinter::Num(run.trees_built, 0),
+                        TablePrinter::Num(run.view_hits, 0),
+                        TablePrinter::Num(run.index_hits, 0)});
+    stream_runs.push_back(std::move(run));
+  }
+  SetParallelThreads(0);
+  cache_table.Print(
+      "detect stream — FeatureCache on/off (3 requests + replay)");
+
+  bool cache_identical = true;
+  for (size_t i = 1; i < stream_runs.size(); ++i) {
+    cache_identical = cache_identical &&
+                      stream_runs[i].clean == stream_runs[0].clean &&
+                      stream_runs[i].noisy == stream_runs[0].noisy;
+  }
+  const bool fewer_trees =
+      stream_runs[0].trees_built < stream_runs[1].trees_built &&
+      stream_runs[2].trees_built < stream_runs[3].trees_built;
+  std::printf(
+      "\ncache on/off byte-identity at 1 and 4 threads: %s\n"
+      "cache builds fewer KD-trees: %s (on=%llu off=%llu)\n"
+      "distance kernel speedup vs scalar loop: %.2fx\n",
+      cache_identical ? "PASS" : "FAIL", fewer_trees ? "PASS" : "FAIL",
+      static_cast<unsigned long long>(stream_runs[0].trees_built),
+      static_cast<unsigned long long>(stream_runs[1].trees_built),
+      kernel_speedup);
+  return identical && cache_identical && fewer_trees ? 0 : 1;
 }

@@ -1,0 +1,144 @@
+#include "common/distance.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <cstring>
+
+#if defined(__x86_64__) || defined(__i386__)
+#include <immintrin.h>
+#define ENLD_DISTANCE_X86 1
+#endif
+
+namespace enld {
+
+namespace {
+
+using KernelFn = void (*)(const float* soa, size_t stride, size_t count,
+                          size_t dim, const float* query, float* out);
+
+/// Plain-C++ fallback: 8 independent fp32 accumulators, one per lane,
+/// each summing (p[d] - q[d])^2 over dimensions in index order — the same
+/// operation sequence per lane as the AVX2 path (and as SquaredDistance),
+/// so results match bitwise. The TU is built with -ffp-contract=off so
+/// the compiler cannot fuse the mul+add into FMA here but not there.
+void GenericKernel(const float* soa, size_t stride, size_t count, size_t dim,
+                   const float* query, float* out) {
+  for (size_t base = 0; base < count; base += kDistanceLanes) {
+    float acc[kDistanceLanes] = {0.0f};
+    for (size_t d = 0; d < dim; ++d) {
+      const float q = query[d];
+      const float* row = soa + d * stride + base;
+      for (size_t lane = 0; lane < kDistanceLanes; ++lane) {
+        const float diff = row[lane] - q;
+        acc[lane] += diff * diff;
+      }
+    }
+    const size_t n = std::min(kDistanceLanes, count - base);
+    for (size_t lane = 0; lane < n; ++lane) out[base + lane] = acc[lane];
+  }
+}
+
+#ifdef ENLD_DISTANCE_X86
+/// AVX2 path. Deliberately no FMA (separate _mm256_mul_ps + _mm256_add_ps):
+/// each lane performs the identical fp32 sequence as GenericKernel, so the
+/// two backends agree bitwise and runtime dispatch never changes results.
+__attribute__((target("avx2"))) void Avx2Kernel(const float* soa,
+                                                size_t stride, size_t count,
+                                                size_t dim, const float* query,
+                                                float* out) {
+  for (size_t base = 0; base < count; base += kDistanceLanes) {
+    __m256 acc = _mm256_setzero_ps();
+    for (size_t d = 0; d < dim; ++d) {
+      const __m256 q = _mm256_set1_ps(query[d]);
+      const __m256 p = _mm256_loadu_ps(soa + d * stride + base);
+      const __m256 diff = _mm256_sub_ps(p, q);
+      acc = _mm256_add_ps(acc, _mm256_mul_ps(diff, diff));
+    }
+    const size_t n = std::min(kDistanceLanes, count - base);
+    if (n == kDistanceLanes) {
+      _mm256_storeu_ps(out + base, acc);
+    } else {
+      float lanes[kDistanceLanes];
+      _mm256_storeu_ps(lanes, acc);
+      std::memcpy(out + base, lanes, n * sizeof(float));
+    }
+  }
+}
+
+bool Avx2Available() { return __builtin_cpu_supports("avx2") != 0; }
+#else
+bool Avx2Available() { return false; }
+#endif
+
+struct Backend {
+  KernelFn fn;
+  const char* name;
+};
+
+Backend DetectBackend() {
+  const char* env = std::getenv("ENLD_DISTANCE_KERNEL");
+  if (env != nullptr && std::strcmp(env, "generic") == 0) {
+    return {GenericKernel, "generic"};
+  }
+#ifdef ENLD_DISTANCE_X86
+  if (Avx2Available()) return {Avx2Kernel, "avx2"};
+#endif
+  return {GenericKernel, "generic"};
+}
+
+Backend& ActiveBackend() {
+  static Backend backend = DetectBackend();
+  return backend;
+}
+
+}  // namespace
+
+float SquaredDistance(const float* a, const float* b, size_t dim) {
+  float dist = 0.0f;
+  for (size_t d = 0; d < dim; ++d) {
+    const float diff = a[d] - b[d];
+    dist += diff * diff;
+  }
+  return dist;
+}
+
+void PackSoaBlock(const float* src, size_t src_cols, const size_t* rows,
+                  size_t count, size_t stride, float* dst) {
+  for (size_t d = 0; d < src_cols; ++d) {
+    float* lane = dst + d * stride;
+    for (size_t i = 0; i < count; ++i) lane[i] = src[rows[i] * src_cols + d];
+    std::fill(lane + count, lane + stride, 0.0f);
+  }
+}
+
+void BatchedSquaredDistances(const float* soa, size_t stride, size_t count,
+                             size_t dim, const float* query, float* out) {
+  if (count == 0) return;
+  ActiveBackend().fn(soa, stride, count, dim, query, out);
+}
+
+const char* DistanceKernelBackend() { return ActiveBackend().name; }
+
+bool SetDistanceKernelBackend(const char* name) {
+  if (name == nullptr) return false;
+  if (std::strcmp(name, "generic") == 0) {
+    ActiveBackend() = {GenericKernel, "generic"};
+    return true;
+  }
+  if (std::strcmp(name, "avx2") == 0) {
+#ifdef ENLD_DISTANCE_X86
+    if (Avx2Available()) {
+      ActiveBackend() = {Avx2Kernel, "avx2"};
+      return true;
+    }
+#endif
+    return false;
+  }
+  if (std::strcmp(name, "auto") == 0) {
+    ActiveBackend() = DetectBackend();
+    return true;
+  }
+  return false;
+}
+
+}  // namespace enld

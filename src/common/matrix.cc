@@ -120,8 +120,10 @@ void MatMul(const Matrix& a, const Matrix& b, Matrix* out) {
       const float* arow = a.Row(i);
       float* orow = out->Row(i);
       for (size_t kk = 0; kk < k; ++kk) {
+        // No zero-skip fast path: skipping av == 0 would drop 0 * inf and
+        // 0 * nan contributions (silently un-poisoning non-finite inputs)
+        // and puts a branch in the way of vectorizing the j loop.
         const float av = arow[kk];
-        if (av == 0.0f) continue;
         const float* brow = b.Row(kk);
         for (size_t j = 0; j < n; ++j) orow[j] += av * brow[j];
       }

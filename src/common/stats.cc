@@ -23,7 +23,7 @@ void OnlineStats::Add(double value) {
 
 double OnlineStats::variance() const {
   if (count_ < 2) return 0.0;
-  return m2_ / static_cast<double>(count_);
+  return m2_ / static_cast<double>(count_ - 1);
 }
 
 double OnlineStats::stddev() const { return std::sqrt(variance()); }

@@ -16,7 +16,9 @@ class OnlineStats {
 
   size_t count() const { return count_; }
   double mean() const { return mean_; }
-  /// Population variance (0 for fewer than 2 observations).
+  /// Sample (Bessel-corrected, n-1) variance; 0 for fewer than 2
+  /// observations. The harness averages over small numbers of incremental
+  /// datasets, where the population divisor would understate spread.
   double variance() const;
   double stddev() const;
   double min() const { return min_; }

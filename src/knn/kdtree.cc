@@ -5,6 +5,7 @@
 #include <limits>
 
 #include "common/check.h"
+#include "common/distance.h"
 #include "common/parallel.h"
 #include "common/telemetry/metrics.h"
 
@@ -12,17 +13,17 @@ namespace enld {
 
 namespace {
 
-/// Max-heap ordering on distance so the worst current neighbour is at the
-/// front and can be popped when a closer one arrives.
+/// Max-heap on NeighborBefore: the worst current neighbour (farthest, then
+/// largest index among equals) sits at the front and is popped first.
 bool HeapCmp(const Neighbor& a, const Neighbor& b) {
-  return a.distance_squared < b.distance_squared;
+  return NeighborBefore(a, b);
 }
 
 void HeapPush(std::vector<Neighbor>& heap, Neighbor n, size_t k) {
   if (heap.size() < k) {
     heap.push_back(n);
     std::push_heap(heap.begin(), heap.end(), HeapCmp);
-  } else if (n.distance_squared < heap.front().distance_squared) {
+  } else if (NeighborBefore(n, heap.front())) {
     std::pop_heap(heap.begin(), heap.end(), HeapCmp);
     heap.back() = n;
     std::push_heap(heap.begin(), heap.end(), HeapCmp);
@@ -44,6 +45,7 @@ KdTree::KdTree(const Matrix& points, const std::vector<size_t>& row_indices)
   if (count_ > 0) {
     nodes_.reserve(2 * count_ / kLeafSize + 2);
     Build(0, count_);
+    PackLeaves();
   }
   // Build cost counters; exact integers, so identical at any thread count
   // (per-class builds run in parallel but index the same point sets).
@@ -115,19 +117,41 @@ int KdTree::Build(size_t begin, size_t end) {
   return node_id;
 }
 
+void KdTree::PackLeaves() {
+  // One pass to size the arena, one to pack. order_ is final after Build,
+  // so the leaf blocks can alias its [begin, end) ranges directly.
+  size_t total = 0;
+  scratch_size_ = 0;
+  for (const Node& node : nodes_) {
+    if (!node.is_leaf) continue;
+    const size_t stride = PaddedLaneCount(node.end - node.begin);
+    total += stride * dim_;
+    scratch_size_ = std::max(scratch_size_, stride);
+  }
+  leaf_soa_.resize(total);
+  size_t offset = 0;
+  for (Node& node : nodes_) {
+    if (!node.is_leaf) continue;
+    const size_t n = node.end - node.begin;
+    const size_t stride = PaddedLaneCount(n);
+    node.soa_offset = offset;
+    PackSoaBlock(points_.data(), dim_, order_.data() + node.begin, n, stride,
+                 leaf_soa_.data() + offset);
+    offset += stride * dim_;
+  }
+}
+
 void KdTree::Search(int node_id, const float* query,
-                    std::vector<Neighbor>& heap, size_t k) const {
+                    std::vector<Neighbor>& heap, size_t k,
+                    float* scratch) const {
   const Node& node = nodes_[node_id];
   if (node.is_leaf) {
-    for (size_t i = node.begin; i < node.end; ++i) {
-      const size_t local = order_[i];
-      const float* p = points_.data() + local * dim_;
-      float dist = 0.0f;
-      for (size_t d = 0; d < dim_; ++d) {
-        const float diff = p[d] - query[d];
-        dist += diff * diff;
-      }
-      HeapPush(heap, Neighbor{original_[local], dist}, k);
+    const size_t n = node.end - node.begin;
+    BatchedSquaredDistances(leaf_soa_.data() + node.soa_offset,
+                            PaddedLaneCount(n), n, dim_, query, scratch);
+    for (size_t i = 0; i < n; ++i) {
+      HeapPush(heap, Neighbor{original_[order_[node.begin + i]], scratch[i]},
+               k);
     }
     return;
   }
@@ -135,9 +159,13 @@ void KdTree::Search(int node_id, const float* query,
   const float delta = query[node.axis] - node.split;
   const int near = delta < 0.0f ? node.left : node.right;
   const int far = delta < 0.0f ? node.right : node.left;
-  Search(near, query, heap, k);
-  if (heap.size() < k || delta * delta < heap.front().distance_squared) {
-    Search(far, query, heap, k);
+  Search(near, query, heap, k, scratch);
+  // <= rather than <: a far-side point at exactly the current worst
+  // distance can still win its tie on index, so it must be visited for the
+  // NeighborBefore order to hold.
+  if (heap.size() < k ||
+      delta * delta <= heap.front().distance_squared) {
+    Search(far, query, heap, k, scratch);
   }
 }
 
@@ -150,7 +178,8 @@ std::vector<Neighbor> KdTree::Nearest(const float* query, size_t k) const {
   std::vector<Neighbor> heap;
   if (count_ == 0) return heap;
   heap.reserve(std::min(k, count_));
-  Search(0, query, heap, k);
+  std::vector<float> scratch(scratch_size_);
+  Search(0, query, heap, k, scratch.data());
   std::sort_heap(heap.begin(), heap.end(), HeapCmp);
   return heap;
 }
@@ -187,9 +216,22 @@ std::vector<Neighbor> BruteForceNearest(const Matrix& points,
   ENLD_CHECK_GT(k, 0u);
   std::vector<Neighbor> heap;
   heap.reserve(std::min(k, row_indices.size()));
-  for (size_t row : row_indices) {
-    const float dist = points.RowDistanceSquared(row, query);
-    HeapPush(heap, Neighbor{row, dist}, k);
+  // Pack candidate rows into SoA chunks and run the batched kernel — the
+  // same code path (and bitwise the same distances) as KD-tree leaf scans.
+  constexpr size_t kChunk = 1024;
+  const size_t dim = points.cols();
+  const size_t chunk = std::min(kChunk, std::max<size_t>(row_indices.size(), 1));
+  const size_t stride = PaddedLaneCount(chunk);
+  std::vector<float> soa(stride * dim);
+  std::vector<float> dist(chunk);
+  for (size_t base = 0; base < row_indices.size(); base += chunk) {
+    const size_t n = std::min(chunk, row_indices.size() - base);
+    PackSoaBlock(points.data(), dim, row_indices.data() + base, n, stride,
+                 soa.data());
+    BatchedSquaredDistances(soa.data(), stride, n, dim, query, dist.data());
+    for (size_t i = 0; i < n; ++i) {
+      HeapPush(heap, Neighbor{row_indices[base + i], dist[i]}, k);
+    }
   }
   std::sort_heap(heap.begin(), heap.end(), HeapCmp);
   return heap;

@@ -15,11 +15,26 @@ struct Neighbor {
   float distance_squared;
 };
 
+/// Total order on neighbour candidates: nearer first, ties broken by the
+/// smaller original index. Both KdTree and BruteForceNearest rank by this
+/// order, so they return identical results (indices included) even on
+/// duplicate-heavy point sets, and results never depend on scan order.
+inline bool NeighborBefore(const Neighbor& a, const Neighbor& b) {
+  if (a.distance_squared != b.distance_squared) {
+    return a.distance_squared < b.distance_squared;
+  }
+  return a.index < b.index;
+}
+
 /// Static KD-tree over a set of points (one per row of the source matrix),
 /// used by contrastive sampling to make repeated k-nearest queries cheap
 /// (Section IV-D "Implementation": O(k |A| log |H'|) instead of
 /// O(c |A| |H'|)). The tree copies its points; rebuilding after the feature
 /// space moves (each fine-tuning iteration) is the intended usage.
+///
+/// Leaf points are additionally packed into contiguous SoA blocks at build
+/// time so leaf scans run through the batched distance kernel
+/// (common/distance.h) instead of a scalar per-point loop.
 class KdTree {
  public:
   /// Builds a tree over the given rows of `points`. If `row_indices` is
@@ -35,8 +50,8 @@ class KdTree {
   bool empty() const { return count_ == 0; }
 
   /// Returns up to `k` nearest neighbours of `query` (length = point dim),
-  /// ordered by increasing distance. Indices refer to the row indices the
-  /// tree was built with.
+  /// ordered by NeighborBefore — increasing distance, ties by increasing
+  /// index. Indices refer to the row indices the tree was built with.
   std::vector<Neighbor> Nearest(const float* query, size_t k) const;
   std::vector<Neighbor> Nearest(const std::vector<float>& query,
                                 size_t k) const;
@@ -58,15 +73,18 @@ class KdTree {
     int right = -1;
     size_t axis = 0;
     float split = 0.0f;
-    // Leaf payload: range [begin, end) into order_.
+    // Leaf payload: range [begin, end) into order_, plus the offset of the
+    // leaf's SoA block in leaf_soa_ (stride = PaddedLaneCount(end - begin)).
     size_t begin = 0;
     size_t end = 0;
+    size_t soa_offset = 0;
     bool is_leaf = false;
   };
 
   int Build(size_t begin, size_t end);
-  void Search(int node_id, const float* query,
-              std::vector<Neighbor>& heap, size_t k) const;
+  void PackLeaves();
+  void Search(int node_id, const float* query, std::vector<Neighbor>& heap,
+              size_t k, float* scratch) const;
 
   size_t dim_ = 0;
   size_t count_ = 0;
@@ -74,13 +92,19 @@ class KdTree {
   std::vector<size_t> original_;     // per local point: source row index.
   std::vector<size_t> order_;        // permutation of local points.
   std::vector<Node> nodes_;
+  std::vector<float> leaf_soa_;      // all leaves, dimension-major blocks.
+  /// Per-query scratch size: the largest padded leaf point count. The
+  /// degenerate all-identical-spread case keeps whole ranges as one leaf,
+  /// so this can exceed kLeafSize.
+  size_t scratch_size_ = 0;
   static constexpr size_t kLeafSize = 16;
   /// Queries per parallel chunk in NearestBatch.
   static constexpr size_t kQueryGrain = 16;
 };
 
 /// Brute-force k-nearest reference (exact), used to validate the KD-tree
-/// and as a fallback in tests.
+/// and as a fallback in tests. Ranks by NeighborBefore, so the result is
+/// identical to KdTree::Nearest over the same rows.
 std::vector<Neighbor> BruteForceNearest(const Matrix& points,
                                         const std::vector<size_t>& row_indices,
                                         const float* query, size_t k);

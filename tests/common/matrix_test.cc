@@ -1,9 +1,13 @@
 #include "common/matrix.h"
 
 #include <cmath>
+#include <cstdint>
+#include <cstring>
+#include <limits>
 
 #include <gtest/gtest.h>
 
+#include "common/parallel.h"
 #include "common/rng.h"
 
 namespace enld {
@@ -167,6 +171,56 @@ TEST(MatMulTest, IdentityIsNeutral) {
   Matrix out;
   MatMul(a, eye, &out);
   ExpectMatrixNear(out, a);
+}
+
+// Regression for the zero-skip fast path: `if (av == 0.0f) continue;`
+// dropped 0 * inf and 0 * nan contributions, so a poisoned operand could
+// silently vanish from the product.
+TEST(MatMulTest, ZeroTimesNonFinitePropagates) {
+  Matrix a(2, 2, 1.0f);
+  a(0, 1) = 0.0f;
+  Matrix b(2, 2, 1.0f);
+  b(1, 0) = std::numeric_limits<float>::infinity();
+  b(1, 1) = std::numeric_limits<float>::quiet_NaN();
+  Matrix out;
+  MatMul(a, b, &out);
+  EXPECT_TRUE(std::isnan(out(0, 0)));  // 1*1 + 0*inf.
+  EXPECT_TRUE(std::isnan(out(0, 1)));  // 1*1 + 0*nan.
+  EXPECT_TRUE(std::isinf(out(1, 0)));  // 1*1 + 1*inf.
+  EXPECT_TRUE(std::isnan(out(1, 1)));  // 1*1 + 1*nan.
+}
+
+TEST(MatMulTest, NonFinitePropagatesIdenticallyInParallelPath) {
+  // 64*32*32 = 65536 crosses the parallel-dispatch threshold, so the
+  // 4-thread run takes the ParallelFor path; 1 thread is the sequential
+  // path. Outputs must match bitwise, including every nan/inf cell seeded
+  // through a zero multiplier.
+  Rng rng(7);
+  Matrix a = RandomMatrix(64, 32, rng);
+  Matrix b = RandomMatrix(32, 32, rng);
+  a(3, 5) = 0.0f;
+  a(60, 9) = 0.0f;
+  b(5, 0) = std::numeric_limits<float>::infinity();
+  b(9, 2) = std::numeric_limits<float>::quiet_NaN();
+  Matrix seq;
+  SetParallelThreads(1);
+  MatMul(a, b, &seq);
+  SetParallelThreads(4);
+  Matrix par;
+  MatMul(a, b, &par);
+  SetParallelThreads(0);
+  EXPECT_TRUE(std::isnan(seq(3, 0)));   // includes the 0 * inf term.
+  EXPECT_TRUE(std::isnan(seq(60, 2)));  // includes the 0 * nan term.
+  ASSERT_EQ(seq.rows(), par.rows());
+  ASSERT_EQ(seq.cols(), par.cols());
+  for (size_t r = 0; r < seq.rows(); ++r) {
+    for (size_t c = 0; c < seq.cols(); ++c) {
+      uint32_t sbits, pbits;
+      std::memcpy(&sbits, &seq(r, c), sizeof(sbits));
+      std::memcpy(&pbits, &par(r, c), sizeof(pbits));
+      EXPECT_EQ(sbits, pbits) << "at (" << r << "," << c << ")";
+    }
+  }
 }
 
 TEST(MatrixOpsTest, AddRowBroadcast) {

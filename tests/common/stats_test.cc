@@ -29,11 +29,32 @@ TEST(OnlineStatsTest, SingleValue) {
 TEST(OnlineStatsTest, KnownMoments) {
   OnlineStats stats;
   for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) stats.Add(v);
+  // Sum of squared deviations from the mean (5.0) is 32; sample variance
+  // divides by n-1 = 7.
   EXPECT_DOUBLE_EQ(stats.mean(), 5.0);
-  EXPECT_DOUBLE_EQ(stats.variance(), 4.0);
-  EXPECT_DOUBLE_EQ(stats.stddev(), 2.0);
+  EXPECT_DOUBLE_EQ(stats.variance(), 32.0 / 7.0);
+  EXPECT_DOUBLE_EQ(stats.stddev(), std::sqrt(32.0 / 7.0));
   EXPECT_DOUBLE_EQ(stats.min(), 2.0);
   EXPECT_DOUBLE_EQ(stats.max(), 9.0);
+}
+
+// Regression for the population-variance bug: variance() guarded
+// count < 2 (a sample-variance convention) but divided by n. Pin the
+// sample values for a small sequence so a silent divisor change fails.
+TEST(OnlineStatsTest, SampleVarianceSmallSequence) {
+  OnlineStats stats;
+  for (double v : {1.0, 2.0, 3.0, 4.0}) stats.Add(v);
+  // mean 2.5, squared deviations 2.25 + 0.25 + 0.25 + 2.25 = 5.
+  EXPECT_DOUBLE_EQ(stats.mean(), 2.5);
+  EXPECT_DOUBLE_EQ(stats.variance(), 5.0 / 3.0);
+  EXPECT_DOUBLE_EQ(stats.stddev(), std::sqrt(5.0 / 3.0));
+
+  // Two observations: variance is half the squared gap, not a quarter.
+  OnlineStats pair;
+  pair.Add(1.0);
+  pair.Add(3.0);
+  EXPECT_DOUBLE_EQ(pair.variance(), 2.0);
+  EXPECT_DOUBLE_EQ(pair.stddev(), std::sqrt(2.0));
 }
 
 TEST(OnlineStatsTest, MatchesBatchComputation) {
@@ -50,7 +71,7 @@ TEST(OnlineStatsTest, MatchesBatchComputation) {
   mean /= values.size();
   double var = 0.0;
   for (double v : values) var += (v - mean) * (v - mean);
-  var /= values.size();
+  var /= values.size() - 1;
   EXPECT_NEAR(stats.mean(), mean, 1e-9);
   EXPECT_NEAR(stats.variance(), var, 1e-9);
 }

@@ -82,8 +82,62 @@ TEST(KdTreeTest, DuplicatePointsHandled) {
   KdTree tree(points);
   const float query[2] = {1.0f, 1.0f};
   const auto result = tree.Nearest(query, 4);
-  EXPECT_EQ(result.size(), 4u);
-  for (const auto& n : result) EXPECT_FLOAT_EQ(n.distance_squared, 0.0f);
+  ASSERT_EQ(result.size(), 4u);
+  for (size_t i = 0; i < result.size(); ++i) {
+    EXPECT_FLOAT_EQ(result[i].distance_squared, 0.0f);
+    // NeighborBefore tie-breaking: equal distances resolve to the
+    // smallest original indices, in increasing order.
+    EXPECT_EQ(result[i].index, i);
+  }
+}
+
+// Regression for the strict-< far-side prune: with many exact duplicates
+// the k-th worst distance often equals the split-plane distance, and the
+// old prune could skip a far-side point that wins its tie on index —
+// KdTree and brute force then disagreed. Both now rank by NeighborBefore
+// (distance, then index), so results must be identical, indices included.
+TEST(KdTreeTest, DuplicateHeavyMatchesBruteForceExactly) {
+  Rng rng(21);
+  const size_t n = 300, dim = 3;
+  Matrix points(n, dim);
+  for (size_t r = 0; r < n; ++r) {
+    for (size_t c = 0; c < dim; ++c) {
+      // Small integer grid: exact distance ties everywhere.
+      points(r, c) = static_cast<float>(rng.UniformInt(3));
+    }
+  }
+  const auto rows = AllRows(n);
+  KdTree tree(points, rows);
+  for (int trial = 0; trial < 30; ++trial) {
+    std::vector<float> query(dim);
+    for (auto& q : query) q = static_cast<float>(rng.UniformInt(3));
+    const size_t k = 1 + rng.UniformInt(12);
+    const auto fast = tree.Nearest(query.data(), k);
+    const auto slow = BruteForceNearest(points, rows, query.data(), k);
+    ASSERT_EQ(fast.size(), slow.size());
+    for (size_t i = 0; i < fast.size(); ++i) {
+      EXPECT_EQ(fast[i].index, slow[i].index) << "trial " << trial;
+      EXPECT_EQ(fast[i].distance_squared, slow[i].distance_squared);
+    }
+  }
+}
+
+// The all-identical-spread degenerate case keeps the whole point set as
+// one oversized leaf (> kLeafSize), exercising the batched kernel's
+// large-block path and the per-query scratch sizing.
+TEST(KdTreeTest, SingleLeafAllIdenticalPoints) {
+  const size_t n = 100;  // Far above the leaf size of 16.
+  Matrix points(n, 4, 2.5f);
+  KdTree tree(points);
+  const float query[4] = {2.5f, 2.5f, 2.5f, 2.5f};
+  const auto result = tree.Nearest(query, 10);
+  ASSERT_EQ(result.size(), 10u);
+  for (size_t i = 0; i < result.size(); ++i) {
+    EXPECT_EQ(result[i].index, i);
+    EXPECT_FLOAT_EQ(result[i].distance_squared, 0.0f);
+  }
+  // k > n returns everything, still in index order.
+  EXPECT_EQ(tree.Nearest(query, 2 * n).size(), n);
 }
 
 TEST(KdTreeTest, SubsetIndexingReturnsSourceRows) {
@@ -122,8 +176,10 @@ TEST_P(KdTreeBruteForceEquivalence, MatchesBruteForce) {
     const auto slow = BruteForceNearest(points, rows, query.data(), p.k);
     ASSERT_EQ(fast.size(), slow.size());
     for (size_t i = 0; i < fast.size(); ++i) {
-      // Indices can differ under distance ties; distances must agree.
-      EXPECT_FLOAT_EQ(fast[i].distance_squared, slow[i].distance_squared);
+      // Both rank by NeighborBefore, so even tied distances resolve to the
+      // same indices.
+      EXPECT_EQ(fast[i].index, slow[i].index);
+      EXPECT_EQ(fast[i].distance_squared, slow[i].distance_squared);
     }
   }
 }
@@ -173,6 +229,41 @@ TEST(ClassIndexTest, IndexesOnlyGivenRows) {
   for (const Neighbor& n : index.Nearest(0, query, 10)) {
     EXPECT_TRUE(n.index == 1 || n.index == 3 || n.index == 5);
   }
+}
+
+TEST(ClassIndexTest, NearestBatchKLargerThanClassPool) {
+  Rng rng(7);
+  const Matrix points = RandomPoints(10, 2, rng);
+  std::vector<int> labels(10, 0);
+  labels[8] = 1;
+  labels[9] = 1;  // Class 1 holds only two points.
+  ClassKnnIndex index(points, labels, AllRows(10), 2);
+
+  const std::vector<int> query_labels = {1, 1, 0};
+  const std::vector<size_t> query_rows = {0, 1, 2};
+  const auto results = index.NearestBatch(query_labels, points, query_rows,
+                                          /*k=*/10);
+  ASSERT_EQ(results.size(), 3u);
+  // k far above the class-1 pool: both members come back, nothing else.
+  for (size_t q = 0; q < 2; ++q) {
+    ASSERT_EQ(results[q].size(), 2u);
+    for (const Neighbor& n : results[q]) {
+      EXPECT_TRUE(n.index == 8 || n.index == 9);
+    }
+  }
+  EXPECT_EQ(results[2].size(), 8u);  // Class 0: all eight members.
+}
+
+TEST(ClassIndexTest, NearestBatchEmptyClassYieldsEmpty) {
+  Rng rng(8);
+  const Matrix points = RandomPoints(6, 2, rng);
+  std::vector<int> labels(6, 0);  // Class 1 exists but is unpopulated.
+  ClassKnnIndex index(points, labels, AllRows(6), 2);
+  const auto results =
+      index.NearestBatch({1, 0}, points, {0, 1}, /*k=*/3);
+  ASSERT_EQ(results.size(), 2u);
+  EXPECT_TRUE(results[0].empty());
+  EXPECT_EQ(results[1].size(), 3u);
 }
 
 }  // namespace
